@@ -1,0 +1,102 @@
+// Ablation: the BlueGene/P port anecdote (paper §VI-A).
+//
+// "A test case that ran in 1,500 seconds on a Cray XT5 with 512
+// processors initially took more than 6 hours on the 512 cores of a
+// BlueGene/P. ... It was necessary to modify the prefetching mechanism to
+// avoid blocks arriving too early, causing eviction and refetching of
+// blocks that would be reused. After tuning the SIP, the times are within
+// a factor of four commensurate with the ratio of the processor speeds."
+//
+// Model: the untuned port's over-eager prefetch is a refetch multiplier
+// (every block moved several times) plus untuned kernels; the tuned port
+// removes both. The bench also demonstrates the *mechanism* on the real
+// runtime: an aggressive prefetch depth against a tiny worker cache
+// produces measurable evictions and re-issued gets.
+#include <cstdio>
+#include <iostream>
+
+#include "chem/integrals.hpp"
+#include "chem/programs.hpp"
+#include "chem/system.hpp"
+#include "common/stats.hpp"
+#include "sim/des.hpp"
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+#include "sim/workload.hpp"
+#include "sip/launch.hpp"
+
+int main() {
+  using namespace sia;
+  std::printf("=== Ablation: BlueGene/P port tuning (paper section "
+              "VI-A) ===\n");
+
+  const sim::WorkloadModel workload =
+      sim::ccsd_iteration(chem::water_cluster(), 16);
+  const long procs = 512;
+
+  const double xt5 = sim::simulate_workload(sim::cray_xt5(), workload,
+                                            procs, sim::SimOptions{})
+                         .seconds;
+
+  sim::SimOptions untuned;
+  untuned.refetch_factor = 16.0;  // premature prefetch: blocks evicted and
+                                  // refetched several times, synchronously
+  untuned.overlap = false;        // ...which defeats the overlap pipeline
+  untuned.compute_scale = 2.5;    // kernels not yet using the PPC450's
+                                  // double-hummer FPU
+  const double bgp_untuned =
+      sim::simulate_workload(sim::bluegene_p(), workload, procs, untuned)
+          .seconds;
+
+  const double bgp_tuned = sim::simulate_workload(
+                               sim::bluegene_p(), workload, procs,
+                               sim::SimOptions{})
+                               .seconds;
+
+  TablePrinter table(std::cout, {"configuration", "time[s]", "vs XT5"},
+                     {22, 10, 8});
+  table.print_header();
+  table.print_row({"Cray XT5 (512)", sim::fmt(xt5, 0), "1.0x"});
+  table.print_row({"BG/P untuned (512)", sim::fmt(bgp_untuned, 0),
+                   sim::fmt(bgp_untuned / xt5, 1) + "x"});
+  table.print_row({"BG/P tuned (512)", sim::fmt(bgp_tuned, 0),
+                   sim::fmt(bgp_tuned / xt5, 1) + "x"});
+
+  std::printf("\nshape check: untuned >> tuned (paper: >14x vs ~4x): "
+              "untuned/XT5 = %.1f, tuned/XT5 = %.1f -> %s\n",
+              bgp_untuned / xt5, bgp_tuned / xt5,
+              (bgp_untuned / xt5 > 8.0 && bgp_tuned / xt5 < 6.0) ? "yes"
+                                                                 : "NO");
+
+  // Mechanism demo on the real runtime: deep prefetch + tiny cache causes
+  // evictions of not-yet-used blocks and re-issued gets.
+  std::printf("\n--- real-runtime mechanism check (tiny cache) ---\n");
+  chem::register_chem_superinstructions();
+  for (const int depth : {0, 8}) {
+    SipConfig config;
+    config.workers = 2;
+    config.io_servers = 0;
+    config.default_segment = 2;
+    config.prefetch_depth = depth;
+    // Memory sized so the worker block cache holds only a fraction of the
+    // amplitude blocks a ladder sweep touches.
+    config.worker_memory_bytes = 4096 * sizeof(double) * 4;
+    config.constants = {{"norb", 28}, {"nocc", 4}, {"maxiter", 1}};
+    sip::Sip sip(config);
+    const sip::RunResult result =
+        sip.run_source(chem::ccd_energy_source());
+    std::printf("prefetch depth %d: gets issued %lld, cache evictions "
+                "%lld, energy %.10f\n",
+                depth,
+                static_cast<long long>(result.workers.gets_issued),
+                static_cast<long long>(result.workers.cache_evictions),
+                result.scalar("energy"));
+  }
+  std::printf("(the ladder sweep touches far more blocks than the cache "
+              "holds: thousands of evictions and refetches of a few "
+              "hundred distinct blocks -- the section VI-A thrash "
+              "mechanism -- and no prefetch depth can fix it; only "
+              "resizing the cache or segments can, while the result is "
+              "unchanged)\n");
+  return 0;
+}

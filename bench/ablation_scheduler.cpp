@@ -1,0 +1,93 @@
+// Ablation: guided decreasing-chunk scheduling versus static partitioning
+// (paper §V-B: "the chunk size decreases as the computation proceeds.
+// This is similar to the approach taken with guided scheduling in
+// OpenMP").
+//
+// Uses the production GuidedSchedule directly in a makespan study over a
+// deliberately imbalanced task mix — triangular iteration spaces (from
+// `where i <= j` clauses) give blocks near the diagonal far less work.
+// Static pre-partitioning strands the heavy tail on one worker; guided
+// chunks rebalance automatically.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "sim/report.hpp"
+#include "sip/scheduler.hpp"
+
+namespace {
+
+// Task costs: heavy-tailed deterministic mix (a triangular contraction:
+// task t costs proportional to its row length plus noise).
+std::vector<double> make_task_costs(int tasks) {
+  std::vector<double> costs(static_cast<std::size_t>(tasks));
+  for (int t = 0; t < tasks; ++t) {
+    const double base = 1.0 + static_cast<double>(t % 64);
+    const double noise =
+        sia::unit_double(static_cast<std::uint64_t>(t)) * 8.0;
+    costs[static_cast<std::size_t>(t)] = base + noise;
+  }
+  return costs;
+}
+
+// Simulated makespan when workers pull chunks from the given schedule
+// parameters (min_chunk = tasks/workers approximates a static one-shot
+// partition).
+double makespan(const std::vector<double>& costs, int workers,
+                int chunk_divisor, long min_chunk) {
+  sia::sip::GuidedSchedule schedule(
+      static_cast<std::int64_t>(costs.size()), workers, chunk_divisor,
+      min_chunk);
+  std::vector<double> busy(static_cast<std::size_t>(workers), 0.0);
+  while (true) {
+    // The least-loaded worker asks next (workers request when idle).
+    const std::size_t w = static_cast<std::size_t>(
+        std::min_element(busy.begin(), busy.end()) - busy.begin());
+    const auto [begin, end] = schedule.next_chunk();
+    if (begin >= end) break;
+    for (std::int64_t t = begin; t < end; ++t) {
+      busy[w] += costs[static_cast<std::size_t>(t)];
+    }
+  }
+  return *std::max_element(busy.begin(), busy.end());
+}
+
+}  // namespace
+
+int main() {
+  using sia::TablePrinter;
+  std::printf("=== Ablation: guided vs static pardo scheduling ===\n");
+
+  const std::vector<double> costs = make_task_costs(4096);
+  const double total =
+      std::accumulate(costs.begin(), costs.end(), 0.0);
+
+  TablePrinter table(
+      std::cout,
+      {"workers", "ideal", "static", "guided", "static-eff%", "guided-eff%"},
+      {7, 9, 9, 9, 12, 12});
+  table.print_header();
+  bool guided_ok = true;       // never loses by more than 2%...
+  bool guided_wins_big = false;  // ...and wins clearly when imbalance bites
+  for (const int workers : {8, 16, 32, 64, 128}) {
+    const double ideal = total / workers;
+    const double t_static =
+        makespan(costs, workers, 1,
+                 static_cast<long>(costs.size()) / workers);
+    const double t_guided = makespan(costs, workers, 2, 1);
+    guided_ok = guided_ok && t_guided <= 1.02 * t_static;
+    guided_wins_big = guided_wins_big || t_guided < 0.8 * t_static;
+    table.print_row({std::to_string(workers), sia::sim::fmt(ideal, 0),
+                     sia::sim::fmt(t_static, 0), sia::sim::fmt(t_guided, 0),
+                     sia::sim::fmt(100.0 * ideal / t_static, 1),
+                     sia::sim::fmt(100.0 * ideal / t_guided, 1)});
+  }
+  std::printf("\nshape check: guided never loses more than 2%% and wins "
+              "decisively once chunks are coarse relative to the task mix: "
+              "%s\n",
+              (guided_ok && guided_wins_big) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 6 reproduction: strong scaling of the Fock-matrix build for a
+// diamond nano-crystal with an NV center (2944 basis functions) on the
+// Cray XT5, up to 108,000 cores.
+//
+// Paper: strong scaling to 72,000 cores; 84k/96k/108k-core runs were
+// *slower* than 72k with the same segment size; retuning the segment size
+// at 84k cores dropped the time from 83.2 s to 57.5 s, beating the 79.4 s
+// at 72k. The turnover in the model comes from the serialized master
+// chunk service plus shrinking per-task work; the retune sweep finds a
+// larger segment that restores the balance.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "chem/system.hpp"
+#include "common/stats.hpp"
+#include "sim/des.hpp"
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+#include "sim/workload.hpp"
+
+int main() {
+  using namespace sia;
+  std::printf("=== Fig. 6: diamond nano-crystal Fock build on Cray XT5 "
+              "(simulated) ===\n");
+
+  const sim::MachineModel machine = sim::cray_xt5();
+  const chem::MolecularSystem crystal = chem::diamond_nv();
+  const sim::SimOptions options;
+  constexpr int kBaseSegment = 40;
+
+  const std::vector<long> procs = {9000,  18000, 36000, 54000,
+                                   72000, 84000, 96000, 108000};
+  const sim::WorkloadModel base = sim::fock_build(crystal, kBaseSegment);
+
+  TablePrinter table(std::cout, {"cores", "time[s]", "efficiency%"},
+                     {7, 9, 12});
+  table.print_header();
+  std::vector<double> times;
+  for (const long p : procs) {
+    times.push_back(sim::simulate_workload(machine, base, p, options).seconds);
+  }
+  const std::vector<double> efficiency =
+      sim::scaling_efficiency(procs, times, 0);
+  for (std::size_t k = 0; k < procs.size(); ++k) {
+    table.print_row({std::to_string(procs[k]), sim::fmt(times[k], 1),
+                     sim::fmt(efficiency[k], 1)});
+  }
+
+  const double t72k = times[4];
+  const double t84k_untuned = times[5];
+  std::printf("\nshape check: 84k cores slower than 72k with the fixed "
+              "segment size: %s (%.1f s vs %.1f s)\n",
+              t84k_untuned > t72k ? "yes" : "NO", t84k_untuned, t72k);
+
+  // The paper's retune at 84,000 cores: sweep the segment size.
+  std::printf("\n--- segment-size retune at 84,000 cores ---\n");
+  TablePrinter retune(std::cout, {"segment", "time[s]"}, {8, 9});
+  retune.print_header();
+  double best = 1e30;
+  int best_segment = kBaseSegment;
+  for (const int segment : {24, 32, 40, 48, 56, 64, 80}) {
+    const sim::WorkloadModel tuned = sim::fock_build(crystal, segment);
+    const double t =
+        sim::simulate_workload(machine, tuned, 84000, options).seconds;
+    retune.print_row({std::to_string(segment), sim::fmt(t, 1)});
+    if (t < best) {
+      best = t;
+      best_segment = segment;
+    }
+  }
+  std::printf("\nretuned 84k time: %.1f s (segment %d) vs untuned %.1f s; "
+              "beats the 72k time (%.1f s): %s\n",
+              best, best_segment, t84k_untuned, t72k,
+              best < t72k ? "yes" : "NO");
+  std::printf("paper: 83.2 s untuned -> 57.5 s retuned, vs 79.4 s at "
+              "72k\n");
+  return 0;
+}

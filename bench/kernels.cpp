@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark) for the computational super
+// instructions and the memory machinery: block contraction throughput by
+// segment size (the paper's key tuning knob), tensor permutation,
+// on-demand integral generation, and pool-vs-heap block allocation.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/permute.hpp"
+#include "block/block.hpp"
+#include "block/block_pool.hpp"
+#include "chem/integrals.hpp"
+#include "common/rng.hpp"
+#include "sip/superinstr.hpp"
+
+namespace {
+
+using namespace sia;
+
+Block random_block(std::vector<int> extents, std::uint64_t seed) {
+  Block block{BlockShape(extents)};
+  auto data = block.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 2.0 * unit_double(hash_combine(seed, i)) - 1.0;
+  }
+  return block;
+}
+
+// Rank-4 block contraction over two shared indices (the CCSD workhorse:
+// 2*seg^6 flops), as a function of segment size.
+void BM_BlockContraction(benchmark::State& state) {
+  const int seg = static_cast<int>(state.range(0));
+  Block a = random_block({seg, seg, seg, seg}, 1);
+  Block b = random_block({seg, seg, seg, seg}, 2);
+  Block c{BlockShape(std::vector<int>{seg, seg, seg, seg})};
+  const std::vector<int> c_ids = {0, 1, 4, 5};
+  const std::vector<int> a_ids = {0, 1, 2, 3};
+  const std::vector<int> b_ids = {2, 3, 4, 5};
+  for (auto _ : state) {
+    sip::block_contract(c, c_ids, a, a_ids, b, b_ids, false);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  const double flops = 2.0 * std::pow(static_cast<double>(seg), 6.0);
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops * static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BlockContraction)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+// The DGEMM kernel directly.
+void BM_Dgemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> a(n * n), b(n * n), c(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    a[i] = unit_double(i);
+    b[i] = unit_double(i + 7);
+  }
+  for (auto _ : state) {
+    blas::dgemm(n, n, n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n *
+          static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Dgemm)->Arg(64)->Arg(128)->Arg(256);
+
+// Rank-4 permutation (operand preparation for contractions).
+void BM_Permute4(benchmark::State& state) {
+  const int seg = static_cast<int>(state.range(0));
+  Block src = random_block({seg, seg, seg, seg}, 3);
+  Block dst{BlockShape(std::vector<int>{seg, seg, seg, seg})};
+  const std::vector<int> dims = {seg, seg, seg, seg};
+  const std::vector<int> perm = {3, 1, 2, 0};
+  for (auto _ : state) {
+    blas::permute(src.data().data(), dims, perm, dst.data().data());
+    benchmark::DoNotOptimize(dst.data().data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(src.size() * sizeof(double)));
+}
+BENCHMARK(BM_Permute4)->Arg(8)->Arg(16)->Arg(24);
+
+// On-demand integral block generation (compute_integrals body).
+void BM_IntegralBlock(benchmark::State& state) {
+  const int seg = static_cast<int>(state.range(0));
+  Block block{BlockShape(std::vector<int>{seg, seg, seg, seg})};
+  for (auto _ : state) {
+    auto data = block.data();
+    std::size_t n = 0;
+    for (int p = 1; p <= seg; ++p) {
+      for (int q = 1; q <= seg; ++q) {
+        for (int r = 1; r <= seg; ++r) {
+          for (int s = 1; s <= seg; ++s) {
+            data[n++] = chem::synthetic_integral(p, q, r, s);
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_IntegralBlock)->Arg(4)->Arg(8)->Arg(16);
+
+// Preallocated pool slots vs heap fallback (the paper's block stacks).
+void BM_PoolAllocate(benchmark::State& state) {
+  const std::size_t doubles = 16 * 16 * 16 * 16;
+  BlockPool pool({{doubles, 8}}, /*allow_heap_fallback=*/false);
+  for (auto _ : state) {
+    PoolBuffer buffer = pool.allocate(doubles);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+}
+BENCHMARK(BM_PoolAllocate);
+
+void BM_HeapAllocate(benchmark::State& state) {
+  const std::size_t doubles = 16 * 16 * 16 * 16;
+  BlockPool pool({}, /*allow_heap_fallback=*/true);
+  for (auto _ : state) {
+    PoolBuffer buffer = pool.allocate(doubles);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+}
+BENCHMARK(BM_HeapAllocate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,212 @@
+// The paper's §VII comparison, as runnable code: the same blocked matrix
+// multiply written twice —
+//   (a) in SIAL on the SIP, where blocking, data movement, overlap, and
+//       scheduling are the runtime's job;
+//   (b) against the Global-Arrays-style baseline, where the programmer
+//       chooses the layout, computes every section rectangle, and copies
+//       data in and out by hand ("the techniques used to achieve good
+//       performance must be incorporated manually", §VII).
+// Both produce identical numbers; the point is what the source looks like
+// and who does the bookkeeping.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ga/ga.hpp"
+#include "sip/launch.hpp"
+#include "sip/superinstr.hpp"
+
+namespace {
+
+constexpr long kN = 48;      // matrix dimension
+constexpr int kRanks = 4;    // workers / GA ranks
+constexpr int kSegment = 8;  // SIAL block size (runtime parameter)
+
+// Deterministic matrix entries (1-based indices), shared by both codes.
+double a_entry(long i, long k) {
+  return 2.0 * sia::unit_double(sia::hash_combine(11,
+             static_cast<std::uint64_t>(i * 10000 + k))) - 1.0;
+}
+double b_entry(long k, long j) {
+  return 2.0 * sia::unit_double(sia::hash_combine(23,
+             static_cast<std::uint64_t>(k * 10000 + j))) - 1.0;
+}
+
+// ---------------------------------------------------------------------
+// (a) SIAL: the algorithm is ~15 lines; no rank, layout, or block math.
+
+constexpr const char* kSialSource = R"(
+sial sial_side
+aoindex i = 1, n
+aoindex j = 1, n
+aoindex k = 1, n
+distributed A(i,k)
+distributed B(k,j)
+distributed C(i,j)
+temp ta(i,k)
+temp tb(k,j)
+temp tc(i,j)
+temp tmp(i,j)
+scalar lsum
+scalar cnorm2
+pardo i, k
+  execute fill_a ta(i,k)
+  put A(i,k) = ta(i,k)
+endpardo i, k
+pardo k, j
+  execute fill_b tb(k,j)
+  put B(k,j) = tb(k,j)
+endpardo k, j
+sip_barrier
+pardo i, j
+  tc(i,j) = 0.0
+  do k
+    get A(i,k)
+    get B(k,j)
+    tmp(i,j) = A(i,k) * B(k,j)
+    tc(i,j) += tmp(i,j)
+  enddo k
+  put C(i,j) = tc(i,j)
+endpardo i, j
+sip_barrier
+lsum = 0.0
+pardo i, j
+  get C(i,j)
+  tc(i,j) = C(i,j)
+  lsum += tc(i,j) * tc(i,j)
+endpardo i, j
+cnorm2 = 0.0
+collective cnorm2 += lsum
+endsial
+)";
+
+double run_sial_side() {
+  auto& registry = sia::sip::SuperInstructionRegistry::global();
+  registry.register_instruction(
+      "fill_a", [](sia::sip::SuperInstructionContext& ctx) {
+        auto& block = ctx.block_arg(0);
+        const auto& sel = ctx.selector(0);
+        std::size_t n = 0;
+        for (int i = 0; i < sel.extents[0]; ++i) {
+          for (int k = 0; k < sel.extents[1]; ++k) {
+            block.data()[n++] =
+                a_entry(sel.first_element[0] + i, sel.first_element[1] + k);
+          }
+        }
+      });
+  registry.register_instruction(
+      "fill_b", [](sia::sip::SuperInstructionContext& ctx) {
+        auto& block = ctx.block_arg(0);
+        const auto& sel = ctx.selector(0);
+        std::size_t n = 0;
+        for (int k = 0; k < sel.extents[0]; ++k) {
+          for (int j = 0; j < sel.extents[1]; ++j) {
+            block.data()[n++] =
+                b_entry(sel.first_element[0] + k, sel.first_element[1] + j);
+          }
+        }
+      });
+
+  sia::SipConfig config;
+  config.workers = kRanks;
+  config.io_servers = 0;
+  config.default_segment = kSegment;
+  config.constants = {{"n", kN}};
+  sia::sip::Sip sip(config);
+  return std::sqrt(sip.run_source(kSialSource).scalar("cnorm2"));
+}
+
+// ---------------------------------------------------------------------
+// (b) GA: every rectangle, buffer, and loop bound is the programmer's.
+
+double run_ga_side() {
+  using sia::ga::GaTeam;
+  using sia::ga::GlobalArray;
+  GlobalArray a(kRanks, std::vector<long>{kN, kN});
+  GlobalArray b(kRanks, std::vector<long>{kN, kN});
+  GlobalArray c(kRanks, std::vector<long>{kN, kN});
+
+  GaTeam team(kRanks);
+  team.parallel([&](int rank) {
+    long lo = 0, hi = 0;
+    a.distribution(rank, &lo, &hi);
+    // Manual fill of the local slabs, row by row.
+    std::vector<double> row(kN);
+    for (long i = lo; i <= hi; ++i) {
+      for (long k = 0; k < kN; ++k) {
+        row[static_cast<std::size_t>(k)] = a_entry(i + 1, k + 1);
+      }
+      a.put(rank, std::vector<long>{i, 0}, std::vector<long>{i, kN - 1},
+            row.data());
+      for (long j = 0; j < kN; ++j) {
+        row[static_cast<std::size_t>(j)] = b_entry(i + 1, j + 1);
+      }
+      b.put(rank, std::vector<long>{i, 0}, std::vector<long>{i, kN - 1},
+            row.data());
+    }
+    team.sync();
+
+    // Blocked multiply: the programmer picks the block size, computes all
+    // the section rectangles, and double-buffers by hand (here: plain
+    // blocking gets — adding overlap would mean nbget/nbwait juggling).
+    c.distribution(rank, &lo, &hi);
+    std::vector<double> ablk(kSegment * kSegment);
+    std::vector<double> bblk(kSegment * kSegment);
+    std::vector<double> cblk(kSegment * kSegment);
+    for (long i0 = lo; i0 <= hi; i0 += kSegment) {
+      const long ih = std::min<long>(i0 + kSegment - 1, hi);
+      for (long j0 = 0; j0 < kN; j0 += kSegment) {
+        const long jh = std::min<long>(j0 + kSegment - 1, kN - 1);
+        std::fill(cblk.begin(), cblk.end(), 0.0);
+        for (long k0 = 0; k0 < kN; k0 += kSegment) {
+          const long kh = std::min<long>(k0 + kSegment - 1, kN - 1);
+          a.get(rank, std::vector<long>{i0, k0}, std::vector<long>{ih, kh},
+                ablk.data());
+          b.get(rank, std::vector<long>{k0, j0}, std::vector<long>{kh, jh},
+                bblk.data());
+          const long mi = ih - i0 + 1, nj = jh - j0 + 1, kk = kh - k0 + 1;
+          for (long i = 0; i < mi; ++i) {
+            for (long p = 0; p < kk; ++p) {
+              const double av =
+                  ablk[static_cast<std::size_t>(i * kk + p)];
+              for (long j = 0; j < nj; ++j) {
+                cblk[static_cast<std::size_t>(i * nj + j)] +=
+                    av * bblk[static_cast<std::size_t>(p * nj + j)];
+              }
+            }
+          }
+        }
+        c.put(rank, std::vector<long>{i0, j0}, std::vector<long>{ih, jh},
+              cblk.data());
+      }
+    }
+    team.sync();
+  });
+
+  // Frobenius norm from rank 0.
+  std::vector<double> all(kN * kN);
+  c.get(0, std::vector<long>{0, 0}, std::vector<long>{kN - 1, kN - 1},
+        all.data());
+  double norm2 = 0.0;
+  for (const double v : all) norm2 += v * v;
+  return std::sqrt(norm2);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Blocked C = A*B, n=%ld, %d ranks, block %d\n\n", kN, kRanks,
+              kSegment);
+  const double sial = run_sial_side();
+  const double ga = run_ga_side();
+  std::printf("SIAL on the SIP : ||C|| = %.12f\n", sial);
+  std::printf("GA baseline     : ||C|| = %.12f\n", ga);
+  std::printf("difference      : %.3e\n", std::abs(sial - ga));
+  std::printf("\nSame numbers; the difference is in the source: the GA "
+              "side owns every\nrectangle, buffer, and overlap decision; "
+              "the SIAL side names blocks and\nlets the SIP manage "
+              "placement, transfer, and scheduling (paper section "
+              "VII).\n");
+  return std::abs(sial - ga) < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Quickstart: compile and run a small SIAL program on the SIP.
+//
+// Demonstrates the whole pipeline in one file: write SIAL source, choose
+// runtime parameters (workers, I/O servers, segment size — none of which
+// appear in the SIAL text), run it, and read back scalars and the
+// profile. The program computes C = A*B on blocked distributed matrices
+// and checks the Frobenius norm.
+#include <cstdio>
+
+#include "sip/launch.hpp"
+
+namespace {
+
+constexpr const char* kProgram = R"(
+sial quickstart
+# Blocked matrix multiply: C(i,j) = sum_k A(i,k) * B(k,j).
+aoindex i = 1, n
+aoindex j = 1, n
+aoindex k = 1, n
+
+distributed A(i,k)
+distributed B(k,j)
+distributed C(i,j)
+temp ta(i,k)
+temp tb(k,j)
+temp tc(i,j)
+temp tmp(i,j)
+scalar lsum
+scalar cnorm2
+scalar cnorm
+
+# Fill A and B with deterministic pseudo-random blocks.
+pardo i, k
+  execute random_block ta(i,k) 1
+  put A(i,k) = ta(i,k)
+endpardo i, k
+pardo k, j
+  execute random_block tb(k,j) 2
+  put B(k,j) = tb(k,j)
+endpardo k, j
+sip_barrier
+
+# The multiply: each (i,j) block pair is one parallel task.
+pardo i, j
+  tc(i,j) = 0.0
+  do k
+    get A(i,k)
+    get B(k,j)
+    tmp(i,j) = A(i,k) * B(k,j)
+    tc(i,j) += tmp(i,j)
+  enddo k
+  put C(i,j) = tc(i,j)
+endpardo i, j
+sip_barrier
+
+# ||C||_F^2, reduced over all workers.
+lsum = 0.0
+pardo i, j
+  get C(i,j)
+  tc(i,j) = C(i,j)
+  lsum += tc(i,j) * tc(i,j)
+endpardo i, j
+cnorm2 = 0.0
+collective cnorm2 += lsum
+cnorm = sqrt(cnorm2)
+println "quickstart done"
+endsial
+)";
+
+}  // namespace
+
+int main() {
+  sia::SipConfig config;
+  config.workers = 4;          // worker ranks (threads here, MPI processes
+                               // in the paper's implementation)
+  config.io_servers = 1;       // not used by this program but part of the
+                               // standard SIP layout
+  config.default_segment = 8;  // the key tuning parameter; NOT in SIAL
+  config.constants = {{"n", 64}};
+
+  sia::sip::Sip sip(config);
+  const sia::sip::RunResult result = sip.run_source(kProgram);
+
+  std::printf("||C||_F            = %.10f\n", result.scalar("cnorm"));
+  std::printf("messages sent      = %lld\n",
+              static_cast<long long>(result.traffic.messages_sent));
+  std::printf("remote gets issued = %lld (cached reuses: %lld)\n",
+              static_cast<long long>(result.workers.gets_issued),
+              static_cast<long long>(result.workers.gets_cached));
+  std::printf("\n%s\n", result.profile.to_string().c_str());
+  std::printf("%s\n", result.dry_run.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,130 @@
+// sial_tool: a command-line front end for the SIAL tool chain.
+//
+//   sial_tool compile  <file.sial>          parse + check + disassemble
+//   sial_tool dryrun   <file.sial> [opts]   master's memory analysis
+//   sial_tool run      <file.sial> [opts]   execute on the SIP
+//   sial_tool model    <file.sial> [opts]   project cluster-scale
+//                                           performance (paper sec. VIII)
+//
+// Options: -w N (workers), -s N (io servers), -g N (segment size),
+//          -D name=value (symbolic constant; repeatable)
+//
+// This is the developer-facing workflow the paper describes: compile the
+// SIAL program once, dry-run it to check feasibility, then run it with
+// runtime-chosen tuning parameters.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chem/integrals.hpp"
+#include "common/error.hpp"
+#include "sial/compiler.hpp"
+#include "sial/disasm.hpp"
+#include "sim/machine.hpp"
+#include "sim/program_model.hpp"
+#include "sim/report.hpp"
+#include "sim/sip_model.hpp"
+#include "sip/launch.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw sia::Error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sial_tool {compile|dryrun|run|model} <file.sial> "
+               "[-w workers] [-s servers] [-g segment] [-D name=value]...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  sia::SipConfig config;
+  config.constants = {{"norb", 8}, {"nocc", 4}, {"maxiter", 2}, {"n", 8}};
+  for (int arg = 3; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "-w") == 0 && arg + 1 < argc) {
+      config.workers = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "-s") == 0 && arg + 1 < argc) {
+      config.io_servers = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "-g") == 0 && arg + 1 < argc) {
+      config.default_segment = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "-D") == 0 && arg + 1 < argc) {
+      const std::string def = argv[++arg];
+      const std::size_t eq = def.find('=');
+      if (eq == std::string::npos) return usage();
+      config.constants[def.substr(0, eq)] = std::atol(def.c_str() + eq + 1);
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    sia::chem::register_chem_superinstructions();
+    const std::string source = read_file(path);
+    const sia::sial::CompiledProgram program =
+        sia::sial::compile_sial(source);
+
+    if (command == "compile") {
+      std::fputs(sia::sial::disassemble(program).c_str(), stdout);
+      return 0;
+    }
+    if (command == "dryrun") {
+      sia::sip::Sip sip(config);
+      std::fputs(sip.analyze(program).to_string().c_str(), stdout);
+      return 0;
+    }
+    if (command == "model") {
+      const sia::sial::ResolvedProgram resolved(program, config);
+      const sia::sim::WorkloadModel workload =
+          sia::sim::model_program(resolved);
+      std::printf("derived workload '%s': %.3g total flops, %zu phases\n",
+                  workload.name.c_str(), workload.total_flops(),
+                  workload.phases.size());
+      for (const auto& phase : workload.phases) {
+        std::printf("  %-16s %lld tasks x %d sweeps, %.3g flops/task, "
+                    "%lld fetches/task\n",
+                    phase.name.c_str(),
+                    static_cast<long long>(phase.tasks), phase.sweeps,
+                    phase.flops_per_task,
+                    static_cast<long long>(phase.fetches_per_task));
+      }
+      const sia::sim::MachineModel machine = sia::sim::cray_xt5();
+      std::printf("\nprojected on %s:\n%8s %12s %8s\n",
+                  machine.name.c_str(), "cores", "seconds", "wait%");
+      for (const long p : {64L, 256L, 1024L, 4096L, 16384L}) {
+        const sia::sim::SiaOutcome outcome = sia::sim::simulate_sia(
+            machine, workload, p, sia::sim::SimOptions{});
+        std::printf("%8ld %12.3f %8.1f\n", p, outcome.seconds,
+                    outcome.wait_percent);
+      }
+      return 0;
+    }
+    if (command == "run") {
+      sia::sip::Sip sip(config);
+      const sia::sip::RunResult result = sip.run(program);
+      std::printf("final scalars:\n");
+      for (const auto& [name, value] : result.scalars) {
+        std::printf("  %-16s = %.12g\n", name.c_str(), value);
+      }
+      std::printf("\n%s", result.profile.to_string().c_str());
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sial_tool: %s\n", error.what());
+    return 1;
+  }
+}

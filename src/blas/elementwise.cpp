@@ -1,0 +1,78 @@
+#include "blas/elementwise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sia::blas {
+
+void fill(std::span<double> x, double value) {
+  std::fill(x.begin(), x.end(), value);
+}
+
+void scal(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+void shift(std::span<double> x, double alpha) {
+  for (double& v : x) v += alpha;
+}
+
+void copy(std::span<const double> x, std::span<double> y) {
+  SIA_CHECK(x.size() == y.size(), "copy: size mismatch");
+  std::copy(x.begin(), x.end(), y.begin());
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  SIA_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void add(std::span<const double> x, std::span<const double> y,
+         std::span<double> z) {
+  SIA_CHECK(x.size() == y.size() && y.size() == z.size(),
+            "add: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] + y[i];
+}
+
+void sub(std::span<const double> x, std::span<const double> y,
+         std::span<double> z) {
+  SIA_CHECK(x.size() == y.size() && y.size() == z.size(),
+            "sub: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] - y[i];
+}
+
+void hadamard(std::span<const double> x, std::span<const double> y,
+              std::span<double> z) {
+  SIA_CHECK(x.size() == y.size() && y.size() == z.size(),
+            "hadamard: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] * y[i];
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  SIA_CHECK(x.size() == y.size(), "dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double asum(std::span<const double> x) {
+  double sum = 0.0;
+  for (double v : x) sum += std::abs(v);
+  return sum;
+}
+
+double nrm2(std::span<const double> x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double max_abs(std::span<const double> x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::abs(v));
+  return best;
+}
+
+}  // namespace sia::blas

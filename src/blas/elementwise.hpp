@@ -1,0 +1,29 @@
+// Element-wise kernels on contiguous double buffers.
+//
+// These back SIAL's intrinsic block-scalar super instructions: assigning a
+// scalar to a block fills it, multiplying a block by a scalar scales it,
+// and so on (paper §IV-A).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace sia::blas {
+
+void fill(std::span<double> x, double value);
+void scal(std::span<double> x, double alpha);           // x *= alpha
+void shift(std::span<double> x, double alpha);          // x += alpha
+void copy(std::span<const double> x, std::span<double> y);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+void add(std::span<const double> x, std::span<const double> y,
+         std::span<double> z);                          // z = x + y
+void sub(std::span<const double> x, std::span<const double> y,
+         std::span<double> z);                          // z = x - y
+void hadamard(std::span<const double> x, std::span<const double> y,
+              std::span<double> z);                     // z = x .* y
+double dot(std::span<const double> x, std::span<const double> y);
+double asum(std::span<const double> x);
+double nrm2(std::span<const double> x);
+double max_abs(std::span<const double> x);
+
+}  // namespace sia::blas

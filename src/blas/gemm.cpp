@@ -1,0 +1,151 @@
+#include "blas/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sia::blas {
+namespace {
+
+// Cache-block sizes: MC x KC panel of A stays in L2, KC x NC panel of B in
+// L3/L2, with a 4x8 register micro-tile. Sized for typical 32K/512K caches.
+constexpr std::size_t kMc = 64;
+constexpr std::size_t kKc = 128;
+constexpr std::size_t kNc = 512;
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+
+// 4x8 micro-kernel: C[0:4, 0:8] += A_panel (4 x kc) * B_panel (kc x 8).
+// A panel is packed column-by-column (kMr entries per k), B panel packed
+// row-by-row (kNr entries per k).
+void micro_kernel(std::size_t kc, const double* a_pack, const double* b_pack,
+                  double* c, std::size_t ldc, std::size_t mr,
+                  std::size_t nr) {
+  double acc[kMr][kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const double* b_row = b_pack + p * kNr;
+    const double* a_col = a_pack + p * kMr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const double ai = a_col[i];
+      for (std::size_t j = 0; j < kNr; ++j) {
+        acc[i][j] += ai * b_row[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    double* c_row = c + i * ldc;
+    for (std::size_t j = 0; j < nr; ++j) {
+      c_row[j] += acc[i][j];
+    }
+  }
+}
+
+// Packs a mc x kc panel of A (row-major, lda) into micro-tile order.
+void pack_a(const double* a, std::size_t lda, std::size_t mc, std::size_t kc,
+            double alpha, std::vector<double>& out) {
+  out.assign(((mc + kMr - 1) / kMr) * kMr * kc, 0.0);
+  std::size_t offset = 0;
+  for (std::size_t i0 = 0; i0 < mc; i0 += kMr) {
+    const std::size_t mr = std::min(kMr, mc - i0);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t i = 0; i < mr; ++i) {
+        out[offset + p * kMr + i] = alpha * a[(i0 + i) * lda + p];
+      }
+    }
+    offset += kMr * kc;
+  }
+}
+
+// Packs a kc x nc panel of B (row-major, ldb) into micro-tile order.
+void pack_b(const double* b, std::size_t ldb, std::size_t kc, std::size_t nc,
+            std::vector<double>& out) {
+  out.assign(((nc + kNr - 1) / kNr) * kNr * kc, 0.0);
+  std::size_t offset = 0;
+  for (std::size_t j0 = 0; j0 < nc; j0 += kNr) {
+    const std::size_t nr = std::min(kNr, nc - j0);
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t j = 0; j < nr; ++j) {
+        out[offset + p * kNr + j] = b[p * ldb + j0 + j];
+      }
+    }
+    offset += kNr * kc;
+  }
+}
+
+void scale_c(std::size_t m, std::size_t n, double beta, double* c,
+             std::size_t ldc) {
+  if (beta == 1.0) return;
+  for (std::size_t i = 0; i < m; ++i) {
+    double* row = c + i * ldc;
+    if (beta == 0.0) {
+      std::fill(row, row + n, 0.0);
+    } else {
+      for (std::size_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+}
+
+}  // namespace
+
+void dgemm(std::size_t m, std::size_t n, std::size_t k, double alpha,
+           const double* a, std::size_t lda, const double* b, std::size_t ldb,
+           double beta, double* c, std::size_t ldc) {
+  scale_c(m, n, beta, c, ldc);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+
+  // Small problems: packing overhead dominates, use the direct loop.
+  if (m * n * k < 32 * 32 * 32) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t p = 0; p < k; ++p) {
+        const double aip = alpha * a[i * lda + p];
+        const double* b_row = b + p * ldb;
+        double* c_row = c + i * ldc;
+        for (std::size_t j = 0; j < n; ++j) {
+          c_row[j] += aip * b_row[j];
+        }
+      }
+    }
+    return;
+  }
+
+  thread_local std::vector<double> a_pack;
+  thread_local std::vector<double> b_pack;
+  thread_local std::vector<double> c_tile(kMr * kNr);
+
+  for (std::size_t j0 = 0; j0 < n; j0 += kNc) {
+    const std::size_t nc = std::min(kNc, n - j0);
+    for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+      const std::size_t kc = std::min(kKc, k - p0);
+      pack_b(b + p0 * ldb + j0, ldb, kc, nc, b_pack);
+      for (std::size_t i0 = 0; i0 < m; i0 += kMc) {
+        const std::size_t mc = std::min(kMc, m - i0);
+        pack_a(a + i0 * lda + p0, lda, mc, kc, alpha, a_pack);
+        for (std::size_t jr = 0; jr < nc; jr += kNr) {
+          const std::size_t nr = std::min(kNr, nc - jr);
+          const double* b_tile = b_pack.data() + (jr / kNr) * kNr * kc;
+          for (std::size_t ir = 0; ir < mc; ir += kMr) {
+            const std::size_t mr = std::min(kMr, mc - ir);
+            const double* a_tile = a_pack.data() + (ir / kMr) * kMr * kc;
+            micro_kernel(kc, a_tile, b_tile, c + (i0 + ir) * ldc + j0 + jr,
+                         ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+void dgemm_naive(std::size_t m, std::size_t n, std::size_t k, double alpha,
+                 const double* a, std::size_t lda, const double* b,
+                 std::size_t ldb, double beta, double* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        sum += a[i * lda + p] * b[p * ldb + j];
+      }
+      c[i * ldc + j] = alpha * sum + beta * c[i * ldc + j];
+    }
+  }
+}
+
+}  // namespace sia::blas

@@ -1,0 +1,34 @@
+// Dense matrix multiply kernel.
+//
+// The SIP's computational super instructions "should be implemented as
+// efficiently as possible on the given platform ... taking advantage of
+// high quality implementations of library routines such as DGEMM" (paper
+// §V-A). No vendor BLAS is available here, so this is our DGEMM: a cache-
+// blocked, register-tiled, row-major kernel. Block contractions reduce to
+// this routine after permuting operands (paper §III, footnote 3).
+#pragma once
+
+#include <cstddef>
+
+namespace sia::blas {
+
+// C (m x n) = alpha * A (m x k) * B (k x n) + beta * C.
+// All matrices are dense row-major with the given leading dimensions
+// (elements per row). Aliasing between C and A/B is not allowed.
+void dgemm(std::size_t m, std::size_t n, std::size_t k, double alpha,
+           const double* a, std::size_t lda, const double* b, std::size_t ldb,
+           double beta, double* c, std::size_t ldc);
+
+// Convenience overload for packed (ld == logical width) matrices.
+inline void dgemm_packed(std::size_t m, std::size_t n, std::size_t k,
+                         double alpha, const double* a, const double* b,
+                         double beta, double* c) {
+  dgemm(m, n, k, alpha, a, k, b, n, beta, c, n);
+}
+
+// Reference triple loop used by tests to validate the blocked kernel.
+void dgemm_naive(std::size_t m, std::size_t n, std::size_t k, double alpha,
+                 const double* a, std::size_t lda, const double* b,
+                 std::size_t ldb, double beta, double* c, std::size_t ldc);
+
+}  // namespace sia::blas

@@ -1,0 +1,119 @@
+#include "blas/permute.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace sia::blas {
+namespace {
+
+// Row-major strides (last index fastest).
+std::array<std::size_t, kMaxRank> strides_of(std::span<const int> dims) {
+  std::array<std::size_t, kMaxRank> strides{};
+  const int rank = static_cast<int>(dims.size());
+  std::size_t stride = 1;
+  for (int d = rank - 1; d >= 0; --d) {
+    strides[static_cast<std::size_t>(d)] = stride;
+    stride *= static_cast<std::size_t>(dims[static_cast<std::size_t>(d)]);
+  }
+  return strides;
+}
+
+template <bool kAccumulate>
+void permute_impl(const double* src, std::span<const int> src_dims,
+                  std::span<const int> perm, double* dst) {
+  const int rank = static_cast<int>(src_dims.size());
+  SIA_CHECK(rank >= 1 && rank <= kMaxRank, "permute: rank out of range");
+  SIA_CHECK(static_cast<int>(perm.size()) == rank, "permute: perm size");
+  SIA_CHECK(is_permutation(perm), "permute: not a permutation");
+
+  const auto src_strides = strides_of(src_dims);
+  const std::vector<int> dst_dims = permuted_dims(src_dims, perm);
+
+  // Stride in src for a unit step along each *dst* axis.
+  std::array<std::size_t, kMaxRank> step{};
+  for (int d = 0; d < rank; ++d) {
+    step[static_cast<std::size_t>(d)] =
+        src_strides[static_cast<std::size_t>(perm[static_cast<std::size_t>(d)])];
+  }
+
+  // Odometer walk over dst in row-major order; src offset tracked
+  // incrementally so the inner loop is addition-only.
+  std::array<int, kMaxRank> counter{};
+  std::size_t src_offset = 0;
+  const std::size_t total = element_count(src_dims);
+  const int last = rank - 1;
+  const std::size_t inner_extent =
+      static_cast<std::size_t>(dst_dims[static_cast<std::size_t>(last)]);
+  const std::size_t inner_step = step[static_cast<std::size_t>(last)];
+
+  std::size_t written = 0;
+  while (written < total) {
+    // Inner axis as a tight loop.
+    std::size_t offset = src_offset;
+    for (std::size_t j = 0; j < inner_extent; ++j) {
+      if constexpr (kAccumulate) {
+        dst[written + j] += src[offset];
+      } else {
+        dst[written + j] = src[offset];
+      }
+      offset += inner_step;
+    }
+    written += inner_extent;
+
+    // Advance the odometer over the outer axes.
+    int d = last - 1;
+    for (; d >= 0; --d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      src_offset += step[ud];
+      if (++counter[ud] < dst_dims[ud]) break;
+      src_offset -= step[ud] * static_cast<std::size_t>(dst_dims[ud]);
+      counter[ud] = 0;
+    }
+    if (d < 0 && written < total) {
+      // rank == 1: single pass already covered everything.
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool is_permutation(std::span<const int> perm) {
+  std::array<bool, kMaxRank> seen{};
+  const int rank = static_cast<int>(perm.size());
+  for (int value : perm) {
+    if (value < 0 || value >= rank || seen[static_cast<std::size_t>(value)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(value)] = true;
+  }
+  return true;
+}
+
+std::size_t element_count(std::span<const int> dims) {
+  std::size_t total = 1;
+  for (int d : dims) total *= static_cast<std::size_t>(d);
+  return total;
+}
+
+std::vector<int> permuted_dims(std::span<const int> src_dims,
+                               std::span<const int> perm) {
+  std::vector<int> dims(perm.size());
+  for (std::size_t d = 0; d < perm.size(); ++d) {
+    dims[d] = src_dims[static_cast<std::size_t>(perm[d])];
+  }
+  return dims;
+}
+
+void permute(const double* src, std::span<const int> src_dims,
+             std::span<const int> perm, double* dst) {
+  permute_impl<false>(src, src_dims, perm, dst);
+}
+
+void permute_acc(const double* src, std::span<const int> src_dims,
+                 std::span<const int> perm, double* dst) {
+  permute_impl<true>(src, src_dims, perm, dst);
+}
+
+}  // namespace sia::blas

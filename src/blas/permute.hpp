@@ -1,0 +1,44 @@
+// General tensor permutation (transpose) kernels.
+//
+// SIAL assignments like V1(k,j,i) = V2(i,j,k) permute a block, and block
+// contractions permute operands so the contracted indices become the inner
+// GEMM dimension (paper §III footnote 3, §IV-A). These kernels implement
+// rank-N permutations for blocks stored row-major (last index fastest).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sia::blas {
+
+// Maximum tensor rank supported by the block layer (SIAL arrays are at
+// most rank 6: the paper notes rank-6 intermediates arise from 4x4
+// contractions).
+inline constexpr int kMaxRank = 6;
+
+// dst[i0,...,i_{r-1}] = src[i_{perm[0]}, ..., i_{perm[r-1]}]
+//
+// `src_dims` are the extents of src; dst extent d is src_dims[perm[d]].
+// `perm` must be a permutation of 0..rank-1. src and dst must not alias.
+// In SIAL terms: if src is declared V2(i,j,k) and the statement is
+// V1(k,j,i) = V2(i,j,k), then perm = {2,1,0} maps dst axis 0 (k) to src
+// axis 2, etc.
+void permute(const double* src, std::span<const int> src_dims,
+             std::span<const int> perm, double* dst);
+
+// As permute, but accumulates: dst += permuted(src).
+void permute_acc(const double* src, std::span<const int> src_dims,
+                 std::span<const int> perm, double* dst);
+
+// Extents of the permuted result.
+std::vector<int> permuted_dims(std::span<const int> src_dims,
+                               std::span<const int> perm);
+
+// True if `perm` is a valid permutation of 0..rank-1.
+bool is_permutation(std::span<const int> perm);
+
+// Number of elements for the given extents.
+std::size_t element_count(std::span<const int> dims);
+
+}  // namespace sia::blas

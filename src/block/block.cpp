@@ -1,0 +1,141 @@
+#include "block/block.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sia {
+
+BlockShape::BlockShape(std::span<const int> extents) {
+  SIA_CHECK(extents.size() >= 1 &&
+                extents.size() <= static_cast<std::size_t>(blas::kMaxRank),
+            "BlockShape: bad rank");
+  rank_ = static_cast<int>(extents.size());
+  for (std::size_t d = 0; d < extents.size(); ++d) {
+    SIA_CHECK(extents[d] >= 1, "BlockShape: extent must be >= 1");
+    extents_[d] = extents[d];
+  }
+}
+
+std::size_t BlockShape::element_count() const {
+  std::size_t total = 1;
+  for (int d = 0; d < rank_; ++d) {
+    total *= static_cast<std::size_t>(extents_[static_cast<std::size_t>(d)]);
+  }
+  return rank_ == 0 ? 0 : total;
+}
+
+std::string BlockShape::to_string() const {
+  std::string out = "[";
+  for (int d = 0; d < rank_; ++d) {
+    if (d > 0) out += "x";
+    out += std::to_string(extents_[static_cast<std::size_t>(d)]);
+  }
+  return out + "]";
+}
+
+namespace {
+BlockPool& heap_pool() {
+  // Shared fallback pool with no size classes: plain heap allocations,
+  // still instrumented. Thread safe.
+  static BlockPool pool;
+  return pool;
+}
+}  // namespace
+
+Block::Block(const BlockShape& shape)
+    : shape_(shape), buffer_(heap_pool().allocate(shape.element_count())) {
+  std::fill_n(buffer_.data(), shape_.element_count(), 0.0);
+}
+
+Block::Block(const BlockShape& shape, PoolBuffer buffer)
+    : shape_(shape), buffer_(std::move(buffer)) {
+  SIA_CHECK(buffer_.capacity() >= shape_.element_count(),
+            "Block: pool buffer too small for shape");
+  std::fill_n(buffer_.data(), shape_.element_count(), 0.0);
+}
+
+std::size_t Block::offset_of(std::span<const int> index) const {
+  SIA_CHECK(static_cast<int>(index.size()) == shape_.rank(),
+            "Block::at: wrong index rank");
+  std::size_t offset = 0;
+  for (int d = 0; d < shape_.rank(); ++d) {
+    const int i = index[static_cast<std::size_t>(d)];
+    SIA_CHECK(i >= 0 && i < shape_.extent(d), "Block::at: index out of range");
+    offset = offset * static_cast<std::size_t>(shape_.extent(d)) +
+             static_cast<std::size_t>(i);
+  }
+  return offset;
+}
+
+double& Block::at(std::span<const int> index) {
+  return buffer_.data()[offset_of(index)];
+}
+
+double Block::at(std::span<const int> index) const {
+  return buffer_.data()[offset_of(index)];
+}
+
+Block Block::clone() const {
+  Block copy(shape_);
+  std::copy_n(buffer_.data(), shape_.element_count(), copy.buffer_.data());
+  return copy;
+}
+
+Block slice(const Block& src, std::span<const int> origin,
+            const BlockShape& shape) {
+  SIA_CHECK(static_cast<int>(origin.size()) == src.shape().rank(),
+            "slice: origin rank mismatch");
+  SIA_CHECK(shape.rank() == src.shape().rank(), "slice: shape rank mismatch");
+  Block out(shape);
+
+  // Walk the destination block and copy from the offset region of src.
+  const int rank = shape.rank();
+  std::array<int, blas::kMaxRank> counter{};
+  std::array<int, blas::kMaxRank> src_index{};
+  const std::size_t total = shape.element_count();
+  auto dst = out.data();
+  for (std::size_t n = 0; n < total; ++n) {
+    for (int d = 0; d < rank; ++d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      src_index[ud] = origin[ud] + counter[ud];
+      SIA_CHECK(src_index[ud] < src.shape().extent(d),
+                "slice: subblock exceeds source block");
+    }
+    dst[n] = src.at({src_index.data(), static_cast<std::size_t>(rank)});
+    for (int d = rank - 1; d >= 0; --d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      if (++counter[ud] < shape.extent(d)) break;
+      counter[ud] = 0;
+    }
+  }
+  return out;
+}
+
+void insert(Block& dst, std::span<const int> origin, const Block& sub) {
+  SIA_CHECK(static_cast<int>(origin.size()) == dst.shape().rank(),
+            "insert: origin rank mismatch");
+  SIA_CHECK(sub.shape().rank() == dst.shape().rank(),
+            "insert: shape rank mismatch");
+  const int rank = dst.shape().rank();
+  std::array<int, blas::kMaxRank> counter{};
+  std::array<int, blas::kMaxRank> dst_index{};
+  const std::size_t total = sub.shape().element_count();
+  auto src = sub.data();
+  for (std::size_t n = 0; n < total; ++n) {
+    for (int d = 0; d < rank; ++d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      dst_index[ud] = origin[ud] + counter[ud];
+      SIA_CHECK(dst_index[ud] < dst.shape().extent(d),
+                "insert: subblock exceeds destination block");
+    }
+    dst.at({dst_index.data(), static_cast<std::size_t>(rank)}) = src[n];
+    for (int d = rank - 1; d >= 0; --d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      if (++counter[ud] < sub.shape().extent(d)) break;
+      counter[ud] = 0;
+    }
+  }
+}
+
+}  // namespace sia

@@ -1,0 +1,89 @@
+// Dense blocks ("super numbers").
+//
+// A block is the unit of data in the SIA: a small dense rank-N tensor cut
+// from a large array by the segment grid. Super instructions consume and
+// produce whole blocks (paper §III). Blocks are stored row-major (last
+// index fastest) and carry their extents; storage comes from a BlockPool
+// (pool slot or heap fallback).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "blas/permute.hpp"
+#include "block/block_pool.hpp"
+
+namespace sia {
+
+// Extents of one block along each dimension.
+class BlockShape {
+ public:
+  BlockShape() = default;
+  explicit BlockShape(std::span<const int> extents);
+
+  int rank() const { return rank_; }
+  int extent(int d) const { return extents_[static_cast<std::size_t>(d)]; }
+  std::span<const int> extents() const {
+    return {extents_.data(), static_cast<std::size_t>(rank_)};
+  }
+  std::size_t element_count() const;
+
+  bool operator==(const BlockShape&) const = default;
+  std::string to_string() const;
+
+ private:
+  int rank_ = 0;
+  std::array<int, blas::kMaxRank> extents_{};
+};
+
+class Block {
+ public:
+  // Heap-backed block, zero-initialized.
+  explicit Block(const BlockShape& shape);
+  // Pool-backed block; buffer capacity must cover the shape. Contents are
+  // zeroed (pool slots are recycled and carry stale data).
+  Block(const BlockShape& shape, PoolBuffer buffer);
+
+  Block(Block&&) noexcept = default;
+  Block& operator=(Block&&) noexcept = default;
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  const BlockShape& shape() const { return shape_; }
+  std::size_t size() const { return shape_.element_count(); }
+
+  std::span<double> data() {
+    return {buffer_.data(), shape_.element_count()};
+  }
+  std::span<const double> data() const {
+    return {buffer_.data(), shape_.element_count()};
+  }
+
+  // Element access by multi-index (0-based within the block); used by
+  // tests, the integral generator, and subblock slicing.
+  double& at(std::span<const int> index);
+  double at(std::span<const int> index) const;
+
+  // Deep copy into a new heap-backed block.
+  Block clone() const;
+
+ private:
+  std::size_t offset_of(std::span<const int> index) const;
+
+  BlockShape shape_;
+  PoolBuffer buffer_;
+};
+
+using BlockPtr = std::shared_ptr<Block>;
+
+// Copies the subblock of `src` starting at `origin` (0-based) with
+// `shape` extents into a new block (SIAL slice assignment, §IV-E.2).
+Block slice(const Block& src, std::span<const int> origin,
+            const BlockShape& shape);
+
+// Writes `sub` into `dst` at `origin` (SIAL insertion assignment).
+void insert(Block& dst, std::span<const int> origin, const Block& sub);
+
+}  // namespace sia

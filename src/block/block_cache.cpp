@@ -1,0 +1,111 @@
+#include "block/block_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace sia {
+
+BlockCache::BlockCache(std::size_t capacity_doubles, VictimHandler on_evict)
+    : capacity_(capacity_doubles), on_evict_(std::move(on_evict)) {}
+
+BlockPtr BlockCache::get(const BlockId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return it->second->block;
+}
+
+BlockPtr BlockCache::peek(const BlockId& id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second->block;
+}
+
+bool BlockCache::contains(const BlockId& id) const {
+  return entries_.find(id) != entries_.end();
+}
+
+void BlockCache::put(const BlockId& id, BlockPtr block, bool dirty) {
+  SIA_CHECK(block != nullptr, "BlockCache::put: null block");
+  const std::size_t incoming = block->size();
+
+  if (incoming > capacity_) {
+    // Too big to cache at all; pass straight to the victim handler.
+    if (on_evict_) on_evict_(id, block, dirty);
+    return;
+  }
+
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    used_ -= it->second->block->size();
+    it->second->block = std::move(block);
+    it->second->dirty = dirty;
+    used_ += incoming;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    evict_to_fit(0);
+    return;
+  }
+
+  evict_to_fit(incoming);
+  lru_.push_front(Entry{id, std::move(block), dirty});
+  entries_.emplace(id, lru_.begin());
+  used_ += incoming;
+  ++stats_.insertions;
+}
+
+void BlockCache::evict_to_fit(std::size_t incoming) {
+  if (used_ + incoming <= capacity_) return;
+  // Scan from least-recently-used; skip entries still referenced outside
+  // the cache (in use by an executing super instruction or in flight).
+  auto it = lru_.end();
+  while (used_ + incoming > capacity_ && it != lru_.begin()) {
+    --it;
+    if (it->block.use_count() > 1) continue;
+    if (on_evict_) on_evict_(it->id, it->block, it->dirty);
+    used_ -= it->block->size();
+    entries_.erase(it->id);
+    it = lru_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+void BlockCache::mark_dirty(const BlockId& id) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) it->second->dirty = true;
+}
+
+void BlockCache::erase(const BlockId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  used_ -= it->second->block->size();
+  lru_.erase(it->second);
+  entries_.erase(it);
+}
+
+std::size_t BlockCache::erase_array(int array_id) {
+  std::size_t removed = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->id.array_id == array_id) {
+      used_ -= it->block->size();
+      entries_.erase(it->id);
+      it = lru_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void BlockCache::flush_dirty() {
+  for (auto& entry : lru_) {
+    if (entry.dirty) {
+      if (on_evict_) on_evict_(entry.id, entry.block, true);
+      entry.dirty = false;
+    }
+  }
+}
+
+}  // namespace sia

@@ -1,0 +1,61 @@
+#include "block/block_id.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace sia {
+
+BlockId::BlockId(int array, std::span<const int> segs) : array_id(array) {
+  SIA_CHECK(segs.size() <= static_cast<std::size_t>(blas::kMaxRank),
+            "BlockId: rank too large");
+  rank = static_cast<int>(segs.size());
+  for (std::size_t d = 0; d < segs.size(); ++d) segments[d] = segs[d];
+}
+
+std::int64_t BlockId::linearize(std::span<const int> num_segments) const {
+  SIA_CHECK(static_cast<int>(num_segments.size()) == rank,
+            "BlockId::linearize: rank mismatch");
+  std::int64_t linear = 0;
+  for (int d = 0; d < rank; ++d) {
+    const std::size_t ud = static_cast<std::size_t>(d);
+    SIA_CHECK(segments[ud] >= 1 && segments[ud] <= num_segments[ud],
+              "BlockId::linearize: segment out of range");
+    linear = linear * num_segments[ud] + (segments[ud] - 1);
+  }
+  return linear;
+}
+
+BlockId BlockId::from_linear(int array_id, std::int64_t linear,
+                             std::span<const int> num_segments) {
+  BlockId id;
+  id.array_id = array_id;
+  id.rank = static_cast<int>(num_segments.size());
+  for (int d = id.rank - 1; d >= 0; --d) {
+    const std::size_t ud = static_cast<std::size_t>(d);
+    id.segments[ud] = static_cast<int>(linear % num_segments[ud]) + 1;
+    linear /= num_segments[ud];
+  }
+  SIA_CHECK(linear == 0, "BlockId::from_linear: linear index out of range");
+  return id;
+}
+
+std::uint64_t BlockId::hash() const {
+  std::uint64_t h = splitmix64(static_cast<std::uint64_t>(array_id) + 1);
+  for (int d = 0; d < rank; ++d) {
+    h = hash_combine(h, static_cast<std::uint64_t>(
+                            segments[static_cast<std::size_t>(d)]));
+  }
+  return h;
+}
+
+std::string BlockId::to_string() const {
+  std::string out = "a" + std::to_string(array_id) + "(";
+  for (int d = 0; d < rank; ++d) {
+    if (d > 0) out += ",";
+    out += std::to_string(segments[static_cast<std::size_t>(d)]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sia

@@ -1,0 +1,46 @@
+// Identity of one block of a (distributed/served/local) array.
+//
+// A block is named by its array and the segment number along each
+// dimension. BlockIds travel in message headers (linearized) and key the
+// worker block caches and I/O server stores.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "blas/permute.hpp"
+
+namespace sia {
+
+struct BlockId {
+  int array_id = -1;
+  int rank = 0;
+  // 1-based segment numbers; entries past `rank` must be 0.
+  std::array<int, blas::kMaxRank> segments{};
+
+  BlockId() = default;
+  BlockId(int array, std::span<const int> segs);
+
+  bool operator==(const BlockId&) const = default;
+
+  // Linearizes the segment tuple with the given per-dimension segment
+  // counts (row-major over segment numbers); used for message headers and
+  // owner assignment. Inverse: from_linear.
+  std::int64_t linearize(std::span<const int> num_segments) const;
+  static BlockId from_linear(int array_id, std::int64_t linear,
+                             std::span<const int> num_segments);
+
+  std::uint64_t hash() const;
+  std::string to_string() const;
+};
+
+struct BlockIdHash {
+  std::size_t operator()(const BlockId& id) const {
+    return static_cast<std::size_t>(id.hash());
+  }
+};
+
+}  // namespace sia

@@ -1,0 +1,103 @@
+// Preallocated block memory pools.
+//
+// "The memory in each SIP worker is managed by dividing it into several
+// stacks of preallocated blocks of memory of various sizes. The number of
+// blocks of each size is determined from information obtained during the
+// dry run analysis." (paper §V-B). BlockPool implements exactly that: a
+// set of size classes, each a stack of fixed-size slots carved out of one
+// arena. Allocation pops a slot from the smallest class that fits;
+// release pushes it back. A configurable heap fallback (with a counter)
+// lets non-dry-run callers keep running while making pool misses visible.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace sia {
+
+class BlockPool;
+
+// Move-only handle to a pool slot (or a heap fallback allocation).
+// Returns the memory on destruction.
+class PoolBuffer {
+ public:
+  PoolBuffer() = default;
+  ~PoolBuffer();
+  PoolBuffer(PoolBuffer&& other) noexcept;
+  PoolBuffer& operator=(PoolBuffer&& other) noexcept;
+  PoolBuffer(const PoolBuffer&) = delete;
+  PoolBuffer& operator=(const PoolBuffer&) = delete;
+
+  double* data() const { return data_; }
+  std::size_t capacity() const { return capacity_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  friend class BlockPool;
+  PoolBuffer(BlockPool* pool, double* data, std::size_t capacity,
+             std::size_t size_class, bool heap)
+      : pool_(pool), data_(data), capacity_(capacity),
+        size_class_(size_class), heap_(heap) {}
+
+  void release();
+
+  BlockPool* pool_ = nullptr;
+  double* data_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t size_class_ = 0;  // element capacity of the class
+  bool heap_ = false;
+};
+
+class BlockPool {
+ public:
+  struct Stats {
+    std::size_t pool_allocs = 0;
+    std::size_t heap_fallbacks = 0;
+    std::size_t in_use_doubles = 0;
+    std::size_t peak_in_use_doubles = 0;
+  };
+
+  // `size_classes` maps slot capacity (doubles) -> number of slots. The
+  // classes come from the master's dry run. If `allow_heap_fallback` is
+  // false, exhausting a class (or requesting a size larger than any
+  // class) throws RuntimeError — the strict mode the dry run guarantees
+  // never triggers.
+  BlockPool(std::map<std::size_t, std::size_t> size_classes,
+            bool allow_heap_fallback);
+
+  // Pool with no preallocated classes; everything falls back to the heap.
+  // Used by tests and by contexts where no dry run ran.
+  BlockPool();
+
+  ~BlockPool();
+  BlockPool(const BlockPool&) = delete;
+  BlockPool& operator=(const BlockPool&) = delete;
+
+  // Allocates at least `count` doubles. Thread safe.
+  PoolBuffer allocate(std::size_t count);
+
+  Stats stats() const;
+  std::size_t total_pool_doubles() const { return arena_.size(); }
+  // Free slots remaining in the class that would serve `count`.
+  std::size_t free_slots_for(std::size_t count) const;
+
+ private:
+  friend class PoolBuffer;
+  void release_slot(double* data, std::size_t size_class, bool heap,
+                    std::size_t capacity);
+
+  struct SizeClass {
+    std::size_t capacity = 0;             // doubles per slot
+    std::vector<double*> free_slots;      // stack of available slots
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<double> arena_;
+  std::vector<SizeClass> classes_;  // sorted by capacity ascending
+  bool allow_heap_fallback_ = true;
+  Stats stats_;
+};
+
+}  // namespace sia

@@ -1,0 +1,46 @@
+#include "block/index_range.hpp"
+
+#include "common/error.hpp"
+
+namespace sia {
+
+SegmentedRange::SegmentedRange(long low, long high, int segment_size)
+    : low_(low), high_(high), segment_size_(segment_size) {
+  if (high < low) {
+    throw Error("SegmentedRange: empty range [" + std::to_string(low) + ", " +
+                std::to_string(high) + "]");
+  }
+  if (segment_size < 1) {
+    throw Error("SegmentedRange: segment size must be >= 1");
+  }
+  const long extent = high - low + 1;
+  num_segments_ = static_cast<int>((extent + segment_size - 1) / segment_size);
+}
+
+long SegmentedRange::segment_low(int s) const {
+  SIA_CHECK(s >= 1 && s <= num_segments_, "segment number out of range");
+  return low_ + static_cast<long>(s - 1) * segment_size_;
+}
+
+long SegmentedRange::segment_high(int s) const {
+  SIA_CHECK(s >= 1 && s <= num_segments_, "segment number out of range");
+  const long nominal = segment_low(s) + segment_size_ - 1;
+  return nominal < high_ ? nominal : high_;
+}
+
+int SegmentedRange::segment_extent(int s) const {
+  return static_cast<int>(segment_high(s) - segment_low(s) + 1);
+}
+
+int SegmentedRange::segment_of(long element) const {
+  SIA_CHECK(element >= low_ && element <= high_, "element out of range");
+  return static_cast<int>((element - low_) / segment_size_) + 1;
+}
+
+std::string SegmentedRange::to_string() const {
+  return "[" + std::to_string(low_) + ":" + std::to_string(high_) + " seg " +
+         std::to_string(segment_size_) + " -> " +
+         std::to_string(num_segments_) + " segments]";
+}
+
+}  // namespace sia

@@ -1,0 +1,53 @@
+// Segmented index ranges.
+//
+// SIAL declares indices over *element* ranges (e.g. `aoindex mu = 1, norb`)
+// but programs loop over *segment numbers*: each dimension of a large array
+// is broken into segments which in turn define blocks (paper §III). The
+// segment size is a runtime parameter, never visible in SIAL source. This
+// class is the element<->segment arithmetic used everywhere: block shapes,
+// dry-run sizing, and the on-demand integral generator (which needs global
+// element offsets for each block).
+#pragma once
+
+#include <string>
+
+namespace sia {
+
+class SegmentedRange {
+ public:
+  SegmentedRange() = default;
+
+  // Inclusive 1-based element range [low, high] cut into segments of
+  // `segment_size` elements; the last segment may be smaller.
+  SegmentedRange(long low, long high, int segment_size);
+
+  long low() const { return low_; }
+  long high() const { return high_; }
+  long extent() const { return high_ - low_ + 1; }
+  int segment_size() const { return segment_size_; }
+
+  // Number of segments (1-based segment numbers 1..num_segments()).
+  int num_segments() const { return num_segments_; }
+
+  // First element (1-based, absolute) of segment `s`.
+  long segment_low(int s) const;
+  // Last element of segment `s`.
+  long segment_high(int s) const;
+  // Elements in segment `s` (== segment_size except possibly the last).
+  int segment_extent(int s) const;
+
+  // Segment number containing absolute element `e`.
+  int segment_of(long element) const;
+
+  bool operator==(const SegmentedRange&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  long low_ = 1;
+  long high_ = 0;
+  int segment_size_ = 1;
+  int num_segments_ = 0;
+};
+
+}  // namespace sia

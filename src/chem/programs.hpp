@@ -1,0 +1,40 @@
+// SIAL programs for the chemistry workloads.
+//
+// These are the "application layer" of the reproduction: SIAL sources in
+// the style of the paper's §IV-D example, parameterized through symbolic
+// constants (norb, nocc, maxiter) that the SIP binds at initialization.
+// Each has a dense single-threaded counterpart in reference.hpp used by
+// the test suite (mirroring the paper's §VIII practice of writing two
+// implementations and testing one against the other).
+#pragma once
+
+#include <string>
+
+namespace sia::chem {
+
+// The paper's §IV-D fragment: R(M,N,I,J) = sum_{L,S} V(M,N,L,S)*T(L,S,I,J)
+// with V computed on demand and T/R distributed. Constants: norb, nocc.
+std::string contraction_demo_source();
+
+// MP2-like correlation energy with on-demand integrals.
+// Constants: norb, nocc. Result scalar: e2.
+std::string mp2_energy_source();
+
+// CCD-like doubles iteration (particle-particle + hole-hole ladders) with
+// distributed amplitudes, fixed iteration count.
+// Constants: norb, nocc, maxiter. Result scalars: energy (correlation
+// energy after maxiter iterations), rnorm2 (squared norm of the last
+// amplitude update).
+std::string ccd_energy_source();
+
+// Closed-shell Fock-like matrix build from on-demand integrals and a
+// model density. Constants: norb. Result scalar: fnorm (Frobenius norm).
+std::string fock_build_source();
+
+// MP2-like two-phase program exercising served (disk-backed) arrays:
+// phase 1 prepares amplitude blocks to a served array, phase 2 requests
+// them back and contracts. Constants: norb, nocc. Result scalars: e2
+// (same value as mp2_energy_source), tnorm2 (amplitude norm squared).
+std::string mp2_served_source();
+
+}  // namespace sia::chem

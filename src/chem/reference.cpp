@@ -1,0 +1,189 @@
+#include "chem/reference.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "chem/integrals.hpp"
+#include "common/rng.hpp"
+
+namespace sia::chem {
+
+namespace {
+
+// Mirrors the `random_block` built-in super instruction: value from the
+// hash chain over absolute coordinates, seeded.
+double random_element(double seed, std::initializer_list<long> coords) {
+  std::uint64_t key = static_cast<std::uint64_t>(seed);
+  for (const long c : coords) {
+    key = hash_combine(key, static_cast<std::uint64_t>(c));
+  }
+  return 2.0 * unit_double(key) - 1.0;
+}
+
+double denom4(long p0, long p1, long p2, long p3, long nocc) {
+  const std::array<long, 4> coords = {p0, p1, p2, p3};
+  return denominator_from_coords(coords, nocc);
+}
+
+}  // namespace
+
+double ref_contraction_rnorm2(long norb, long nocc, double seed) {
+  // R(mu,nu,i,j) = sum_{la,si} V(mu,nu,la,si) * T(la,si,i,j).
+  double rnorm2 = 0.0;
+  for (long mu = 1; mu <= norb; ++mu) {
+    for (long nu = 1; nu <= norb; ++nu) {
+      for (long i = 1; i <= nocc; ++i) {
+        for (long j = 1; j <= nocc; ++j) {
+          double r = 0.0;
+          for (long la = 1; la <= norb; ++la) {
+            for (long si = 1; si <= norb; ++si) {
+              r += synthetic_integral(mu, nu, la, si) *
+                   random_element(seed, {la, si, i, j});
+            }
+          }
+          rnorm2 += r * r;
+        }
+      }
+    }
+  }
+  return rnorm2;
+}
+
+double ref_mp2_energy(long norb, long nocc) {
+  double e2 = 0.0;
+  for (long i = 1; i <= nocc; ++i) {
+    for (long j = 1; j <= nocc; ++j) {
+      for (long a = nocc + 1; a <= norb; ++a) {
+        for (long b = nocc + 1; b <= norb; ++b) {
+          const double direct = synthetic_integral(i, a, j, b);
+          const double exchange = synthetic_integral(i, b, j, a);
+          e2 += direct * (2.0 * direct - exchange) /
+                denom4(i, a, j, b, nocc);
+        }
+      }
+    }
+  }
+  return e2;
+}
+
+double ref_mp2_amp_norm2(long norb, long nocc) {
+  double norm2 = 0.0;
+  for (long i = 1; i <= nocc; ++i) {
+    for (long j = 1; j <= nocc; ++j) {
+      for (long a = nocc + 1; a <= norb; ++a) {
+        for (long b = nocc + 1; b <= norb; ++b) {
+          const double t = synthetic_integral(i, a, j, b) /
+                           denom4(i, a, j, b, nocc);
+          norm2 += t * t;
+        }
+      }
+    }
+  }
+  return norm2;
+}
+
+double ref_ccd_energy(long norb, long nocc, int iterations,
+                      double* final_norm2) {
+  const long nv = norb - nocc;
+  const long no = nocc;
+  auto index = [&](long a, long i, long b, long j) {
+    // a,b in [1,nv] relative; i,j in [1,no] relative.
+    return (((a - 1) * no + (i - 1)) * nv + (b - 1)) * no + (j - 1);
+  };
+  const std::size_t total = static_cast<std::size_t>(nv * no * nv * no);
+  std::vector<double> t(total), t_next(total);
+
+  // T0 = V / D.
+  for (long a = 1; a <= nv; ++a) {
+    for (long i = 1; i <= no; ++i) {
+      for (long b = 1; b <= nv; ++b) {
+        for (long j = 1; j <= no; ++j) {
+          const long aa = nocc + a, bb = nocc + b;
+          t[static_cast<std::size_t>(index(a, i, b, j))] =
+              synthetic_integral(aa, i, bb, j) /
+              denom4(aa, i, bb, j, nocc);
+        }
+      }
+    }
+  }
+
+  double norm2 = 0.0;
+  for (int sweep = 0; sweep < iterations; ++sweep) {
+    norm2 = 0.0;
+    for (long a = 1; a <= nv; ++a) {
+      for (long i = 1; i <= no; ++i) {
+        for (long b = 1; b <= nv; ++b) {
+          for (long j = 1; j <= no; ++j) {
+            const long aa = nocc + a, bb = nocc + b;
+            double r = synthetic_integral(aa, i, bb, j);
+            // Particle-particle ladder.
+            for (long c = 1; c <= nv; ++c) {
+              for (long d = 1; d <= nv; ++d) {
+                r += synthetic_integral(aa, nocc + c, bb, nocc + d) *
+                     t[static_cast<std::size_t>(index(c, i, d, j))];
+              }
+            }
+            // Hole-hole ladder.
+            for (long k = 1; k <= no; ++k) {
+              for (long l = 1; l <= no; ++l) {
+                r += synthetic_integral(k, i, l, j) *
+                     t[static_cast<std::size_t>(index(a, k, b, l))];
+              }
+            }
+            // Ring.
+            for (long k = 1; k <= no; ++k) {
+              for (long c = 1; c <= nv; ++c) {
+                r += synthetic_integral(k, aa, nocc + c, i) *
+                     t[static_cast<std::size_t>(index(c, k, b, j))];
+              }
+            }
+            const double tn = r / denom4(aa, i, bb, j, nocc);
+            t_next[static_cast<std::size_t>(index(a, i, b, j))] = tn;
+            norm2 += tn * tn;
+          }
+        }
+      }
+    }
+    t.swap(t_next);
+  }
+  if (final_norm2 != nullptr) *final_norm2 = norm2;
+
+  double energy = 0.0;
+  for (long a = 1; a <= nv; ++a) {
+    for (long i = 1; i <= no; ++i) {
+      for (long b = 1; b <= nv; ++b) {
+        for (long j = 1; j <= no; ++j) {
+          energy += t[static_cast<std::size_t>(index(a, i, b, j))] *
+                    synthetic_integral(nocc + a, i, nocc + b, j);
+        }
+      }
+    }
+  }
+  return energy;
+}
+
+std::vector<double> ref_fock_matrix(long norb) {
+  std::vector<double> fock(static_cast<std::size_t>(norb * norb), 0.0);
+  for (long mu = 1; mu <= norb; ++mu) {
+    for (long nu = 1; nu <= norb; ++nu) {
+      double f = synthetic_core_h(mu, nu);
+      for (long la = 1; la <= norb; ++la) {
+        for (long si = 1; si <= norb; ++si) {
+          f += synthetic_density(la, si) *
+               (2.0 * synthetic_integral(mu, nu, la, si) -
+                synthetic_integral(mu, la, nu, si));
+        }
+      }
+      fock[static_cast<std::size_t>((mu - 1) * norb + (nu - 1))] = f;
+    }
+  }
+  return fock;
+}
+
+double ref_fock_norm(long norb) {
+  double norm2 = 0.0;
+  for (const double f : ref_fock_matrix(norb)) norm2 += f * f;
+  return std::sqrt(norm2);
+}
+
+}  // namespace sia::chem

@@ -1,0 +1,37 @@
+// Dense single-threaded reference implementations.
+//
+// Each SIAL program in programs.hpp has an element-wise mirror here,
+// computed with plain loops over the full (small) index spaces on one
+// thread. The test suite requires the SIP result to match the reference
+// to tight tolerance across segment sizes and worker counts — the
+// repository's version of the paper's practice of developing "multiple
+// implementations of the same algorithm and us[ing] the two versions as
+// tests of each other" (§VIII).
+#pragma once
+
+#include <vector>
+
+namespace sia::chem {
+
+// ||R||^2 for the contraction demo program (T filled by random_block with
+// the given seed).
+double ref_contraction_rnorm2(long norb, long nocc, double seed);
+
+// MP2-like correlation energy (matches mp2_energy_source's `e2` and
+// mp2_served_source's `e2`).
+double ref_mp2_energy(long norb, long nocc);
+
+// Squared norm of the first-order amplitudes (mp2_served's `tnorm2`).
+double ref_mp2_amp_norm2(long norb, long nocc);
+
+// CCD-like energy after `iterations` sweeps (ccd_energy_source's
+// `energy`), plus the final sweep's squared amplitude norm via out-param.
+double ref_ccd_energy(long norb, long nocc, int iterations,
+                      double* final_norm2 = nullptr);
+
+// Fock-like matrix (row-major norb x norb) and its Frobenius norm
+// (fock_build_source's `fnorm`).
+std::vector<double> ref_fock_matrix(long norb);
+double ref_fock_norm(long norb);
+
+}  // namespace sia::chem

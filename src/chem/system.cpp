@@ -1,0 +1,16 @@
+#include "chem/system.hpp"
+
+namespace sia::chem {
+
+MolecularSystem luciferin() { return {"luciferin", 440, 40}; }
+MolecularSystem water_cluster() { return {"water21", 1320, 110}; }
+MolecularSystem rdx() { return {"rdx", 800, 60}; }
+MolecularSystem hmx() { return {"hmx", 1070, 80}; }
+MolecularSystem cytosine_oh() { return {"cytosine_oh", 400, 36}; }
+MolecularSystem diamond_nv() { return {"diamond_nv", 2944, 150}; }
+
+MolecularSystem toy_system(long nbasis, long nocc) {
+  return {"toy", nbasis, nocc};
+}
+
+}  // namespace sia::chem

@@ -1,0 +1,36 @@
+// Synthetic molecular systems.
+//
+// The paper's benchmarks name real molecules (Luciferin, a protonated
+// water cluster, RDX, HMX, Cytosine+OH, a diamond nano-crystal with an NV
+// center). Without a real integrals package only two numbers matter for
+// cost and data-volume structure: the number of basis functions n and the
+// number of occupied orbitals N (the paper's rule of thumb is n = 10N,
+// §II). The presets below use approximate values consistent with the
+// molecules' electron counts and the basis sizes the paper mentions (the
+// diamond crystal is explicitly "2944 functions").
+#pragma once
+
+#include <string>
+
+namespace sia::chem {
+
+struct MolecularSystem {
+  std::string name;
+  long nbasis = 0;  // n: single-particle basis functions
+  long nocc = 0;    // N: occupied orbitals
+  long nvirt() const { return nbasis - nocc; }
+};
+
+// Paper benchmark systems (approximate electronic structure sizes).
+MolecularSystem luciferin();     // C11H8O3S2N2, Fig. 2
+MolecularSystem water_cluster(); // (H2O)21 H+, Fig. 3
+MolecularSystem rdx();           // C3H6N6O6, Figs. 4-5
+MolecularSystem hmx();           // C4H8N8O8, Fig. 4
+MolecularSystem cytosine_oh();   // C4H6N3O2, Fig. 7
+MolecularSystem diamond_nv();    // C42H42N-, Fig. 6 (2944 basis functions)
+
+// Tiny systems for interpreter-scale tests and examples; nocc divisible
+// by `segment` (index alignment requirement).
+MolecularSystem toy_system(long nbasis, long nocc);
+
+}  // namespace sia::chem

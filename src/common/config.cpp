@@ -1,0 +1,30 @@
+#include "common/config.hpp"
+
+#include "common/error.hpp"
+
+namespace sia {
+
+void SipConfig::validate() const {
+  if (workers < 1) throw Error("SipConfig: need at least one worker");
+  if (io_servers < 0) throw Error("SipConfig: io_servers must be >= 0");
+  if (default_segment < 1) throw Error("SipConfig: default_segment must be >= 1");
+  for (const auto& [type, seg] : segment_overrides) {
+    if (seg < 1) {
+      throw Error("SipConfig: segment override for '" + type +
+                  "' must be >= 1");
+    }
+  }
+  if (subsegments_per_segment < 1) {
+    throw Error("SipConfig: subsegments_per_segment must be >= 1");
+  }
+  if (prefetch_depth < 0) throw Error("SipConfig: prefetch_depth must be >= 0");
+  if (chunk_divisor < 1) throw Error("SipConfig: chunk_divisor must be >= 1");
+  if (min_chunk < 1) throw Error("SipConfig: min_chunk must be >= 1");
+}
+
+int SipConfig::segment_for(const std::string& index_type) const {
+  auto it = segment_overrides.find(index_type);
+  return it == segment_overrides.end() ? default_segment : it->second;
+}
+
+}  // namespace sia

@@ -1,0 +1,88 @@
+// Runtime configuration for the SIP.
+//
+// The paper stresses that tuning parameters — most importantly the segment
+// size — are *not* visible in SIAL source; they are chosen by the runtime
+// or by a knowledgeable user as runtime parameters. SipConfig is that set
+// of runtime parameters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sia {
+
+// Configuration of a SIP launch. Defaults give a small, laptop-friendly
+// virtual machine; benchmarks and tests override fields as needed.
+struct SipConfig {
+  // Ranks. The fabric hosts 1 master + workers + io_servers ranks.
+  int workers = 4;
+  int io_servers = 1;
+
+  // Segment size applied to every index type that the program does not
+  // override via `segment_overrides`. The same segment size applies to all
+  // indices of a given type and is constant for the whole run (paper §III).
+  int default_segment = 8;
+  // Per index-type segment size override, e.g. {"moindex", 4}.
+  std::map<std::string, int> segment_overrides;
+
+  // Sub-segments per segment for `subindex` declarations (paper §IV-E:
+  // "determined by a runtime parameter in the same way as the segment
+  // size"). Must evenly divide the segment size of the super index.
+  int subsegments_per_segment = 2;
+
+  // Per-worker block memory budget in bytes; the dry run checks the
+  // program's peak demand against this and reports infeasibility.
+  std::size_t worker_memory_bytes = 64ull << 20;
+  // Per-I/O-server in-memory cache budget in bytes (LRU, write-behind).
+  std::size_t server_cache_bytes = 32ull << 20;
+
+  // Number of future loop iterations for which the interpreter issues
+  // block requests ahead of use. 0 disables prefetching.
+  int prefetch_depth = 2;
+
+  // Guided-scheduling knobs: first chunks are remaining/(chunk_divisor *
+  // workers), never below min_chunk iterations.
+  int chunk_divisor = 2;
+  long min_chunk = 1;
+
+  // Directory for served-array disk files and checkpoints. Empty means a
+  // fresh directory under the system temp dir, removed at shutdown.
+  std::string scratch_dir;
+
+  // Symbolic constants referenced by SIAL programs (e.g. norb, nocc),
+  // resolved during program initialization.
+  std::map<std::string, long> constants;
+
+  // Served arrays computed on demand at the I/O servers instead of being
+  // prepared: array name -> generator name registered with
+  // ServerComputeRegistry (paper §V-B: "An I/O server may also perform
+  // certain domain specific computations, namely computing blocks of
+  // integrals ... computed on demand rather than stored"). A `request`
+  // for a block that was never prepared invokes the generator; prepared
+  // blocks still take precedence.
+  std::map<std::string, std::string> computed_served;
+
+  // When true, the master performs only the dry run and the launch returns
+  // its memory report without executing anything.
+  bool dry_run_only = false;
+
+  // Collect and keep per-instruction / per-pardo timing (cheap; on by
+  // default as in the paper).
+  bool profiling = true;
+
+  // Validated copy with derived values filled in; throws Error on nonsense
+  // (e.g. workers < 1, segment < 1).
+  void validate() const;
+
+  int total_ranks() const { return 1 + workers + io_servers; }
+  int master_rank() const { return 0; }
+  int first_worker_rank() const { return 1; }
+  int first_server_rank() const { return 1 + workers; }
+
+  // Segment size for a given index type name.
+  int segment_for(const std::string& index_type) const;
+};
+
+}  // namespace sia

@@ -1,0 +1,64 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace sia::log {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("SIA_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> value{static_cast<int>(initial_level())};
+  return value;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+std::mutex& output_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel level() { return static_cast<LogLevel>(level_storage().load()); }
+
+void set_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level));
+}
+
+bool enabled(LogLevel query) {
+  return static_cast<int>(query) <= level_storage().load();
+}
+
+void write(LogLevel level, int rank, const std::string& message) {
+  std::lock_guard<std::mutex> lock(output_mutex());
+  if (rank >= 0) {
+    std::fprintf(stderr, "[sia %s r%d] %s\n", level_name(level), rank,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[sia %s] %s\n", level_name(level), message.c_str());
+  }
+}
+
+}  // namespace sia::log

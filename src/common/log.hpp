@@ -1,0 +1,57 @@
+// Minimal thread-safe logging.
+//
+// Rank-aware so that interleaved master/worker/server output stays
+// attributable. Level is process-global and settable from the SIA_LOG
+// environment variable (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sia {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+namespace log {
+
+// Current process-global level; defaults to kWarn, overridable via SIA_LOG.
+LogLevel level();
+void set_level(LogLevel level);
+
+// Emit one line; thread safe. `rank` < 0 suppresses the rank prefix.
+void write(LogLevel level, int rank, const std::string& message);
+
+bool enabled(LogLevel level);
+
+}  // namespace log
+
+// Stream-style helper: SIA_LOG_AT(kDebug, rank) << "got block " << id;
+class LogLine {
+ public:
+  LogLine(LogLevel level, int rank) : level_(level), rank_(rank) {}
+  ~LogLine() { log::write(level_, rank_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  int rank_;
+  std::ostringstream stream_;
+};
+
+#define SIA_LOG_AT(level, rank)                  \
+  if (!::sia::log::enabled(level)) {             \
+  } else                                         \
+    ::sia::LogLine(level, rank)
+
+#define SIA_DEBUG(rank) SIA_LOG_AT(::sia::LogLevel::kDebug, rank)
+#define SIA_INFO(rank) SIA_LOG_AT(::sia::LogLevel::kInfo, rank)
+#define SIA_WARN(rank) SIA_LOG_AT(::sia::LogLevel::kWarn, rank)
+
+}  // namespace sia

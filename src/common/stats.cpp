@@ -1,0 +1,74 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace sia {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+TablePrinter::TablePrinter(std::ostream& out, std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : out_(out), headers_(std::move(headers)), widths_(std::move(widths)) {
+  SIA_CHECK(headers_.size() == widths_.size(),
+            "TablePrinter: headers/widths mismatch");
+}
+
+void TablePrinter::print_header() {
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    out_.width(widths_[i]);
+    out_ << headers_[i];
+    if (i + 1 < headers_.size()) out_ << "  ";
+  }
+  out_ << '\n';
+  print_rule();
+}
+
+void TablePrinter::print_rule() {
+  for (std::size_t i = 0; i < widths_.size(); ++i) {
+    out_ << std::string(static_cast<std::size_t>(widths_[i]), '-');
+    if (i + 1 < widths_.size()) out_ << "  ";
+  }
+  out_ << '\n';
+}
+
+void TablePrinter::print_row(const std::vector<std::string>& cells) {
+  SIA_CHECK(cells.size() == widths_.size(), "TablePrinter: wrong cell count");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_.width(widths_[i]);
+    out_ << cells[i];
+    if (i + 1 < cells.size()) out_ << "  ";
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string TablePrinter::num(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace sia

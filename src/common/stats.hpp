@@ -1,0 +1,55 @@
+// Streaming statistics and fixed-width table printing.
+//
+// The bench harnesses print series in the same shape as the paper's
+// figures; TablePrinter renders those rows consistently.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sia {
+
+// Welford streaming accumulator: count / mean / min / max / stddev.
+class RunningStats {
+ public:
+  void add(double x);
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Right-aligned fixed-width text table, printed row by row so long bench
+// runs show progress as they go.
+class TablePrinter {
+ public:
+  TablePrinter(std::ostream& out, std::vector<std::string> headers,
+               std::vector<int> widths);
+
+  void print_header();
+  void print_row(const std::vector<std::string>& cells);
+  void print_rule();
+
+  // Formats a double with `digits` decimal places.
+  static std::string num(double value, int digits = 2);
+
+ private:
+  std::ostream& out_;
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+}  // namespace sia

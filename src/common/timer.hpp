@@ -1,0 +1,56 @@
+// Wall-clock timing helpers used by the SIP profiler.
+//
+// The paper notes that because every SIP step is coarse (one super
+// instruction), detailed timing can be collected with negligible overhead.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sia {
+
+// Monotonic wall clock in seconds.
+inline double wall_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+// Simple start/stop stopwatch accumulating total elapsed seconds.
+class Stopwatch {
+ public:
+  void start() { start_ = wall_seconds(); running_ = true; }
+  // Stops and returns the duration of this interval (0 if not running).
+  double stop() {
+    if (!running_) return 0.0;
+    const double dt = wall_seconds() - start_;
+    total_ += dt;
+    ++intervals_;
+    running_ = false;
+    return dt;
+  }
+  double total() const { return total_; }
+  std::int64_t intervals() const { return intervals_; }
+  bool running() const { return running_; }
+  void reset() { total_ = 0.0; intervals_ = 0; running_ = false; }
+
+ private:
+  double start_ = 0.0;
+  double total_ = 0.0;
+  std::int64_t intervals_ = 0;
+  bool running_ = false;
+};
+
+// RAII interval that adds its lifetime to a Stopwatch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Stopwatch& watch) : watch_(watch) { watch_.start(); }
+  ~ScopedTimer() { watch_.stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Stopwatch& watch_;
+};
+
+}  // namespace sia

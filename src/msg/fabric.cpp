@@ -1,0 +1,134 @@
+#include "msg/fabric.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace sia::msg {
+
+Fabric::Fabric(int ranks) {
+  SIA_CHECK(ranks > 0, "Fabric needs at least one rank");
+  boxes_.reserve(static_cast<std::size_t>(ranks));
+  for (int i = 0; i < ranks; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Fabric::send(int src, int dst, Message message) {
+  if (src < 0 || src >= ranks() || dst < 0 || dst >= ranks()) {
+    throw InternalError("Fabric::send: rank out of range");
+  }
+  if (stopped()) throw RuntimeError("Fabric::send after stop()");
+  message.src = src;
+
+  {
+    Mailbox& sender = *boxes_[static_cast<std::size_t>(src)];
+    std::lock_guard<std::mutex> lock(sender.mutex);
+    sender.sent.messages_sent += 1;
+    sender.sent.payload_doubles_sent +=
+        static_cast<std::int64_t>(message.data.size());
+    sender.sent.header_words_sent +=
+        static_cast<std::int64_t>(message.header.size());
+  }
+
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(message));
+  }
+  box.cv.notify_all();
+}
+
+std::optional<Message> Fabric::try_recv(int rank) {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  if (box.queue.empty()) return std::nullopt;
+  Message message = std::move(box.queue.front());
+  box.queue.pop_front();
+  return message;
+}
+
+std::optional<Message> Fabric::try_recv_tag(int rank, int tag) {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+    if (it->tag == tag) {
+      Message message = std::move(*it);
+      box.queue.erase(it);
+      return message;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Fabric::has_message(int rank) const {
+  const Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  return !box.queue.empty();
+}
+
+std::optional<Message> Fabric::recv(int rank) {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  box.cv.wait(lock, [&] { return !box.queue.empty() || stopped(); });
+  if (box.queue.empty()) return std::nullopt;
+  Message message = std::move(box.queue.front());
+  box.queue.pop_front();
+  return message;
+}
+
+std::optional<Message> Fabric::recv_for(int rank, int timeout_ms) {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  box.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                  [&] { return !box.queue.empty() || stopped(); });
+  if (box.queue.empty()) return std::nullopt;
+  Message message = std::move(box.queue.front());
+  box.queue.pop_front();
+  return message;
+}
+
+void Fabric::barrier(int rank) {
+  (void)rank;
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const int sense = barrier_sense_;
+  if (++barrier_count_ == ranks()) {
+    barrier_count_ = 0;
+    barrier_sense_ ^= 1;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock,
+                     [&] { return barrier_sense_ != sense || stopped(); });
+  }
+}
+
+void Fabric::stop() {
+  stopped_.store(true, std::memory_order_release);
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_cv_.notify_all();
+  }
+}
+
+TrafficStats Fabric::stats(int rank) const {
+  const Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  return box.sent;
+}
+
+TrafficStats Fabric::total_stats() const {
+  TrafficStats total;
+  for (int r = 0; r < ranks(); ++r) {
+    const TrafficStats s = stats(r);
+    total.messages_sent += s.messages_sent;
+    total.payload_doubles_sent += s.payload_doubles_sent;
+    total.header_words_sent += s.header_words_sent;
+  }
+  return total;
+}
+
+}  // namespace sia::msg

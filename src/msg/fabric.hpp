@@ -1,0 +1,96 @@
+// In-process message-passing fabric: the MPI substitute.
+//
+// The paper's SIP runs one sequential MPI process per master/worker/server.
+// This environment has no MPI and no cluster, so ranks are threads and the
+// fabric provides the messaging semantics the SIP actually relies on:
+//   * asynchronous point-to-point sends that never block the sender
+//     (buffered, like eager-protocol MPI_Isend),
+//   * polling receipt — ranks "periodically check for messages and process
+//     them" (paper §V-B) via try_recv,
+//   * blocking receive with a condition variable for idle servers,
+//   * a fabric-wide barrier used by the GA baseline and tests (the SIP
+//     builds its own explicit barrier protocol on plain messages).
+//
+// The fabric also counts messages and bytes per rank pair so tests and
+// ablation benches can observe communication volume.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "msg/message.hpp"
+
+namespace sia::msg {
+
+// Communication counters for one rank (what it sent).
+struct TrafficStats {
+  std::int64_t messages_sent = 0;
+  std::int64_t payload_doubles_sent = 0;  // data words only
+  std::int64_t header_words_sent = 0;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(int ranks);
+
+  int ranks() const { return static_cast<int>(boxes_.size()); }
+
+  // Asynchronous buffered send; never blocks. `src` is stamped into the
+  // message. Sending to a stopped fabric or out-of-range rank throws.
+  void send(int src, int dst, Message message);
+
+  // Non-blocking receive of the oldest pending message, any tag.
+  std::optional<Message> try_recv(int rank);
+
+  // Non-blocking receive of the oldest pending message with `tag`,
+  // skipping (and preserving order of) other messages.
+  std::optional<Message> try_recv_tag(int rank, int tag);
+
+  // True if any message is pending for `rank`.
+  bool has_message(int rank) const;
+
+  // Blocking receive; waits on a condition variable. Returns nullopt only
+  // if the fabric is stopped while waiting (shutdown path).
+  std::optional<Message> recv(int rank);
+
+  // Blocking receive with timeout in milliseconds; nullopt on timeout or
+  // stop.
+  std::optional<Message> recv_for(int rank, int timeout_ms);
+
+  // Fabric-wide barrier across all ranks (sense-reversing). Every rank
+  // must call it; used by the GA baseline and by tests.
+  void barrier(int rank);
+
+  // Wakes all blocked receivers and makes further recv calls return
+  // nullopt. Sends after stop() throw.
+  void stop();
+  bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  TrafficStats stats(int rank) const;
+  TrafficStats total_stats() const;
+
+ private:
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+    TrafficStats sent;  // counters for messages this rank sent
+  };
+
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  mutable std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  int barrier_sense_ = 0;
+
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace sia::msg

@@ -1,0 +1,22 @@
+// Message type carried by the in-process fabric.
+//
+// Real SIP implementations exchange MPI messages whose payloads are either
+// small control records or whole blocks of doubles. We mirror that split:
+// `header` carries protocol control words (block ids, index values, chunk
+// bounds), `data` carries block contents. Keeping doubles in their own
+// vector avoids any serialization of floating-point data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sia::msg {
+
+struct Message {
+  int src = -1;   // sending rank; filled in by Fabric::send
+  int tag = 0;    // protocol tag, see tags.hpp
+  std::vector<std::int64_t> header;
+  std::vector<double> data;
+};
+
+}  // namespace sia::msg

@@ -1,0 +1,47 @@
+// Protocol tags used over the message fabric.
+//
+// Tag ranges: 1xx master<->worker control, 2xx worker<->worker distributed
+// arrays, 3xx worker<->I/O-server served arrays, 4xx GA baseline, 9xx
+// shutdown/housekeeping.
+#pragma once
+
+namespace sia::msg {
+
+enum Tag : int {
+  // Master <-> worker: pardo chunk scheduling and barriers.
+  kChunkRequest = 101,   // worker -> master: [pardo_id]
+  kChunkReply = 102,     // master -> worker: [pardo_id, begin, end] (end<=begin: done)
+  kBarrierEnter = 103,   // worker -> master: [barrier_id]
+  kBarrierRelease = 104, // master -> worker: [barrier_id]
+  kScalarReduce = 105,   // worker -> master: [scalar_slot] + data[1]
+  kScalarBcast = 106,    // master -> worker: [scalar_slot] + data[1]
+
+  // Worker <-> worker: distributed array traffic.
+  kBlockGetRequest = 201,  // [array_id, block_linear, reply_rank]
+  kBlockGetReply = 202,    // [array_id, block_linear] + data
+  kBlockPut = 203,         // [array_id, block_linear, epoch] + data
+  kBlockPutAcc = 204,      // [array_id, block_linear, epoch] + data (accumulate)
+  kBlockDelete = 205,      // [array_id] delete all blocks of array
+
+  // Worker <-> I/O server: served array traffic.
+  kServedPrepare = 301,     // [array_id, block_linear, epoch] + data
+  kServedPrepareAcc = 302,  // [array_id, block_linear, epoch] + data
+  kServedRequest = 303,     // [array_id, block_linear, reply_rank]
+  kServedReply = 304,       // [array_id, block_linear] + data
+  kServerBarrierEnter = 305,  // worker -> server: flush, then ack
+  kServerBarrierAck = 306,    // server -> master
+  kServedDelete = 307,        // [array_id]
+
+  // GA baseline library.
+  kGaGet = 401,
+  kGaGetReply = 402,
+  kGaPut = 403,
+  kGaAcc = 404,
+  kGaPutAck = 405,
+
+  // Housekeeping.
+  kShutdown = 901,
+  kAbort = 902,  // fatal error broadcast: header = error code, data unused
+};
+
+}  // namespace sia::msg

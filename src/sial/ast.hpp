@@ -1,0 +1,247 @@
+// Abstract syntax tree for SIAL.
+//
+// The parser produces this tree; semantic analysis annotates/validates it;
+// the compiler lowers it to bytecode. Statement nodes use std::variant —
+// SIAL is an "assembly" level language, so the statement set is flat and
+// closed.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sia::sial {
+
+// ---------------------------------------------------------------------
+// Compile-time integer expressions (index bounds): literals, symbolic
+// constants resolved at program initialization, and + - * /.
+struct IntExpr {
+  enum class Kind { kLiteral, kConstant, kAdd, kSub, kMul, kDiv };
+  Kind kind = Kind::kLiteral;
+  long literal = 0;
+  std::string constant;  // kConstant
+  std::unique_ptr<IntExpr> lhs, rhs;
+  int line = 0;
+
+  IntExpr() = default;
+  IntExpr(const IntExpr& other) { *this = other; }
+  IntExpr& operator=(const IntExpr& other) {
+    if (this == &other) return *this;
+    kind = other.kind;
+    literal = other.literal;
+    constant = other.constant;
+    line = other.line;
+    lhs = other.lhs ? std::make_unique<IntExpr>(*other.lhs) : nullptr;
+    rhs = other.rhs ? std::make_unique<IntExpr>(*other.rhs) : nullptr;
+    return *this;
+  }
+  IntExpr(IntExpr&&) = default;
+  IntExpr& operator=(IntExpr&&) = default;
+};
+
+// ---------------------------------------------------------------------
+// Declarations.
+
+enum class IndexType { kSimple, kAo, kMo, kMoa, kMob, kSub };
+
+const char* index_type_name(IndexType type);
+
+struct IndexDecl {
+  std::string name;
+  IndexType type = IndexType::kSimple;
+  IntExpr low, high;      // element range (ignored for kSub)
+  std::string super;      // kSub: name of the super index
+  int line = 0;
+};
+
+enum class ArrayKind { kStatic, kTemp, kLocal, kDistributed, kServed };
+
+const char* array_kind_name(ArrayKind kind);
+
+struct ArrayDecl {
+  std::string name;
+  ArrayKind kind = ArrayKind::kTemp;
+  std::vector<std::string> indices;  // index names per dimension
+  int line = 0;
+};
+
+struct ScalarDecl {
+  std::string name;
+  int line = 0;
+};
+
+// ---------------------------------------------------------------------
+// References and runtime expressions.
+
+// A block reference: array(ix1, ..., ixN). In allocate/deallocate an index
+// slot may be "*" (all segments of that dimension).
+struct BlockRef {
+  std::string array;
+  std::vector<std::string> indices;
+  int line = 0;
+};
+
+// Scalar-valued runtime expression. `kBlockDot` is a full contraction of
+// two blocks yielding a scalar (e.g. `e += r(i,j) * r(i,j)`).
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp { kAdd, kSub, kMul, kDiv };
+enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+const char* cmp_op_name(CmpOp op);
+
+struct Expr {
+  enum class Kind {
+    kNumber,    // literal (value)
+    kName,      // scalar variable, symbolic constant, or index value;
+                // disambiguated by the compiler
+    kNeg,       // -lhs
+    kBinary,    // lhs binop rhs
+    kCompare,   // lhs cmp rhs -> 0.0 / 1.0
+    kBlockDot,  // full contraction a . b (written a(...) * b(...))
+    kFunc,      // func(lhs): sqrt, abs, exp
+  };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;
+  std::string name;   // kName / kFunc function name
+  BinOp binop = BinOp::kAdd;
+  CmpOp cmpop = CmpOp::kLt;
+  ExprPtr lhs, rhs;
+  BlockRef a, b;      // kBlockDot
+  int line = 0;
+};
+
+// ---------------------------------------------------------------------
+// Statements.
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Body {
+  std::vector<StmtPtr> stmts;
+};
+
+// `where lhs CMP rhs`; rhs is an index name or a constant expression.
+struct WhereClause {
+  std::string lhs;
+  CmpOp op = CmpOp::kLt;
+  std::string rhs_index;          // non-empty if comparing to an index
+  std::optional<IntExpr> rhs_const;  // set if comparing to a constant
+  int line = 0;
+};
+
+struct PardoStmt {
+  std::vector<std::string> indices;
+  std::vector<WhereClause> wheres;
+  Body body;
+};
+
+// do i / do ii in i / pardo ii in i.
+struct DoStmt {
+  std::string index;
+  std::string super;   // non-empty for the `in` forms
+  bool parallel = false;  // pardo ii in i
+  Body body;
+};
+
+struct IfStmt {
+  ExprPtr cond;
+  Body then_body;
+  Body else_body;  // empty when no else
+};
+
+struct CallStmt {
+  std::string proc;
+};
+
+struct GetStmt { BlockRef ref; };
+struct PutStmt { BlockRef dst; BlockRef src; bool accumulate = false; };
+struct RequestStmt { BlockRef ref; };
+struct PrepareStmt { BlockRef dst; BlockRef src; bool accumulate = false; };
+struct AllocateStmt { BlockRef ref; };
+struct DeallocateStmt { BlockRef ref; };
+struct CreateStmt { std::string array; };
+struct DeleteStmt { std::string array; };
+
+// Assignment statement. The destination is a block ref or a scalar name.
+// RHS forms (SIAL is one operation per statement for blocks):
+//   kScalarExpr:   dst  op  <scalar expression>
+//   kBlockCopy:    dstb op  src_a                      (copy/permute/slice)
+//   kBlockBinary:  dstb op  src_a (*|+|-) src_b        (contract/add/sub)
+//   kScaledBlock:  dstb op  <scalar expression> * src_b
+struct AssignStmt {
+  enum class Op { kAssign, kPlusAssign, kMinusAssign, kStarAssign };
+  enum class Rhs { kScalarExpr, kBlockCopy, kBlockBinary, kScaledBlock };
+
+  Op op = Op::kAssign;
+  std::optional<BlockRef> dst_block;  // block destination
+  std::string dst_scalar;             // scalar destination (if no block)
+
+  Rhs rhs = Rhs::kScalarExpr;
+  ExprPtr scalar;      // kScalarExpr / kScaledBlock coefficient
+  BlockRef a, b;       // block operands
+  BinOp block_op = BinOp::kMul;  // kBlockBinary: * + -
+};
+
+// Argument of an `execute` statement.
+struct ExecArg {
+  enum class Kind { kBlock, kScalar, kString, kNumber };
+  Kind kind = Kind::kScalar;
+  BlockRef block;
+  std::string name;    // scalar variable name
+  std::string text;    // string literal
+  double number = 0.0;
+  int line = 0;
+};
+
+struct ExecuteStmt {
+  std::string name;
+  std::vector<ExecArg> args;
+};
+
+struct BarrierStmt { bool server = false; };
+struct CollectiveStmt { std::string dst; std::string src; };
+
+// print <expr> / println "text".
+struct PrintStmt {
+  std::string text;    // println form
+  ExprPtr value;       // print form
+};
+
+// checkpoint A "file" / restore A "file" (blocks_to_list / list_to_blocks).
+struct CheckpointStmt {
+  std::string array;
+  std::string file;
+  bool is_restore = false;
+};
+
+struct ExitStmt {};  // exits the innermost do loop
+
+struct Stmt {
+  int line = 0;
+  std::variant<PardoStmt, DoStmt, IfStmt, CallStmt, GetStmt, PutStmt,
+               RequestStmt, PrepareStmt, AllocateStmt, DeallocateStmt,
+               CreateStmt, DeleteStmt, AssignStmt, ExecuteStmt, BarrierStmt,
+               CollectiveStmt, PrintStmt, CheckpointStmt, ExitStmt>
+      node;
+};
+
+struct ProcDecl {
+  std::string name;
+  Body body;
+  int line = 0;
+};
+
+struct ProgramAst {
+  std::string name;
+  std::vector<IndexDecl> indices;
+  std::vector<ArrayDecl> arrays;
+  std::vector<ScalarDecl> scalars;
+  std::vector<ProcDecl> procs;
+  Body main;
+};
+
+}  // namespace sia::sial

@@ -1,0 +1,482 @@
+#include "sial/compiler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sial/parser.hpp"
+#include "sial/sema.hpp"
+
+namespace sia::sial {
+namespace {
+
+class Compiler {
+ public:
+  explicit Compiler(const ProgramAst& ast) : ast_(ast) {}
+
+  CompiledProgram run() {
+    build_tables();
+    compile_body(ast_.main);
+    emit(Opcode::kHalt, 0);
+    compile_procs();
+    return std::move(program_);
+  }
+
+ private:
+  // -------------------------------------------------------------------
+  // Tables.
+
+  void build_tables() {
+    program_.name = ast_.name;
+    for (const IndexDecl& decl : ast_.indices) {
+      IndexInfo info;
+      info.name = decl.name;
+      info.type = decl.type;
+      info.low = decl.low;
+      info.high = decl.high;
+      program_.indices.push_back(std::move(info));
+      register_int_expr_constants(decl.low);
+      register_int_expr_constants(decl.high);
+    }
+    // Resolve subindex super ids in a second pass (supers precede subs by
+    // declaration order, but be permissive).
+    for (std::size_t i = 0; i < ast_.indices.size(); ++i) {
+      if (ast_.indices[i].type == IndexType::kSub) {
+        const int super = program_.index_id(ast_.indices[i].super);
+        SIA_CHECK(super >= 0, "sema admitted unknown super index");
+        program_.indices[i].super_id = super;
+      }
+    }
+    for (const ArrayDecl& decl : ast_.arrays) {
+      ArrayInfo info;
+      info.name = decl.name;
+      info.kind = decl.kind;
+      for (const std::string& index : decl.indices) {
+        const int id = program_.index_id(index);
+        SIA_CHECK(id >= 0, "sema admitted unknown array index");
+        info.index_ids.push_back(id);
+      }
+      program_.arrays.push_back(std::move(info));
+    }
+    for (const ScalarDecl& decl : ast_.scalars) {
+      program_.scalars.push_back(ScalarInfo{decl.name});
+    }
+    for (const ProcDecl& decl : ast_.procs) {
+      program_.procs.push_back(ProcInfo{decl.name, -1});
+    }
+  }
+
+  int constant_id(const std::string& name) {
+    auto it = std::find(program_.constants.begin(), program_.constants.end(),
+                        name);
+    if (it != program_.constants.end()) {
+      return static_cast<int>(it - program_.constants.begin());
+    }
+    program_.constants.push_back(name);
+    return static_cast<int>(program_.constants.size() - 1);
+  }
+
+  void register_int_expr_constants(const IntExpr& expr) {
+    if (expr.kind == IntExpr::Kind::kConstant) {
+      constant_id(expr.constant);
+    }
+    if (expr.lhs) register_int_expr_constants(*expr.lhs);
+    if (expr.rhs) register_int_expr_constants(*expr.rhs);
+  }
+
+  int string_id(const std::string& text) {
+    auto it =
+        std::find(program_.strings.begin(), program_.strings.end(), text);
+    if (it != program_.strings.end()) {
+      return static_cast<int>(it - program_.strings.begin());
+    }
+    program_.strings.push_back(text);
+    return static_cast<int>(program_.strings.size() - 1);
+  }
+
+  int superinstruction_id(const std::string& name) {
+    auto& table = program_.superinstructions;
+    auto it = std::find(table.begin(), table.end(), name);
+    if (it != table.end()) return static_cast<int>(it - table.begin());
+    table.push_back(name);
+    return static_cast<int>(table.size() - 1);
+  }
+
+  // -------------------------------------------------------------------
+  // Emission helpers.
+
+  int pc() const { return static_cast<int>(program_.code.size()); }
+
+  Instruction& emit(Opcode op, int line) {
+    Instruction instr;
+    instr.op = op;
+    instr.line = line;
+    program_.code.push_back(std::move(instr));
+    return program_.code.back();
+  }
+
+  BlockOperand make_operand(const BlockRef& ref) const {
+    BlockOperand operand;
+    operand.array_id = program_.array_id(ref.array);
+    SIA_CHECK(operand.array_id >= 0, "sema admitted unknown array");
+    operand.rank = static_cast<int>(ref.indices.size());
+    for (std::size_t d = 0; d < ref.indices.size(); ++d) {
+      if (ref.indices[d] == "*") {
+        operand.index_ids[d] = kWildcardIndex;
+      } else {
+        const int id = program_.index_id(ref.indices[d]);
+        SIA_CHECK(id >= 0, "sema admitted unknown index");
+        operand.index_ids[d] = id;
+      }
+    }
+    return operand;
+  }
+
+  static int assign_mode(AssignStmt::Op op) { return static_cast<int>(op); }
+
+  // -------------------------------------------------------------------
+  // Expressions.
+
+  void compile_expr(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kNumber: {
+        emit(Opcode::kPushNumber, expr.line).f0 = expr.number;
+        return;
+      }
+      case Expr::Kind::kName: {
+        const int scalar = program_.scalar_id(expr.name);
+        if (scalar >= 0) {
+          emit(Opcode::kPushScalar, expr.line).a0 = scalar;
+          return;
+        }
+        const int index = program_.index_id(expr.name);
+        if (index >= 0) {
+          emit(Opcode::kPushIndex, expr.line).a0 = index;
+          return;
+        }
+        emit(Opcode::kPushConst, expr.line).a0 = constant_id(expr.name);
+        return;
+      }
+      case Expr::Kind::kNeg:
+        compile_expr(*expr.lhs);
+        emit(Opcode::kNeg, expr.line);
+        return;
+      case Expr::Kind::kFunc: {
+        compile_expr(*expr.lhs);
+        if (expr.name == "sqrt") {
+          emit(Opcode::kSqrt, expr.line);
+        } else if (expr.name == "abs") {
+          emit(Opcode::kAbs, expr.line);
+        } else {
+          emit(Opcode::kExpFn, expr.line);
+        }
+        return;
+      }
+      case Expr::Kind::kBinary: {
+        compile_expr(*expr.lhs);
+        compile_expr(*expr.rhs);
+        switch (expr.binop) {
+          case BinOp::kAdd: emit(Opcode::kAdd, expr.line); break;
+          case BinOp::kSub: emit(Opcode::kSub, expr.line); break;
+          case BinOp::kMul: emit(Opcode::kMul, expr.line); break;
+          case BinOp::kDiv: emit(Opcode::kDiv, expr.line); break;
+        }
+        return;
+      }
+      case Expr::Kind::kCompare: {
+        compile_expr(*expr.lhs);
+        compile_expr(*expr.rhs);
+        emit(Opcode::kCompare, expr.line).a0 = static_cast<int>(expr.cmpop);
+        return;
+      }
+      case Expr::Kind::kBlockDot: {
+        Instruction& instr = emit(Opcode::kBlockDot, expr.line);
+        instr.blocks.push_back(make_operand(expr.a));
+        instr.blocks.push_back(make_operand(expr.b));
+        return;
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Statements.
+
+  struct LoopFrame {
+    bool is_do = false;
+    std::vector<int> exit_pcs;  // kExitLoop instructions to patch
+  };
+
+  void compile_body(const Body& body) {
+    for (const StmtPtr& stmt : body.stmts) compile_statement(*stmt);
+  }
+
+  void compile_statement(const Stmt& stmt) {
+    const int line = stmt.line;
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, PardoStmt>) {
+            compile_pardo(node, line);
+          } else if constexpr (std::is_same_v<T, DoStmt>) {
+            compile_do(node, line);
+          } else if constexpr (std::is_same_v<T, IfStmt>) {
+            compile_if(node, line);
+          } else if constexpr (std::is_same_v<T, CallStmt>) {
+            int proc = -1;
+            for (std::size_t i = 0; i < program_.procs.size(); ++i) {
+              if (program_.procs[i].name == node.proc) {
+                proc = static_cast<int>(i);
+              }
+            }
+            SIA_CHECK(proc >= 0, "parser admitted unknown proc");
+            emit(Opcode::kCall, line).a0 = proc;
+          } else if constexpr (std::is_same_v<T, GetStmt>) {
+            emit(Opcode::kGet, line).blocks.push_back(make_operand(node.ref));
+          } else if constexpr (std::is_same_v<T, PutStmt>) {
+            Instruction& instr = emit(Opcode::kPut, line);
+            instr.a0 = node.accumulate ? 1 : 0;
+            instr.blocks.push_back(make_operand(node.dst));
+            instr.blocks.push_back(make_operand(node.src));
+          } else if constexpr (std::is_same_v<T, RequestStmt>) {
+            emit(Opcode::kRequest, line)
+                .blocks.push_back(make_operand(node.ref));
+          } else if constexpr (std::is_same_v<T, PrepareStmt>) {
+            Instruction& instr = emit(Opcode::kPrepare, line);
+            instr.a0 = node.accumulate ? 1 : 0;
+            instr.blocks.push_back(make_operand(node.dst));
+            instr.blocks.push_back(make_operand(node.src));
+          } else if constexpr (std::is_same_v<T, AllocateStmt>) {
+            emit(Opcode::kAllocate, line)
+                .blocks.push_back(make_operand(node.ref));
+          } else if constexpr (std::is_same_v<T, DeallocateStmt>) {
+            emit(Opcode::kDeallocate, line)
+                .blocks.push_back(make_operand(node.ref));
+          } else if constexpr (std::is_same_v<T, CreateStmt>) {
+            emit(Opcode::kCreate, line).a0 = program_.array_id(node.array);
+          } else if constexpr (std::is_same_v<T, DeleteStmt>) {
+            emit(Opcode::kDeleteArr, line).a0 = program_.array_id(node.array);
+          } else if constexpr (std::is_same_v<T, AssignStmt>) {
+            compile_assign(node, line);
+          } else if constexpr (std::is_same_v<T, ExecuteStmt>) {
+            Instruction& instr = emit(Opcode::kExecute, line);
+            instr.a0 = superinstruction_id(node.name);
+            for (const ExecArg& arg : node.args) {
+              ExecOperand operand;
+              switch (arg.kind) {
+                case ExecArg::Kind::kBlock:
+                  operand.kind = ExecOperand::Kind::kBlock;
+                  operand.block = make_operand(arg.block);
+                  break;
+                case ExecArg::Kind::kScalar:
+                  operand.kind = ExecOperand::Kind::kScalar;
+                  operand.slot = program_.scalar_id(arg.name);
+                  break;
+                case ExecArg::Kind::kString:
+                  operand.kind = ExecOperand::Kind::kString;
+                  operand.slot = string_id(arg.text);
+                  break;
+                case ExecArg::Kind::kNumber:
+                  operand.kind = ExecOperand::Kind::kNumber;
+                  operand.number = arg.number;
+                  break;
+              }
+              instr.eargs.push_back(std::move(operand));
+            }
+          } else if constexpr (std::is_same_v<T, BarrierStmt>) {
+            emit(node.server ? Opcode::kServerBarrier : Opcode::kSipBarrier,
+                 line);
+          } else if constexpr (std::is_same_v<T, CollectiveStmt>) {
+            Instruction& instr = emit(Opcode::kCollective, line);
+            instr.a0 = program_.scalar_id(node.dst);
+            instr.a1 = program_.scalar_id(node.src);
+          } else if constexpr (std::is_same_v<T, PrintStmt>) {
+            if (node.value) {
+              compile_expr(*node.value);
+              emit(Opcode::kPrintTop, line);
+            } else {
+              emit(Opcode::kPrintString, line).a0 = string_id(node.text);
+            }
+          } else if constexpr (std::is_same_v<T, CheckpointStmt>) {
+            Instruction& instr = emit(
+                node.is_restore ? Opcode::kRestoreArr : Opcode::kCheckpoint,
+                line);
+            instr.a0 = program_.array_id(node.array);
+            instr.a1 = string_id(node.file);
+          } else if constexpr (std::is_same_v<T, ExitStmt>) {
+            const int exit_pc = pc();
+            emit(Opcode::kExitLoop, line);
+            // Find the innermost do frame.
+            for (auto it = loops_.rbegin(); it != loops_.rend(); ++it) {
+              if (it->is_do) {
+                it->exit_pcs.push_back(exit_pc);
+                return;
+              }
+            }
+            throw CompileError("'exit' outside of a do loop", line);
+          }
+        },
+        stmt.node);
+  }
+
+  void compile_pardo(const PardoStmt& node, int line) {
+    PardoInfo info;
+    for (const std::string& name : node.indices) {
+      info.index_ids.push_back(program_.index_id(name));
+    }
+    for (const WhereClause& clause : node.wheres) {
+      WhereOp where;
+      where.lhs_index_id = program_.index_id(clause.lhs);
+      where.op = clause.op;
+      if (!clause.rhs_index.empty()) {
+        where.rhs_is_index = true;
+        where.rhs_index_id = program_.index_id(clause.rhs_index);
+      } else {
+        where.rhs_const = *clause.rhs_const;
+        register_int_expr_constants(where.rhs_const);
+      }
+      info.wheres.push_back(std::move(where));
+    }
+    const int pardo_id = static_cast<int>(program_.pardos.size());
+    program_.pardos.push_back(std::move(info));
+
+    const int start_pc = pc();
+    emit(Opcode::kPardoStart, line).a0 = pardo_id;
+    loops_.push_back(LoopFrame{/*is_do=*/false, {}});
+    compile_body(node.body);
+    loops_.pop_back();
+    const int end_pc = pc();
+    Instruction& end = emit(Opcode::kPardoEnd, line);
+    end.a0 = start_pc;
+    end.a1 = pardo_id;
+    program_.code[static_cast<std::size_t>(start_pc)].a1 = end_pc;
+    program_.pardos[static_cast<std::size_t>(pardo_id)].start_pc = start_pc;
+    program_.pardos[static_cast<std::size_t>(pardo_id)].end_pc = end_pc;
+  }
+
+  void compile_do(const DoStmt& node, int line) {
+    if (node.parallel) {
+      // pardo ii in i: scheduled like a pardo whose space is the
+      // subsegments of the current segment of the super index.
+      PardoInfo info;
+      info.index_ids.push_back(program_.index_id(node.index));
+      info.sub_of = program_.index_id(node.super);
+      const int pardo_id = static_cast<int>(program_.pardos.size());
+      program_.pardos.push_back(std::move(info));
+
+      const int start_pc = pc();
+      emit(Opcode::kPardoStart, line).a0 = pardo_id;
+      loops_.push_back(LoopFrame{/*is_do=*/false, {}});
+      compile_body(node.body);
+      loops_.pop_back();
+      const int end_pc = pc();
+      Instruction& end = emit(Opcode::kPardoEnd, line);
+      end.a0 = start_pc;
+      end.a1 = pardo_id;
+      program_.code[static_cast<std::size_t>(start_pc)].a1 = end_pc;
+      program_.pardos[static_cast<std::size_t>(pardo_id)].start_pc = start_pc;
+      program_.pardos[static_cast<std::size_t>(pardo_id)].end_pc = end_pc;
+      return;
+    }
+
+    const int start_pc = pc();
+    Instruction& start = emit(Opcode::kDoStart, line);
+    start.a0 = program_.index_id(node.index);
+    start.a2 = node.super.empty() ? -1 : program_.index_id(node.super);
+    loops_.push_back(LoopFrame{/*is_do=*/true, {}});
+    compile_body(node.body);
+    LoopFrame frame = loops_.back();
+    loops_.pop_back();
+    const int end_pc = pc();
+    emit(Opcode::kDoEnd, line).a0 = start_pc;
+    program_.code[static_cast<std::size_t>(start_pc)].a1 = end_pc;
+    for (const int exit_pc : frame.exit_pcs) {
+      program_.code[static_cast<std::size_t>(exit_pc)].a0 = end_pc;
+    }
+  }
+
+  void compile_if(const IfStmt& node, int line) {
+    compile_expr(*node.cond);
+    const int branch_pc = pc();
+    emit(Opcode::kJumpIfFalse, line);
+    compile_body(node.then_body);
+    if (node.else_body.stmts.empty()) {
+      program_.code[static_cast<std::size_t>(branch_pc)].a0 = pc();
+      return;
+    }
+    const int jump_pc = pc();
+    emit(Opcode::kJump, line);
+    program_.code[static_cast<std::size_t>(branch_pc)].a0 = pc();
+    compile_body(node.else_body);
+    program_.code[static_cast<std::size_t>(jump_pc)].a0 = pc();
+  }
+
+  void compile_assign(const AssignStmt& node, int line) {
+    if (!node.dst_block.has_value()) {
+      compile_expr(*node.scalar);
+      Instruction& instr = emit(Opcode::kStoreScalar, line);
+      instr.a0 = program_.scalar_id(node.dst_scalar);
+      instr.a1 = assign_mode(node.op);
+      return;
+    }
+    const BlockOperand dst = make_operand(*node.dst_block);
+    switch (node.rhs) {
+      case AssignStmt::Rhs::kScalarExpr: {
+        compile_expr(*node.scalar);
+        Instruction& instr = emit(Opcode::kBlockScalarOp, line);
+        instr.a0 = assign_mode(node.op);
+        instr.blocks.push_back(dst);
+        return;
+      }
+      case AssignStmt::Rhs::kBlockCopy: {
+        Instruction& instr = emit(Opcode::kBlockCopy, line);
+        instr.a0 = assign_mode(node.op);
+        instr.blocks.push_back(dst);
+        instr.blocks.push_back(make_operand(node.a));
+        return;
+      }
+      case AssignStmt::Rhs::kScaledBlock: {
+        compile_expr(*node.scalar);
+        Instruction& instr = emit(Opcode::kBlockScaledCopy, line);
+        instr.a0 = assign_mode(node.op);
+        instr.blocks.push_back(dst);
+        instr.blocks.push_back(make_operand(node.b));
+        return;
+      }
+      case AssignStmt::Rhs::kBlockBinary: {
+        Instruction& instr = emit(Opcode::kBlockBinary, line);
+        instr.a0 = assign_mode(node.op);
+        instr.a1 = static_cast<int>(node.block_op);
+        instr.blocks.push_back(dst);
+        instr.blocks.push_back(make_operand(node.a));
+        instr.blocks.push_back(make_operand(node.b));
+        return;
+      }
+    }
+  }
+
+  void compile_procs() {
+    for (std::size_t i = 0; i < ast_.procs.size(); ++i) {
+      program_.procs[i].entry_pc = pc();
+      compile_body(ast_.procs[i].body);
+      emit(Opcode::kReturn, ast_.procs[i].line);
+    }
+  }
+
+  const ProgramAst& ast_;
+  CompiledProgram program_;
+  std::vector<LoopFrame> loops_;
+};
+
+}  // namespace
+
+CompiledProgram compile(const ProgramAst& program) {
+  Compiler compiler(program);
+  return compiler.run();
+}
+
+CompiledProgram compile_sial(const std::string& source) {
+  ProgramAst ast = parse_sial(source);
+  check_sial(ast);
+  return compile(ast);
+}
+
+}  // namespace sia::sial

@@ -1,0 +1,24 @@
+// SIAL -> SIA bytecode compiler.
+//
+// Lowers a semantically checked AST to a CompiledProgram. The compiler is
+// deliberately unsophisticated: "the SIAL compiler itself does not perform
+// any sophisticated optimization, [so] the relationship between the source
+// code and the profile data is transparent" (paper §VI-B). Each statement
+// maps to a short, predictable instruction sequence.
+#pragma once
+
+#include <string>
+
+#include "sial/ast.hpp"
+#include "sial/bytecode.hpp"
+
+namespace sia::sial {
+
+// Compiles a checked AST. Throws CompileError on the few conditions only
+// visible during lowering (e.g. too many names).
+CompiledProgram compile(const ProgramAst& program);
+
+// Full front end: lex + parse + sema + compile.
+CompiledProgram compile_sial(const std::string& source);
+
+}  // namespace sia::sial

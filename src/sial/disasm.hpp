@@ -1,0 +1,16 @@
+// Bytecode disassembler for debugging and the `sial_tool` example.
+#pragma once
+
+#include <string>
+
+#include "sial/bytecode.hpp"
+
+namespace sia::sial {
+
+// One-line rendering of a single instruction.
+std::string disassemble_instruction(const CompiledProgram& program, int pc);
+
+// Full listing: tables summary followed by the instruction stream.
+std::string disassemble(const CompiledProgram& program);
+
+}  // namespace sia::sial

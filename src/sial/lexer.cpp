@@ -1,0 +1,257 @@
+#include "sial/lexer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace sia::sial {
+
+namespace {
+
+constexpr std::array kReserved = {
+    "sial", "endsial", "index", "aoindex", "moindex", "moaindex", "mobindex",
+    "subindex", "of", "scalar", "static", "temp", "local", "distributed",
+    "served", "proc", "endproc", "call", "pardo", "endpardo", "do", "enddo",
+    "in", "where", "if", "else", "endif", "get", "put", "request", "prepare",
+    "allocate", "deallocate", "create", "delete", "execute", "sip_barrier",
+    "server_barrier", "collective", "print", "println", "exit",
+    "checkpoint", "restore",
+};
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+bool is_reserved_word(const std::string& word) {
+  return std::find(kReserved.begin(), kReserved.end(), word) !=
+         kReserved.end();
+}
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of file";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kKeyword: return "keyword";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMinusAssign: return "'-='";
+    case TokenKind::kStarAssign: return "'*='";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kNotEq: return "'!='";
+    case TokenKind::kNewline: return "end of line";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string source) : source_(std::move(source)) {}
+
+char Lexer::peek(int ahead) const {
+  const std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+  return p < source_.size() ? source_[p] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') ++line_;
+  return c;
+}
+
+bool Lexer::at_end() const { return pos_ >= source_.size(); }
+
+void Lexer::skip_spaces_and_comments() {
+  while (!at_end()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance();
+    } else if (c == '#') {
+      while (!at_end() && peek() != '\n') advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lex_number() {
+  const int line = line_;
+  std::string text;
+  bool is_float = false;
+  while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                       peek() == '.')) {
+    if (peek() == '.') {
+      if (is_float) break;
+      is_float = true;
+    }
+    text += advance();
+  }
+  if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+    // Exponent: e[+-]?digits
+    std::size_t save = pos_;
+    std::string exp;
+    exp += advance();
+    if (!at_end() && (peek() == '+' || peek() == '-')) exp += advance();
+    if (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        exp += advance();
+      }
+      text += exp;
+      is_float = true;
+    } else {
+      pos_ = save;
+    }
+  }
+  Token token;
+  token.line = line;
+  if (is_float) {
+    token.kind = TokenKind::kFloat;
+    token.float_value = std::strtod(text.c_str(), nullptr);
+  } else {
+    token.kind = TokenKind::kInteger;
+    token.int_value = std::strtol(text.c_str(), nullptr, 10);
+  }
+  return token;
+}
+
+Token Lexer::lex_word() {
+  const int line = line_;
+  std::string text;
+  while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_')) {
+    text += advance();
+  }
+  Token token;
+  token.line = line;
+  const std::string lower = to_lower(text);
+  if (is_reserved_word(lower)) {
+    token.kind = TokenKind::kKeyword;
+    token.text = lower;
+  } else {
+    token.kind = TokenKind::kIdentifier;
+    token.text = text;
+  }
+  return token;
+}
+
+Token Lexer::lex_string() {
+  const int line = line_;
+  advance();  // opening quote
+  std::string text;
+  while (!at_end() && peek() != '"' && peek() != '\n') {
+    text += advance();
+  }
+  if (at_end() || peek() != '"') {
+    throw CompileError("unterminated string literal", line);
+  }
+  advance();  // closing quote
+  Token token;
+  token.kind = TokenKind::kString;
+  token.text = std::move(text);
+  token.line = line;
+  return token;
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  auto push_simple = [&](TokenKind kind) {
+    Token token;
+    token.kind = kind;
+    token.line = line_;
+    tokens.push_back(token);
+  };
+  auto maybe_newline = [&] {
+    if (!tokens.empty() && tokens.back().kind != TokenKind::kNewline) {
+      push_simple(TokenKind::kNewline);
+    }
+  };
+
+  while (true) {
+    skip_spaces_and_comments();
+    if (at_end()) break;
+    const char c = peek();
+    if (c == '\n') {
+      advance();
+      maybe_newline();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      tokens.push_back(lex_number());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tokens.push_back(lex_word());
+      continue;
+    }
+    if (c == '"') {
+      tokens.push_back(lex_string());
+      continue;
+    }
+    const int line = line_;
+    advance();
+    const char next = peek();
+    switch (c) {
+      case '(': push_simple(TokenKind::kLParen); break;
+      case ')': push_simple(TokenKind::kRParen); break;
+      case ',': push_simple(TokenKind::kComma); break;
+      case '/': push_simple(TokenKind::kSlash); break;
+      case '*':
+        if (next == '=') { advance(); push_simple(TokenKind::kStarAssign); }
+        else push_simple(TokenKind::kStar);
+        break;
+      case '+':
+        if (next == '=') { advance(); push_simple(TokenKind::kPlusAssign); }
+        else push_simple(TokenKind::kPlus);
+        break;
+      case '-':
+        if (next == '=') { advance(); push_simple(TokenKind::kMinusAssign); }
+        else push_simple(TokenKind::kMinus);
+        break;
+      case '=':
+        if (next == '=') { advance(); push_simple(TokenKind::kEqEq); }
+        else push_simple(TokenKind::kAssign);
+        break;
+      case '<':
+        if (next == '=') { advance(); push_simple(TokenKind::kLessEq); }
+        else push_simple(TokenKind::kLess);
+        break;
+      case '>':
+        if (next == '=') { advance(); push_simple(TokenKind::kGreaterEq); }
+        else push_simple(TokenKind::kGreater);
+        break;
+      case '!':
+        if (next == '=') { advance(); push_simple(TokenKind::kNotEq); }
+        else throw CompileError("unexpected character '!'", line);
+        break;
+      default:
+        throw CompileError(std::string("unexpected character '") + c + "'",
+                           line);
+    }
+  }
+  maybe_newline();
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.line = line_;
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace sia::sial

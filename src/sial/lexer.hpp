@@ -1,0 +1,38 @@
+// SIAL lexer.
+//
+// Converts SIAL source text into a token stream. Comments run from '#' to
+// end of line. Newlines are significant (statement separators) but runs of
+// blank/comment lines collapse to one kNewline token. Keywords are case
+// insensitive; identifiers keep their case.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sial/token.hpp"
+
+namespace sia::sial {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string source);
+
+  // Tokenizes the whole input; throws CompileError on bad characters or
+  // unterminated strings. The result always ends with kEof.
+  std::vector<Token> tokenize();
+
+ private:
+  char peek(int ahead = 0) const;
+  char advance();
+  bool at_end() const;
+  void skip_spaces_and_comments();
+  Token lex_number();
+  Token lex_word();
+  Token lex_string();
+
+  std::string source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace sia::sial

@@ -1,0 +1,901 @@
+#include "sial/parser.hpp"
+
+#include "common/error.hpp"
+#include "sial/lexer.hpp"
+
+namespace sia::sial {
+
+namespace {
+
+// Scalar functions accepted in expressions.
+bool is_builtin_function(const std::string& name) {
+  return name == "sqrt" || name == "abs" || name == "exp";
+}
+
+}  // namespace
+
+const char* index_type_name(IndexType type) {
+  switch (type) {
+    case IndexType::kSimple: return "index";
+    case IndexType::kAo: return "aoindex";
+    case IndexType::kMo: return "moindex";
+    case IndexType::kMoa: return "moaindex";
+    case IndexType::kMob: return "mobindex";
+    case IndexType::kSub: return "subindex";
+  }
+  return "?";
+}
+
+const char* array_kind_name(ArrayKind kind) {
+  switch (kind) {
+    case ArrayKind::kStatic: return "static";
+    case ArrayKind::kTemp: return "temp";
+    case ArrayKind::kLocal: return "local";
+    case ArrayKind::kDistributed: return "distributed";
+    case ArrayKind::kServed: return "served";
+  }
+  return "?";
+}
+
+const char* cmp_op_name(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+const Token& Parser::peek(int ahead) const {
+  const std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+  return p < tokens_.size() ? tokens_[p] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& token = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool Parser::check(TokenKind kind) const { return peek().kind == kind; }
+
+bool Parser::check_keyword(const char* word) const {
+  return peek().is_keyword(word);
+}
+
+bool Parser::match(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+bool Parser::match_keyword(const char* word) {
+  if (!check_keyword(word)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind kind, const std::string& context) {
+  if (!check(kind)) {
+    fail("expected " + std::string(token_kind_name(kind)) + " " + context +
+         ", found " + token_kind_name(peek().kind) +
+         (peek().text.empty() ? "" : " '" + peek().text + "'"));
+  }
+  return advance();
+}
+
+const Token& Parser::expect_keyword(const char* word) {
+  if (!check_keyword(word)) {
+    fail("expected '" + std::string(word) + "', found " +
+         std::string(token_kind_name(peek().kind)) +
+         (peek().text.empty() ? "" : " '" + peek().text + "'"));
+  }
+  return advance();
+}
+
+std::string Parser::expect_identifier(const std::string& context) {
+  if (!check(TokenKind::kIdentifier)) {
+    fail("expected identifier " + context + ", found " +
+         std::string(token_kind_name(peek().kind)) +
+         (peek().text.empty() ? "" : " '" + peek().text + "'"));
+  }
+  return advance().text;
+}
+
+void Parser::expect_statement_end() {
+  if (check(TokenKind::kEof)) return;
+  expect(TokenKind::kNewline, "at end of statement");
+}
+
+void Parser::skip_newlines() {
+  while (match(TokenKind::kNewline)) {
+  }
+}
+
+void Parser::fail(const std::string& message) const {
+  throw CompileError(message, peek().line);
+}
+
+void Parser::declare(const std::string& name, NameKind kind, int line) {
+  auto [it, inserted] = names_.emplace(name, kind);
+  (void)it;
+  if (!inserted) {
+    throw CompileError("redeclaration of '" + name + "'", line);
+  }
+}
+
+Parser::NameKind Parser::lookup(const std::string& name, int line) const {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    throw CompileError("undeclared identifier '" + name + "'", line);
+  }
+  return it->second;
+}
+
+bool Parser::is_declared(const std::string& name, NameKind kind) const {
+  auto it = names_.find(name);
+  return it != names_.end() && it->second == kind;
+}
+
+// ---------------------------------------------------------------------
+// Program and declarations.
+
+ProgramAst Parser::parse_program() {
+  skip_newlines();
+  expect_keyword("sial");
+  program_.name = expect_identifier("after 'sial'");
+  expect_statement_end();
+
+  std::string terminator;
+  program_.main = parse_body({"endsial"}, &terminator);
+  skip_newlines();
+  if (!check(TokenKind::kEof)) {
+    fail("unexpected content after 'endsial'");
+  }
+  return std::move(program_);
+}
+
+void Parser::parse_index_decl(IndexType type) {
+  IndexDecl decl;
+  decl.type = type;
+  decl.line = peek().line;
+  decl.name = expect_identifier("as index name");
+  expect(TokenKind::kAssign, "in index declaration");
+  decl.low = parse_int_expr();
+  expect(TokenKind::kComma, "between index bounds");
+  decl.high = parse_int_expr();
+  expect_statement_end();
+  declare(decl.name, NameKind::kIndex, decl.line);
+  program_.indices.push_back(std::move(decl));
+}
+
+void Parser::parse_subindex_decl() {
+  IndexDecl decl;
+  decl.type = IndexType::kSub;
+  decl.line = peek().line;
+  decl.name = expect_identifier("as subindex name");
+  expect_keyword("of");
+  decl.super = expect_identifier("as super index name");
+  if (!is_declared(decl.super, NameKind::kIndex)) {
+    throw CompileError(
+        "subindex '" + decl.name + "' refers to undeclared index '" +
+            decl.super + "'",
+        decl.line);
+  }
+  expect_statement_end();
+  declare(decl.name, NameKind::kIndex, decl.line);
+  program_.indices.push_back(std::move(decl));
+}
+
+void Parser::parse_scalar_decl() {
+  ScalarDecl decl;
+  decl.line = peek().line;
+  decl.name = expect_identifier("as scalar name");
+  expect_statement_end();
+  declare(decl.name, NameKind::kScalar, decl.line);
+  program_.scalars.push_back(std::move(decl));
+}
+
+void Parser::parse_array_decl(ArrayKind kind) {
+  ArrayDecl decl;
+  decl.kind = kind;
+  decl.line = peek().line;
+  decl.name = expect_identifier("as array name");
+  expect(TokenKind::kLParen, "in array declaration");
+  do {
+    const std::string index = expect_identifier("as array dimension");
+    if (!is_declared(index, NameKind::kIndex)) {
+      throw CompileError("array '" + decl.name +
+                             "' dimensioned with undeclared index '" + index +
+                             "'",
+                         decl.line);
+    }
+    decl.indices.push_back(index);
+  } while (match(TokenKind::kComma));
+  expect(TokenKind::kRParen, "after array dimensions");
+  expect_statement_end();
+  declare(decl.name, NameKind::kArray, decl.line);
+  program_.arrays.push_back(std::move(decl));
+}
+
+void Parser::parse_proc_decl() {
+  ProcDecl decl;
+  decl.line = peek().line;
+  decl.name = expect_identifier("as procedure name");
+  declare(decl.name, NameKind::kProc, decl.line);
+  expect_statement_end();
+  std::string terminator;
+  decl.body = parse_body({"endproc"}, &terminator);
+  // Optional trailing name after endproc.
+  if (check(TokenKind::kIdentifier)) advance();
+  expect_statement_end();
+  program_.procs.push_back(std::move(decl));
+}
+
+// ---------------------------------------------------------------------
+// Statement bodies.
+
+Body Parser::parse_body(const std::vector<std::string>& terminators,
+                        std::string* which_terminator) {
+  Body body;
+  while (true) {
+    skip_newlines();
+    if (check(TokenKind::kEof)) {
+      fail("unexpected end of file; expected '" + terminators.front() + "'");
+    }
+    for (const std::string& terminator : terminators) {
+      if (check_keyword(terminator.c_str())) {
+        if (which_terminator != nullptr) *which_terminator = terminator;
+        advance();
+        return body;
+      }
+    }
+    // Declarations are only legal at the top level (terminator endsial).
+    const bool top_level =
+        terminators.size() == 1 && terminators.front() == "endsial";
+    const Token& token = peek();
+    if (token.kind == TokenKind::kKeyword) {
+      auto decl_only_at_top = [&](const char* what) {
+        if (!top_level) {
+          fail(std::string(what) + " declarations are only allowed at the "
+               "top level of the program");
+        }
+      };
+      if (token.text == "index" || token.text == "aoindex" ||
+          token.text == "moindex" || token.text == "moaindex" ||
+          token.text == "mobindex") {
+        decl_only_at_top("index");
+        advance();
+        IndexType type = IndexType::kSimple;
+        if (token.text == "aoindex") type = IndexType::kAo;
+        if (token.text == "moindex") type = IndexType::kMo;
+        if (token.text == "moaindex") type = IndexType::kMoa;
+        if (token.text == "mobindex") type = IndexType::kMob;
+        parse_index_decl(type);
+        continue;
+      }
+      if (token.text == "subindex") {
+        decl_only_at_top("subindex");
+        advance();
+        parse_subindex_decl();
+        continue;
+      }
+      if (token.text == "scalar") {
+        decl_only_at_top("scalar");
+        advance();
+        parse_scalar_decl();
+        continue;
+      }
+      if (token.text == "static" || token.text == "temp" ||
+          token.text == "local" || token.text == "distributed" ||
+          token.text == "served") {
+        decl_only_at_top("array");
+        advance();
+        ArrayKind kind = ArrayKind::kStatic;
+        if (token.text == "temp") kind = ArrayKind::kTemp;
+        if (token.text == "local") kind = ArrayKind::kLocal;
+        if (token.text == "distributed") kind = ArrayKind::kDistributed;
+        if (token.text == "served") kind = ArrayKind::kServed;
+        parse_array_decl(kind);
+        continue;
+      }
+      if (token.text == "proc") {
+        decl_only_at_top("procedure");
+        advance();
+        parse_proc_decl();
+        continue;
+      }
+    }
+    body.stmts.push_back(parse_statement());
+  }
+}
+
+StmtPtr Parser::parse_statement() {
+  const int line = peek().line;
+  auto make = [&](auto node) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = line;
+    stmt->node = std::move(node);
+    return stmt;
+  };
+
+  if (check_keyword("pardo")) return parse_pardo();
+  if (check_keyword("do")) return parse_do();
+  if (check_keyword("if")) return parse_if();
+
+  if (match_keyword("call")) {
+    CallStmt node;
+    node.proc = expect_identifier("as procedure name");
+    if (!is_declared(node.proc, NameKind::kProc)) {
+      throw CompileError("call of undeclared procedure '" + node.proc + "'",
+                         line);
+    }
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (match_keyword("get")) {
+    GetStmt node;
+    node.ref = parse_block_ref();
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (match_keyword("put")) {
+    PutStmt node;
+    node.dst = parse_block_ref();
+    if (match(TokenKind::kPlusAssign)) {
+      node.accumulate = true;
+    } else {
+      expect(TokenKind::kAssign, "in put statement");
+    }
+    node.src = parse_block_ref();
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (match_keyword("request")) {
+    RequestStmt node;
+    node.ref = parse_block_ref();
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (match_keyword("prepare")) {
+    PrepareStmt node;
+    node.dst = parse_block_ref();
+    if (match(TokenKind::kPlusAssign)) {
+      node.accumulate = true;
+    } else {
+      expect(TokenKind::kAssign, "in prepare statement");
+    }
+    node.src = parse_block_ref();
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (match_keyword("allocate")) {
+    AllocateStmt node;
+    node.ref = parse_block_ref(/*allow_wildcard=*/true);
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (match_keyword("deallocate")) {
+    DeallocateStmt node;
+    node.ref = parse_block_ref(/*allow_wildcard=*/true);
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (match_keyword("create")) {
+    CreateStmt node;
+    node.array = expect_identifier("as array name");
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (match_keyword("delete")) {
+    DeleteStmt node;
+    node.array = expect_identifier("as array name");
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (check_keyword("execute")) return parse_execute();
+  if (match_keyword("sip_barrier")) {
+    expect_statement_end();
+    return make(BarrierStmt{/*server=*/false});
+  }
+  if (match_keyword("server_barrier")) {
+    expect_statement_end();
+    return make(BarrierStmt{/*server=*/true});
+  }
+  if (match_keyword("collective")) {
+    CollectiveStmt node;
+    node.dst = expect_identifier("as collective destination scalar");
+    expect(TokenKind::kPlusAssign, "in collective statement");
+    node.src = expect_identifier("as collective source scalar");
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (match_keyword("print")) {
+    PrintStmt node;
+    node.value = parse_expr();
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (match_keyword("println")) {
+    PrintStmt node;
+    node.text = expect(TokenKind::kString, "after println").text;
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (match_keyword("checkpoint") || check_keyword("restore")) {
+    CheckpointStmt node;
+    node.is_restore = match_keyword("restore");
+    node.array = expect_identifier("as array name");
+    node.file = expect(TokenKind::kString, "as checkpoint file name").text;
+    expect_statement_end();
+    return make(std::move(node));
+  }
+  if (match_keyword("exit")) {
+    expect_statement_end();
+    return make(ExitStmt{});
+  }
+
+  if (check(TokenKind::kIdentifier)) return parse_assignment();
+
+  fail("expected a statement");
+}
+
+StmtPtr Parser::parse_pardo() {
+  const int line = peek().line;
+  expect_keyword("pardo");
+  PardoStmt node;
+
+  // pardo ii in i  (subindex form) vs pardo i, j, k [where ...].
+  const std::string first = expect_identifier("after pardo");
+  if (check_keyword("in")) {
+    advance();
+    DoStmt sub;
+    sub.parallel = true;
+    sub.index = first;
+    sub.super = expect_identifier("after 'in'");
+    expect_statement_end();
+    std::string terminator;
+    sub.body = parse_body({"endpardo"}, &terminator);
+    while (check(TokenKind::kIdentifier) || check(TokenKind::kComma)) advance();
+    expect_statement_end();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = line;
+    stmt->node = std::move(sub);
+    return stmt;
+  }
+
+  node.indices.push_back(first);
+  while (match(TokenKind::kComma)) {
+    node.indices.push_back(expect_identifier("in pardo index list"));
+  }
+  while (check_keyword("where")) {
+    node.wheres.push_back(parse_where_clause());
+    match(TokenKind::kComma);
+  }
+  expect_statement_end();
+  std::string terminator;
+  node.body = parse_body({"endpardo"}, &terminator);
+  // Optional repeated index list after endpardo.
+  while (check(TokenKind::kIdentifier) || check(TokenKind::kComma)) advance();
+  expect_statement_end();
+
+  auto stmt = std::make_unique<Stmt>();
+  stmt->line = line;
+  stmt->node = std::move(node);
+  return stmt;
+}
+
+StmtPtr Parser::parse_do() {
+  const int line = peek().line;
+  expect_keyword("do");
+  DoStmt node;
+  node.index = expect_identifier("after do");
+  if (match_keyword("in")) {
+    node.super = expect_identifier("after 'in'");
+  }
+  expect_statement_end();
+  std::string terminator;
+  node.body = parse_body({"enddo"}, &terminator);
+  while (check(TokenKind::kIdentifier) || check(TokenKind::kComma)) advance();
+  expect_statement_end();
+
+  auto stmt = std::make_unique<Stmt>();
+  stmt->line = line;
+  stmt->node = std::move(node);
+  return stmt;
+}
+
+StmtPtr Parser::parse_if() {
+  const int line = peek().line;
+  expect_keyword("if");
+  IfStmt node;
+  node.cond = parse_expr();
+  expect_statement_end();
+  std::string terminator;
+  node.then_body = parse_body({"else", "endif"}, &terminator);
+  if (terminator == "else") {
+    expect_statement_end();
+    node.else_body = parse_body({"endif"}, &terminator);
+  }
+  expect_statement_end();
+
+  auto stmt = std::make_unique<Stmt>();
+  stmt->line = line;
+  stmt->node = std::move(node);
+  return stmt;
+}
+
+BlockRef Parser::parse_block_ref(bool allow_wildcard) {
+  BlockRef ref;
+  ref.line = peek().line;
+  ref.array = expect_identifier("as array name");
+  if (!is_declared(ref.array, NameKind::kArray)) {
+    throw CompileError("'" + ref.array + "' is not a declared array",
+                       ref.line);
+  }
+  expect(TokenKind::kLParen, "in block reference");
+  do {
+    if (allow_wildcard && match(TokenKind::kStar)) {
+      ref.indices.push_back("*");
+    } else {
+      ref.indices.push_back(expect_identifier("as block index"));
+    }
+  } while (match(TokenKind::kComma));
+  expect(TokenKind::kRParen, "after block indices");
+  return ref;
+}
+
+CmpOp Parser::parse_cmp_op() {
+  if (match(TokenKind::kLess)) return CmpOp::kLt;
+  if (match(TokenKind::kLessEq)) return CmpOp::kLe;
+  if (match(TokenKind::kGreater)) return CmpOp::kGt;
+  if (match(TokenKind::kGreaterEq)) return CmpOp::kGe;
+  if (match(TokenKind::kEqEq)) return CmpOp::kEq;
+  if (match(TokenKind::kNotEq)) return CmpOp::kNe;
+  fail("expected a comparison operator");
+}
+
+WhereClause Parser::parse_where_clause() {
+  WhereClause clause;
+  clause.line = peek().line;
+  expect_keyword("where");
+  clause.lhs = expect_identifier("on left of where comparison");
+  clause.op = parse_cmp_op();
+  if (check(TokenKind::kIdentifier) &&
+      is_declared(peek().text, NameKind::kIndex)) {
+    clause.rhs_index = advance().text;
+  } else {
+    clause.rhs_const = parse_int_expr();
+  }
+  return clause;
+}
+
+StmtPtr Parser::parse_assignment() {
+  const int line = peek().line;
+  AssignStmt node;
+
+  const std::string target = peek().text;
+  const NameKind kind = lookup(target, line);
+  if (kind == NameKind::kArray) {
+    node.dst_block = parse_block_ref();
+  } else if (kind == NameKind::kScalar) {
+    advance();
+    node.dst_scalar = target;
+  } else {
+    fail("cannot assign to '" + target + "'");
+  }
+
+  if (match(TokenKind::kAssign)) {
+    node.op = AssignStmt::Op::kAssign;
+  } else if (match(TokenKind::kPlusAssign)) {
+    node.op = AssignStmt::Op::kPlusAssign;
+  } else if (match(TokenKind::kMinusAssign)) {
+    node.op = AssignStmt::Op::kMinusAssign;
+  } else if (match(TokenKind::kStarAssign)) {
+    node.op = AssignStmt::Op::kStarAssign;
+  } else {
+    fail("expected an assignment operator");
+  }
+
+  // Scalar destination: the RHS is always a scalar expression (which may
+  // contain full-contraction block dots).
+  if (!node.dst_block.has_value()) {
+    node.rhs = AssignStmt::Rhs::kScalarExpr;
+    node.scalar = parse_expr();
+    expect_statement_end();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = line;
+    stmt->node = std::move(node);
+    return stmt;
+  }
+
+  // Block destination. If the RHS starts with an array name it is a block
+  // form; otherwise it is a scalar expression, possibly followed by
+  // '* block' (scaled copy).
+  if (check(TokenKind::kIdentifier) &&
+      is_declared(peek().text, NameKind::kArray)) {
+    node.a = parse_block_ref();
+    if (match(TokenKind::kStar)) {
+      // block * block (contraction) or block * scalar-expression (scale).
+      if (check(TokenKind::kIdentifier) &&
+          is_declared(peek().text, NameKind::kArray)) {
+        node.rhs = AssignStmt::Rhs::kBlockBinary;
+        node.block_op = BinOp::kMul;
+        node.b = parse_block_ref();
+      } else {
+        node.rhs = AssignStmt::Rhs::kScaledBlock;
+        node.b = node.a;
+        node.scalar = parse_expr();
+      }
+    } else if (match(TokenKind::kPlus)) {
+      node.rhs = AssignStmt::Rhs::kBlockBinary;
+      node.block_op = BinOp::kAdd;
+      node.b = parse_block_ref();
+    } else if (match(TokenKind::kMinus)) {
+      node.rhs = AssignStmt::Rhs::kBlockBinary;
+      node.block_op = BinOp::kSub;
+      node.b = parse_block_ref();
+    } else {
+      node.rhs = AssignStmt::Rhs::kBlockCopy;
+    }
+  } else {
+    node.scalar = parse_expr();
+    if (match(TokenKind::kStar)) {
+      node.rhs = AssignStmt::Rhs::kScaledBlock;
+      node.b = parse_block_ref();
+    } else {
+      node.rhs = AssignStmt::Rhs::kScalarExpr;
+    }
+  }
+  expect_statement_end();
+
+  auto stmt = std::make_unique<Stmt>();
+  stmt->line = line;
+  stmt->node = std::move(node);
+  return stmt;
+}
+
+StmtPtr Parser::parse_execute() {
+  const int line = peek().line;
+  expect_keyword("execute");
+  ExecuteStmt node;
+  node.name = expect_identifier("as super instruction name");
+  while (!check(TokenKind::kNewline) && !check(TokenKind::kEof)) {
+    ExecArg arg;
+    arg.line = peek().line;
+    if (check(TokenKind::kString)) {
+      arg.kind = ExecArg::Kind::kString;
+      arg.text = advance().text;
+    } else if (check(TokenKind::kInteger)) {
+      arg.kind = ExecArg::Kind::kNumber;
+      arg.number = static_cast<double>(advance().int_value);
+    } else if (check(TokenKind::kFloat)) {
+      arg.kind = ExecArg::Kind::kNumber;
+      arg.number = advance().float_value;
+    } else if (check(TokenKind::kIdentifier)) {
+      const std::string name = peek().text;
+      const NameKind kind = lookup(name, arg.line);
+      if (kind == NameKind::kArray) {
+        arg.kind = ExecArg::Kind::kBlock;
+        arg.block = parse_block_ref();
+      } else if (kind == NameKind::kScalar) {
+        advance();
+        arg.kind = ExecArg::Kind::kScalar;
+        arg.name = name;
+      } else {
+        fail("execute argument '" + name + "' must be an array or scalar");
+      }
+    } else {
+      fail("bad execute argument");
+    }
+    node.args.push_back(std::move(arg));
+    match(TokenKind::kComma);
+  }
+  expect_statement_end();
+
+  auto stmt = std::make_unique<Stmt>();
+  stmt->line = line;
+  stmt->node = std::move(node);
+  return stmt;
+}
+
+// ---------------------------------------------------------------------
+// Integer constant expressions (index bounds).
+
+IntExpr Parser::parse_int_expr() {
+  IntExpr lhs = parse_int_term();
+  while (check(TokenKind::kPlus) || check(TokenKind::kMinus)) {
+    const bool plus = advance().kind == TokenKind::kPlus;
+    IntExpr node;
+    node.kind = plus ? IntExpr::Kind::kAdd : IntExpr::Kind::kSub;
+    node.line = peek().line;
+    node.lhs = std::make_unique<IntExpr>(std::move(lhs));
+    node.rhs = std::make_unique<IntExpr>(parse_int_term());
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+IntExpr Parser::parse_int_term() {
+  IntExpr lhs = parse_int_primary();
+  while (check(TokenKind::kStar) || check(TokenKind::kSlash)) {
+    const bool mul = advance().kind == TokenKind::kStar;
+    IntExpr node;
+    node.kind = mul ? IntExpr::Kind::kMul : IntExpr::Kind::kDiv;
+    node.line = peek().line;
+    node.lhs = std::make_unique<IntExpr>(std::move(lhs));
+    node.rhs = std::make_unique<IntExpr>(parse_int_primary());
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+IntExpr Parser::parse_int_primary() {
+  IntExpr node;
+  node.line = peek().line;
+  if (check(TokenKind::kInteger)) {
+    node.kind = IntExpr::Kind::kLiteral;
+    node.literal = advance().int_value;
+    return node;
+  }
+  if (check(TokenKind::kIdentifier)) {
+    node.kind = IntExpr::Kind::kConstant;
+    node.constant = advance().text;
+    return node;
+  }
+  if (match(TokenKind::kLParen)) {
+    node = parse_int_expr();
+    expect(TokenKind::kRParen, "in constant expression");
+    return node;
+  }
+  fail("expected an integer constant expression");
+}
+
+// ---------------------------------------------------------------------
+// Runtime scalar expressions.
+
+ExprPtr Parser::parse_expr() {
+  ExprPtr lhs = parse_additive();
+  if (check(TokenKind::kLess) || check(TokenKind::kLessEq) ||
+      check(TokenKind::kGreater) || check(TokenKind::kGreaterEq) ||
+      check(TokenKind::kEqEq) || check(TokenKind::kNotEq)) {
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kCompare;
+    node->line = peek().line;
+    node->cmpop = parse_cmp_op();
+    node->lhs = std::move(lhs);
+    node->rhs = parse_additive();
+    return node;
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_additive() {
+  ExprPtr lhs = parse_multiplicative();
+  while (check(TokenKind::kPlus) || check(TokenKind::kMinus)) {
+    const bool plus = advance().kind == TokenKind::kPlus;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kBinary;
+    node->binop = plus ? BinOp::kAdd : BinOp::kSub;
+    node->line = peek().line;
+    node->lhs = std::move(lhs);
+    node->rhs = parse_multiplicative();
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_multiplicative() {
+  ExprPtr lhs = parse_unary();
+  while (check(TokenKind::kStar) || check(TokenKind::kSlash)) {
+    // Ambiguity: `expr * array(...)` is either the start of a block dot
+    // product (`expr * a(...) * b(...)`, a scalar) or the tail of a
+    // scaled-block assignment (`t(i,j) = 2.0 * x(i,j)`), which belongs to
+    // the enclosing assignment. Look ahead across the block reference: a
+    // second '*' followed by an array means dot product; otherwise back
+    // off and let the assignment statement consume the `* block` tail.
+    if (check(TokenKind::kStar) && peek(1).kind == TokenKind::kIdentifier &&
+        is_declared(peek(1).text, NameKind::kArray)) {
+      const std::size_t save = pos_;
+      advance();  // '*'
+      auto dot = std::make_unique<Expr>();
+      dot->kind = Expr::Kind::kBlockDot;
+      dot->line = peek().line;
+      dot->a = parse_block_ref();
+      if (check(TokenKind::kStar) &&
+          peek(1).kind == TokenKind::kIdentifier &&
+          is_declared(peek(1).text, NameKind::kArray)) {
+        advance();  // '*'
+        dot->b = parse_block_ref();
+        auto product = std::make_unique<Expr>();
+        product->kind = Expr::Kind::kBinary;
+        product->binop = BinOp::kMul;
+        product->line = dot->line;
+        product->lhs = std::move(lhs);
+        product->rhs = std::move(dot);
+        lhs = std::move(product);
+        continue;
+      }
+      pos_ = save;  // scaled-block tail; not part of this expression
+      return lhs;
+    }
+    const bool mul = advance().kind == TokenKind::kStar;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kBinary;
+    node->binop = mul ? BinOp::kMul : BinOp::kDiv;
+    node->line = peek().line;
+    node->lhs = std::move(lhs);
+    node->rhs = parse_unary();
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_unary() {
+  if (check(TokenKind::kMinus)) {
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kNeg;
+    node->line = advance().line;
+    node->lhs = parse_unary();
+    return node;
+  }
+  return parse_primary();
+}
+
+ExprPtr Parser::parse_primary() {
+  auto node = std::make_unique<Expr>();
+  node->line = peek().line;
+  if (check(TokenKind::kFloat)) {
+    node->kind = Expr::Kind::kNumber;
+    node->number = advance().float_value;
+    return node;
+  }
+  if (check(TokenKind::kInteger)) {
+    node->kind = Expr::Kind::kNumber;
+    node->number = static_cast<double>(advance().int_value);
+    return node;
+  }
+  if (match(TokenKind::kLParen)) {
+    node = parse_expr();
+    expect(TokenKind::kRParen, "in expression");
+    return node;
+  }
+  if (check(TokenKind::kIdentifier)) {
+    const std::string name = peek().text;
+    if (is_builtin_function(name) && peek(1).kind == TokenKind::kLParen) {
+      advance();
+      advance();
+      node->kind = Expr::Kind::kFunc;
+      node->name = name;
+      node->lhs = parse_expr();
+      expect(TokenKind::kRParen, "after function argument");
+      return node;
+    }
+    if (is_declared(name, NameKind::kArray)) {
+      // Full contraction: array(...) * array(...) yielding a scalar.
+      node->kind = Expr::Kind::kBlockDot;
+      node->a = parse_block_ref();
+      expect(TokenKind::kStar, "in block dot product");
+      node->b = parse_block_ref();
+      return node;
+    }
+    advance();
+    node->kind = Expr::Kind::kName;
+    node->name = name;
+    return node;
+  }
+  fail("expected an expression");
+}
+
+ProgramAst parse_sial(const std::string& source) {
+  Lexer lexer(source);
+  Parser parser(lexer.tokenize());
+  return parser.parse_program();
+}
+
+}  // namespace sia::sial

@@ -1,0 +1,86 @@
+// SIAL parser.
+//
+// Recursive-descent over the token stream. SIAL requires declaration
+// before use, and the parser exploits that: it tracks which identifiers
+// name indices, arrays, and scalars, which is what disambiguates
+// `t(i,j) = a(i,k) * b(k,j)` (block contraction) from
+// `e = x * y` (scalar expression) without type feedback from later passes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sial/ast.hpp"
+#include "sial/token.hpp"
+
+namespace sia::sial {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens);
+
+  // Parses a whole program; throws CompileError with source line info.
+  ProgramAst parse_program();
+
+ private:
+  enum class NameKind { kIndex, kArray, kScalar, kProc };
+
+  // Token cursor helpers.
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(TokenKind kind) const;
+  bool check_keyword(const char* word) const;
+  bool match(TokenKind kind);
+  bool match_keyword(const char* word);
+  const Token& expect(TokenKind kind, const std::string& context);
+  const Token& expect_keyword(const char* word);
+  std::string expect_identifier(const std::string& context);
+  void expect_statement_end();
+  void skip_newlines();
+  [[noreturn]] void fail(const std::string& message) const;
+
+  // Declarations.
+  void declare(const std::string& name, NameKind kind, int line);
+  NameKind lookup(const std::string& name, int line) const;
+  bool is_declared(const std::string& name, NameKind kind) const;
+
+  void parse_index_decl(IndexType type);
+  void parse_subindex_decl();
+  void parse_scalar_decl();
+  void parse_array_decl(ArrayKind kind);
+  void parse_proc_decl();
+
+  // Statements.
+  Body parse_body(const std::vector<std::string>& terminators,
+                  std::string* which_terminator);
+  StmtPtr parse_statement();
+  StmtPtr parse_pardo();
+  StmtPtr parse_do();
+  StmtPtr parse_if();
+  StmtPtr parse_assignment();
+  StmtPtr parse_execute();
+  BlockRef parse_block_ref(bool allow_wildcard = false);
+  WhereClause parse_where_clause();
+  CmpOp parse_cmp_op();
+
+  // Expressions.
+  IntExpr parse_int_expr();
+  IntExpr parse_int_term();
+  IntExpr parse_int_primary();
+  ExprPtr parse_expr();        // comparison level
+  ExprPtr parse_additive();
+  ExprPtr parse_multiplicative();
+  ExprPtr parse_unary();
+  ExprPtr parse_primary();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::map<std::string, NameKind> names_;
+  ProgramAst program_;
+};
+
+// Convenience: lex + parse.
+ProgramAst parse_sial(const std::string& source);
+
+}  // namespace sia::sial

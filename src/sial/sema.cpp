@@ -1,0 +1,512 @@
+#include "sial/sema.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace sia::sial {
+
+Sema::Sema(const ProgramAst& program) : program_(program) {
+  for (const auto& decl : program_.indices) indices_[decl.name] = &decl;
+  for (const auto& decl : program_.arrays) arrays_[decl.name] = &decl;
+  for (const auto& decl : program_.scalars) scalars_[decl.name] = &decl;
+  for (const auto& decl : program_.procs) procs_[decl.name] = &decl;
+}
+
+void Sema::check() {
+  check_declarations();
+  Context context;
+  check_body(program_.main, context);
+  for (const auto& proc : program_.procs) {
+    Context proc_context;
+    proc_context.in_proc = true;
+    check_body(proc.body, proc_context);
+  }
+}
+
+void Sema::check_declarations() {
+  for (const auto& decl : program_.indices) {
+    if (decl.type == IndexType::kSub) {
+      const auto it = indices_.find(decl.super);
+      SIA_CHECK(it != indices_.end(), "parser admitted unknown super index");
+      if (it->second->type == IndexType::kSub) {
+        throw CompileError("subindex '" + decl.name +
+                               "' may not have another subindex as its super",
+                           decl.line);
+      }
+    }
+  }
+  for (const auto& decl : program_.arrays) {
+    if (decl.indices.empty()) {
+      throw CompileError("array '" + decl.name + "' has no dimensions",
+                         decl.line);
+    }
+    if (decl.indices.size() > 6) {
+      throw CompileError("array '" + decl.name + "' exceeds rank 6",
+                         decl.line);
+    }
+    for (const std::string& index : decl.indices) {
+      const IndexDecl& idx = index_decl(index, decl.line);
+      if (idx.type == IndexType::kSub &&
+          (decl.kind == ArrayKind::kDistributed ||
+           decl.kind == ArrayKind::kServed)) {
+        throw CompileError("distributed/served array '" + decl.name +
+                               "' may not be declared with subindex '" +
+                               index + "'",
+                           decl.line);
+      }
+    }
+  }
+}
+
+const IndexDecl& Sema::index_decl(const std::string& name, int line) const {
+  const auto it = indices_.find(name);
+  if (it == indices_.end()) {
+    throw CompileError("'" + name + "' is not a declared index", line);
+  }
+  return *it->second;
+}
+
+const ArrayDecl& Sema::array_decl(const std::string& name, int line) const {
+  const auto it = arrays_.find(name);
+  if (it == arrays_.end()) {
+    throw CompileError("'" + name + "' is not a declared array", line);
+  }
+  return *it->second;
+}
+
+void Sema::require_scalar(const std::string& name, int line) const {
+  if (scalars_.find(name) == scalars_.end()) {
+    throw CompileError("'" + name + "' is not a declared scalar", line);
+  }
+}
+
+void Sema::check_block_ref(const BlockRef& ref, bool allow_wildcard) const {
+  const ArrayDecl& array = array_decl(ref.array, ref.line);
+  if (ref.indices.size() != array.indices.size()) {
+    throw CompileError(
+        "array '" + ref.array + "' has rank " +
+            std::to_string(array.indices.size()) + " but is used with " +
+            std::to_string(ref.indices.size()) + " indices",
+        ref.line);
+  }
+  for (std::size_t d = 0; d < ref.indices.size(); ++d) {
+    const std::string& name = ref.indices[d];
+    if (name == "*") {
+      if (!allow_wildcard) {
+        throw CompileError(
+            "wildcard '*' is only allowed in allocate/deallocate", ref.line);
+      }
+      continue;
+    }
+    const IndexDecl& used = index_decl(name, ref.line);
+    const IndexDecl& declared = index_decl(array.indices[d], ref.line);
+
+    if (declared.type == IndexType::kSub) {
+      // Dimension declared over a subindex: a subindex of the same super
+      // type is required.
+      if (used.type != IndexType::kSub) {
+        throw CompileError("dimension " + std::to_string(d + 1) + " of '" +
+                               ref.array + "' requires a subindex, got '" +
+                               name + "'",
+                           ref.line);
+      }
+      const IndexDecl& used_super = index_decl(used.super, ref.line);
+      const IndexDecl& decl_super = index_decl(declared.super, ref.line);
+      if (used_super.type != decl_super.type) {
+        throw CompileError("subindex '" + name + "' has super type " +
+                               std::string(index_type_name(used_super.type)) +
+                               " but dimension requires " +
+                               index_type_name(decl_super.type),
+                           ref.line);
+      }
+      continue;
+    }
+
+    if (used.type == IndexType::kSub) {
+      // Slice/insert: subindex standing in for its super's type; only
+      // meaningful for node-local array kinds.
+      if (array.kind == ArrayKind::kDistributed ||
+          array.kind == ArrayKind::kServed) {
+        throw CompileError(
+            "subindex '" + name + "' cannot address distributed/served "
+            "array '" + ref.array + "'; copy the block to a temp first",
+            ref.line);
+      }
+      const IndexDecl& super = index_decl(used.super, ref.line);
+      if (super.type != declared.type) {
+        throw CompileError(
+            "subindex '" + name + "' (super type " +
+                std::string(index_type_name(super.type)) +
+                ") does not match dimension type " +
+                index_type_name(declared.type),
+            ref.line);
+      }
+      continue;
+    }
+
+    if (used.type != declared.type) {
+      throw CompileError(
+          "index '" + name + "' of type " +
+              std::string(index_type_name(used.type)) +
+              " used for dimension " + std::to_string(d + 1) + " of '" +
+              ref.array + "' which requires " +
+              index_type_name(declared.type),
+          ref.line);
+    }
+  }
+}
+
+std::vector<std::string> Sema::index_names(const BlockRef& ref) const {
+  std::vector<std::string> names;
+  for (const std::string& name : ref.indices) {
+    if (name != "*") names.push_back(name);
+  }
+  return names;
+}
+
+bool Sema::same_name_set(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  std::vector<std::string> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return sa == sb;
+}
+
+void Sema::check_contraction(const BlockRef& dst, const BlockRef& a,
+                             const BlockRef& b, int line) const {
+  const std::vector<std::string> na = index_names(a);
+  const std::vector<std::string> nb = index_names(b);
+  const std::vector<std::string> nd = index_names(dst);
+
+  auto has_dups = [](std::vector<std::string> names) {
+    std::sort(names.begin(), names.end());
+    return std::adjacent_find(names.begin(), names.end()) != names.end();
+  };
+  if (has_dups(na) || has_dups(nb) || has_dups(nd)) {
+    throw CompileError(
+        "contraction operands may not repeat an index variable", line);
+  }
+
+  std::set<std::string> sa(na.begin(), na.end());
+  std::set<std::string> sb(nb.begin(), nb.end());
+  std::vector<std::string> expected;
+  for (const auto& n : na) {
+    if (sb.find(n) == sb.end()) expected.push_back(n);
+  }
+  for (const auto& n : nb) {
+    if (sa.find(n) == sa.end()) expected.push_back(n);
+  }
+  if (!same_name_set(expected, nd)) {
+    std::string want;
+    for (const auto& n : expected) want += (want.empty() ? "" : ",") + n;
+    throw CompileError(
+        "contraction result of " + a.array + "*" + b.array +
+            " must be indexed by {" + want + "}",
+        line);
+  }
+}
+
+void Sema::check_expr(const Expr& expr) const {
+  switch (expr.kind) {
+    case Expr::Kind::kNumber:
+      return;
+    case Expr::Kind::kName: {
+      // Scalar variable, index value, or symbolic constant (resolved at
+      // init). Arrays are a parse error here already; nothing to check
+      // beyond "not an array".
+      if (arrays_.find(expr.name) != arrays_.end()) {
+        throw CompileError("array '" + expr.name +
+                               "' cannot appear as a scalar value",
+                           expr.line);
+      }
+      return;
+    }
+    case Expr::Kind::kNeg:
+    case Expr::Kind::kFunc:
+      check_expr(*expr.lhs);
+      return;
+    case Expr::Kind::kBinary:
+    case Expr::Kind::kCompare:
+      check_expr(*expr.lhs);
+      check_expr(*expr.rhs);
+      return;
+    case Expr::Kind::kBlockDot: {
+      check_block_ref(expr.a);
+      check_block_ref(expr.b);
+      if (!same_name_set(index_names(expr.a), index_names(expr.b))) {
+        throw CompileError(
+            "full contraction requires both blocks to use the same index "
+            "variables",
+            expr.line);
+      }
+      return;
+    }
+  }
+}
+
+void Sema::check_assign(const AssignStmt& node, int line) const {
+  if (!node.dst_block.has_value()) {
+    require_scalar(node.dst_scalar, line);
+    SIA_CHECK(node.rhs == AssignStmt::Rhs::kScalarExpr,
+              "scalar destination with block rhs");
+    check_expr(*node.scalar);
+    if (node.op == AssignStmt::Op::kStarAssign) {
+      // fine: scalar *= expr
+    }
+    return;
+  }
+
+  const BlockRef& dst = *node.dst_block;
+  check_block_ref(dst);
+  const ArrayDecl& dst_array = array_decl(dst.array, dst.line);
+  if (dst_array.kind == ArrayKind::kDistributed ||
+      dst_array.kind == ArrayKind::kServed) {
+    throw CompileError(
+        "blocks of " + std::string(array_kind_name(dst_array.kind)) +
+            " array '" + dst.array +
+            "' must be written with put/prepare, not assignment",
+        line);
+  }
+
+  switch (node.rhs) {
+    case AssignStmt::Rhs::kScalarExpr:
+      check_expr(*node.scalar);
+      return;
+    case AssignStmt::Rhs::kBlockCopy: {
+      check_block_ref(node.a);
+      if (!same_name_set(index_names(dst), index_names(node.a))) {
+        throw CompileError(
+            "block assignment requires both sides to use the same index "
+            "variables (permutations allowed)",
+            line);
+      }
+      if (node.op == AssignStmt::Op::kStarAssign) {
+        throw CompileError("'*=' requires a scalar right-hand side", line);
+      }
+      return;
+    }
+    case AssignStmt::Rhs::kScaledBlock: {
+      check_expr(*node.scalar);
+      check_block_ref(node.b);
+      if (!same_name_set(index_names(dst), index_names(node.b))) {
+        throw CompileError(
+            "scaled block assignment requires matching index variables",
+            line);
+      }
+      if (node.op == AssignStmt::Op::kStarAssign) {
+        throw CompileError("'*=' requires a scalar right-hand side", line);
+      }
+      return;
+    }
+    case AssignStmt::Rhs::kBlockBinary: {
+      check_block_ref(node.a);
+      check_block_ref(node.b);
+      if (node.op == AssignStmt::Op::kMinusAssign ||
+          node.op == AssignStmt::Op::kStarAssign) {
+        throw CompileError(
+            "block binary operations support '=' and '+=' only", line);
+      }
+      if (node.block_op == BinOp::kMul) {
+        check_contraction(dst, node.a, node.b, line);
+      } else {
+        if (!same_name_set(index_names(dst), index_names(node.a)) ||
+            !same_name_set(index_names(dst), index_names(node.b))) {
+          throw CompileError(
+              "block addition requires all operands to use the same index "
+              "variables",
+              line);
+        }
+      }
+      return;
+    }
+  }
+}
+
+void Sema::check_statement(const Stmt& stmt, Context& context) {
+  const int line = stmt.line;
+  std::visit(
+      [&](const auto& node) {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, PardoStmt>) {
+          if (context.pardo_depth > 0) {
+            throw CompileError("pardo loops may not be nested", line);
+          }
+          std::set<std::string> seen;
+          for (const std::string& name : node.indices) {
+            const IndexDecl& decl = index_decl(name, line);
+            if (decl.type == IndexType::kSub) {
+              throw CompileError(
+                  "pardo over subindex '" + name + "'; use 'pardo " + name +
+                      " in <super>' instead",
+                  line);
+            }
+            if (!seen.insert(name).second) {
+              throw CompileError("duplicate pardo index '" + name + "'",
+                                 line);
+            }
+          }
+          for (const WhereClause& where : node.wheres) {
+            const IndexDecl& lhs = index_decl(where.lhs, where.line);
+            if (lhs.type == IndexType::kSub) {
+              throw CompileError("where clause over subindex", where.line);
+            }
+            if (seen.find(where.lhs) == seen.end()) {
+              throw CompileError(
+                  "where clause index '" + where.lhs +
+                      "' is not a pardo index of this loop",
+                  where.line);
+            }
+            if (!where.rhs_index.empty()) {
+              index_decl(where.rhs_index, where.line);
+            }
+          }
+          Context inner = context;
+          inner.pardo_depth += 1;
+          check_body(node.body, inner);
+        } else if constexpr (std::is_same_v<T, DoStmt>) {
+          const IndexDecl& decl = index_decl(node.index, line);
+          if (!node.super.empty()) {
+            if (decl.type != IndexType::kSub) {
+              throw CompileError("'do " + node.index + " in " + node.super +
+                                     "' requires a subindex",
+                                 line);
+            }
+            if (decl.super != node.super) {
+              throw CompileError("subindex '" + node.index +
+                                     "' is a subindex of '" + decl.super +
+                                     "', not of '" + node.super + "'",
+                                 line);
+            }
+            if (node.parallel && context.pardo_depth > 0) {
+              throw CompileError(
+                  "'pardo " + node.index +
+                      " in ...' may not be nested inside a pardo loop",
+                  line);
+            }
+          } else {
+            if (decl.type == IndexType::kSub) {
+              throw CompileError("'do " + node.index +
+                                     "' over a subindex requires the 'in' "
+                                     "form",
+                                 line);
+            }
+            if (node.parallel) {
+              throw CompileError("bad pardo form", line);
+            }
+          }
+          Context inner = context;
+          inner.do_depth += 1;
+          if (node.parallel) inner.pardo_depth += 1;
+          check_body(node.body, inner);
+        } else if constexpr (std::is_same_v<T, IfStmt>) {
+          check_expr(*node.cond);
+          check_body(node.then_body, context);
+          check_body(node.else_body, context);
+        } else if constexpr (std::is_same_v<T, CallStmt>) {
+          // Existence validated by the parser.
+        } else if constexpr (std::is_same_v<T, GetStmt>) {
+          check_block_ref(node.ref);
+          const ArrayDecl& array = array_decl(node.ref.array, line);
+          if (array.kind != ArrayKind::kDistributed) {
+            throw CompileError(
+                array.kind == ArrayKind::kServed
+                    ? "'get' targets distributed arrays; use 'request' for "
+                      "served array '" + node.ref.array + "'"
+                    : "'get' requires a distributed array",
+                line);
+          }
+        } else if constexpr (std::is_same_v<T, PutStmt>) {
+          check_block_ref(node.dst);
+          check_block_ref(node.src);
+          const ArrayDecl& array = array_decl(node.dst.array, line);
+          if (array.kind != ArrayKind::kDistributed) {
+            throw CompileError(
+                array.kind == ArrayKind::kServed
+                    ? "'put' targets distributed arrays; use 'prepare' for "
+                      "served array '" + node.dst.array + "'"
+                    : "'put' requires a distributed array",
+                line);
+          }
+          if (!same_name_set(index_names(node.dst), index_names(node.src))) {
+            throw CompileError("put requires matching index variables", line);
+          }
+        } else if constexpr (std::is_same_v<T, RequestStmt>) {
+          check_block_ref(node.ref);
+          if (array_decl(node.ref.array, line).kind != ArrayKind::kServed) {
+            throw CompileError("'request' requires a served array", line);
+          }
+        } else if constexpr (std::is_same_v<T, PrepareStmt>) {
+          check_block_ref(node.dst);
+          check_block_ref(node.src);
+          if (array_decl(node.dst.array, line).kind != ArrayKind::kServed) {
+            throw CompileError("'prepare' requires a served array", line);
+          }
+          if (!same_name_set(index_names(node.dst), index_names(node.src))) {
+            throw CompileError("prepare requires matching index variables",
+                               line);
+          }
+        } else if constexpr (std::is_same_v<T, AllocateStmt> ||
+                             std::is_same_v<T, DeallocateStmt>) {
+          check_block_ref(node.ref, /*allow_wildcard=*/true);
+          if (array_decl(node.ref.array, line).kind != ArrayKind::kLocal) {
+            throw CompileError("allocate/deallocate require a local array",
+                               line);
+          }
+        } else if constexpr (std::is_same_v<T, CreateStmt> ||
+                             std::is_same_v<T, DeleteStmt>) {
+          if (array_decl(node.array, line).kind != ArrayKind::kDistributed) {
+            throw CompileError("create/delete require a distributed array",
+                               line);
+          }
+        } else if constexpr (std::is_same_v<T, AssignStmt>) {
+          check_assign(node, line);
+        } else if constexpr (std::is_same_v<T, ExecuteStmt>) {
+          for (const ExecArg& arg : node.args) {
+            if (arg.kind == ExecArg::Kind::kBlock) {
+              check_block_ref(arg.block);
+            } else if (arg.kind == ExecArg::Kind::kScalar) {
+              require_scalar(arg.name, arg.line);
+            }
+          }
+        } else if constexpr (std::is_same_v<T, BarrierStmt>) {
+          if (context.pardo_depth > 0) {
+            throw CompileError("barriers may not appear inside a pardo loop",
+                               line);
+          }
+        } else if constexpr (std::is_same_v<T, CollectiveStmt>) {
+          require_scalar(node.dst, line);
+          require_scalar(node.src, line);
+          if (context.pardo_depth > 0) {
+            throw CompileError(
+                "collective may not appear inside a pardo loop", line);
+          }
+        } else if constexpr (std::is_same_v<T, PrintStmt>) {
+          if (node.value) check_expr(*node.value);
+        } else if constexpr (std::is_same_v<T, CheckpointStmt>) {
+          if (array_decl(node.array, line).kind != ArrayKind::kDistributed) {
+            throw CompileError(
+                "checkpoint/restore require a distributed array", line);
+          }
+        } else if constexpr (std::is_same_v<T, ExitStmt>) {
+          if (context.do_depth == 0) {
+            throw CompileError("'exit' must be inside a do loop", line);
+          }
+        }
+      },
+      stmt.node);
+}
+
+void Sema::check_body(const Body& body, Context context) {
+  for (const StmtPtr& stmt : body.stmts) {
+    check_statement(*stmt, context);
+  }
+}
+
+void check_sial(const ProgramAst& program) {
+  Sema sema(program);
+  sema.check();
+}
+
+}  // namespace sia::sial

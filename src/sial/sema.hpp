@@ -1,0 +1,72 @@
+// SIAL semantic analysis.
+//
+// Validates the AST before compilation and throws CompileError with a
+// source line on violations. This is where SIAL's "the type system
+// performs useful checks on the consistent use of index variables" (paper
+// §IV-A footnote) lives:
+//   * every block reference matches its array's rank,
+//   * each reference index agrees in *index type* with the declared
+//     dimension (an aoindex slot takes any aoindex variable, which is what
+//     makes V(M,N,L,S) work on an array declared over other ao indices),
+//   * a subindex may stand in for its super's type only on static, temp,
+//     and local arrays (slice/insert semantics),
+//   * contraction / add / copy operand index sets are consistent,
+//   * get/put target distributed arrays, request/prepare served ones,
+//   * pardo never nests syntactically, `pardo ii in i` is not inside a
+//     pardo, allocate/deallocate apply to local arrays only, etc.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sial/ast.hpp"
+
+namespace sia::sial {
+
+class Sema {
+ public:
+  explicit Sema(const ProgramAst& program);
+
+  // Runs all checks; throws CompileError on the first violation.
+  void check();
+
+ private:
+  struct Context {
+    int pardo_depth = 0;
+    int do_depth = 0;
+    bool in_proc = false;
+  };
+
+  void check_declarations();
+  void check_body(const Body& body, Context context);
+  void check_statement(const Stmt& stmt, Context& context);
+
+  const IndexDecl& index_decl(const std::string& name, int line) const;
+  const ArrayDecl& array_decl(const std::string& name, int line) const;
+  void require_scalar(const std::string& name, int line) const;
+
+  // Validates a block reference (rank, index types, subindex rules).
+  void check_block_ref(const BlockRef& ref, bool allow_wildcard = false) const;
+  // Effective index name list of a reference (wildcards excluded).
+  std::vector<std::string> index_names(const BlockRef& ref) const;
+  // True if the two references' index-name sets are equal (any order).
+  static bool same_name_set(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+
+  void check_assign(const AssignStmt& node, int line) const;
+  void check_expr(const Expr& expr) const;
+  void check_contraction(const BlockRef& dst, const BlockRef& a,
+                         const BlockRef& b, int line) const;
+
+  const ProgramAst& program_;
+  std::map<std::string, const IndexDecl*> indices_;
+  std::map<std::string, const ArrayDecl*> arrays_;
+  std::map<std::string, const ScalarDecl*> scalars_;
+  std::map<std::string, const ProcDecl*> procs_;
+};
+
+// Convenience: run semantic checks on a parsed program.
+void check_sial(const ProgramAst& program);
+
+}  // namespace sia::sial

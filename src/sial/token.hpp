@@ -1,0 +1,55 @@
+// Token definitions for the SIAL lexer.
+#pragma once
+
+#include <string>
+
+namespace sia::sial {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,   // names: indices, arrays, scalars, procs
+  kInteger,      // integer literal
+  kFloat,        // floating literal (contains '.' or exponent)
+  kString,       // "double quoted"
+  kKeyword,      // reserved word (text in `text`)
+  // Punctuation / operators.
+  kLParen,       // (
+  kRParen,       // )
+  kComma,        // ,
+  kStar,         // *
+  kPlus,         // +
+  kMinus,        // -
+  kSlash,        // /
+  kAssign,       // =
+  kPlusAssign,   // +=
+  kMinusAssign,  // -=
+  kStarAssign,   // *=
+  kLess,         // <
+  kLessEq,       // <=
+  kGreater,      // >
+  kGreaterEq,    // >=
+  kEqEq,         // ==
+  kNotEq,        // !=
+  kNewline,      // statement separator (newlines collapse)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     // identifier/keyword/string contents
+  long int_value = 0;   // kInteger
+  double float_value = 0.0;  // kFloat
+  int line = 0;         // 1-based source line
+
+  bool is_keyword(const char* word) const {
+    return kind == TokenKind::kKeyword && text == word;
+  }
+};
+
+// Keyword list; SIAL is case-insensitive for keywords (we lower-case
+// identifiers that match). Returns true if `word` (lower case) is
+// reserved.
+bool is_reserved_word(const std::string& word);
+
+const char* token_kind_name(TokenKind kind);
+
+}  // namespace sia::sial

@@ -1,0 +1,65 @@
+// Discrete-event simulation of the SIP at cluster scale.
+//
+// Simulates one pardo phase on P workers with the *same scheduling policy
+// the real runtime uses* (the guided decreasing-chunk schedule from
+// sip/scheduler.hpp) and the paper's overlap model: the SIP prefetches the
+// blocks of upcoming iterations, so a well-tuned phase pays transfer time
+// only where it exceeds compute time ("in a well-tuned SIAL program, a
+// large portion of the communication is hidden behind computation", §III).
+//
+// The master is modeled as a serial server with a fixed per-chunk service
+// time — the source of the scheduling bottleneck that appears beyond
+// ~72k cores in Fig. 6. The network is modeled with per-message latency
+// and a per-transfer bandwidth that degrades beyond the machine's
+// bisection knee. Per-phase startup and per-sweep barrier costs grow
+// logarithmically with P.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+#include "sim/workload.hpp"
+
+namespace sia::sim {
+
+struct SimOptions {
+  bool overlap = true;        // SIA prefetch pipeline; false = blocking gets
+  int chunk_divisor = 2;      // guided schedule parameters (as SipConfig)
+  long min_chunk = 1;
+  double fixed_overhead_s = 0.5;   // program startup / dry run
+  double compute_scale = 1.0;      // >1: untuned kernels (BG/P anecdote)
+  double refetch_factor = 0.0;     // fraction of fetches re-issued due to
+                                   // premature-prefetch cache thrash
+  double fetch_latency_scale = 1.0;  // GA-style per-access overhead
+  // Fraction of block requests that land on an owner busy inside a super
+  // instruction; the reply waits for the current block operation. The
+  // paper attributes run-to-run differences to "more or less fortuitous
+  // placement of data" (§VI-C); this is that effect, growing gently with
+  // scale. It produces the ~10% residual wait of Fig. 2.
+  double hotspot_fraction = 0.08;
+};
+
+struct PhaseResult {
+  double elapsed = 0.0;        // wall seconds (all sweeps)
+  double wait = 0.0;           // summed over workers
+  double busy = 0.0;           // summed compute seconds over workers
+  std::int64_t chunks = 0;     // chunks the master served
+};
+
+struct WorkloadResult {
+  double seconds = 0.0;
+  double wait_percent = 0.0;   // waits as % of worker busy+wait time
+  std::int64_t chunks = 0;
+};
+
+// Simulates one phase (all its sweeps) on `workers` cores.
+PhaseResult simulate_phase(const MachineModel& machine,
+                           const PhaseModel& phase, long workers,
+                           const SimOptions& options);
+
+// Simulates all phases of a workload, serialized by barriers.
+WorkloadResult simulate_workload(const MachineModel& machine,
+                                 const WorkloadModel& workload, long workers,
+                                 const SimOptions& options);
+
+}  // namespace sia::sim

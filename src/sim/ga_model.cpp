@@ -1,0 +1,42 @@
+#include "sim/ga_model.hpp"
+
+namespace sia::sim {
+
+GaOutcome simulate_ga(const MachineModel& machine,
+                      const WorkloadModel& workload, long workers,
+                      double memory_per_core, double time_limit_s) {
+  GaOutcome outcome;
+
+  // Rigid layout: per-core replicated buffers are non-negotiable.
+  if (memory_per_core < workload.ga_fixed_per_core) {
+    outcome.completed = false;
+    outcome.reason = "insufficient memory per core for rigid layout";
+    return outcome;
+  }
+  // The whole working set must be resident.
+  const double aggregate = memory_per_core * static_cast<double>(workers);
+  if (workload.ga_resident_total +
+          workload.ga_fixed_per_core * static_cast<double>(workers) >
+      aggregate) {
+    outcome.completed = false;
+    outcome.reason = "working set exceeds aggregate memory";
+    return outcome;
+  }
+
+  SimOptions options;
+  options.overlap = false;          // blocking gets: waits paid in full
+  options.fetch_latency_scale = 2.0;  // per-section index arithmetic and
+                                      // two-sided handshakes
+  options.compute_scale = 1.8;  // rigid layout forces extra integral
+                                // passes and manual buffering copies
+  const WorkloadResult result =
+      simulate_workload(machine, workload, workers, options);
+  outcome.seconds = result.seconds;
+  if (time_limit_s > 0.0 && result.seconds > time_limit_s) {
+    outcome.completed = false;
+    outcome.reason = "exceeded time limit";
+  }
+  return outcome;
+}
+
+}  // namespace sia::sim

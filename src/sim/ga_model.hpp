@@ -1,0 +1,31 @@
+// GA/NWChem-side performance model for the Fig. 7 comparison.
+//
+// Captures the properties the paper attributes to the Global-Arrays data
+// architecture (§VI-C, §VII):
+//   * rigid, programmer-fixed layout: the full working set must be
+//     resident in the aggregate memory, and each core needs its fixed
+//     replicated buffers — otherwise "the calculation will simply not
+//     run";
+//   * transfers are blocking (or manually double-buffered at best): no
+//     runtime-managed overlap, so waits are paid in full;
+//   * a 24-hour batch limit turns too-slow configurations into DNF, as
+//     in the paper's NWChem-at-16-processors entries.
+#pragma once
+
+#include <string>
+
+#include "sim/des.hpp"
+
+namespace sia::sim {
+
+struct GaOutcome {
+  bool completed = true;
+  std::string reason;  // when !completed
+  double seconds = 0.0;
+};
+
+GaOutcome simulate_ga(const MachineModel& machine,
+                      const WorkloadModel& workload, long workers,
+                      double memory_per_core, double time_limit_s);
+
+}  // namespace sia::sim

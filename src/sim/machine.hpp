@@ -1,0 +1,42 @@
+// Machine models for the cluster-scale performance simulator.
+//
+// The paper's evaluation ran on real systems we do not have: a Sun
+// Opteron/InfiniBand cluster (midnight, Fig. 2), Cray XT4/XT5 (kraken,
+// pingo, jaguar; Figs. 3-6), an SGI Altix 4700 (pople, Fig. 7), and a
+// BlueGene/P (§VI-A). Each model captures the handful of parameters the
+// SIP's behaviour depends on: sustained per-core DGEMM rate, message
+// latency, per-node injection bandwidth, how the aggregate fabric scales
+// with core count (bisection), the master's chunk-service time, and
+// memory per core. Values are order-of-magnitude representative of the
+// 2008-2010 systems, not calibrated measurements; the benchmark claims
+// are about curve *shapes*, not absolute seconds.
+#pragma once
+
+#include <string>
+
+namespace sia::sim {
+
+struct MachineModel {
+  std::string name;
+  double flops_per_core = 1e9;     // sustained DGEMM flop/s per core
+  double latency_s = 5e-6;         // point-to-point message latency
+  double link_bw = 1e9;            // per-core injection bandwidth, B/s
+  double bisection_cores = 4096;   // cores at which the fabric starts to
+                                   // throttle all-to-all traffic
+  double master_service_s = 12e-6; // serialized chunk-service time
+  double memory_per_core = 1.0e9;  // bytes
+  double disk_bw = 200e6;          // per-I/O-server disk bandwidth, B/s
+
+  // Effective per-transfer bandwidth at core count p under uniform
+  // traffic: full link bandwidth below the bisection knee, decaying as
+  // the cube root of the overload beyond it (3-D torus bisection).
+  double effective_bw(long p) const;
+};
+
+MachineModel sun_opteron_ib();  // "midnight" (Fig. 2)
+MachineModel cray_xt4();        // "kraken" (Fig. 3)
+MachineModel cray_xt5();        // "pingo"/"jaguar" (Figs. 3-6)
+MachineModel sgi_altix();       // "pople" (Fig. 7)
+MachineModel bluegene_p();      // untuned-port anecdote (§VI-A)
+
+}  // namespace sia::sim

@@ -1,0 +1,32 @@
+#include "sim/report.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace sia::sim {
+
+std::vector<double> scaling_efficiency(const std::vector<long>& procs,
+                                       const std::vector<double>& times,
+                                       std::size_t base) {
+  SIA_CHECK(procs.size() == times.size(), "efficiency: size mismatch");
+  SIA_CHECK(base < procs.size(), "efficiency: bad base index");
+  std::vector<double> efficiency(times.size());
+  const double reference =
+      times[base] * static_cast<double>(procs[base]);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    efficiency[k] =
+        100.0 * reference / (times[k] * static_cast<double>(procs[k]));
+  }
+  return efficiency;
+}
+
+std::string fmt(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+double to_minutes(double seconds) { return seconds / 60.0; }
+
+}  // namespace sia::sim

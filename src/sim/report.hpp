@@ -1,0 +1,21 @@
+// Reporting helpers for the figure-reproduction benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sia::sim {
+
+// Strong-scaling efficiency of `times` relative to entry `base`:
+// eff_k = (t_base * p_base) / (t_k * p_k) * 100.
+std::vector<double> scaling_efficiency(const std::vector<long>& procs,
+                                       const std::vector<double>& times,
+                                       std::size_t base);
+
+// "12.3" with the given decimals.
+std::string fmt(double value, int decimals = 2);
+
+// Seconds -> "mm.m min" style value used by the paper's axes.
+double to_minutes(double seconds);
+
+}  // namespace sia::sim

@@ -1,0 +1,33 @@
+// SIA-side performance model: simulate_workload plus the SIP's memory
+// adaptivity.
+//
+// The paper attributes Fig. 7's robustness to the SIA's "much more
+// adaptable data architecture": when the distributed share does not fit
+// in memory, the SIP moves arrays to served (disk-backed) storage and
+// keeps running, at a bandwidth cost — where a GA-style rigid layout
+// simply cannot run (§VI-C, §VII).
+#pragma once
+
+#include <string>
+
+#include "sim/des.hpp"
+
+namespace sia::sim {
+
+struct SiaOutcome {
+  bool completed = true;
+  std::string reason;          // when !completed
+  double seconds = 0.0;
+  double wait_percent = 0.0;
+  bool spilled_to_disk = false;  // served-array fallback engaged
+};
+
+// Simulates the workload on `workers` cores with `memory_per_core` bytes
+// each (0 = use the machine default).
+SiaOutcome simulate_sia(const MachineModel& machine,
+                        const WorkloadModel& workload, long workers,
+                        const SimOptions& options,
+                        double memory_per_core = 0.0,
+                        double time_limit_s = 0.0);
+
+}  // namespace sia::sim

@@ -1,0 +1,203 @@
+#include "sim/workload.hpp"
+
+#include <cmath>
+
+namespace sia::sim {
+
+namespace {
+
+std::int64_t blocks(long extent, int segment) {
+  return (extent + segment - 1) / segment;
+}
+
+double block4_bytes(int segment) {
+  const double s = static_cast<double>(segment);
+  return s * s * s * s * 8.0;
+}
+
+double block2_bytes(int segment) {
+  const double s = static_cast<double>(segment);
+  return s * s * 8.0;
+}
+
+// Flops of one block contraction producing a rank-4 block from two rank-4
+// blocks: 2 * seg^6.
+double contraction_flops(int segment) {
+  const double s = static_cast<double>(segment);
+  return 2.0 * s * s * s * s * s * s;
+}
+
+}  // namespace
+
+double WorkloadModel::total_flops() const {
+  double total = 0.0;
+  for (const PhaseModel& phase : phases) {
+    total += static_cast<double>(phase.tasks) * phase.flops_per_task *
+             phase.sweeps;
+  }
+  return total;
+}
+
+WorkloadModel ccsd_iteration(const chem::MolecularSystem& system,
+                             int segment) {
+  const long no = system.nocc;
+  const long nv = system.nvirt();
+  const std::int64_t bo = blocks(no, segment);
+  const std::int64_t bv = blocks(nv, segment);
+
+  WorkloadModel model;
+  model.name = "ccsd-iteration:" + system.name;
+
+  // Dominant doubles-residual pardo over (a,b,i,j) block tuples. Each
+  // iteration runs the particle-particle ladder (bv^2 inner block steps),
+  // the hole-hole ladder (bo^2), and ring-type terms (2*bv*bo), each a
+  // seg^6 block contraction fed by one fetched block.
+  PhaseModel residual;
+  residual.name = "doubles-residual";
+  residual.tasks = bv * bv * bo * bo;
+  const double inner_steps = static_cast<double>(bv * bv + bo * bo +
+                                                 2 * bv * bo);
+  residual.flops_per_task = inner_steps * contraction_flops(segment);
+  residual.fetches_per_task = static_cast<std::int64_t>(inner_steps);
+  residual.bytes_per_fetch = block4_bytes(segment);
+  residual.puts_per_task = 1;
+  residual.bytes_per_put = block4_bytes(segment);
+  model.phases.push_back(residual);
+
+  // Amplitude copy/update sweep (cheap, communication-dominated).
+  PhaseModel update;
+  update.name = "amplitude-update";
+  update.tasks = bv * bv * bo * bo;
+  update.flops_per_task =
+      4.0 * std::pow(static_cast<double>(segment), 4.0);
+  update.fetches_per_task = 1;
+  update.bytes_per_fetch = block4_bytes(segment);
+  update.puts_per_task = 1;
+  update.bytes_per_put = block4_bytes(segment);
+  model.phases.push_back(update);
+
+  const double t_bytes = static_cast<double>(nv) * nv * no * no * 8.0;
+  model.sia_resident_total = 3.0 * t_bytes;           // T copies in RAM
+  model.sia_fixed_per_core = 64.0 * block4_bytes(segment);
+  model.ga_resident_total = 10.0 * t_bytes;           // DIIS history resident
+  model.ga_fixed_per_core = 8.0 * t_bytes / 64.0;     // replicated buffers
+  return model;
+}
+
+WorkloadModel ccsd_energy(const chem::MolecularSystem& system, int segment,
+                          int iterations) {
+  WorkloadModel model = ccsd_iteration(system, segment);
+  model.name = "ccsd:" + system.name;
+  for (PhaseModel& phase : model.phases) phase.sweeps = iterations;
+  return model;
+}
+
+WorkloadModel ccsd_t(const chem::MolecularSystem& system, int segment,
+                     int iterations) {
+  WorkloadModel model = ccsd_energy(system, segment, iterations);
+  model.name = "ccsd(t):" + system.name;
+
+  const long no = system.nocc;
+  const long nv = system.nvirt();
+  const std::int64_t bo = blocks(no, segment);
+  const std::int64_t bv = blocks(nv, segment);
+
+  // Perturbative triples: pardo over ordered (a<b<c) virtual block
+  // triples; total flops ~ 2 no^3 nv^4 + 2 no^4 nv^3 (n^7).
+  PhaseModel triples;
+  triples.name = "triples";
+  triples.tasks = bv * (bv + 1) * (bv + 2) / 6;
+  const double total_flops =
+      2.0 * std::pow(static_cast<double>(no), 3.0) *
+          std::pow(static_cast<double>(nv), 4.0) +
+      2.0 * std::pow(static_cast<double>(no), 4.0) *
+          std::pow(static_cast<double>(nv), 3.0);
+  triples.flops_per_task = total_flops / static_cast<double>(triples.tasks);
+  triples.fetches_per_task = static_cast<std::int64_t>(bo * bo + bv * bo);
+  triples.bytes_per_fetch = block4_bytes(segment);
+  triples.puts_per_task = 0;  // energy-only reduction
+  triples.bytes_per_put = 0.0;
+  model.phases.push_back(triples);
+  return model;
+}
+
+WorkloadModel fock_build(const chem::MolecularSystem& system, int segment) {
+  const long n = system.nbasis;
+  const std::int64_t b = blocks(n, segment);
+
+  WorkloadModel model;
+  model.name = "fock-build:" + system.name;
+
+  // Pardo over (mu,nu,la,si) block quartets with 8-fold permutational
+  // symmetry expressed by where clauses. Each task computes one integral
+  // block on the fly (the expensive part: ~2500 flops per aug-cc-pvtz
+  // integral) and digests it into J and K contributions.
+  PhaseModel build;
+  build.name = "fock-digestion";
+  build.tasks = (b * b * b * b) / 8;
+  const double s4 = std::pow(static_cast<double>(segment), 4.0);
+  build.flops_per_task = 2500.0 * s4 + 8.0 * s4;
+  build.fetches_per_task = 0;  // density is replicated (static array)
+  build.puts_per_task = 2;     // J and K block accumulates
+  build.bytes_per_put = block2_bytes(segment);
+  model.phases.push_back(build);
+
+  model.sia_resident_total = 3.0 * static_cast<double>(n) * n * 8.0;
+  model.sia_fixed_per_core = 16.0 * block4_bytes(segment);
+  model.ga_resident_total = model.sia_resident_total;
+  model.ga_fixed_per_core = 2.0 * static_cast<double>(n) * n * 8.0;
+  return model;
+}
+
+WorkloadModel mp2_gradient(const chem::MolecularSystem& system,
+                           int segment) {
+  const long n = system.nbasis;
+  const long no = system.nocc;
+  const std::int64_t b = blocks(n, segment);
+  const std::int64_t bo = blocks(no, segment);
+
+  WorkloadModel model;
+  model.name = "uhf-mp2-gradient:" + system.name;
+
+  // Phase 1: two-electron integral transforms, ~24 no n^4 flops in total
+  // for UHF gradients (four quarter-transforms per spin case plus the
+  // gradient back-transforms), blocked over (mu,nu) pairs.
+  PhaseModel transform;
+  transform.name = "ao-mo-transform";
+  transform.tasks = b * b;
+  transform.flops_per_task = 24.0 * static_cast<double>(no) *
+                             std::pow(static_cast<double>(n), 4.0) /
+                             static_cast<double>(transform.tasks);
+  transform.fetches_per_task = 2 * b;
+  transform.bytes_per_fetch = block4_bytes(segment);
+  transform.puts_per_task = b;
+  transform.bytes_per_put = block4_bytes(segment);
+  model.phases.push_back(transform);
+
+  // Phase 2: amplitude/gradient assembly (n^4 no^2-ish, comm heavy).
+  PhaseModel assembly;
+  assembly.name = "gradient-assembly";
+  assembly.tasks = bo * bo * b;
+  assembly.flops_per_task = 4.0 * contraction_flops(segment);
+  assembly.fetches_per_task = 4;
+  assembly.bytes_per_fetch = block4_bytes(segment);
+  assembly.puts_per_task = 2;
+  assembly.bytes_per_put = block4_bytes(segment);
+  model.phases.push_back(assembly);
+
+  const double amp_bytes =
+      static_cast<double>(n) * n * no * no * 8.0 / 16.0;  // ia,jb class
+  model.sia_resident_total = 2.0 * amp_bytes;
+  model.sia_fixed_per_core = 48.0 * block4_bytes(segment);
+  // NWChem/GA semidirect MP2 gradient: the half-transformed integrals
+  // (no * n^3 doubles) plus several amplitude-class arrays must stay
+  // resident in the rigid layout, and each core carries ~1.2 GB of
+  // replicated scratch — which is why the paper's Fig. 7 shows NWChem
+  // refusing to run at 1 GB/core at any processor count.
+  model.ga_resident_total =
+      static_cast<double>(no) * n * n * n * 8.0 + 6.0 * amp_bytes;
+  model.ga_fixed_per_core = 1.2e9;
+  return model;
+}
+
+}  // namespace sia::sim

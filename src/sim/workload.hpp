@@ -1,0 +1,63 @@
+// Workload models: the paper's computations as task-graph parameters.
+//
+// Each benchmark computation is reduced to the quantities that govern its
+// parallel behaviour under the SIP: how many pardo iterations (tasks) the
+// dominant phases have, how many flops each performs, and how many bytes
+// each must fetch and store. The counts follow the method cost structure
+// the paper quotes in §II (MP2 ~ n^5, CCSD ~ n^6, CCSD(T) ~ n^7) applied
+// block-wise with a given segment size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chem/system.hpp"
+
+namespace sia::sim {
+
+// One pardo phase of a computation.
+struct PhaseModel {
+  std::string name;
+  std::int64_t tasks = 0;        // filtered pardo iterations
+  double flops_per_task = 0.0;
+  std::int64_t fetches_per_task = 0;  // remote block fetches per iteration
+  double bytes_per_fetch = 0.0;
+  std::int64_t puts_per_task = 0;
+  double bytes_per_put = 0.0;
+  int sweeps = 1;                // repetitions (e.g. CC iterations)
+};
+
+struct WorkloadModel {
+  std::string name;
+  std::vector<PhaseModel> phases;
+
+  // Memory footprints for the feasibility models (bytes).
+  double sia_resident_total = 0.0;  // distributed arrays (shared across P)
+  double sia_fixed_per_core = 0.0;  // blocks, cache, statics per worker
+  double ga_resident_total = 0.0;   // GA-style rigid allocation, total
+  double ga_fixed_per_core = 0.0;   // GA-style per-core buffers/replicas
+
+  double total_flops() const;
+};
+
+// One CCSD iteration (doubles residual; ladder + ring structure).
+WorkloadModel ccsd_iteration(const chem::MolecularSystem& system,
+                             int segment);
+
+// Full CCSD energy: `iterations` CCSD sweeps (Fig. 2 reports per-iteration
+// time; Figs. 3-4 report full runs).
+WorkloadModel ccsd_energy(const chem::MolecularSystem& system, int segment,
+                          int iterations);
+
+// CCSD(T): CCSD followed by the perturbative-triples phase (n^7).
+WorkloadModel ccsd_t(const chem::MolecularSystem& system, int segment,
+                     int iterations);
+
+// Fock-matrix build over shell-quartet blocks (Fig. 6).
+WorkloadModel fock_build(const chem::MolecularSystem& system, int segment);
+
+// UHF MP2 gradient (Fig. 7): integral transform + amplitude assembly.
+WorkloadModel mp2_gradient(const chem::MolecularSystem& system, int segment);
+
+}  // namespace sia::sim

@@ -1,0 +1,113 @@
+#include "sip/checkpoint.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace sia::sip::checkpoint {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* file) const {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_or_throw(const std::string& path, const char* mode) {
+  FilePtr file(std::fopen(path.c_str(), mode));
+  if (!file) {
+    throw RuntimeError("cannot open checkpoint file " + path);
+  }
+  return file;
+}
+
+std::string part_path(const std::string& dir, const std::string& key,
+                      int part) {
+  return dir + "/" + sanitize_key(key) + ".part" + std::to_string(part);
+}
+
+std::string manifest_path(const std::string& dir, const std::string& key) {
+  return dir + "/" + sanitize_key(key) + ".manifest";
+}
+
+}  // namespace
+
+std::string sanitize_key(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char c : key) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == '-';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? std::string("checkpoint") : out;
+}
+
+void write_manifest(const std::string& dir, const std::string& key,
+                    const Manifest& manifest) {
+  FilePtr file = open_or_throw(manifest_path(dir, key), "w");
+  std::fprintf(file.get(), "%s %d %lld\n", manifest.array_name.c_str(),
+               manifest.parts,
+               static_cast<long long>(manifest.total_blocks));
+}
+
+Manifest read_manifest(const std::string& dir, const std::string& key) {
+  FilePtr file = open_or_throw(manifest_path(dir, key), "r");
+  char name[256] = {};
+  int parts = 0;
+  long long total = 0;
+  if (std::fscanf(file.get(), "%255s %d %lld", name, &parts, &total) != 3) {
+    throw RuntimeError("corrupt checkpoint manifest for key '" + key + "'");
+  }
+  Manifest manifest;
+  manifest.array_name = name;
+  manifest.parts = parts;
+  manifest.total_blocks = total;
+  return manifest;
+}
+
+void write_part(
+    const std::string& dir, const std::string& key, int part,
+    const sial::ResolvedProgram& program, int array_id,
+    const std::unordered_map<BlockId, BlockPtr, BlockIdHash>& home) {
+  const sial::ResolvedArray& array = program.array(array_id);
+  FilePtr file = open_or_throw(part_path(dir, key, part), "wb");
+  for (const auto& [id, block] : home) {
+    if (id.array_id != array_id) continue;
+    const std::int64_t linear = id.linearize(array.num_segments);
+    const std::int64_t count = static_cast<std::int64_t>(block->size());
+    if (std::fwrite(&linear, sizeof linear, 1, file.get()) != 1 ||
+        std::fwrite(&count, sizeof count, 1, file.get()) != 1 ||
+        std::fwrite(block->data().data(), sizeof(double),
+                    block->size(), file.get()) != block->size()) {
+      throw RuntimeError("short write to checkpoint part file");
+    }
+  }
+}
+
+void read_part(const std::string& dir, const std::string& key, int part,
+               const std::function<void(std::int64_t,
+                                        const std::vector<double>&)>& fn) {
+  FilePtr file = open_or_throw(part_path(dir, key, part), "rb");
+  std::vector<double> payload;
+  while (true) {
+    std::int64_t linear = 0, count = 0;
+    const std::size_t got = std::fread(&linear, sizeof linear, 1, file.get());
+    if (got == 0) break;  // clean EOF
+    if (std::fread(&count, sizeof count, 1, file.get()) != 1 || count < 0) {
+      throw RuntimeError("corrupt checkpoint part file");
+    }
+    payload.resize(static_cast<std::size_t>(count));
+    if (std::fread(payload.data(), sizeof(double), payload.size(),
+                   file.get()) != payload.size()) {
+      throw RuntimeError("corrupt checkpoint part file (payload)");
+    }
+    fn(linear, payload);
+  }
+}
+
+}  // namespace sia::sip::checkpoint

@@ -1,0 +1,292 @@
+#include "sip/dist_array.hpp"
+
+#include <algorithm>
+
+#include "blas/elementwise.hpp"
+#include "msg/tags.hpp"
+
+namespace sia::sip {
+
+DistArrayManager::DistArrayManager(SipShared& shared, int my_rank,
+                                   BlockPool& pool,
+                                   std::size_t cache_capacity_doubles)
+    : shared_(shared), my_rank_(my_rank), pool_(pool),
+      cache_(cache_capacity_doubles) {}
+
+BlockPtr DistArrayManager::make_block(const BlockShape& shape) {
+  return std::make_shared<Block>(shape,
+                                 pool_.allocate(shape.element_count()));
+}
+
+BlockShape DistArrayManager::shape_of(const BlockId& id) const {
+  const sial::ResolvedArray& array = shared_.program->array(id.array_id);
+  return shared_.program->grid_block_shape(
+      array, {id.segments.data(), static_cast<std::size_t>(id.rank)});
+}
+
+std::int64_t DistArrayManager::linear_of(const BlockId& id) const {
+  const sial::ResolvedArray& array = shared_.program->array(id.array_id);
+  return id.linearize(array.num_segments);
+}
+
+BlockId DistArrayManager::id_from_linear(int array_id,
+                                         std::int64_t linear) const {
+  const sial::ResolvedArray& array = shared_.program->array(array_id);
+  return BlockId::from_linear(array_id, linear, array.num_segments);
+}
+
+void DistArrayManager::issue_get(const BlockId& id, bool implicit) {
+  const int owner = shared_.owner_rank(id);
+  if (owner == my_rank_) {
+    ++stats_.gets_local;
+    return;
+  }
+  if (cache_.contains(id) || pending_.count(id) > 0) return;
+  if (implicit) ++stats_.implicit_gets;
+  ++stats_.gets_issued;
+  misses_.erase(id);
+  pending_.emplace(id, epoch_);
+  msg::Message request;
+  request.tag = msg::kBlockGetRequest;
+  request.header = {id.array_id, linear_of(id), my_rank_};
+  shared_.fabric->send(my_rank_, owner, std::move(request));
+}
+
+BlockPtr DistArrayManager::try_read(const BlockId& id) {
+  const int owner = shared_.owner_rank(id);
+  if (owner == my_rank_) {
+    auto it = home_.find(id);
+    if (it == home_.end()) {
+      throw RuntimeError(
+          "get of distributed block " + id.to_string() + " of '" +
+          shared_.program->array(id.array_id).name +
+          "' that has never been put (missing put or sip_barrier?)");
+    }
+    ++stats_.gets_local;
+    return it->second;
+  }
+  if (misses_.count(id) > 0) {
+    throw RuntimeError(
+        "get of distributed block " + id.to_string() + " of '" +
+        shared_.program->array(id.array_id).name +
+        "' that has never been put (missing put or sip_barrier?)");
+  }
+  BlockPtr block = cache_.get(id);
+  if (block) ++stats_.gets_cached;
+  return block;
+}
+
+bool DistArrayManager::pending(const BlockId& id) const {
+  return pending_.count(id) > 0;
+}
+
+void DistArrayManager::check_write_conflict(const BlockId& id, int writer,
+                                            bool accumulate) {
+  WriteRecord& record = write_records_[id];
+  if (record.epoch == epoch_) {
+    if (record.accumulate != accumulate) {
+      throw RuntimeError(
+          "conflicting put and put+= on block " + id.to_string() + " of '" +
+          shared_.program->array(id.array_id).name +
+          "' without an intervening sip_barrier");
+    }
+    if (!accumulate && record.writer != writer) {
+      throw RuntimeError(
+          "two workers put block " + id.to_string() + " of '" +
+          shared_.program->array(id.array_id).name +
+          "' without an intervening sip_barrier");
+    }
+  }
+  record.epoch = epoch_;
+  record.writer = writer;
+  record.accumulate = accumulate;
+}
+
+void DistArrayManager::put(const BlockId& id, const Block& data,
+                           bool accumulate) {
+  const int owner = shared_.owner_rank(id);
+  if (owner == my_rank_) {
+    ++stats_.puts_local;
+    check_write_conflict(id, my_rank_, accumulate);
+    auto it = home_.find(id);
+    if (it == home_.end()) {
+      BlockPtr block = make_block(shape_of(id));
+      home_doubles_ += block->size();
+      it = home_.emplace(id, std::move(block)).first;
+    }
+    if (it->second->size() != data.size()) {
+      throw RuntimeError("put: shape mismatch for block " + id.to_string());
+    }
+    if (accumulate) {
+      blas::axpy(1.0, data.data(), it->second->data());
+    } else {
+      blas::copy(data.data(), it->second->data());
+    }
+    return;
+  }
+  ++stats_.puts_remote;
+  msg::Message message;
+  message.tag = accumulate ? msg::kBlockPutAcc : msg::kBlockPut;
+  message.header = {id.array_id, linear_of(id), my_rank_};
+  message.data.assign(data.data().begin(), data.data().end());
+  shared_.fabric->send(my_rank_, owner, std::move(message));
+}
+
+void DistArrayManager::create_array(int array_id) {
+  created_.insert(array_id);
+}
+
+void DistArrayManager::delete_array(int array_id) {
+  for (auto it = home_.begin(); it != home_.end();) {
+    if (it->first.array_id == array_id) {
+      home_doubles_ -= it->second->size();
+      it = home_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = write_records_.begin(); it != write_records_.end();) {
+    if (it->first.array_id == array_id) {
+      it = write_records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cache_.erase_array(array_id);
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->first.array_id == array_id) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  created_.erase(array_id);
+}
+
+void DistArrayManager::advance_epoch() {
+  ++epoch_;
+  // Cached remote copies may be rewritten in the new epoch; drop them all.
+  // In-flight requests keep their old epoch tag, so replies arriving after
+  // the barrier are discarded in handle_get_reply.
+  const BlockCache::Stats& stats = cache_.stats();
+  cache_stats_accum_.hits += stats.hits;
+  cache_stats_accum_.misses += stats.misses;
+  cache_stats_accum_.evictions += stats.evictions;
+  cache_stats_accum_.insertions += stats.insertions;
+  cache_ = BlockCache(cache_.capacity_doubles());
+  pending_.clear();
+  misses_.clear();
+}
+
+BlockCache::Stats DistArrayManager::cache_stats() const {
+  BlockCache::Stats total = cache_stats_accum_;
+  const BlockCache::Stats& stats = cache_.stats();
+  total.hits += stats.hits;
+  total.misses += stats.misses;
+  total.evictions += stats.evictions;
+  total.insertions += stats.insertions;
+  return total;
+}
+
+void DistArrayManager::handle_get_request(const msg::Message& message) {
+  const int array_id = static_cast<int>(message.header[0]);
+  const std::int64_t linear = message.header[1];
+  const int reply_rank = static_cast<int>(message.header[2]);
+  const BlockId id = id_from_linear(array_id, linear);
+
+  auto it = home_.find(id);
+  if (it == home_.end()) {
+    // Not an error here: a look-ahead prefetch may run past what has been
+    // put. The miss is reported back and only the *use* of the block
+    // raises an error (try_read).
+    msg::Message miss;
+    miss.tag = msg::kBlockGetReply;
+    miss.header = {array_id, linear, /*found=*/0};
+    shared_.fabric->send(my_rank_, reply_rank, std::move(miss));
+    return;
+  }
+  // Conflict: a get in the same epoch as a write by a different worker.
+  auto rec = write_records_.find(id);
+  if (rec != write_records_.end() && rec->second.epoch == epoch_ &&
+      rec->second.writer != reply_rank) {
+    throw RuntimeError(
+        "get of block " + id.to_string() + " of '" +
+        shared_.program->array(array_id).name +
+        "' in the same epoch as a put by another worker (missing "
+        "sip_barrier)");
+  }
+
+  msg::Message reply;
+  reply.tag = msg::kBlockGetReply;
+  reply.header = {array_id, linear, /*found=*/1};
+  reply.data.assign(it->second->data().begin(), it->second->data().end());
+  shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
+}
+
+void DistArrayManager::handle_get_reply(const msg::Message& message) {
+  const int array_id = static_cast<int>(message.header[0]);
+  const BlockId id = id_from_linear(array_id, message.header[1]);
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second != epoch_) {
+    // Stale reply from before a barrier (or after a delete): drop it.
+    ++stats_.replies_dropped;
+    if (it != pending_.end()) pending_.erase(it);
+    return;
+  }
+  pending_.erase(it);
+  if (message.header.size() > 2 && message.header[2] == 0) {
+    misses_.insert(id);
+    return;
+  }
+  BlockPtr block = make_block(shape_of(id));
+  if (block->size() != message.data.size()) {
+    throw RuntimeError("get reply shape mismatch for " + id.to_string());
+  }
+  std::copy(message.data.begin(), message.data.end(),
+            block->data().begin());
+  cache_.put(id, std::move(block));
+}
+
+void DistArrayManager::handle_put(const msg::Message& message,
+                                  bool accumulate) {
+  const int array_id = static_cast<int>(message.header[0]);
+  const BlockId id = id_from_linear(array_id, message.header[1]);
+  const int writer = static_cast<int>(message.header[2]);
+  check_write_conflict(id, writer, accumulate);
+
+  auto it = home_.find(id);
+  if (it == home_.end()) {
+    BlockPtr block = make_block(shape_of(id));
+    home_doubles_ += block->size();
+    it = home_.emplace(id, std::move(block)).first;
+  }
+  if (it->second->size() != message.data.size()) {
+    throw RuntimeError("put shape mismatch for block " + id.to_string());
+  }
+  if (accumulate) {
+    for (std::size_t i = 0; i < message.data.size(); ++i) {
+      it->second->data()[i] += message.data[i];
+    }
+  } else {
+    std::copy(message.data.begin(), message.data.end(),
+              it->second->data().begin());
+  }
+}
+
+void DistArrayManager::handle_delete(const msg::Message& message) {
+  delete_array(static_cast<int>(message.header[0]));
+}
+
+void DistArrayManager::store_home_block(const BlockId& id, BlockPtr block) {
+  auto it = home_.find(id);
+  if (it != home_.end()) {
+    home_doubles_ -= it->second->size();
+    it->second = std::move(block);
+    home_doubles_ += it->second->size();
+  } else {
+    home_doubles_ += block->size();
+    home_.emplace(id, std::move(block));
+  }
+}
+
+}  // namespace sia::sip

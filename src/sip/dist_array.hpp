@@ -1,0 +1,127 @@
+// Worker-side manager for distributed arrays.
+//
+// Each block of a distributed array has a home worker chosen by a static
+// hash (paper §V-B). This manager owns, for one worker:
+//   * the home store: blocks whose home is this worker, with per-block
+//     epoch metadata used to detect conflicting accesses that lack a
+//     sip_barrier ("the runtime system detects most improper uses of
+//     barriers", §IV-C);
+//   * the remote-block LRU cache ("it may be available ... because it is
+//     still available in the block cache from a recent use", §V-A);
+//   * the pending-request table for asynchronous gets, tagged with the
+//     issuing epoch so replies that cross a barrier are dropped.
+//
+// All communication is asynchronous: issue_get sends a request and
+// returns; the consuming instruction waits via try_read + message
+// servicing in the interpreter.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "block/block.hpp"
+#include "block/block_cache.hpp"
+#include "block/block_id.hpp"
+#include "block/block_pool.hpp"
+#include "msg/message.hpp"
+#include "sip/shared.hpp"
+
+namespace sia::sip {
+
+class DistArrayManager {
+ public:
+  struct Stats {
+    std::int64_t gets_issued = 0;      // remote requests sent
+    std::int64_t gets_local = 0;       // satisfied by home store
+    std::int64_t gets_cached = 0;      // satisfied by cache
+    std::int64_t implicit_gets = 0;    // reads that had to issue a get
+    std::int64_t puts_remote = 0;
+    std::int64_t puts_local = 0;
+    std::int64_t replies_dropped = 0;  // stale (pre-barrier) replies
+  };
+
+  DistArrayManager(SipShared& shared, int my_rank, BlockPool& pool,
+                   std::size_t cache_capacity_doubles);
+
+  // ------------------------------------------------------------------
+  // Program-visible operations.
+
+  // SIAL `get`: starts an asynchronous fetch unless the block is already
+  // home, cached, or in flight.
+  void issue_get(const BlockId& id, bool implicit = false);
+
+  // Non-blocking read: home block, cached copy, or nullptr.
+  BlockPtr try_read(const BlockId& id);
+
+  // True if a get for the block is in flight.
+  bool pending(const BlockId& id) const;
+
+  // SIAL `put` / `put +=` of `data` (already shaped for the target).
+  void put(const BlockId& id, const Block& data, bool accumulate);
+
+  // `create`/`delete` (uniform control flow: every worker runs these, so
+  // each erases its own home blocks and cached copies).
+  void create_array(int array_id);
+  void delete_array(int array_id);
+
+  // sip_barrier passed: bump the epoch, clear cached remote copies, and
+  // forget in-flight requests (their replies will be dropped as stale).
+  void advance_epoch();
+  std::int64_t epoch() const { return epoch_; }
+
+  // ------------------------------------------------------------------
+  // Message handling (called by the interpreter's dispatcher).
+  void handle_get_request(const msg::Message& message);
+  void handle_get_reply(const msg::Message& message);
+  void handle_put(const msg::Message& message, bool accumulate);
+  void handle_delete(const msg::Message& message);
+
+  // ------------------------------------------------------------------
+  // Introspection (checkpointing, tests).
+  const std::unordered_map<BlockId, BlockPtr, BlockIdHash>& home_blocks()
+      const {
+    return home_;
+  }
+  void store_home_block(const BlockId& id, BlockPtr block);
+  const Stats& stats() const { return stats_; }
+  const BlockCache& cache() const { return cache_; }
+  // Cache statistics accumulated across barrier-induced cache resets.
+  BlockCache::Stats cache_stats() const;
+  std::size_t home_doubles() const { return home_doubles_; }
+
+ private:
+  struct WriteRecord {
+    std::int64_t epoch = -1;
+    int writer = -1;
+    bool accumulate = false;
+  };
+
+  // Applies the conflict rules for a write arriving at the home store.
+  void check_write_conflict(const BlockId& id, int writer, bool accumulate);
+
+  BlockPtr make_block(const BlockShape& shape);
+  BlockShape shape_of(const BlockId& id) const;
+  std::int64_t linear_of(const BlockId& id) const;
+  BlockId id_from_linear(int array_id, std::int64_t linear) const;
+
+  SipShared& shared_;
+  int my_rank_;
+  BlockPool& pool_;
+
+  std::unordered_map<BlockId, BlockPtr, BlockIdHash> home_;
+  std::unordered_map<BlockId, WriteRecord, BlockIdHash> write_records_;
+  BlockCache cache_;
+  // In-flight gets with the epoch they were issued in.
+  std::unordered_map<BlockId, std::int64_t, BlockIdHash> pending_;
+  // Gets answered "no such block": harmless for prefetches, an error at
+  // the point of actual use.
+  std::unordered_set<BlockId, BlockIdHash> misses_;
+  std::unordered_set<int> created_;  // array ids seen by `create`
+  std::int64_t epoch_ = 0;
+  std::size_t home_doubles_ = 0;
+  Stats stats_;
+  BlockCache::Stats cache_stats_accum_;
+};
+
+}  // namespace sia::sip

@@ -1,0 +1,408 @@
+#include "sip/io_server.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "msg/tags.hpp"
+
+namespace sia::sip {
+
+// ---------------------------------------------------------------------
+// DiskStore.
+
+DiskStore::DiskStore(const std::string& dir, const std::string& array_name,
+                     std::size_t slot_doubles, std::int64_t num_blocks)
+    : slot_doubles_(slot_doubles),
+      present_(static_cast<std::size_t>(num_blocks), 0) {
+  const std::string data_path = dir + "/" + array_name + ".srv";
+  const std::string map_path = dir + "/" + array_name + ".map";
+  fd_ = ::open(data_path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    throw RuntimeError("cannot open served array file " + data_path + ": " +
+                       std::strerror(errno));
+  }
+  map_fd_ = ::open(map_path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (map_fd_ < 0) {
+    ::close(fd_);
+    throw RuntimeError("cannot open served array map " + map_path);
+  }
+  // Load existing presence map (persistence across SIP runs).
+  const ssize_t got =
+      ::pread(map_fd_, present_.data(), present_.size(), 0);
+  if (got < 0) {
+    throw RuntimeError("cannot read served array map " + map_path);
+  }
+  for (std::size_t i = static_cast<std::size_t>(got); i < present_.size();
+       ++i) {
+    present_[i] = 0;
+  }
+}
+
+DiskStore::~DiskStore() {
+  if (fd_ >= 0) ::close(fd_);
+  if (map_fd_ >= 0) ::close(map_fd_);
+}
+
+bool DiskStore::has(std::int64_t linear) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return present_[static_cast<std::size_t>(linear)] != 0;
+}
+
+void DiskStore::read(std::int64_t linear, double* out,
+                     std::size_t count) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (present_[static_cast<std::size_t>(linear)] == 0) {
+      throw RuntimeError("disk read of absent served block");
+    }
+  }
+  const off_t offset =
+      static_cast<off_t>(linear) *
+      static_cast<off_t>(slot_doubles_ * sizeof(double));
+  const std::size_t bytes = count * sizeof(double);
+  const ssize_t got = ::pread(fd_, out, bytes, offset);
+  if (got != static_cast<ssize_t>(bytes)) {
+    throw RuntimeError("short read from served array file");
+  }
+}
+
+void DiskStore::write(std::int64_t linear, const double* data,
+                      std::size_t count) {
+  SIA_CHECK(count <= slot_doubles_, "served block exceeds disk slot");
+  const off_t offset =
+      static_cast<off_t>(linear) *
+      static_cast<off_t>(slot_doubles_ * sizeof(double));
+  const std::size_t bytes = count * sizeof(double);
+  if (::pwrite(fd_, data, bytes, offset) != static_cast<ssize_t>(bytes)) {
+    throw RuntimeError("short write to served array file");
+  }
+  const char one = 1;
+  if (::pwrite(map_fd_, &one, 1, static_cast<off_t>(linear)) != 1) {
+    throw RuntimeError("cannot update served array map");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  present_[static_cast<std::size_t>(linear)] = 1;
+  ++blocks_written_;
+}
+
+// ---------------------------------------------------------------------
+// WriteBehind.
+
+WriteBehind::WriteBehind() : thread_([this] { run(); }) {}
+
+WriteBehind::~WriteBehind() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void WriteBehind::enqueue(DiskStore* store, int array_id,
+                          std::int64_t linear, BlockPtr block) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Key key{array_id, linear};
+    pending_[key] = block;
+    queue_.push_back(Item{store, key, std::move(block)});
+  }
+  cv_.notify_all();
+}
+
+BlockPtr WriteBehind::lookup(int array_id, std::int64_t linear) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = pending_.find(Key{array_id, linear});
+  return it == pending_.end() ? nullptr : it->second;
+}
+
+void WriteBehind::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return queue_.empty() && !in_flight_; });
+}
+
+std::int64_t WriteBehind::writes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return writes_;
+}
+
+void WriteBehind::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    in_flight_ = true;
+    lock.unlock();
+    item.store->write(item.key.second, item.block->data().data(),
+                      item.block->size());
+    lock.lock();
+    in_flight_ = false;
+    ++writes_;
+    // Remove from the pending map only if it still refers to this block
+    // (a newer version may have been enqueued meanwhile).
+    auto it = pending_.find(item.key);
+    if (it != pending_.end() && it->second == item.block) {
+      pending_.erase(it);
+    }
+    cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------
+// ServerComputeRegistry.
+
+ServerComputeRegistry& ServerComputeRegistry::global() {
+  static ServerComputeRegistry registry;
+  return registry;
+}
+
+void ServerComputeRegistry::register_generator(const std::string& name,
+                                               ServerComputeFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  table_[name] = std::move(fn);
+}
+
+const ServerComputeFn* ServerComputeRegistry::lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = table_.find(name);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------
+// IoServer.
+
+IoServer::IoServer(SipShared& shared, int my_rank)
+    : shared_(shared), my_rank_(my_rank),
+      cache_(shared.config.server_cache_bytes / sizeof(double),
+             [this](const BlockId& id, const BlockPtr& block, bool dirty) {
+               if (!dirty) return;
+               const sial::ResolvedArray& array =
+                   shared_.program->array(id.array_id);
+               write_behind_.enqueue(&store_for(id.array_id), id.array_id,
+                                     id.linearize(array.num_segments),
+                                     block);
+             }) {}
+
+DiskStore& IoServer::store_for(int array_id) {
+  auto it = stores_.find(array_id);
+  if (it == stores_.end()) {
+    const sial::ResolvedArray& array = shared_.program->array(array_id);
+    it = stores_
+             .emplace(array_id, std::make_unique<DiskStore>(
+                                    shared_.scratch_dir, array.name,
+                                    array.max_block_elements,
+                                    array.total_blocks))
+             .first;
+  }
+  return *it->second;
+}
+
+const ServerComputeFn* IoServer::generator_for(int array_id) {
+  auto it = generators_.find(array_id);
+  if (it == generators_.end()) {
+    GeneratorSlot slot;
+    slot.resolved = true;
+    const std::string& name = shared_.program->array(array_id).name;
+    auto cfg = shared_.config.computed_served.find(name);
+    if (cfg != shared_.config.computed_served.end()) {
+      slot.fn = ServerComputeRegistry::global().lookup(cfg->second);
+      if (slot.fn == nullptr) {
+        throw RuntimeError("computed served array '" + name +
+                           "' refers to unregistered generator '" +
+                           cfg->second + "'");
+      }
+    }
+    it = generators_.emplace(array_id, slot).first;
+  }
+  return it->second.fn;
+}
+
+BlockShape IoServer::shape_of(const BlockId& id) const {
+  const sial::ResolvedArray& array = shared_.program->array(id.array_id);
+  return shared_.program->grid_block_shape(
+      array, {id.segments.data(), static_cast<std::size_t>(id.rank)});
+}
+
+BlockPtr IoServer::load_block(const BlockId& id, bool* found) {
+  const sial::ResolvedArray& array = shared_.program->array(id.array_id);
+  const std::int64_t linear = id.linearize(array.num_segments);
+
+  // Still sitting in the write-behind queue?
+  if (BlockPtr pending = write_behind_.lookup(id.array_id, linear)) {
+    *found = true;
+    return pending;
+  }
+  DiskStore& store = store_for(id.array_id);
+  if (!store.has(linear)) {
+    *found = false;
+    return nullptr;
+  }
+  ++stats_.disk_reads;
+  auto block = std::make_shared<Block>(shape_of(id));
+  store.read(linear, block->data().data(), block->size());
+  *found = true;
+  return block;
+}
+
+void IoServer::handle_prepare(const msg::Message& message, bool accumulate) {
+  ++stats_.prepares;
+  const int array_id = static_cast<int>(message.header[0]);
+  const sial::ResolvedArray& array = shared_.program->array(array_id);
+  const BlockId id =
+      BlockId::from_linear(array_id, message.header[1], array.num_segments);
+  const int writer = static_cast<int>(message.header[2]);
+
+  WriteRecord& record = write_records_[id];
+  if (record.epoch == epoch_) {
+    if (record.accumulate != accumulate) {
+      throw RuntimeError("conflicting prepare and prepare+= on block " +
+                         id.to_string() + " of '" + array.name +
+                         "' without a server_barrier");
+    }
+    if (!accumulate && record.writer != writer) {
+      throw RuntimeError("two workers prepared block " + id.to_string() +
+                         " of '" + array.name +
+                         "' without a server_barrier");
+    }
+  }
+  record.epoch = epoch_;
+  record.writer = writer;
+  record.accumulate = accumulate;
+
+  BlockPtr block = cache_.get(id);
+  if (!block) {
+    if (accumulate) {
+      bool found = false;
+      block = load_block(id, &found);
+      if (!found) block = std::make_shared<Block>(shape_of(id));
+    } else {
+      block = std::make_shared<Block>(shape_of(id));
+    }
+  } else {
+    ++stats_.cache_hits;
+  }
+  if (block->size() != message.data.size()) {
+    throw RuntimeError("prepare shape mismatch for " + id.to_string());
+  }
+  if (accumulate) {
+    for (std::size_t i = 0; i < message.data.size(); ++i) {
+      block->data()[i] += message.data[i];
+    }
+  } else {
+    std::copy(message.data.begin(), message.data.end(),
+              block->data().begin());
+  }
+  cache_.put(id, std::move(block), /*dirty=*/true);
+}
+
+void IoServer::handle_request(const msg::Message& message) {
+  ++stats_.requests;
+  const int array_id = static_cast<int>(message.header[0]);
+  const sial::ResolvedArray& array = shared_.program->array(array_id);
+  const BlockId id =
+      BlockId::from_linear(array_id, message.header[1], array.num_segments);
+  const int reply_rank = static_cast<int>(message.header[2]);
+
+  BlockPtr block = cache_.get(id);
+  if (block) {
+    ++stats_.cache_hits;
+  } else {
+    bool found = false;
+    block = load_block(id, &found);
+    if (!found) {
+      // Computed served array? Generate the block on demand instead of
+      // reading it from disk (paper §V-B).
+      if (const ServerComputeFn* generate = generator_for(array_id)) {
+        block = std::make_shared<Block>(shape_of(id));
+        std::array<long, blas::kMaxRank> first{};
+        for (int d = 0; d < id.rank; ++d) {
+          const std::size_t ud = static_cast<std::size_t>(d);
+          const sial::ResolvedIndex& decl = shared_.program->index(
+              array.index_ids[ud]);
+          const int abs_seg = id.segments[ud] + array.seg_lo[ud] - 1;
+          first[ud] = decl.segment_start(abs_seg);
+        }
+        (*generate)(*block,
+                    {first.data(), static_cast<std::size_t>(id.rank)});
+        ++stats_.computed;
+      } else {
+        throw RuntimeError("request of served block " + id.to_string() +
+                           " of '" + array.name +
+                           "' that has never been prepared");
+      }
+    }
+    cache_.put(id, block, /*dirty=*/false);
+  }
+
+  msg::Message reply;
+  reply.tag = msg::kServedReply;
+  reply.header = {array_id, message.header[1]};
+  reply.data.assign(block->data().begin(), block->data().end());
+  shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
+}
+
+void IoServer::flush() {
+  cache_.flush_dirty();
+  write_behind_.drain();
+}
+
+void IoServer::handle_barrier(const msg::Message& message) {
+  flush();
+  ++epoch_;
+  msg::Message ack;
+  ack.tag = msg::kServerBarrierAck;
+  ack.header = {message.header.empty() ? 0 : message.header[0]};
+  shared_.fabric->send(my_rank_, shared_.master_rank(), std::move(ack));
+}
+
+void IoServer::run() {
+  try {
+    while (true) {
+      shared_.check_abort();
+      auto message = shared_.fabric->recv_for(my_rank_, 50);
+      if (!message.has_value()) continue;
+      switch (message->tag) {
+        case msg::kServedPrepare:
+          handle_prepare(*message, /*accumulate=*/false);
+          break;
+        case msg::kServedPrepareAcc:
+          handle_prepare(*message, /*accumulate=*/true);
+          break;
+        case msg::kServedRequest:
+          handle_request(*message);
+          break;
+        case msg::kServerBarrierEnter:
+          handle_barrier(*message);
+          break;
+        case msg::kServedDelete: {
+          const int array_id = static_cast<int>(message->header[0]);
+          cache_.erase_array(array_id);
+          break;
+        }
+        case msg::kShutdown:
+          flush();
+          return;
+        default:
+          throw InternalError("I/O server received unexpected tag " +
+                              std::to_string(message->tag));
+      }
+    }
+  } catch (const Aborted&) {
+    // Another rank failed; exit quietly.
+  } catch (const std::exception& error) {
+    shared_.raise_abort(error.what());
+  }
+}
+
+}  // namespace sia::sip

@@ -1,0 +1,174 @@
+// I/O server rank.
+//
+// "The I/O servers support the SIAL served arrays. ... Each I/O server
+// contains a cache for served array blocks. Blocks arriving as a result of
+// a prepare command are placed in the cache and lazily written to disk.
+// ... Replacement is done using a LRU strategy. All operations of an I/O
+// server are non-blocking ... Blocks are allocated in I/O server block
+// pools or on a hard disk drive only when actually filled with data."
+// (paper §V-B).
+//
+// Components:
+//   * DiskStore — one slotted file per served array under the scratch
+//     directory (slot = the array's maximal block size) plus a presence
+//     byte map, so blocks survive both cache eviction and SIP runs;
+//   * WriteBehind — a writer thread draining dirty evicted blocks to the
+//     DiskStore; lookups intercept blocks still in the queue;
+//   * IoServer — the rank main loop: prepare/request handling with
+//     conflict detection, LRU cache with dirty write-behind, barrier
+//     flush, shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include <functional>
+
+#include "block/block.hpp"
+#include "block/block_cache.hpp"
+#include "block/block_id.hpp"
+#include "msg/message.hpp"
+#include "sip/shared.hpp"
+
+namespace sia::sip {
+
+// Generator for server-side computed served arrays: fills `block`, whose
+// element (i0,...,i_{r-1}) has absolute 1-based coordinates
+// first_element[d] + i_d along dimension d.
+using ServerComputeFn = std::function<void(
+    Block& block, std::span<const long> first_element)>;
+
+// Process-global registry of server-side generators, referenced from
+// SipConfig::computed_served by name.
+class ServerComputeRegistry {
+ public:
+  static ServerComputeRegistry& global();
+  void register_generator(const std::string& name, ServerComputeFn fn);
+  const ServerComputeFn* lookup(const std::string& name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, ServerComputeFn> table_;
+};
+
+// Slotted block file for one served array. Thread safe (pread/pwrite).
+class DiskStore {
+ public:
+  // Creates/opens `<dir>/<array_name>.srv` (+ `.map`) with the given slot
+  // capacity in doubles and block count.
+  DiskStore(const std::string& dir, const std::string& array_name,
+            std::size_t slot_doubles, std::int64_t num_blocks);
+  ~DiskStore();
+  DiskStore(const DiskStore&) = delete;
+  DiskStore& operator=(const DiskStore&) = delete;
+
+  bool has(std::int64_t linear) const;
+  // Reads `count` doubles of block `linear` into `out`. Throws if absent.
+  void read(std::int64_t linear, double* out, std::size_t count) const;
+  void write(std::int64_t linear, const double* data, std::size_t count);
+
+  std::int64_t blocks_written() const { return blocks_written_; }
+
+ private:
+  int fd_ = -1;
+  int map_fd_ = -1;
+  std::size_t slot_doubles_;
+  std::vector<char> present_;  // in-memory presence map
+  std::int64_t blocks_written_ = 0;
+  mutable std::mutex mutex_;
+};
+
+// Background writer draining dirty blocks to their DiskStores.
+class WriteBehind {
+ public:
+  WriteBehind();
+  ~WriteBehind();
+
+  using Key = std::pair<int, std::int64_t>;  // (array_id, linear)
+
+  void enqueue(DiskStore* store, int array_id, std::int64_t linear,
+               BlockPtr block);
+  // Block still waiting to be written, if any.
+  BlockPtr lookup(int array_id, std::int64_t linear) const;
+  // Blocks until the queue is empty and the in-flight write finished.
+  void drain();
+  std::int64_t writes() const;
+
+ private:
+  void run();
+
+  struct Item {
+    DiskStore* store;
+    Key key;
+    BlockPtr block;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  std::map<Key, BlockPtr> pending_;
+  bool in_flight_ = false;
+  bool stop_ = false;
+  std::int64_t writes_ = 0;
+  std::thread thread_;
+};
+
+class IoServer {
+ public:
+  struct Stats {
+    std::int64_t prepares = 0;
+    std::int64_t requests = 0;
+    std::int64_t disk_reads = 0;
+    std::int64_t cache_hits = 0;
+    std::int64_t computed = 0;  // blocks generated on demand (§V-B)
+  };
+
+  IoServer(SipShared& shared, int my_rank);
+
+  // Rank main loop; returns after kShutdown (or abort).
+  void run();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void handle_prepare(const msg::Message& message, bool accumulate);
+  void handle_request(const msg::Message& message);
+  void handle_barrier(const msg::Message& message);
+  void flush();
+
+  DiskStore& store_for(int array_id);
+  BlockPtr load_block(const BlockId& id, bool* found);
+  BlockShape shape_of(const BlockId& id) const;
+  // Generator for a computed served array (nullptr if the array is a
+  // plain stored one). Resolved lazily from the config.
+  const ServerComputeFn* generator_for(int array_id);
+
+  struct WriteRecord {
+    std::int64_t epoch = -1;
+    int writer = -1;
+    bool accumulate = false;
+  };
+
+  struct GeneratorSlot {
+    bool resolved = false;
+    const ServerComputeFn* fn = nullptr;
+  };
+
+  SipShared& shared_;
+  int my_rank_;
+  BlockCache cache_;
+  WriteBehind write_behind_;
+  std::unordered_map<int, std::unique_ptr<DiskStore>> stores_;
+  std::unordered_map<int, GeneratorSlot> generators_;
+  std::unordered_map<BlockId, WriteRecord, BlockIdHash> write_records_;
+  std::int64_t epoch_ = 0;
+  Stats stats_;
+};
+
+}  // namespace sia::sip

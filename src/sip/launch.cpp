@@ -1,0 +1,188 @@
+#include "sip/launch.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "sial/compiler.hpp"
+#include "sip/interpreter.hpp"
+#include "sip/io_server.hpp"
+#include "sip/shared.hpp"
+#include "sip/superinstr.hpp"
+
+namespace sia::sip {
+
+double RunResult::scalar(const std::string& name) const {
+  auto it = scalars.find(name);
+  if (it == scalars.end()) {
+    throw Error("run result has no scalar named '" + name + "'");
+  }
+  return it->second;
+}
+
+Sip::Sip(SipConfig config) : config_(std::move(config)) {
+  config_.validate();
+  register_builtin_superinstructions();
+  if (config_.scratch_dir.empty()) {
+    // Unique directory under the system temp dir.
+    const auto base = std::filesystem::temp_directory_path();
+    const std::uint64_t tag =
+        splitmix64(static_cast<std::uint64_t>(wall_seconds() * 1e9) ^
+                   reinterpret_cast<std::uintptr_t>(this));
+    scratch_dir_ = (base / ("sia_" + std::to_string(tag))).string();
+    std::filesystem::create_directories(scratch_dir_);
+    owns_scratch_ = true;
+  } else {
+    scratch_dir_ = config_.scratch_dir;
+    std::filesystem::create_directories(scratch_dir_);
+  }
+}
+
+Sip::~Sip() {
+  if (owns_scratch_) {
+    std::error_code ec;
+    std::filesystem::remove_all(scratch_dir_, ec);
+  }
+}
+
+RunResult Sip::run_source(const std::string& source) {
+  return run(sial::compile_sial(source));
+}
+
+DryRunReport Sip::analyze(const sial::CompiledProgram& program) const {
+  const sial::ResolvedProgram resolved(program, config_);
+  return dry_run(resolved);
+}
+
+RunResult Sip::run(const sial::CompiledProgram& program) {
+  const sial::ResolvedProgram resolved(program, config_);
+
+  // "The master inspects the SIAL program in dry-run mode" before any
+  // resources are committed (paper §V-B).
+  RunResult result;
+  result.dry_run = dry_run(resolved);
+  if (config_.dry_run_only) return result;
+  if (!result.dry_run.feasible) {
+    throw InfeasibleError(
+        "program '" + program.name + "' needs " +
+            std::to_string(result.dry_run.per_worker_bytes() / 1024) +
+            " KiB per worker but only " +
+            std::to_string(config_.worker_memory_bytes / 1024) +
+            " KiB are configured",
+        result.dry_run.workers_needed);
+  }
+
+  msg::Fabric fabric(config_.total_ranks());
+  SipShared shared;
+  shared.program = &resolved;
+  shared.fabric = &fabric;
+  shared.config = config_;
+  shared.scratch_dir = scratch_dir_;
+  shared.pool_plan = result.dry_run.pool_plan;
+
+  Master master(shared);
+  std::vector<std::unique_ptr<Interpreter>> workers;
+  workers.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    workers.push_back(std::make_unique<Interpreter>(shared, w));
+  }
+  std::vector<std::unique_ptr<IoServer>> servers;
+  servers.reserve(static_cast<std::size_t>(config_.io_servers));
+  for (int s = 0; s < config_.io_servers; ++s) {
+    servers.push_back(
+        std::make_unique<IoServer>(shared, 1 + config_.workers + s));
+  }
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&master] { master.run(); });
+  for (auto& worker : workers) {
+    threads.emplace_back([&worker] { worker->run(); });
+  }
+  for (auto& server : servers) {
+    threads.emplace_back([&server] { server->run(); });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  {
+    std::lock_guard<std::mutex> lock(shared.error_mutex);
+    if (!shared.first_error.empty()) {
+      throw RuntimeError(shared.first_error);
+    }
+  }
+
+  // Collect results.
+  for (std::size_t s = 0; s < program.scalars.size(); ++s) {
+    result.scalars[program.scalars[s].name] =
+        workers.front()->data().scalar(static_cast<int>(s));
+  }
+  result.traffic = fabric.total_stats();
+
+  // Aggregate profiles: per-pc costs summed over workers, elapsed is the
+  // slowest worker, waits summed.
+  std::map<int, ProfileReport::LineCost> line_costs;
+  std::map<int, ProfileReport::PardoCost> pardo_costs;
+  for (const auto& worker : workers) {
+    const Profiler& profiler = worker->profiler();
+    for (const auto& [pc, entry] : profiler.instructions()) {
+      ProfileReport::LineCost& cost = line_costs[pc];
+      cost.line = entry.line;
+      cost.opcode = entry.opcode;
+      cost.count += entry.count;
+      cost.seconds += entry.seconds;
+      result.profile.total_busy += entry.seconds;
+    }
+    for (const auto& [pardo_id, entry] : profiler.pardos()) {
+      ProfileReport::PardoCost& cost = pardo_costs[pardo_id];
+      cost.pardo_id = pardo_id;
+      const auto& info =
+          program.pardos[static_cast<std::size_t>(pardo_id)];
+      cost.line = info.start_pc >= 0
+                      ? program.code[static_cast<std::size_t>(info.start_pc)]
+                            .line
+                      : 0;
+      cost.iterations += entry.iterations;
+      cost.elapsed += entry.elapsed;
+      cost.wait += entry.wait;
+    }
+    result.profile.total_wait += profiler.total_wait();
+    result.profile.total_elapsed =
+        std::max(result.profile.total_elapsed, profiler.total_elapsed());
+  }
+  // total_busy currently includes wait time spent inside instructions;
+  // report busy as compute-only.
+  result.profile.total_busy =
+      std::max(0.0, result.profile.total_busy - result.profile.total_wait);
+  for (const auto& [pc, cost] : line_costs) {
+    result.profile.lines.push_back(cost);
+  }
+  std::sort(result.profile.lines.begin(), result.profile.lines.end(),
+            [](const auto& a, const auto& b) { return a.seconds > b.seconds; });
+  for (const auto& [id, cost] : pardo_costs) {
+    result.profile.pardos.push_back(cost);
+  }
+
+  for (const auto& worker : workers) {
+    const DistArrayManager::Stats& stats = worker->dist().stats();
+    result.workers.gets_issued += stats.gets_issued;
+    result.workers.gets_local += stats.gets_local;
+    result.workers.gets_cached += stats.gets_cached;
+    result.workers.implicit_gets += stats.implicit_gets;
+    result.workers.puts_remote += stats.puts_remote;
+    result.workers.puts_local += stats.puts_local;
+    const BlockCache::Stats cache = worker->dist().cache_stats();
+    result.workers.cache_hits += cache.hits;
+    result.workers.cache_misses += cache.misses;
+    result.workers.cache_evictions += cache.evictions;
+    result.workers.pool_heap_fallbacks += static_cast<std::int64_t>(
+        worker->pool().stats().heap_fallbacks);
+    result.workers.peak_local_doubles =
+        std::max(result.workers.peak_local_doubles,
+                 worker->data().peak_doubles());
+  }
+  return result;
+}
+
+}  // namespace sia::sip

@@ -1,0 +1,316 @@
+#include "sip/master.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "msg/tags.hpp"
+
+namespace sia::sip {
+
+// ---------------------------------------------------------------------
+// Dry run.
+
+namespace {
+
+std::size_t bytes(std::size_t doubles) { return doubles * sizeof(double); }
+
+}  // namespace
+
+DryRunReport dry_run(const sial::ResolvedProgram& program) {
+  const SipConfig& config = program.config();
+  const sial::CompiledProgram& code = program.code();
+  DryRunReport report;
+  report.worker_budget_bytes = config.worker_memory_bytes;
+
+  // Static arrays: fully replicated on every worker.
+  std::set<std::size_t> class_sizes;
+  for (const sial::ResolvedArray& array : program.arrays()) {
+    class_sizes.insert(array.max_block_elements);
+    switch (array.kind) {
+      case sial::ArrayKind::kStatic:
+        report.static_bytes += bytes(array.total_elements);
+        break;
+      case sial::ArrayKind::kDistributed:
+        report.dist_total_bytes += bytes(array.total_elements);
+        break;
+      case sial::ArrayKind::kServed:
+        report.served_total_bytes += bytes(array.total_elements);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Walk the code: temp working sets per pardo region, local allocations,
+  // and remote-block cache demand (gets/requests times prefetch depth).
+  std::set<int> temp_arrays_in_region;
+  std::size_t region_remote_doubles = 0;
+  std::size_t temp_peak = 0, cache_peak = 0;
+  int pardo_depth = 0;
+
+  auto close_region = [&] {
+    std::size_t temp_doubles = 0;
+    for (const int array_id : temp_arrays_in_region) {
+      // Two buffers per temp array: current block plus one being built.
+      temp_doubles += 2 * program.array(array_id).max_block_elements;
+    }
+    temp_peak = std::max(temp_peak, temp_doubles);
+    cache_peak = std::max(cache_peak, region_remote_doubles);
+    temp_arrays_in_region.clear();
+    region_remote_doubles = 0;
+  };
+
+  for (const sial::Instruction& instr : code.code) {
+    switch (instr.op) {
+      case sial::Opcode::kPardoStart:
+        ++pardo_depth;
+        break;
+      case sial::Opcode::kPardoEnd:
+        if (--pardo_depth == 0) close_region();
+        break;
+      case sial::Opcode::kGet:
+      case sial::Opcode::kRequest: {
+        const sial::ResolvedArray& array =
+            program.array(instr.blocks[0].array_id);
+        region_remote_doubles +=
+            (1 + static_cast<std::size_t>(config.prefetch_depth)) *
+            array.max_block_elements;
+        break;
+      }
+      case sial::Opcode::kAllocate: {
+        const sial::ResolvedArray& array =
+            program.array(instr.blocks[0].array_id);
+        std::size_t doubles = 1;
+        for (int d = 0; d < array.rank(); ++d) {
+          const sial::ResolvedIndex& index =
+              program.index(array.index_ids[static_cast<std::size_t>(d)]);
+          const bool wildcard =
+              instr.blocks[0].index_ids[static_cast<std::size_t>(d)] ==
+              sial::kWildcardIndex;
+          doubles *= wildcard
+                         ? static_cast<std::size_t>(index.high - index.low + 1)
+                         : static_cast<std::size_t>(index.segment_size);
+        }
+        report.local_bytes += bytes(doubles);
+        break;
+      }
+      default:
+        break;
+    }
+    // Any temp operand contributes to the enclosing region.
+    for (const sial::BlockOperand& operand : instr.blocks) {
+      if (program.array(operand.array_id).kind == sial::ArrayKind::kTemp) {
+        if (pardo_depth > 0) {
+          temp_arrays_in_region.insert(operand.array_id);
+        } else {
+          temp_peak = std::max(
+              temp_peak,
+              2 * program.array(operand.array_id).max_block_elements);
+        }
+      }
+    }
+  }
+  close_region();
+
+  report.temp_peak_bytes = bytes(temp_peak);
+  report.cache_demand_bytes = bytes(cache_peak);
+  report.dist_share_bytes =
+      report.dist_total_bytes / static_cast<std::size_t>(config.workers);
+
+  report.feasible = report.per_worker_bytes() <= report.worker_budget_bytes;
+  if (!report.feasible) {
+    const std::size_t fixed = report.static_bytes + report.temp_peak_bytes +
+                              report.local_bytes + report.cache_demand_bytes;
+    if (fixed >= report.worker_budget_bytes) {
+      report.workers_needed = 0;  // no worker count can fit the fixed part
+    } else {
+      const std::size_t head = report.worker_budget_bytes - fixed;
+      report.workers_needed = static_cast<int>(
+          (report.dist_total_bytes + head - 1) / head);
+    }
+  } else {
+    report.workers_needed = config.workers;
+  }
+
+  // Pool plan: one size class per distinct maximal block size. Slot
+  // counts cover the temp/cache working sets with margin; the pool's heap
+  // fallback (instrumented) covers the rest.
+  for (const std::size_t size : class_sizes) {
+    if (size == 0) continue;
+    const std::size_t budget_doubles =
+        report.worker_budget_bytes / sizeof(double);
+    std::size_t slots =
+        budget_doubles / (size * std::max<std::size_t>(class_sizes.size(), 1));
+    slots = std::clamp<std::size_t>(slots, 2, 64);
+    report.pool_plan[size] = slots;
+  }
+  return report;
+}
+
+std::string DryRunReport::to_string() const {
+  std::ostringstream out;
+  auto mb = [](std::size_t b) {
+    return std::to_string(b / 1024) + " KiB";
+  };
+  out << "=== SIP dry run ===\n";
+  out << "per-worker budget:     " << mb(worker_budget_bytes) << "\n";
+  out << "static (replicated):   " << mb(static_bytes) << "\n";
+  out << "temp working set:      " << mb(temp_peak_bytes) << "\n";
+  out << "local allocations:     " << mb(local_bytes) << "\n";
+  out << "remote block cache:    " << mb(cache_demand_bytes) << "\n";
+  out << "distributed share:     " << mb(dist_share_bytes) << " (of "
+      << mb(dist_total_bytes) << " total)\n";
+  out << "served arrays (disk):  " << mb(served_total_bytes) << "\n";
+  out << "per-worker total:      " << mb(per_worker_bytes()) << "\n";
+  if (feasible) {
+    out << "feasible with the configured workers\n";
+  } else if (workers_needed > 0) {
+    out << "INFEASIBLE; would need at least " << workers_needed
+        << " workers\n";
+  } else {
+    out << "INFEASIBLE at any worker count (fixed per-node costs exceed "
+           "the budget)\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------
+// Master protocol loop.
+
+Master::Master(SipShared& shared)
+    : shared_(shared),
+      schedules_(shared.config.workers, shared.config.chunk_divisor,
+                 shared.config.min_chunk) {}
+
+void Master::handle_chunk_request(const msg::Message& message) {
+  const int pardo_id = static_cast<int>(message.header[0]);
+  const std::int64_t instance = message.header[1];
+  const std::int64_t total = message.header[2];
+
+  bool mismatch = false;
+  GuidedSchedule* schedule =
+      schedules_.get_or_create(pardo_id, instance, total, &mismatch);
+  if (mismatch) {
+    throw RuntimeError(
+        "workers disagree about the iteration count of pardo " +
+        std::to_string(pardo_id) +
+        " (divergent control flow between workers?)");
+  }
+  const auto [begin, end] = schedule->next_chunk();
+  if (begin >= end) schedules_.retire(pardo_id, instance);
+
+  msg::Message reply;
+  reply.tag = msg::kChunkReply;
+  reply.header = {pardo_id, instance, begin, end};
+  shared_.fabric->send(shared_.master_rank(), message.src, std::move(reply));
+}
+
+void Master::release_barrier(std::int64_t seq) {
+  for (int w = 0; w < shared_.num_workers(); ++w) {
+    msg::Message release;
+    release.tag = msg::kBarrierRelease;
+    release.header = {seq};
+    shared_.fabric->send(shared_.master_rank(), shared_.worker_rank(w),
+                         std::move(release));
+  }
+  barriers_.erase(seq);
+}
+
+void Master::handle_barrier_enter(const msg::Message& message) {
+  const std::int64_t seq = message.header[0];
+  const std::int64_t kind = message.header[1];
+
+  if (kind == 2) {  // worker finished the program
+    if (++workers_done_ == shared_.num_workers()) {
+      // run() notices and shuts servers down.
+    }
+    return;
+  }
+
+  BarrierState& state = barriers_[seq];
+  if (++state.entered < shared_.num_workers()) return;
+
+  if (kind == 0 || shared_.num_servers() == 0) {
+    release_barrier(seq);
+    return;
+  }
+  // server_barrier: ask the I/O servers to flush before releasing.
+  state.waiting_servers = true;
+  for (int s = 0; s < shared_.num_servers(); ++s) {
+    msg::Message flush;
+    flush.tag = msg::kServerBarrierEnter;
+    flush.header = {seq};
+    shared_.fabric->send(shared_.master_rank(),
+                         1 + shared_.num_workers() + s, std::move(flush));
+  }
+}
+
+void Master::handle_server_ack(const msg::Message& message) {
+  const std::int64_t seq = message.header[0];
+  auto it = barriers_.find(seq);
+  if (it == barriers_.end()) {
+    throw InternalError("server ack for unknown barrier");
+  }
+  if (++it->second.server_acks == shared_.num_servers()) {
+    release_barrier(seq);
+  }
+}
+
+void Master::handle_scalar_reduce(const msg::Message& message) {
+  const std::int64_t seq = message.header[0];
+  const std::int64_t slot = message.header[1];
+  CollectiveState& state = collectives_[seq];
+  state.sum += message.data.at(0);
+  if (++state.arrived < shared_.num_workers()) return;
+
+  for (int w = 0; w < shared_.num_workers(); ++w) {
+    msg::Message bcast;
+    bcast.tag = msg::kScalarBcast;
+    bcast.header = {seq, slot};
+    bcast.data = {state.sum};
+    shared_.fabric->send(shared_.master_rank(), shared_.worker_rank(w),
+                         std::move(bcast));
+  }
+  collectives_.erase(seq);
+}
+
+void Master::run() {
+  try {
+    while (workers_done_ < shared_.num_workers()) {
+      shared_.check_abort();
+      auto message = shared_.fabric->recv_for(shared_.master_rank(), 50);
+      if (!message.has_value()) continue;
+      switch (message->tag) {
+        case msg::kChunkRequest:
+          handle_chunk_request(*message);
+          break;
+        case msg::kBarrierEnter:
+          handle_barrier_enter(*message);
+          break;
+        case msg::kServerBarrierAck:
+          handle_server_ack(*message);
+          break;
+        case msg::kScalarReduce:
+          handle_scalar_reduce(*message);
+          break;
+        default:
+          throw InternalError("master received unexpected tag " +
+                              std::to_string(message->tag));
+      }
+    }
+    // All workers done: stop the I/O servers and release the workers from
+    // their post-completion service loops.
+    for (int r = 1; r < shared_.fabric->ranks(); ++r) {
+      msg::Message shutdown;
+      shutdown.tag = msg::kShutdown;
+      shared_.fabric->send(shared_.master_rank(), r, std::move(shutdown));
+    }
+  } catch (const Aborted&) {
+  } catch (const std::exception& error) {
+    shared_.raise_abort(error.what());
+  }
+}
+
+}  // namespace sia::sip

@@ -1,0 +1,87 @@
+// The SIP master and the dry-run memory analysis.
+//
+// "The SIP is organized as a master, a set of workers, and a set of I/O
+// servers... the master inspects the SIAL program in 'dry-run' mode [to]
+// estimate the memory requirements for each worker... If the information
+// from the dry run implies that the computation is not feasible with the
+// available memory, this is reported to the user along with the number of
+// processors that would be sufficient." (paper §V-B).
+//
+// At run time the master is a pure message-protocol server: it doles out
+// guided pardo chunks, coordinates the two barrier kinds (releasing
+// workers only after I/O servers flushed for server_barrier), and reduces
+// collective scalars.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sip/scheduler.hpp"
+#include "sip/shared.hpp"
+
+namespace sia::sip {
+
+// Result of the master's dry-run analysis.
+struct DryRunReport {
+  std::size_t worker_budget_bytes = 0;
+  std::size_t static_bytes = 0;      // replicated static arrays
+  std::size_t temp_peak_bytes = 0;   // temp blocks per pardo iteration
+  std::size_t local_bytes = 0;       // allocate'd local array regions
+  std::size_t cache_demand_bytes = 0;  // remote blocks incl. prefetch depth
+  std::size_t dist_total_bytes = 0;  // all distributed arrays, all workers
+  std::size_t dist_share_bytes = 0;  // per-worker share at current count
+  std::size_t served_total_bytes = 0;  // disk-resident, for information
+
+  bool feasible = true;
+  // Smallest worker count that would fit; 0 if no count can (fixed costs
+  // alone exceed the budget).
+  int workers_needed = 0;
+
+  // Pool size classes derived from the block shapes the program uses:
+  // capacity in doubles -> number of slots per worker.
+  std::map<std::size_t, std::size_t> pool_plan;
+
+  std::size_t per_worker_bytes() const {
+    return static_bytes + temp_peak_bytes + local_bytes +
+           cache_demand_bytes + dist_share_bytes;
+  }
+  std::string to_string() const;
+};
+
+// Analyzes the program against the configuration. Pure function of the
+// resolved program.
+DryRunReport dry_run(const sial::ResolvedProgram& program);
+
+// Master rank main loop; returns once all workers reported completion (or
+// on abort). Sends kShutdown to the I/O servers on the way out.
+class Master {
+ public:
+  explicit Master(SipShared& shared);
+  void run();
+
+ private:
+  struct BarrierState {
+    int entered = 0;
+    int server_acks = 0;
+    bool waiting_servers = false;
+  };
+  struct CollectiveState {
+    int arrived = 0;
+    double sum = 0.0;
+  };
+
+  void handle_chunk_request(const msg::Message& message);
+  void handle_barrier_enter(const msg::Message& message);
+  void handle_server_ack(const msg::Message& message);
+  void handle_scalar_reduce(const msg::Message& message);
+  void release_barrier(std::int64_t seq);
+
+  SipShared& shared_;
+  ScheduleTable schedules_;
+  std::map<std::int64_t, BarrierState> barriers_;       // by sequence
+  std::map<std::int64_t, CollectiveState> collectives_; // by sequence
+  int workers_done_ = 0;
+};
+
+}  // namespace sia::sip

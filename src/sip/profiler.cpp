@@ -1,0 +1,41 @@
+#include "sip/profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/stats.hpp"
+
+namespace sia::sip {
+
+double ProfileReport::wait_percent() const {
+  if (total_busy + total_wait <= 0.0) return 0.0;
+  return 100.0 * total_wait / (total_busy + total_wait);
+}
+
+std::string ProfileReport::to_string() const {
+  std::ostringstream out;
+  out << "=== SIP profile ===\n";
+  out << "elapsed " << TablePrinter::num(total_elapsed * 1e3, 2)
+      << " ms, busy " << TablePrinter::num(total_busy * 1e3, 2)
+      << " ms, wait " << TablePrinter::num(total_wait * 1e3, 2) << " ms ("
+      << TablePrinter::num(wait_percent(), 1) << "% of work time)\n";
+  if (!pardos.empty()) {
+    out << "pardo loops:\n";
+    for (const PardoCost& pardo : pardos) {
+      out << "  pardo@" << pardo.line << ": " << pardo.iterations
+          << " iterations, elapsed "
+          << TablePrinter::num(pardo.elapsed * 1e3, 2) << " ms, wait "
+          << TablePrinter::num(pardo.wait * 1e3, 2) << " ms\n";
+    }
+  }
+  out << "hottest super instructions:\n";
+  const std::size_t limit = std::min<std::size_t>(lines.size(), 10);
+  for (std::size_t i = 0; i < limit; ++i) {
+    out << "  line " << lines[i].line << " " << lines[i].opcode << ": "
+        << lines[i].count << " executions, "
+        << TablePrinter::num(lines[i].seconds * 1e3, 2) << " ms\n";
+  }
+  return out.str();
+}
+
+}  // namespace sia::sip

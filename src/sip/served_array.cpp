@@ -1,0 +1,87 @@
+#include "sip/served_array.hpp"
+
+#include <algorithm>
+
+#include "msg/tags.hpp"
+
+namespace sia::sip {
+
+ServedArrayClient::ServedArrayClient(SipShared& shared, int my_rank,
+                                     BlockPool& pool,
+                                     std::size_t cache_capacity_doubles)
+    : shared_(shared), my_rank_(my_rank), pool_(pool),
+      cache_(cache_capacity_doubles) {}
+
+BlockShape ServedArrayClient::shape_of(const BlockId& id) const {
+  const sial::ResolvedArray& array = shared_.program->array(id.array_id);
+  return shared_.program->grid_block_shape(
+      array, {id.segments.data(), static_cast<std::size_t>(id.rank)});
+}
+
+std::int64_t ServedArrayClient::linear_of(const BlockId& id) const {
+  const sial::ResolvedArray& array = shared_.program->array(id.array_id);
+  return id.linearize(array.num_segments);
+}
+
+void ServedArrayClient::issue_request(const BlockId& id) {
+  if (cache_.contains(id) || pending_.count(id) > 0) return;
+  ++stats_.requests_issued;
+  pending_.emplace(id, epoch_);
+  msg::Message request;
+  request.tag = msg::kServedRequest;
+  request.header = {id.array_id, linear_of(id), my_rank_};
+  shared_.fabric->send(my_rank_, shared_.server_rank(id),
+                       std::move(request));
+}
+
+BlockPtr ServedArrayClient::try_read(const BlockId& id) {
+  BlockPtr block = cache_.get(id);
+  if (block) ++stats_.requests_cached;
+  return block;
+}
+
+bool ServedArrayClient::pending(const BlockId& id) const {
+  return pending_.count(id) > 0;
+}
+
+void ServedArrayClient::prepare(const BlockId& id, const Block& data,
+                                bool accumulate) {
+  ++stats_.prepares;
+  msg::Message message;
+  message.tag = accumulate ? msg::kServedPrepareAcc : msg::kServedPrepare;
+  message.header = {id.array_id, linear_of(id), my_rank_};
+  message.data.assign(data.data().begin(), data.data().end());
+  shared_.fabric->send(my_rank_, shared_.server_rank(id),
+                       std::move(message));
+}
+
+void ServedArrayClient::advance_epoch() {
+  ++epoch_;
+  cache_ = BlockCache(cache_.capacity_doubles());
+  pending_.clear();
+}
+
+void ServedArrayClient::handle_reply(const msg::Message& message) {
+  const int array_id = static_cast<int>(message.header[0]);
+  const sial::ResolvedArray& array = shared_.program->array(array_id);
+  const BlockId id =
+      BlockId::from_linear(array_id, message.header[1], array.num_segments);
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second != epoch_) {
+    ++stats_.replies_dropped;
+    if (it != pending_.end()) pending_.erase(it);
+    return;
+  }
+  pending_.erase(it);
+  const BlockShape shape = shape_of(id);
+  auto block =
+      std::make_shared<Block>(shape, pool_.allocate(shape.element_count()));
+  if (block->size() != message.data.size()) {
+    throw RuntimeError("served reply shape mismatch for " + id.to_string());
+  }
+  std::copy(message.data.begin(), message.data.end(),
+            block->data().begin());
+  cache_.put(id, std::move(block));
+}
+
+}  // namespace sia::sip

@@ -1,0 +1,63 @@
+// Worker-side client for served (disk-backed) arrays.
+//
+// "Blocks of served arrays are obtained with request and stored with
+// prepare commands" (paper §IV-A). The client sends prepares to the
+// responsible I/O server and issues asynchronous requests whose replies
+// land in a local LRU cache. Epochs advance at server_barrier, mirroring
+// the distributed-array rules.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "block/block.hpp"
+#include "block/block_cache.hpp"
+#include "block/block_id.hpp"
+#include "block/block_pool.hpp"
+#include "msg/message.hpp"
+#include "sip/shared.hpp"
+
+namespace sia::sip {
+
+class ServedArrayClient {
+ public:
+  struct Stats {
+    std::int64_t requests_issued = 0;
+    std::int64_t requests_cached = 0;
+    std::int64_t prepares = 0;
+    std::int64_t replies_dropped = 0;
+  };
+
+  ServedArrayClient(SipShared& shared, int my_rank, BlockPool& pool,
+                    std::size_t cache_capacity_doubles);
+
+  // SIAL `request`: async fetch unless cached or in flight.
+  void issue_request(const BlockId& id);
+  // Cached block or nullptr.
+  BlockPtr try_read(const BlockId& id);
+  bool pending(const BlockId& id) const;
+
+  // SIAL `prepare` / `prepare +=`.
+  void prepare(const BlockId& id, const Block& data, bool accumulate);
+
+  // server_barrier passed.
+  void advance_epoch();
+
+  void handle_reply(const msg::Message& message);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  BlockShape shape_of(const BlockId& id) const;
+  std::int64_t linear_of(const BlockId& id) const;
+
+  SipShared& shared_;
+  int my_rank_;
+  BlockPool& pool_;
+  BlockCache cache_;
+  std::unordered_map<BlockId, std::int64_t, BlockIdHash> pending_;
+  std::int64_t epoch_ = 0;
+  Stats stats_;
+};
+
+}  // namespace sia::sip

@@ -1,0 +1,85 @@
+// State shared by all ranks of one SIP launch.
+//
+// Every rank (master, workers, I/O servers) holds a reference to this
+// structure: the resolved program, the message fabric, and the abort
+// channel. Apart from the abort flag and error slot (mutex protected),
+// everything here is immutable during the run — ranks communicate only
+// through the fabric, as the paper's processes do through MPI.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "block/block_id.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "msg/fabric.hpp"
+#include "sial/program.hpp"
+
+namespace sia::sip {
+
+// Thrown inside a rank when another rank aborted the run; carries no
+// information because the first error wins.
+class Aborted : public Error {
+ public:
+  Aborted() : Error("aborted") {}
+};
+
+struct SipShared {
+  const sial::ResolvedProgram* program = nullptr;
+  msg::Fabric* fabric = nullptr;
+  SipConfig config;
+  std::string scratch_dir;
+  // Block pool size classes from the dry run: capacity (doubles) -> slots.
+  std::map<std::size_t, std::size_t> pool_plan;
+
+  std::atomic<bool> abort_flag{false};
+  std::mutex error_mutex;
+  std::string first_error;
+
+  // Records the first error and wakes every blocked rank.
+  void raise_abort(const std::string& what) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error.empty()) first_error = what;
+    }
+    abort_flag.store(true, std::memory_order_release);
+    fabric->stop();
+  }
+
+  void check_abort() const {
+    if (abort_flag.load(std::memory_order_acquire)) throw Aborted();
+  }
+
+  // Rank layout: 0 = master, 1..workers = workers, then I/O servers.
+  int master_rank() const { return 0; }
+  int worker_rank(int worker_index) const { return 1 + worker_index; }
+  int num_workers() const { return config.workers; }
+  int num_servers() const { return config.io_servers; }
+  bool is_worker(int rank) const {
+    return rank >= 1 && rank <= config.workers;
+  }
+  bool is_server(int rank) const { return rank > config.workers; }
+
+  // Home worker rank of a distributed array block: "blocks of a
+  // distributed array are assigned to workers using a simple, static
+  // strategy" (paper §V-B).
+  int owner_rank(const BlockId& id) const {
+    return 1 + static_cast<int>(id.hash() % static_cast<std::uint64_t>(
+                                                config.workers));
+  }
+
+  // I/O server rank responsible for a served array block.
+  int server_rank(const BlockId& id) const {
+    if (config.io_servers == 0) {
+      throw RuntimeError("program uses served arrays but io_servers == 0");
+    }
+    return 1 + config.workers +
+           static_cast<int>(id.hash() % static_cast<std::uint64_t>(
+                                            config.io_servers));
+  }
+};
+
+}  // namespace sia::sip

@@ -1,0 +1,415 @@
+#include "sip/superinstr.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "blas/elementwise.hpp"
+#include "blas/gemm.hpp"
+#include "blas/permute.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace sia::sip {
+namespace {
+
+// Positions of `ids` (by value) inside `other`; -1 when absent.
+int find_id(std::span<const int> ids, int id) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::size_t product(std::span<const int> dims) {
+  std::size_t total = 1;
+  for (int d : dims) total *= static_cast<std::size_t>(d);
+  return total;
+}
+
+}  // namespace
+
+void block_contract(Block& dst, std::span<const int> dst_ids, const Block& a,
+                    std::span<const int> a_ids, const Block& b,
+                    std::span<const int> b_ids, bool accumulate) {
+  const int a_rank = a.shape().rank();
+  const int b_rank = b.shape().rank();
+
+  // Partition a's axes into free and contracted (order preserved).
+  std::vector<int> a_free, a_common;  // axis positions in a
+  for (int d = 0; d < a_rank; ++d) {
+    if (find_id(b_ids, a_ids[static_cast<std::size_t>(d)]) >= 0) {
+      a_common.push_back(d);
+    } else {
+      a_free.push_back(d);
+    }
+  }
+  // b's axes: common first in a's common order, then free.
+  std::vector<int> b_common, b_free;
+  for (const int a_axis : a_common) {
+    const int b_axis =
+        find_id(b_ids, a_ids[static_cast<std::size_t>(a_axis)]);
+    SIA_CHECK(b_axis >= 0, "contract: common id vanished");
+    b_common.push_back(b_axis);
+  }
+  for (int d = 0; d < b_rank; ++d) {
+    if (find_id(a_ids, b_ids[static_cast<std::size_t>(d)]) < 0) {
+      b_free.push_back(d);
+    }
+  }
+
+  // Validate extents along contracted ids.
+  for (std::size_t c = 0; c < a_common.size(); ++c) {
+    if (a.shape().extent(a_common[c]) != b.shape().extent(b_common[c])) {
+      throw RuntimeError("contraction extent mismatch along a shared index");
+    }
+  }
+
+  // Permute a -> [free..., common...], b -> [common..., free...].
+  std::vector<int> a_perm(a_free.begin(), a_free.end());
+  a_perm.insert(a_perm.end(), a_common.begin(), a_common.end());
+  std::vector<int> b_perm(b_common.begin(), b_common.end());
+  b_perm.insert(b_perm.end(), b_free.begin(), b_free.end());
+
+  const std::vector<int> a_dims(a.shape().extents().begin(),
+                                a.shape().extents().end());
+  const std::vector<int> b_dims(b.shape().extents().begin(),
+                                b.shape().extents().end());
+
+  std::vector<int> m_dims, n_dims, k_dims;
+  for (const int axis : a_free) m_dims.push_back(a_dims[static_cast<std::size_t>(axis)]);
+  for (const int axis : a_common) k_dims.push_back(a_dims[static_cast<std::size_t>(axis)]);
+  for (const int axis : b_free) n_dims.push_back(b_dims[static_cast<std::size_t>(axis)]);
+  const std::size_t m = product(m_dims);
+  const std::size_t k = product(k_dims);
+  const std::size_t n = product(n_dims);
+
+  thread_local std::vector<double> a_buf, b_buf, c_buf;
+
+  const double* a_ptr = a.data().data();
+  if (!(a_perm.size() <= 1 || std::is_sorted(a_perm.begin(), a_perm.end()))) {
+    a_buf.resize(m * k);
+    blas::permute(a.data().data(), a_dims, a_perm, a_buf.data());
+    a_ptr = a_buf.data();
+  }
+  const double* b_ptr = b.data().data();
+  if (!(b_perm.size() <= 1 || std::is_sorted(b_perm.begin(), b_perm.end()))) {
+    b_buf.resize(k * n);
+    blas::permute(b.data().data(), b_dims, b_perm, b_buf.data());
+    b_ptr = b_buf.data();
+  }
+
+  // Result ids in [a_free..., b_free...] order.
+  std::vector<int> result_ids;
+  for (const int axis : a_free) {
+    result_ids.push_back(a_ids[static_cast<std::size_t>(axis)]);
+  }
+  for (const int axis : b_free) {
+    result_ids.push_back(b_ids[static_cast<std::size_t>(axis)]);
+  }
+  SIA_CHECK(result_ids.size() == dst_ids.size(),
+            "contract: destination rank mismatch");
+
+  // Final permutation: dst axis d comes from result axis position of
+  // dst_ids[d].
+  std::vector<int> final_perm(dst_ids.size());
+  bool identity = true;
+  for (std::size_t d = 0; d < dst_ids.size(); ++d) {
+    const int pos = find_id(result_ids, dst_ids[d]);
+    if (pos < 0) {
+      throw RuntimeError("contraction destination index not produced");
+    }
+    final_perm[d] = pos;
+    if (pos != static_cast<int>(d)) identity = false;
+  }
+
+  if (identity) {
+    blas::dgemm(m, n, k, 1.0, a_ptr, k, b_ptr, n, accumulate ? 1.0 : 0.0,
+                dst.data().data(), n);
+    return;
+  }
+
+  c_buf.resize(m * n);
+  blas::dgemm(m, n, k, 1.0, a_ptr, k, b_ptr, n, 0.0, c_buf.data(), n);
+
+  std::vector<int> result_dims;
+  result_dims.insert(result_dims.end(), m_dims.begin(), m_dims.end());
+  result_dims.insert(result_dims.end(), n_dims.begin(), n_dims.end());
+  if (accumulate) {
+    blas::permute_acc(c_buf.data(), result_dims, final_perm,
+                      dst.data().data());
+  } else {
+    blas::permute(c_buf.data(), result_dims, final_perm, dst.data().data());
+  }
+}
+
+double block_dot(const Block& a, std::span<const int> a_ids, const Block& b,
+                 std::span<const int> b_ids) {
+  SIA_CHECK(a_ids.size() == b_ids.size(), "block_dot: rank mismatch");
+  // Permute b into a's id order if necessary.
+  std::vector<int> perm(a_ids.size());
+  bool identity = true;
+  for (std::size_t d = 0; d < a_ids.size(); ++d) {
+    const int pos = find_id(b_ids, a_ids[d]);
+    if (pos < 0) throw RuntimeError("block_dot: mismatched index sets");
+    perm[d] = pos;
+    if (pos != static_cast<int>(d)) identity = false;
+  }
+  if (identity) {
+    if (a.size() != b.size()) {
+      throw RuntimeError("block_dot: extent mismatch");
+    }
+    return blas::dot(a.data(), b.data());
+  }
+  const std::vector<int> b_dims(b.shape().extents().begin(),
+                                b.shape().extents().end());
+  thread_local std::vector<double> buf;
+  buf.resize(b.size());
+  blas::permute(b.data().data(), b_dims, perm, buf.data());
+  if (a.size() != buf.size()) {
+    throw RuntimeError("block_dot: extent mismatch");
+  }
+  return blas::dot(a.data(), {buf.data(), buf.size()});
+}
+
+namespace {
+
+// Permutation taking src into dst's id order: perm[d] = src axis of
+// dst_ids[d].
+std::vector<int> perm_to_dst(std::span<const int> dst_ids,
+                             std::span<const int> src_ids) {
+  SIA_CHECK(dst_ids.size() == src_ids.size(), "permute: rank mismatch");
+  std::vector<int> perm(dst_ids.size());
+  for (std::size_t d = 0; d < dst_ids.size(); ++d) {
+    const int pos = find_id(src_ids, dst_ids[d]);
+    if (pos < 0) {
+      throw RuntimeError("block assignment: operand index sets differ");
+    }
+    perm[d] = pos;
+  }
+  return perm;
+}
+
+}  // namespace
+
+void block_copy_permute(Block& dst, std::span<const int> dst_ids,
+                        const Block& src, std::span<const int> src_ids,
+                        CopyMode mode) {
+  const std::vector<int> perm = perm_to_dst(dst_ids, src_ids);
+  const std::vector<int> src_dims(src.shape().extents().begin(),
+                                  src.shape().extents().end());
+  SIA_CHECK(dst.size() == src.size(), "block copy: size mismatch");
+  switch (mode) {
+    case CopyMode::kAssign:
+      blas::permute(src.data().data(), src_dims, perm, dst.data().data());
+      return;
+    case CopyMode::kAccumulate:
+      blas::permute_acc(src.data().data(), src_dims, perm,
+                        dst.data().data());
+      return;
+    case CopyMode::kSubtract: {
+      thread_local std::vector<double> buf;
+      buf.resize(src.size());
+      blas::permute(src.data().data(), src_dims, perm, buf.data());
+      blas::axpy(-1.0, {buf.data(), buf.size()}, dst.data());
+      return;
+    }
+  }
+}
+
+void block_add(Block& dst, std::span<const int> dst_ids, const Block& a,
+               std::span<const int> a_ids, const Block& b,
+               std::span<const int> b_ids, bool subtract, bool accumulate) {
+  // dst (op)= perm(a) +/- perm(b).
+  if (!accumulate) {
+    block_copy_permute(dst, dst_ids, a, a_ids, CopyMode::kAssign);
+  } else {
+    block_copy_permute(dst, dst_ids, a, a_ids, CopyMode::kAccumulate);
+  }
+  block_copy_permute(dst, dst_ids, b, b_ids,
+                     subtract ? CopyMode::kSubtract : CopyMode::kAccumulate);
+}
+
+// ---------------------------------------------------------------------
+// Context and registry.
+
+const ExecArgValue& SuperInstructionContext::arg(int i) const {
+  if (i < 0 || i >= num_args()) {
+    throw RuntimeError("super instruction argument index out of range");
+  }
+  return args_[static_cast<std::size_t>(i)];
+}
+
+ExecArgValue& SuperInstructionContext::arg(int i) {
+  if (i < 0 || i >= num_args()) {
+    throw RuntimeError("super instruction argument index out of range");
+  }
+  return args_[static_cast<std::size_t>(i)];
+}
+
+Block& SuperInstructionContext::block_arg(int i) {
+  ExecArgValue& value = arg(i);
+  if (value.kind != sial::ExecOperand::Kind::kBlock || !value.block) {
+    throw RuntimeError("super instruction argument is not a block");
+  }
+  return *value.block;
+}
+
+const sial::BlockSelector& SuperInstructionContext::selector(int i) const {
+  const ExecArgValue& value = arg(i);
+  if (value.kind != sial::ExecOperand::Kind::kBlock) {
+    throw RuntimeError("super instruction argument is not a block");
+  }
+  return value.selector;
+}
+
+double& SuperInstructionContext::scalar_arg(int i) {
+  ExecArgValue& value = arg(i);
+  if (value.kind != sial::ExecOperand::Kind::kScalar ||
+      value.scalar == nullptr) {
+    throw RuntimeError("super instruction argument is not a scalar");
+  }
+  return *value.scalar;
+}
+
+const std::string& SuperInstructionContext::string_arg(int i) const {
+  const ExecArgValue& value = arg(i);
+  if (value.kind != sial::ExecOperand::Kind::kString) {
+    throw RuntimeError("super instruction argument is not a string");
+  }
+  return value.text;
+}
+
+double SuperInstructionContext::number_arg(int i) const {
+  const ExecArgValue& value = arg(i);
+  if (value.kind == sial::ExecOperand::Kind::kNumber) return value.number;
+  if (value.kind == sial::ExecOperand::Kind::kScalar &&
+      value.scalar != nullptr) {
+    return *value.scalar;
+  }
+  throw RuntimeError("super instruction argument is not a number");
+}
+
+long SuperInstructionContext::first_element(int i, int d) const {
+  const sial::BlockSelector& sel = selector(i);
+  if (d < 0 || d >= sel.rank) {
+    throw RuntimeError("first_element: dimension out of range");
+  }
+  return sel.first_element[static_cast<std::size_t>(d)];
+}
+
+SuperInstructionRegistry& SuperInstructionRegistry::global() {
+  static SuperInstructionRegistry registry;
+  return registry;
+}
+
+void SuperInstructionRegistry::register_instruction(const std::string& name,
+                                                    SuperInstructionFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  table_[name] = std::move(fn);
+}
+
+const SuperInstructionFn* SuperInstructionRegistry::lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = table_.find(name);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SuperInstructionRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(table_.size());
+  for (const auto& [name, fn] : table_) names.push_back(name);
+  return names;
+}
+
+// ---------------------------------------------------------------------
+// Built-ins.
+
+namespace {
+
+// Iterates a block's elements together with their absolute coordinates.
+template <typename Fn>
+void for_each_element(SuperInstructionContext& ctx, int arg, Fn&& fn) {
+  Block& block = ctx.block_arg(arg);
+  const sial::BlockSelector& sel = ctx.selector(arg);
+  const int rank = sel.rank;
+  std::array<int, blas::kMaxRank> counter{};
+  auto data = block.data();
+  std::array<long, blas::kMaxRank> coords{};
+  for (std::size_t n = 0; n < data.size(); ++n) {
+    for (int d = 0; d < rank; ++d) {
+      coords[static_cast<std::size_t>(d)] =
+          sel.first_element[static_cast<std::size_t>(d)] +
+          counter[static_cast<std::size_t>(d)];
+    }
+    fn(data[n], std::span<const long>(coords.data(),
+                                      static_cast<std::size_t>(rank)));
+    for (int d = rank - 1; d >= 0; --d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      if (++counter[ud] < sel.extents[ud]) break;
+      counter[ud] = 0;
+    }
+  }
+}
+
+void builtin_fill_value(SuperInstructionContext& ctx) {
+  blas::fill(ctx.block_arg(0).data(), ctx.number_arg(1));
+}
+
+void builtin_fill_coords(SuperInstructionContext& ctx) {
+  for_each_element(ctx, 0, [](double& value, std::span<const long> coords) {
+    double code = 0.0;
+    for (const long c : coords) code = code * 100.0 + static_cast<double>(c);
+    value = code;
+  });
+}
+
+void builtin_random_block(SuperInstructionContext& ctx) {
+  const auto seed = static_cast<std::uint64_t>(ctx.number_arg(1));
+  for_each_element(ctx, 0,
+                   [seed](double& value, std::span<const long> coords) {
+                     std::uint64_t key = seed;
+                     for (const long c : coords) {
+                       key = hash_combine(key, static_cast<std::uint64_t>(c));
+                     }
+                     value = 2.0 * unit_double(key) - 1.0;
+                   });
+}
+
+void builtin_block_nrm2(SuperInstructionContext& ctx) {
+  ctx.scalar_arg(1) = blas::nrm2(ctx.block_arg(0).data());
+}
+
+void builtin_block_asum(SuperInstructionContext& ctx) {
+  ctx.scalar_arg(1) = blas::asum(ctx.block_arg(0).data());
+}
+
+void builtin_block_max_abs(SuperInstructionContext& ctx) {
+  ctx.scalar_arg(1) = blas::max_abs(ctx.block_arg(0).data());
+}
+
+void builtin_print_block_norm(SuperInstructionContext& ctx) {
+  std::printf("[sial] block norm = %.12g\n",
+              blas::nrm2(ctx.block_arg(0).data()));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+void register_builtin_superinstructions() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto& registry = SuperInstructionRegistry::global();
+    registry.register_instruction("fill_value", builtin_fill_value);
+    registry.register_instruction("fill_coords", builtin_fill_coords);
+    registry.register_instruction("random_block", builtin_random_block);
+    registry.register_instruction("block_nrm2", builtin_block_nrm2);
+    registry.register_instruction("block_asum", builtin_block_asum);
+    registry.register_instruction("block_max_abs", builtin_block_max_abs);
+    registry.register_instruction("print_block_norm",
+                                  builtin_print_block_norm);
+  });
+}
+
+}  // namespace sia::sip

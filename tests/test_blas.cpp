@@ -1,0 +1,243 @@
+// Unit tests for the dense kernels (DGEMM, permutations, element-wise).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "blas/elementwise.hpp"
+#include "blas/gemm.hpp"
+#include "blas/permute.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace sia::blas {
+namespace {
+
+std::vector<double> random_matrix(std::size_t n, std::uint64_t seed) {
+  std::vector<double> m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = 2.0 * unit_double(hash_combine(seed, i)) - 1.0;
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------
+// GEMM: blocked kernel vs naive reference across shapes, alpha/beta.
+
+class GemmSizes : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(GemmSizes, MatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  const auto a = random_matrix(static_cast<std::size_t>(m * k), 1);
+  const auto b = random_matrix(static_cast<std::size_t>(k * n), 2);
+  auto c1 = random_matrix(static_cast<std::size_t>(m * n), 3);
+  auto c2 = c1;
+
+  dgemm(m, n, k, 1.3, a.data(), k, b.data(), n, 0.7, c1.data(), n);
+  dgemm_naive(m, n, k, 1.3, a.data(), k, b.data(), n, 0.7, c2.data(), n);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1[i], c2[i], 1e-11) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(16, 16, 16), std::make_tuple(33, 17, 9),
+                      std::make_tuple(64, 64, 64), std::make_tuple(70, 130, 50),
+                      std::make_tuple(128, 64, 129),
+                      std::make_tuple(1, 200, 3)));
+
+TEST(GemmTest, BetaZeroOverwritesGarbage) {
+  const std::size_t n = 8;
+  const auto a = random_matrix(n * n, 4);
+  const auto b = random_matrix(n * n, 5);
+  std::vector<double> c(n * n, std::numeric_limits<double>::quiet_NaN());
+  dgemm(n, n, n, 1.0, a.data(), n, b.data(), n, 0.0, c.data(), n);
+  for (const double v : c) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(GemmTest, AlphaZeroOnlyScalesC) {
+  const std::size_t n = 6;
+  const auto a = random_matrix(n * n, 6);
+  const auto b = random_matrix(n * n, 7);
+  auto c = random_matrix(n * n, 8);
+  const auto original = c;
+  dgemm(n, n, n, 0.0, a.data(), n, b.data(), n, 2.0, c.data(), n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c[i], 2.0 * original[i]);
+  }
+}
+
+TEST(GemmTest, RespectsLeadingDimensions) {
+  // 2x2 product embedded in larger strided storage.
+  const std::size_t lda = 5, ldb = 4, ldc = 7;
+  std::vector<double> a(2 * lda, 0.0), b(2 * ldb, 0.0), c(2 * ldc, -1.0);
+  a[0] = 1; a[1] = 2; a[lda] = 3; a[lda + 1] = 4;
+  b[0] = 5; b[1] = 6; b[ldb] = 7; b[ldb + 1] = 8;
+  dgemm(2, 2, 2, 1.0, a.data(), lda, b.data(), ldb, 0.0, c.data(), ldc);
+  EXPECT_DOUBLE_EQ(c[0], 19.0);
+  EXPECT_DOUBLE_EQ(c[1], 22.0);
+  EXPECT_DOUBLE_EQ(c[ldc], 43.0);
+  EXPECT_DOUBLE_EQ(c[ldc + 1], 50.0);
+  EXPECT_DOUBLE_EQ(c[2], -1.0);  // outside the logical matrix untouched
+}
+
+// ---------------------------------------------------------------------
+// Permutations.
+
+TEST(PermuteTest, Rank2Transpose) {
+  const std::vector<int> dims = {2, 3};
+  const std::vector<double> src = {1, 2, 3, 4, 5, 6};
+  std::vector<double> dst(6);
+  const std::vector<int> perm = {1, 0};
+  permute(src.data(), dims, perm, dst.data());
+  // dst is 3x2: dst[j][i] = src[i][j].
+  EXPECT_EQ(dst, (std::vector<double>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(PermuteTest, IdentityIsCopy) {
+  const std::vector<int> dims = {3, 2, 2};
+  const auto src = random_matrix(12, 9);
+  std::vector<double> dst(12);
+  permute(src.data(), dims, std::vector<int>{0, 1, 2}, dst.data());
+  EXPECT_EQ(dst, src);
+}
+
+TEST(PermuteTest, AccumulateAddsPermuted) {
+  const std::vector<int> dims = {2, 2};
+  const std::vector<double> src = {1, 2, 3, 4};
+  std::vector<double> dst = {10, 10, 10, 10};
+  permute_acc(src.data(), dims, std::vector<int>{1, 0}, dst.data());
+  EXPECT_EQ(dst, (std::vector<double>{11, 13, 12, 14}));
+}
+
+// All 24 rank-4 permutations validated against direct index remapping.
+class Rank4Perms : public ::testing::TestWithParam<std::array<int, 4>> {};
+
+TEST_P(Rank4Perms, MatchesDirectRemap) {
+  const std::array<int, 4> perm_array = GetParam();
+  const std::vector<int> perm(perm_array.begin(), perm_array.end());
+  const std::vector<int> dims = {2, 3, 4, 5};
+  const auto src = random_matrix(120, 11);
+  std::vector<double> dst(120);
+  permute(src.data(), dims, perm, dst.data());
+
+  const std::vector<int> out_dims = permuted_dims(dims, perm);
+  std::vector<std::size_t> src_strides(4), dst_strides(4);
+  src_strides[3] = 1;
+  dst_strides[3] = 1;
+  for (int d = 2; d >= 0; --d) {
+    src_strides[d] = src_strides[d + 1] * static_cast<std::size_t>(dims[d + 1]);
+    dst_strides[d] =
+        dst_strides[d + 1] * static_cast<std::size_t>(out_dims[d + 1]);
+  }
+  int idx[4];
+  for (idx[0] = 0; idx[0] < out_dims[0]; ++idx[0]) {
+    for (idx[1] = 0; idx[1] < out_dims[1]; ++idx[1]) {
+      for (idx[2] = 0; idx[2] < out_dims[2]; ++idx[2]) {
+        for (idx[3] = 0; idx[3] < out_dims[3]; ++idx[3]) {
+          std::size_t d_off = 0, s_off = 0;
+          for (int d = 0; d < 4; ++d) {
+            d_off += dst_strides[d] * static_cast<std::size_t>(idx[d]);
+            s_off += src_strides[static_cast<std::size_t>(perm[d])] *
+                     static_cast<std::size_t>(idx[d]);
+          }
+          ASSERT_DOUBLE_EQ(dst[d_off], src[s_off]);
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::array<int, 4>> all_rank4_perms() {
+  std::array<int, 4> p = {0, 1, 2, 3};
+  std::vector<std::array<int, 4>> out;
+  do {
+    out.push_back(p);
+  } while (std::next_permutation(p.begin(), p.end()));
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(All24, Rank4Perms,
+                         ::testing::ValuesIn(all_rank4_perms()));
+
+TEST(PermuteTest, IsPermutationValidation) {
+  EXPECT_TRUE(is_permutation(std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(is_permutation(std::vector<int>{2, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<int>{0, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<int>{0, 1, 3}));
+  EXPECT_FALSE(is_permutation(std::vector<int>{-1, 0, 1}));
+}
+
+TEST(PermuteTest, Rank1IsCopy) {
+  const std::vector<int> dims = {7};
+  const auto src = random_matrix(7, 13);
+  std::vector<double> dst(7);
+  permute(src.data(), dims, std::vector<int>{0}, dst.data());
+  EXPECT_EQ(dst, src);
+}
+
+TEST(PermuteTest, Rank6Reverse) {
+  const std::vector<int> dims = {2, 2, 2, 2, 2, 2};
+  const auto src = random_matrix(64, 17);
+  std::vector<double> dst(64), back(64);
+  const std::vector<int> reverse = {5, 4, 3, 2, 1, 0};
+  permute(src.data(), dims, reverse, dst.data());
+  permute(dst.data(), dims, reverse, back.data());
+  EXPECT_EQ(back, src);  // reversal is an involution for equal extents
+}
+
+// ---------------------------------------------------------------------
+// Element-wise kernels.
+
+TEST(ElementwiseTest, FillScalShift) {
+  std::vector<double> x(5);
+  fill(x, 3.0);
+  EXPECT_EQ(x, (std::vector<double>(5, 3.0)));
+  scal(x, 2.0);
+  EXPECT_EQ(x, (std::vector<double>(5, 6.0)));
+  shift(x, -1.0);
+  EXPECT_EQ(x, (std::vector<double>(5, 5.0)));
+}
+
+TEST(ElementwiseTest, AxpyAndCopy) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {10, 20, 30};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+  copy(x, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(ElementwiseTest, AddSubHadamard) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {4, 5, 6};
+  std::vector<double> z(3);
+  add(x, y, z);
+  EXPECT_EQ(z, (std::vector<double>{5, 7, 9}));
+  sub(x, y, z);
+  EXPECT_EQ(z, (std::vector<double>{-3, -3, -3}));
+  hadamard(x, y, z);
+  EXPECT_EQ(z, (std::vector<double>{4, 10, 18}));
+}
+
+TEST(ElementwiseTest, Reductions) {
+  const std::vector<double> x = {3, -4, 0};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(asum(x), 7.0);
+  EXPECT_DOUBLE_EQ(nrm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(max_abs(x), 4.0);
+}
+
+TEST(ElementwiseTest, SizeMismatchThrows) {
+  std::vector<double> x(3), y(4);
+  EXPECT_THROW(copy(x, y), sia::InternalError);
+  EXPECT_THROW(axpy(1.0, x, y), sia::InternalError);
+  EXPECT_THROW(dot(x, y), sia::InternalError);
+}
+
+}  // namespace
+}  // namespace sia::blas

@@ -1,0 +1,157 @@
+// Tests for the synthetic chemistry data and reference implementations.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "chem/integrals.hpp"
+#include "chem/reference.hpp"
+#include "chem/system.hpp"
+
+namespace sia::chem {
+namespace {
+
+TEST(SystemTest, PresetsHaveSensibleShapes) {
+  for (const MolecularSystem& system :
+       {luciferin(), water_cluster(), rdx(), hmx(), cytosine_oh(),
+        diamond_nv()}) {
+    EXPECT_GT(system.nocc, 0) << system.name;
+    EXPECT_GT(system.nvirt(), system.nocc) << system.name;
+  }
+  EXPECT_EQ(diamond_nv().nbasis, 2944);  // stated in the paper's Fig. 6
+}
+
+TEST(OrbitalEnergyTest, OccupiedBelowVirtual) {
+  const long nocc = 10;
+  for (long p = 1; p <= nocc; ++p) {
+    EXPECT_LT(orbital_energy(p, nocc), 0.0);
+  }
+  for (long p = nocc + 1; p <= 30; ++p) {
+    EXPECT_GT(orbital_energy(p, nocc), 0.0);
+  }
+  // Monotone within each class.
+  EXPECT_LT(orbital_energy(1, nocc), orbital_energy(2, nocc));
+  EXPECT_LT(orbital_energy(11, nocc), orbital_energy(12, nocc));
+}
+
+TEST(IntegralTest, PermutationalSymmetry) {
+  // (pq|rs) = (qp|rs) = (pq|sr) = (rs|pq).
+  const double v = synthetic_integral(3, 7, 2, 9);
+  EXPECT_DOUBLE_EQ(synthetic_integral(7, 3, 2, 9), v);
+  EXPECT_DOUBLE_EQ(synthetic_integral(3, 7, 9, 2), v);
+  EXPECT_DOUBLE_EQ(synthetic_integral(2, 9, 3, 7), v);
+}
+
+TEST(IntegralTest, DecaysOffDiagonal) {
+  EXPECT_GT(synthetic_integral(5, 5, 5, 5),
+            synthetic_integral(5, 9, 5, 5));
+  EXPECT_GT(synthetic_integral(5, 9, 5, 5),
+            synthetic_integral(5, 20, 5, 5));
+  EXPECT_GT(synthetic_integral(2, 2, 2, 2),
+            synthetic_integral(2, 2, 30, 30));
+}
+
+TEST(IntegralTest, CoreHamiltonianSymmetric) {
+  EXPECT_DOUBLE_EQ(synthetic_core_h(3, 8), synthetic_core_h(8, 3));
+  EXPECT_LT(synthetic_core_h(4, 4), 0.0);  // diagonal dominated, negative
+}
+
+TEST(IntegralTest, DensitySymmetricAndDecaying) {
+  EXPECT_DOUBLE_EQ(synthetic_density(2, 6), synthetic_density(6, 2));
+  EXPECT_GT(synthetic_density(5, 5), synthetic_density(5, 10));
+}
+
+TEST(DenominatorTest, OrientationIndependent) {
+  const long nocc = 6;
+  // (a,i,b,j) and (i,a,j,b) orders give the same denominator.
+  const std::array<long, 4> aibj = {9, 2, 8, 3};
+  const std::array<long, 4> iajb = {2, 9, 3, 8};
+  EXPECT_DOUBLE_EQ(denominator_from_coords(aibj, nocc),
+                   denominator_from_coords(iajb, nocc));
+  EXPECT_DOUBLE_EQ(denominator_from_coords(iajb, nocc),
+                   mp2_denominator(2, 9, 3, 8, nocc));
+}
+
+TEST(DenominatorTest, AlwaysNegativeForExcitations) {
+  const long nocc = 6;
+  for (long i = 1; i <= nocc; ++i) {
+    for (long a = nocc + 1; a <= 20; ++a) {
+      EXPECT_LT(mp2_denominator(i, a, i, a, nocc), 0.0);
+    }
+  }
+}
+
+TEST(ReferenceTest, Mp2EnergyIsNegative) {
+  const double e2 = ref_mp2_energy(10, 4);
+  EXPECT_LT(e2, 0.0);
+  EXPECT_GT(e2, -10.0);  // sane magnitude
+}
+
+TEST(ReferenceTest, Mp2EnergyGrowsWithBasis) {
+  // More virtuals -> more (negative) correlation energy.
+  EXPECT_LT(ref_mp2_energy(14, 4), ref_mp2_energy(8, 4));
+}
+
+TEST(ReferenceTest, AmplitudeNormPositive) {
+  EXPECT_GT(ref_mp2_amp_norm2(10, 4), 0.0);
+}
+
+TEST(ReferenceTest, CcdIterationsConverge) {
+  // The amplitude norm change between consecutive iteration counts
+  // shrinks (the toy CCD is contractive at this size).
+  double n3 = 0.0, n4 = 0.0, n5 = 0.0;
+  ref_ccd_energy(8, 4, 3, &n3);
+  ref_ccd_energy(8, 4, 4, &n4);
+  ref_ccd_energy(8, 4, 5, &n5);
+  const double d34 = std::abs(n4 - n3);
+  const double d45 = std::abs(n5 - n4);
+  EXPECT_LT(d45, d34);
+}
+
+TEST(ReferenceTest, CcdZeroIterationsUsesT0) {
+  // With 0 sweeps the energy is the MP2-like pair energy sum T0.V.
+  double norm2 = 0.0;
+  const double e0 = ref_ccd_energy(8, 4, 0, &norm2);
+  EXPECT_LT(e0, 0.0);
+  double want = 0.0;
+  for (long i = 1; i <= 4; ++i) {
+    for (long j = 1; j <= 4; ++j) {
+      for (long a = 5; a <= 8; ++a) {
+        for (long b = 5; b <= 8; ++b) {
+          const double v = synthetic_integral(a, i, b, j);
+          want += v * v / mp2_denominator(i, a, j, b, 4);
+        }
+      }
+    }
+  }
+  EXPECT_NEAR(e0, want, 1e-12);
+}
+
+TEST(ReferenceTest, FockMatrixSymmetric) {
+  const long n = 10;
+  const std::vector<double> fock = ref_fock_matrix(n);
+  for (long mu = 0; mu < n; ++mu) {
+    for (long nu = 0; nu < n; ++nu) {
+      EXPECT_NEAR(fock[static_cast<std::size_t>(mu * n + nu)],
+                  fock[static_cast<std::size_t>(nu * n + mu)], 1e-12);
+    }
+  }
+  EXPECT_GT(ref_fock_norm(n), 0.0);
+}
+
+TEST(ReferenceTest, ContractionChecksumDeterministic) {
+  EXPECT_DOUBLE_EQ(ref_contraction_rnorm2(6, 3, 7.0),
+                   ref_contraction_rnorm2(6, 3, 7.0));
+  EXPECT_NE(ref_contraction_rnorm2(6, 3, 7.0),
+            ref_contraction_rnorm2(6, 3, 8.0));
+}
+
+TEST(ChemSuperInstructionsTest, RegistrationIsIdempotent) {
+  register_chem_superinstructions();
+  register_chem_superinstructions();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sia::chem

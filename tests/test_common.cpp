@@ -1,0 +1,163 @@
+// Unit tests for the common utilities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace sia {
+namespace {
+
+TEST(SipConfigTest, DefaultsValidate) {
+  SipConfig config;
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.total_ranks(), 1 + config.workers + config.io_servers);
+}
+
+TEST(SipConfigTest, RejectsBadWorkerCount) {
+  SipConfig config;
+  config.workers = 0;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(SipConfigTest, RejectsBadSegment) {
+  SipConfig config;
+  config.default_segment = 0;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(SipConfigTest, RejectsBadSegmentOverride) {
+  SipConfig config;
+  config.segment_overrides["moindex"] = -1;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(SipConfigTest, RejectsNegativePrefetch) {
+  SipConfig config;
+  config.prefetch_depth = -1;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+TEST(SipConfigTest, SegmentForUsesOverride) {
+  SipConfig config;
+  config.default_segment = 8;
+  config.segment_overrides["moindex"] = 4;
+  EXPECT_EQ(config.segment_for("moindex"), 4);
+  EXPECT_EQ(config.segment_for("aoindex"), 8);
+}
+
+TEST(SipConfigTest, RankLayout) {
+  SipConfig config;
+  config.workers = 3;
+  config.io_servers = 2;
+  EXPECT_EQ(config.master_rank(), 0);
+  EXPECT_EQ(config.first_worker_rank(), 1);
+  EXPECT_EQ(config.first_server_rank(), 4);
+  EXPECT_EQ(config.total_ranks(), 6);
+}
+
+TEST(ErrorTest, CompileErrorCarriesLine) {
+  CompileError error("bad token", 42);
+  EXPECT_EQ(error.line(), 42);
+  EXPECT_NE(std::string(error.what()).find("42"), std::string::npos);
+}
+
+TEST(ErrorTest, InfeasibleErrorCarriesWorkerCount) {
+  InfeasibleError error("too big", 128);
+  EXPECT_EQ(error.workers_needed(), 128);
+  EXPECT_NE(std::string(error.what()).find("128"), std::string::npos);
+}
+
+TEST(ErrorTest, CheckMacroThrowsInternalError) {
+  EXPECT_THROW(SIA_CHECK(false, "should fire"), InternalError);
+  EXPECT_NO_THROW(SIA_CHECK(true, "should not fire"));
+}
+
+TEST(RngTest, SplitmixIsDeterministic) {
+  EXPECT_EQ(splitmix64(12345), splitmix64(12345));
+  EXPECT_NE(splitmix64(12345), splitmix64(12346));
+}
+
+TEST(RngTest, UnitDoubleInRange) {
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const double x = unit_double(k);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, HashCombineOrderSensitive) {
+  const std::uint64_t a = hash_combine(hash_combine(1, 2), 3);
+  const std::uint64_t b = hash_combine(hash_combine(1, 3), 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats stats;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 4);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 10.0);
+  EXPECT_NEAR(stats.stddev(), 1.2909944487, 1e-9);
+}
+
+TEST(StatsTest, EmptyStatsAreZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(StatsTest, TablePrinterFormatsRows) {
+  std::ostringstream out;
+  TablePrinter table(out, {"a", "b"}, {6, 8});
+  table.print_header();
+  table.print_row({"1", "2.50"});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("2.50"), std::string::npos);
+  EXPECT_NE(text.find("------"), std::string::npos);
+}
+
+TEST(StatsTest, TablePrinterRejectsWrongCellCount) {
+  std::ostringstream out;
+  TablePrinter table(out, {"a"}, {4});
+  EXPECT_THROW(table.print_row({"1", "2"}), InternalError);
+}
+
+TEST(StatsTest, NumFormatsDigits) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+TEST(TimerTest, StopwatchAccumulates) {
+  Stopwatch watch;
+  watch.start();
+  const double dt = watch.stop();
+  EXPECT_GE(dt, 0.0);
+  EXPECT_EQ(watch.intervals(), 1);
+  EXPECT_GE(watch.total(), dt);
+}
+
+TEST(TimerTest, ScopedTimerStops) {
+  Stopwatch watch;
+  { ScopedTimer timer(watch); }
+  EXPECT_FALSE(watch.running());
+  EXPECT_EQ(watch.intervals(), 1);
+}
+
+TEST(TimerTest, WallClockAdvances) {
+  const double a = wall_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(wall_seconds(), a);
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,286 @@
+// Unit tests for the bytecode compiler and disassembler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sial/compiler.hpp"
+#include "sial/disasm.hpp"
+
+namespace sia::sial {
+namespace {
+
+CompiledProgram compile_body(const std::string& body) {
+  return compile_sial("sial test\n" + body + "\nendsial\n");
+}
+
+int count_op(const CompiledProgram& program, Opcode op) {
+  return static_cast<int>(
+      std::count_if(program.code.begin(), program.code.end(),
+                    [&](const Instruction& i) { return i.op == op; }));
+}
+
+int find_op(const CompiledProgram& program, Opcode op, int nth = 0) {
+  for (int pc = 0; pc < static_cast<int>(program.code.size()); ++pc) {
+    if (program.code[static_cast<std::size_t>(pc)].op == op && nth-- == 0) {
+      return pc;
+    }
+  }
+  return -1;
+}
+
+TEST(CompilerTest, EmptyProgramIsJustHalt) {
+  const CompiledProgram program = compile_body("");
+  ASSERT_EQ(program.code.size(), 1u);
+  EXPECT_EQ(program.code[0].op, Opcode::kHalt);
+}
+
+TEST(CompilerTest, TablesPopulated) {
+  const CompiledProgram program = compile_body(R"(
+aoindex mu = 1, norb
+moindex i = 1, nocc
+temp t(mu,i)
+scalar x
+)");
+  EXPECT_EQ(program.indices.size(), 2u);
+  EXPECT_EQ(program.arrays.size(), 1u);
+  EXPECT_EQ(program.scalars.size(), 1u);
+  EXPECT_EQ(program.index_id("mu"), 0);
+  EXPECT_EQ(program.array_id("t"), 0);
+  EXPECT_EQ(program.scalar_id("x"), 0);
+  EXPECT_EQ(program.index_id("zz"), -1);
+  // norb and nocc registered as symbolic constants.
+  EXPECT_NE(std::find(program.constants.begin(), program.constants.end(),
+                      "norb"),
+            program.constants.end());
+}
+
+TEST(CompilerTest, DoLoopJumpTargetsPaired) {
+  const CompiledProgram program = compile_body(R"(
+moindex i = 1, nocc
+do i
+enddo i
+)");
+  const int start = find_op(program, Opcode::kDoStart);
+  const int end = find_op(program, Opcode::kDoEnd);
+  ASSERT_GE(start, 0);
+  ASSERT_GE(end, 0);
+  EXPECT_EQ(program.code[static_cast<std::size_t>(start)].a1, end);
+  EXPECT_EQ(program.code[static_cast<std::size_t>(end)].a0, start);
+}
+
+TEST(CompilerTest, PardoTableRecordsBounds) {
+  const CompiledProgram program = compile_body(R"(
+moindex i = 1, nocc
+moindex j = 1, nocc
+pardo i, j where i < j
+endpardo i, j
+)");
+  ASSERT_EQ(program.pardos.size(), 1u);
+  const PardoInfo& pardo = program.pardos[0];
+  EXPECT_EQ(pardo.index_ids.size(), 2u);
+  EXPECT_EQ(pardo.wheres.size(), 1u);
+  EXPECT_TRUE(pardo.wheres[0].rhs_is_index);
+  EXPECT_EQ(pardo.start_pc, find_op(program, Opcode::kPardoStart));
+  EXPECT_EQ(pardo.end_pc, find_op(program, Opcode::kPardoEnd));
+}
+
+TEST(CompilerTest, PardoInRecordsSubOf) {
+  const CompiledProgram program = compile_body(R"(
+moindex i = 1, nocc
+subindex ii of i
+do i
+  pardo ii in i
+  endpardo ii
+enddo i
+)");
+  ASSERT_EQ(program.pardos.size(), 1u);
+  EXPECT_EQ(program.pardos[0].sub_of, program.index_id("i"));
+  EXPECT_EQ(program.pardos[0].index_ids.front(), program.index_id("ii"));
+}
+
+TEST(CompilerTest, IfElseJumpsSkipBranches) {
+  const CompiledProgram program = compile_body(R"(
+scalar x
+if x < 1.0
+  x = 2.0
+else
+  x = 3.0
+endif
+)");
+  const int branch = find_op(program, Opcode::kJumpIfFalse);
+  const int jump = find_op(program, Opcode::kJump);
+  ASSERT_GE(branch, 0);
+  ASSERT_GE(jump, 0);
+  // The false target lands after the jump (start of else).
+  EXPECT_EQ(program.code[static_cast<std::size_t>(branch)].a0, jump + 1);
+  // The jump target lands after the else body.
+  EXPECT_GT(program.code[static_cast<std::size_t>(jump)].a0, jump + 1);
+}
+
+TEST(CompilerTest, ExitTargetsInnermostDoEnd) {
+  const CompiledProgram program = compile_body(R"(
+moindex i = 1, nocc
+moindex j = 1, nocc
+do i
+  do j
+    exit
+  enddo j
+enddo i
+)");
+  const int exit_pc = find_op(program, Opcode::kExitLoop);
+  const int inner_end = find_op(program, Opcode::kDoEnd, 0);
+  ASSERT_GE(exit_pc, 0);
+  EXPECT_EQ(program.code[static_cast<std::size_t>(exit_pc)].a0, inner_end);
+}
+
+TEST(CompilerTest, ProcsCompileAfterHaltWithReturn) {
+  const CompiledProgram program = compile_body(R"(
+scalar x
+proc setx
+  x = 1.0
+endproc
+call setx
+)");
+  const int halt = find_op(program, Opcode::kHalt);
+  ASSERT_EQ(program.procs.size(), 1u);
+  EXPECT_GT(program.procs[0].entry_pc, halt);
+  EXPECT_EQ(count_op(program, Opcode::kReturn), 1);
+  const int call = find_op(program, Opcode::kCall);
+  EXPECT_EQ(program.code[static_cast<std::size_t>(call)].a0, 0);
+}
+
+TEST(CompilerTest, BlockBinaryOperandsInOrder) {
+  const CompiledProgram program = compile_body(R"(
+moindex i = 1, nocc
+moindex j = 1, nocc
+moindex k = 1, nocc
+temp a(i,k)
+temp b(k,j)
+temp c(i,j)
+do i
+do j
+do k
+  c(i,j) += a(i,k) * b(k,j)
+enddo k
+enddo j
+enddo i
+)");
+  const int pc = find_op(program, Opcode::kBlockBinary);
+  ASSERT_GE(pc, 0);
+  const Instruction& instr = program.code[static_cast<std::size_t>(pc)];
+  EXPECT_EQ(instr.a0, 1);  // +=
+  EXPECT_EQ(instr.a1, static_cast<int>(BinOp::kMul));
+  ASSERT_EQ(instr.blocks.size(), 3u);
+  EXPECT_EQ(instr.blocks[0].array_id, program.array_id("c"));
+  EXPECT_EQ(instr.blocks[1].array_id, program.array_id("a"));
+  EXPECT_EQ(instr.blocks[2].array_id, program.array_id("b"));
+}
+
+TEST(CompilerTest, ScalarExpressionUsesStackOps) {
+  const CompiledProgram program =
+      compile_body("scalar x\nx = 1.0 + 2.0 * 3.0\n");
+  EXPECT_EQ(count_op(program, Opcode::kPushNumber), 3);
+  EXPECT_EQ(count_op(program, Opcode::kMul), 1);
+  EXPECT_EQ(count_op(program, Opcode::kAdd), 1);
+  EXPECT_EQ(count_op(program, Opcode::kStoreScalar), 1);
+}
+
+TEST(CompilerTest, ConstantsCompileToPushConst) {
+  const CompiledProgram program = compile_body("scalar x\nx = norb\n");
+  const int pc = find_op(program, Opcode::kPushConst);
+  ASSERT_GE(pc, 0);
+  EXPECT_EQ(program.constants[static_cast<std::size_t>(
+                program.code[static_cast<std::size_t>(pc)].a0)],
+            "norb");
+}
+
+TEST(CompilerTest, ExecuteDeduplicatesNames) {
+  const CompiledProgram program = compile_body(R"(
+moindex i = 1, nocc
+temp t(i)
+do i
+  execute foo t(i)
+  execute foo t(i)
+  execute bar t(i)
+enddo i
+)");
+  EXPECT_EQ(program.superinstructions.size(), 2u);
+}
+
+TEST(CompilerTest, StringsDeduplicated) {
+  const CompiledProgram program = compile_body(
+      "println \"a\"\nprintln \"a\"\nprintln \"b\"\n");
+  EXPECT_EQ(program.strings.size(), 2u);
+}
+
+TEST(CompilerTest, WildcardAllocateEncoded) {
+  const CompiledProgram program = compile_body(R"(
+moindex i = 1, nocc
+moindex j = 1, nocc
+local l(i,j)
+do j
+  allocate l(*,j)
+enddo j
+)");
+  const int pc = find_op(program, Opcode::kAllocate);
+  ASSERT_GE(pc, 0);
+  const BlockOperand& operand =
+      program.code[static_cast<std::size_t>(pc)].blocks[0];
+  EXPECT_EQ(operand.index_ids[0], kWildcardIndex);
+  EXPECT_EQ(operand.index_ids[1], program.index_id("j"));
+}
+
+TEST(DisasmTest, ListsEveryInstruction) {
+  const CompiledProgram program = compile_body(R"(
+moindex i = 1, nocc
+temp t(i)
+scalar x
+do i
+  t(i) = 1.0
+  x += t(i) * t(i)
+enddo i
+print x
+)");
+  const std::string listing = disassemble(program);
+  EXPECT_NE(listing.find("do_start"), std::string::npos);
+  EXPECT_NE(listing.find("block_scalar_op"), std::string::npos);
+  EXPECT_NE(listing.find("block_dot"), std::string::npos);
+  EXPECT_NE(listing.find("t(i)"), std::string::npos);
+  EXPECT_NE(listing.find("print_top"), std::string::npos);
+  // One line per instruction.
+  std::size_t lines = std::count(listing.begin(), listing.end(), '\n');
+  EXPECT_GE(lines, program.code.size());
+}
+
+TEST(DisasmTest, OpcodeNamesCoverEveryOpcode) {
+  // opcode_name must return a real name (not "?") for all opcodes used in
+  // a kitchen-sink program.
+  const CompiledProgram program = compile_body(R"(
+aoindex mu = 1, norb
+moindex i = 1, nocc
+distributed d(mu,i)
+served s(mu,i)
+temp t(mu,i)
+local l(mu,i)
+scalar x
+create d
+pardo mu, i
+  t(mu,i) = 1.0
+  put d(mu,i) = t(mu,i)
+  prepare s(mu,i) = t(mu,i)
+endpardo mu, i
+sip_barrier
+server_barrier
+collective x += x
+checkpoint d "ck"
+delete d
+)");
+  for (std::size_t pc = 0; pc < program.code.size(); ++pc) {
+    EXPECT_STRNE(opcode_name(program.code[pc].op), "?");
+    EXPECT_FALSE(
+        disassemble_instruction(program, static_cast<int>(pc)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace sia::sial

@@ -1,0 +1,193 @@
+// Dry-run analysis tests: the master's memory estimate, infeasibility
+// reporting, and the pool plan (paper §V-B).
+#include <gtest/gtest.h>
+
+#include "sial/compiler.hpp"
+#include "sip/master.hpp"
+
+namespace sia::sip {
+namespace {
+
+SipConfig dry_config() {
+  SipConfig config;
+  config.workers = 4;
+  config.io_servers = 1;
+  config.default_segment = 4;
+  config.prefetch_depth = 2;
+  config.worker_memory_bytes = 1 << 20;
+  config.constants = {{"n", 32}};
+  return config;
+}
+
+DryRunReport analyze(const std::string& body,
+                     SipConfig config = dry_config()) {
+  const sial::ResolvedProgram program(
+      sial::compile_sial("sial test\n" + body + "\nendsial\n"), config);
+  return dry_run(program);
+}
+
+TEST(DryRunTest, StaticArraysCountedFully) {
+  const DryRunReport report = analyze(R"(
+aoindex mu = 1, n
+aoindex nu = 1, n
+static s(mu,nu)
+)");
+  EXPECT_EQ(report.static_bytes, 32u * 32u * sizeof(double));
+}
+
+TEST(DryRunTest, DistributedShareScalesWithWorkers) {
+  const std::string body = R"(
+aoindex mu = 1, n
+aoindex nu = 1, n
+distributed d(mu,nu)
+)";
+  SipConfig few = dry_config();
+  few.workers = 2;
+  SipConfig many = dry_config();
+  many.workers = 8;
+  const DryRunReport a = analyze(body, few);
+  const DryRunReport b = analyze(body, many);
+  EXPECT_EQ(a.dist_total_bytes, b.dist_total_bytes);
+  EXPECT_EQ(a.dist_share_bytes, 4 * b.dist_share_bytes);
+}
+
+TEST(DryRunTest, TempWorkingSetFromPardoBody) {
+  const DryRunReport report = analyze(R"(
+aoindex mu = 1, n
+aoindex nu = 1, n
+temp t(mu,nu)
+pardo mu, nu
+  t(mu,nu) = 1.0
+endpardo mu, nu
+)");
+  // Two buffers of one 4x4 block.
+  EXPECT_EQ(report.temp_peak_bytes, 2u * 16u * sizeof(double));
+}
+
+TEST(DryRunTest, CacheDemandIncludesPrefetchDepth) {
+  const std::string body = R"(
+aoindex mu = 1, n
+aoindex nu = 1, n
+distributed d(mu,nu)
+temp t(mu,nu)
+pardo mu
+  do nu
+    get d(mu,nu)
+    t(mu,nu) = d(mu,nu)
+  enddo nu
+endpardo mu
+)";
+  SipConfig shallow = dry_config();
+  shallow.prefetch_depth = 0;
+  SipConfig deep = dry_config();
+  deep.prefetch_depth = 3;
+  EXPECT_EQ(analyze(body, deep).cache_demand_bytes,
+            4u * analyze(body, shallow).cache_demand_bytes);
+}
+
+TEST(DryRunTest, LocalWildcardAllocationEstimated) {
+  const DryRunReport report = analyze(R"(
+aoindex mu = 1, n
+aoindex nu = 1, n
+local l(mu,nu)
+do nu
+  allocate l(*,nu)
+enddo nu
+)");
+  // One full dimension (32 elements) x one segment (4) of the other.
+  EXPECT_EQ(report.local_bytes, 32u * 4u * sizeof(double));
+}
+
+TEST(DryRunTest, ServedArraysReportedButNotResident) {
+  const DryRunReport report = analyze(R"(
+aoindex mu = 1, n
+aoindex nu = 1, n
+served s(mu,nu)
+)");
+  EXPECT_EQ(report.served_total_bytes, 32u * 32u * sizeof(double));
+  EXPECT_EQ(report.dist_share_bytes, 0u);
+}
+
+TEST(DryRunTest, FeasibleWhenSmall) {
+  const DryRunReport report = analyze(R"(
+aoindex mu = 1, n
+temp t(mu)
+do mu
+  t(mu) = 1.0
+enddo mu
+)");
+  EXPECT_TRUE(report.feasible);
+  EXPECT_EQ(report.workers_needed, dry_config().workers);
+}
+
+TEST(DryRunTest, InfeasibleComputesSufficientWorkers) {
+  SipConfig config = dry_config();
+  config.worker_memory_bytes = 8192;
+  config.constants["n"] = 128;  // 128 KiB of distributed data
+  const DryRunReport report = analyze(R"(
+aoindex mu = 1, n
+aoindex nu = 1, n
+distributed d(mu,nu)
+)",
+                                      config);
+  ASSERT_FALSE(report.feasible);
+  ASSERT_GT(report.workers_needed, config.workers);
+  // The suggested count must actually fit.
+  SipConfig enough = config;
+  enough.workers = report.workers_needed;
+  const DryRunReport retry = analyze(R"(
+aoindex mu = 1, n
+aoindex nu = 1, n
+distributed d(mu,nu)
+)",
+                                     enough);
+  EXPECT_TRUE(retry.feasible);
+}
+
+TEST(DryRunTest, HopelessFixedCostsReportZeroWorkers) {
+  SipConfig config = dry_config();
+  config.worker_memory_bytes = 64;  // smaller than one block
+  const DryRunReport report = analyze(R"(
+aoindex mu = 1, n
+aoindex nu = 1, n
+static s(mu,nu)
+)",
+                                      config);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_EQ(report.workers_needed, 0);
+}
+
+TEST(DryRunTest, PoolPlanHasClassesForUsedShapes) {
+  const DryRunReport report = analyze(R"(
+aoindex mu = 1, n
+aoindex nu = 1, n
+temp t2(mu,nu)
+temp t1(mu)
+pardo mu, nu
+  t2(mu,nu) = 1.0
+endpardo mu, nu
+do mu
+  t1(mu) = 1.0
+enddo mu
+)");
+  // Classes for 4-element and 16-element blocks.
+  EXPECT_TRUE(report.pool_plan.count(4));
+  EXPECT_TRUE(report.pool_plan.count(16));
+  for (const auto& [capacity, slots] : report.pool_plan) {
+    EXPECT_GE(slots, 2u) << "class " << capacity;
+  }
+}
+
+TEST(DryRunTest, ReportFormatsHumanReadably) {
+  const DryRunReport report = analyze(R"(
+aoindex mu = 1, n
+distributed d(mu)
+)");
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("dry run"), std::string::npos);
+  EXPECT_NE(text.find("distributed share"), std::string::npos);
+  EXPECT_NE(text.find("feasible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sia::sip

@@ -1,0 +1,172 @@
+// Unit tests for the I/O server internals: the slotted DiskStore and the
+// write-behind queue (paper §V-B: blocks "lazily written to disk", all
+// server operations non-blocking).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "common/error.hpp"
+#include "sip/io_server.hpp"
+
+namespace sia::sip {
+namespace {
+
+class DiskStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("sia_disk_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(DiskStoreTest, WriteReadRoundTrip) {
+  DiskStore store(dir_, "arr", /*slot_doubles=*/8, /*num_blocks=*/10);
+  const std::vector<double> data = {1, 2, 3, 4, 5};
+  EXPECT_FALSE(store.has(3));
+  store.write(3, data.data(), data.size());
+  EXPECT_TRUE(store.has(3));
+  std::vector<double> back(5, 0.0);
+  store.read(3, back.data(), back.size());
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(store.blocks_written(), 1);
+}
+
+TEST_F(DiskStoreTest, SlotsAreIndependent) {
+  DiskStore store(dir_, "arr", 4, 5);
+  const std::vector<double> a = {1, 1, 1, 1};
+  const std::vector<double> b = {2, 2, 2, 2};
+  store.write(0, a.data(), 4);
+  store.write(4, b.data(), 4);
+  std::vector<double> back(4);
+  store.read(0, back.data(), 4);
+  EXPECT_EQ(back, a);
+  store.read(4, back.data(), 4);
+  EXPECT_EQ(back, b);
+  EXPECT_FALSE(store.has(2));
+}
+
+TEST_F(DiskStoreTest, OverwriteReplaces) {
+  DiskStore store(dir_, "arr", 4, 2);
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {9, 8, 7, 6};
+  store.write(1, a.data(), 4);
+  store.write(1, b.data(), 4);
+  std::vector<double> back(4);
+  store.read(1, back.data(), 4);
+  EXPECT_EQ(back, b);
+}
+
+TEST_F(DiskStoreTest, ReadOfAbsentBlockThrows) {
+  DiskStore store(dir_, "arr", 4, 4);
+  std::vector<double> buf(4);
+  EXPECT_THROW(store.read(2, buf.data(), 4), RuntimeError);
+}
+
+TEST_F(DiskStoreTest, OversizedBlockRejected) {
+  DiskStore store(dir_, "arr", 4, 4);
+  std::vector<double> big(5, 1.0);
+  EXPECT_THROW(store.write(0, big.data(), 5), InternalError);
+}
+
+TEST_F(DiskStoreTest, PresenceMapPersistsAcrossReopen) {
+  {
+    DiskStore store(dir_, "arr", 4, 6);
+    const std::vector<double> a = {5, 5, 5, 5};
+    store.write(2, a.data(), 4);
+  }
+  DiskStore reopened(dir_, "arr", 4, 6);
+  EXPECT_TRUE(reopened.has(2));
+  EXPECT_FALSE(reopened.has(0));
+  std::vector<double> back(4);
+  reopened.read(2, back.data(), 4);
+  EXPECT_EQ(back, (std::vector<double>(4, 5.0)));
+}
+
+TEST_F(DiskStoreTest, SeparateArraysSeparateFiles) {
+  DiskStore a(dir_, "a", 4, 4);
+  DiskStore b(dir_, "b", 4, 4);
+  const std::vector<double> data = {1, 2, 3, 4};
+  a.write(0, data.data(), 4);
+  EXPECT_TRUE(a.has(0));
+  EXPECT_FALSE(b.has(0));
+}
+
+// ---------------------------------------------------------------------
+// WriteBehind.
+
+BlockPtr block_of(double value, std::size_t count = 4) {
+  auto block = std::make_shared<Block>(
+      BlockShape(std::vector<int>{static_cast<int>(count)}));
+  for (auto& v : block->data()) v = value;
+  return block;
+}
+
+TEST_F(DiskStoreTest, WriteBehindDrainsToDisk) {
+  DiskStore store(dir_, "wb", 4, 8);
+  WriteBehind writer;
+  writer.enqueue(&store, 0, 1, block_of(3.0));
+  writer.enqueue(&store, 0, 2, block_of(4.0));
+  writer.drain();
+  EXPECT_EQ(writer.writes(), 2);
+  EXPECT_TRUE(store.has(1));
+  EXPECT_TRUE(store.has(2));
+  std::vector<double> back(4);
+  store.read(2, back.data(), 4);
+  EXPECT_EQ(back, (std::vector<double>(4, 4.0)));
+}
+
+TEST_F(DiskStoreTest, WriteBehindLookupSeesQueuedBlock) {
+  DiskStore store(dir_, "wb", 4, 8);
+  WriteBehind writer;
+  BlockPtr block = block_of(7.0);
+  writer.enqueue(&store, 0, 5, block);
+  // Immediately visible via lookup whether or not written yet.
+  BlockPtr seen = writer.lookup(0, 5);
+  if (seen) {
+    EXPECT_EQ(seen->data()[0], 7.0);
+  }
+  writer.drain();
+  // After the write completes the queue entry is gone, disk has it.
+  EXPECT_EQ(writer.lookup(0, 5), nullptr);
+  EXPECT_TRUE(store.has(5));
+}
+
+TEST_F(DiskStoreTest, WriteBehindNewerVersionWins) {
+  DiskStore store(dir_, "wb", 4, 8);
+  WriteBehind writer;
+  writer.enqueue(&store, 0, 1, block_of(1.0));
+  writer.enqueue(&store, 0, 1, block_of(2.0));
+  writer.drain();
+  std::vector<double> back(4);
+  store.read(1, back.data(), 4);
+  EXPECT_EQ(back, (std::vector<double>(4, 2.0)));
+}
+
+TEST_F(DiskStoreTest, WriteBehindDrainOnEmptyQueueReturns) {
+  WriteBehind writer;
+  writer.drain();  // must not hang
+  EXPECT_EQ(writer.writes(), 0);
+}
+
+TEST_F(DiskStoreTest, WriteBehindManyBlocks) {
+  DiskStore store(dir_, "wb", 4, 128);
+  WriteBehind writer;
+  for (int i = 0; i < 128; ++i) {
+    writer.enqueue(&store, 0, i, block_of(static_cast<double>(i)));
+  }
+  writer.drain();
+  EXPECT_EQ(writer.writes(), 128);
+  std::vector<double> back(4);
+  store.read(100, back.data(), 4);
+  EXPECT_EQ(back[0], 100.0);
+}
+
+}  // namespace
+}  // namespace sia::sip

@@ -1,0 +1,126 @@
+// Unit tests for the SIAL lexer.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sial/lexer.hpp"
+
+namespace sia::sial {
+namespace {
+
+std::vector<Token> lex(const std::string& source) {
+  return Lexer(source).tokenize();
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  const auto tokens = lex("PARDO Pardo pardo");
+  EXPECT_TRUE(tokens[0].is_keyword("pardo"));
+  EXPECT_TRUE(tokens[1].is_keyword("pardo"));
+  EXPECT_TRUE(tokens[2].is_keyword("pardo"));
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  const auto tokens = lex("Tmax t_1");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Tmax");
+  EXPECT_EQ(tokens[1].text, "t_1");
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  const auto tokens = lex("42 3.5 1e3 2.5e-2 7.");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.025);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kFloat);
+}
+
+TEST(LexerTest, CompoundOperators) {
+  const auto tokens = lex("+= -= *= == != <= >= = < >");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPlusAssign);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kMinusAssign);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kStarAssign);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kEqEq);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kNotEq);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kLessEq);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kGreaterEq);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kAssign);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kLess);
+  EXPECT_EQ(tokens[9].kind, TokenKind::kGreater);
+}
+
+TEST(LexerTest, CommentsRunToEndOfLine) {
+  const auto tokens = lex("a # comment with pardo keywords\nb");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNewline);
+  EXPECT_EQ(tokens[2].text, "b");
+}
+
+TEST(LexerTest, BlankLinesCollapseToOneNewline) {
+  const auto tokens = lex("a\n\n\n  \n# only comment\n\nb");
+  int newlines = 0;
+  for (const Token& token : tokens) {
+    if (token.kind == TokenKind::kNewline) ++newlines;
+  }
+  EXPECT_EQ(newlines, 2);  // after a, after b
+}
+
+TEST(LexerTest, StringLiterals) {
+  const auto tokens = lex("println \"hello world\"");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "hello world");
+}
+
+TEST(LexerTest, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("\"oops"), CompileError);
+  EXPECT_THROW(lex("\"oops\nmore\""), CompileError);
+}
+
+TEST(LexerTest, UnexpectedCharacterThrows) {
+  EXPECT_THROW(lex("a $ b"), CompileError);
+  EXPECT_THROW(lex("a ! b"), CompileError);  // lone '!' is invalid
+}
+
+TEST(LexerTest, LineNumbersAreAccurate) {
+  const auto tokens = lex("a\nbb\n\ncc");
+  EXPECT_EQ(tokens[0].line, 1);  // a
+  EXPECT_EQ(tokens[2].line, 2);  // bb
+  EXPECT_EQ(tokens[4].line, 4);  // cc
+}
+
+TEST(LexerTest, ReservedWordList) {
+  EXPECT_TRUE(is_reserved_word("pardo"));
+  EXPECT_TRUE(is_reserved_word("served"));
+  EXPECT_TRUE(is_reserved_word("sip_barrier"));
+  EXPECT_FALSE(is_reserved_word("pardoo"));
+  EXPECT_FALSE(is_reserved_word("x"));
+}
+
+TEST(LexerTest, PunctuationInBlockRef) {
+  const auto tokens = lex("t(i,j)");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kRParen);
+}
+
+TEST(LexerTest, FinalNewlineSynthesized) {
+  const auto tokens = lex("abc");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNewline);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEof);
+}
+
+}  // namespace
+}  // namespace sia::sial

@@ -1,0 +1,175 @@
+// Unit tests for the message fabric (the MPI substitute).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "msg/fabric.hpp"
+#include "msg/tags.hpp"
+
+namespace sia::msg {
+namespace {
+
+Message make(int tag, std::vector<std::int64_t> header = {},
+             std::vector<double> data = {}) {
+  Message message;
+  message.tag = tag;
+  message.header = std::move(header);
+  message.data = std::move(data);
+  return message;
+}
+
+TEST(FabricTest, SendStampsSource) {
+  Fabric fabric(3);
+  fabric.send(1, 2, make(7));
+  auto got = fabric.try_recv(2);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->src, 1);
+  EXPECT_EQ(got->tag, 7);
+}
+
+TEST(FabricTest, FifoOrderPreserved) {
+  Fabric fabric(2);
+  for (int i = 0; i < 10; ++i) fabric.send(0, 1, make(i));
+  for (int i = 0; i < 10; ++i) {
+    auto got = fabric.try_recv(1);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->tag, i);
+  }
+  EXPECT_FALSE(fabric.try_recv(1).has_value());
+}
+
+TEST(FabricTest, CrossSenderOrderAfterCausalChain) {
+  // A sends to C, then A sends to B; B forwards to C. The forwarded
+  // message must be behind A's direct message in C's queue.
+  Fabric fabric(3);
+  fabric.send(0, 2, make(1));
+  fabric.send(0, 1, make(2));
+  auto via_b = fabric.try_recv(1);
+  ASSERT_TRUE(via_b.has_value());
+  fabric.send(1, 2, make(3));
+  EXPECT_EQ(fabric.try_recv(2)->tag, 1);
+  EXPECT_EQ(fabric.try_recv(2)->tag, 3);
+}
+
+TEST(FabricTest, TryRecvTagSkipsOthers) {
+  Fabric fabric(2);
+  fabric.send(0, 1, make(10));
+  fabric.send(0, 1, make(20));
+  fabric.send(0, 1, make(10));
+  auto got = fabric.try_recv_tag(1, 20);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tag, 20);
+  // Remaining messages keep their order.
+  EXPECT_EQ(fabric.try_recv(1)->tag, 10);
+  EXPECT_EQ(fabric.try_recv(1)->tag, 10);
+}
+
+TEST(FabricTest, PayloadRoundTrips) {
+  Fabric fabric(2);
+  fabric.send(0, 1, make(1, {4, 5, 6}, {1.5, 2.5}));
+  auto got = fabric.try_recv(1);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->header, (std::vector<std::int64_t>{4, 5, 6}));
+  EXPECT_EQ(got->data, (std::vector<double>{1.5, 2.5}));
+}
+
+TEST(FabricTest, BlockingRecvWakesOnSend) {
+  Fabric fabric(2);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fabric.send(0, 1, make(42));
+  });
+  auto got = fabric.recv(1);
+  sender.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tag, 42);
+}
+
+TEST(FabricTest, RecvForTimesOut) {
+  Fabric fabric(2);
+  EXPECT_FALSE(fabric.recv_for(1, 10).has_value());
+}
+
+TEST(FabricTest, StopWakesBlockedReceiver) {
+  Fabric fabric(2);
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fabric.stop();
+  });
+  EXPECT_FALSE(fabric.recv(1).has_value());
+  stopper.join();
+  EXPECT_TRUE(fabric.stopped());
+}
+
+TEST(FabricTest, SendAfterStopThrows) {
+  Fabric fabric(2);
+  fabric.stop();
+  EXPECT_THROW(fabric.send(0, 1, make(1)), RuntimeError);
+}
+
+TEST(FabricTest, SendToBadRankThrows) {
+  Fabric fabric(2);
+  EXPECT_THROW(fabric.send(0, 5, make(1)), InternalError);
+  EXPECT_THROW(fabric.send(-1, 1, make(1)), InternalError);
+}
+
+TEST(FabricTest, BarrierSynchronizesAllRanks) {
+  constexpr int kRanks = 4;
+  Fabric fabric(kRanks);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      before.fetch_add(1);
+      fabric.barrier(r);
+      EXPECT_EQ(before.load(), kRanks);  // nobody passes until all arrive
+      after.fetch_add(1);
+      fabric.barrier(r);
+      EXPECT_EQ(after.load(), kRanks);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+TEST(FabricTest, TrafficStatsCountSends) {
+  Fabric fabric(3);
+  fabric.send(0, 1, make(1, {1, 2}, {1.0, 2.0, 3.0}));
+  fabric.send(0, 2, make(2));
+  fabric.send(1, 2, make(3));
+  const TrafficStats rank0 = fabric.stats(0);
+  EXPECT_EQ(rank0.messages_sent, 2);
+  EXPECT_EQ(rank0.payload_doubles_sent, 3);
+  EXPECT_EQ(rank0.header_words_sent, 2);
+  const TrafficStats total = fabric.total_stats();
+  EXPECT_EQ(total.messages_sent, 3);
+}
+
+TEST(FabricTest, ManyThreadsManyMessages) {
+  constexpr int kRanks = 5;
+  constexpr int kPerRank = 200;
+  Fabric fabric(kRanks);
+  std::vector<std::thread> threads;
+  std::atomic<int> received{0};
+  for (int r = 0; r < kRanks; ++r) {
+    threads.emplace_back([&, r] {
+      for (int i = 0; i < kPerRank; ++i) {
+        fabric.send(r, (r + 1) % kRanks, make(i));
+      }
+      int got = 0;
+      while (got < kPerRank) {
+        if (fabric.recv_for(r, 100).has_value()) {
+          ++got;
+          received.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(received.load(), kRanks * kPerRank);
+}
+
+}  // namespace
+}  // namespace sia::msg

@@ -1,0 +1,362 @@
+// Unit tests for the SIAL parser.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sial/parser.hpp"
+
+namespace sia::sial {
+namespace {
+
+ProgramAst parse(const std::string& body) {
+  return parse_sial("sial test\n" + body + "\nendsial\n");
+}
+
+TEST(ParserTest, ProgramHeaderAndName) {
+  const ProgramAst ast = parse_sial("sial my_prog\nendsial\n");
+  EXPECT_EQ(ast.name, "my_prog");
+  EXPECT_TRUE(ast.main.stmts.empty());
+}
+
+TEST(ParserTest, MissingHeaderThrows) {
+  EXPECT_THROW(parse_sial("endsial\n"), CompileError);
+}
+
+TEST(ParserTest, ContentAfterEndsialThrows) {
+  EXPECT_THROW(parse_sial("sial p\nendsial\nscalar x\n"), CompileError);
+}
+
+TEST(ParserTest, IndexDeclarations) {
+  const ProgramAst ast = parse(R"(
+aoindex mu = 1, norb
+moindex i = 1, nocc
+index k = 1, 10
+subindex ii of i
+)");
+  ASSERT_EQ(ast.indices.size(), 4u);
+  EXPECT_EQ(ast.indices[0].type, IndexType::kAo);
+  EXPECT_EQ(ast.indices[1].type, IndexType::kMo);
+  EXPECT_EQ(ast.indices[2].type, IndexType::kSimple);
+  EXPECT_EQ(ast.indices[3].type, IndexType::kSub);
+  EXPECT_EQ(ast.indices[3].super, "i");
+}
+
+TEST(ParserTest, IndexBoundsWithArithmetic) {
+  const ProgramAst ast = parse("moindex a = nocc+1, norb\n");
+  EXPECT_EQ(ast.indices[0].low.kind, IntExpr::Kind::kAdd);
+  EXPECT_EQ(ast.indices[0].high.kind, IntExpr::Kind::kConstant);
+}
+
+TEST(ParserTest, SubindexOfUnknownIndexThrows) {
+  EXPECT_THROW(parse("subindex ii of nothing\n"), CompileError);
+}
+
+TEST(ParserTest, ArrayDeclarationsAllKinds) {
+  const ProgramAst ast = parse(R"(
+aoindex mu = 1, norb
+aoindex nu = 1, norb
+static s(mu,nu)
+temp t(mu,nu)
+local l(mu,nu)
+distributed d(mu,nu)
+served v(mu,nu)
+)");
+  ASSERT_EQ(ast.arrays.size(), 5u);
+  EXPECT_EQ(ast.arrays[0].kind, ArrayKind::kStatic);
+  EXPECT_EQ(ast.arrays[4].kind, ArrayKind::kServed);
+  EXPECT_EQ(ast.arrays[0].indices,
+            (std::vector<std::string>{"mu", "nu"}));
+}
+
+TEST(ParserTest, ArrayWithUndeclaredIndexThrows) {
+  EXPECT_THROW(parse("temp t(zz)\n"), CompileError);
+}
+
+TEST(ParserTest, RedeclarationThrows) {
+  EXPECT_THROW(parse("scalar x\nscalar x\n"), CompileError);
+}
+
+TEST(ParserTest, PardoWithWhereClauses) {
+  const ProgramAst ast = parse(R"(
+aoindex mu = 1, norb
+aoindex nu = 1, norb
+pardo mu, nu where mu < nu where nu <= 4
+endpardo mu, nu
+)");
+  const auto& pardo = std::get<PardoStmt>(ast.main.stmts[0]->node);
+  EXPECT_EQ(pardo.indices, (std::vector<std::string>{"mu", "nu"}));
+  ASSERT_EQ(pardo.wheres.size(), 2u);
+  EXPECT_EQ(pardo.wheres[0].lhs, "mu");
+  EXPECT_EQ(pardo.wheres[0].op, CmpOp::kLt);
+  EXPECT_EQ(pardo.wheres[0].rhs_index, "nu");
+  EXPECT_TRUE(pardo.wheres[1].rhs_const.has_value());
+}
+
+TEST(ParserTest, DoAndDoInForms) {
+  const ProgramAst ast = parse(R"(
+moindex i = 1, nocc
+subindex ii of i
+do i
+  do ii in i
+  enddo ii
+enddo i
+)");
+  const auto& outer = std::get<DoStmt>(ast.main.stmts[0]->node);
+  EXPECT_EQ(outer.index, "i");
+  EXPECT_TRUE(outer.super.empty());
+  const auto& inner = std::get<DoStmt>(outer.body.stmts[0]->node);
+  EXPECT_EQ(inner.index, "ii");
+  EXPECT_EQ(inner.super, "i");
+  EXPECT_FALSE(inner.parallel);
+}
+
+TEST(ParserTest, PardoInForm) {
+  const ProgramAst ast = parse(R"(
+moindex i = 1, nocc
+subindex ii of i
+do i
+  pardo ii in i
+  endpardo ii
+enddo i
+)");
+  const auto& outer = std::get<DoStmt>(ast.main.stmts[0]->node);
+  const auto& inner = std::get<DoStmt>(outer.body.stmts[0]->node);
+  EXPECT_TRUE(inner.parallel);
+  EXPECT_EQ(inner.super, "i");
+}
+
+TEST(ParserTest, IfElse) {
+  const ProgramAst ast = parse(R"(
+scalar x
+if x < 1.0
+  x = 2.0
+else
+  x = 3.0
+endif
+)");
+  const auto& node = std::get<IfStmt>(ast.main.stmts[0]->node);
+  EXPECT_EQ(node.cond->kind, Expr::Kind::kCompare);
+  EXPECT_EQ(node.then_body.stmts.size(), 1u);
+  EXPECT_EQ(node.else_body.stmts.size(), 1u);
+}
+
+TEST(ParserTest, GetPutPrepareRequest) {
+  const ProgramAst ast = parse(R"(
+moindex i = 1, nocc
+distributed d(i)
+served s(i)
+temp t(i)
+do i
+  get d(i)
+  put d(i) = t(i)
+  put d(i) += t(i)
+  request s(i)
+  prepare s(i) = t(i)
+  prepare s(i) += t(i)
+enddo i
+)");
+  const auto& body = std::get<DoStmt>(ast.main.stmts[0]->node).body;
+  EXPECT_TRUE(std::holds_alternative<GetStmt>(body.stmts[0]->node));
+  EXPECT_FALSE(std::get<PutStmt>(body.stmts[1]->node).accumulate);
+  EXPECT_TRUE(std::get<PutStmt>(body.stmts[2]->node).accumulate);
+  EXPECT_TRUE(std::holds_alternative<RequestStmt>(body.stmts[3]->node));
+  EXPECT_FALSE(std::get<PrepareStmt>(body.stmts[4]->node).accumulate);
+  EXPECT_TRUE(std::get<PrepareStmt>(body.stmts[5]->node).accumulate);
+}
+
+TEST(ParserTest, AllocateWithWildcard) {
+  const ProgramAst ast = parse(R"(
+moindex i = 1, nocc
+moindex j = 1, nocc
+local l(i,j)
+do j
+  allocate l(*,j)
+  deallocate l(*,j)
+enddo j
+)");
+  const auto& body = std::get<DoStmt>(ast.main.stmts[0]->node).body;
+  const auto& alloc = std::get<AllocateStmt>(body.stmts[0]->node);
+  EXPECT_EQ(alloc.ref.indices, (std::vector<std::string>{"*", "j"}));
+}
+
+TEST(ParserTest, WildcardOutsideAllocateThrows) {
+  EXPECT_THROW(parse(R"(
+moindex i = 1, nocc
+temp t(i)
+do i
+  get t(*)
+enddo i
+)"),
+               CompileError);
+}
+
+TEST(ParserTest, AssignmentForms) {
+  const ProgramAst ast = parse(R"(
+moindex i = 1, nocc
+moindex j = 1, nocc
+moindex k = 1, nocc
+temp a(i,j)
+temp b(j,k)
+temp c(i,k)
+scalar x
+do i
+do j
+do k
+  a(i,j) = 0.0
+  a(i,j) += x * 2.0
+  c(i,k) = a(i,j) * b(j,k)
+  c(i,k) += a(i,j) * b(j,k)
+  a(i,j) = 2.0 * b(j,i)
+  x = a(i,j) * a(i,j)
+  x += 1.0 / 2.0
+enddo k
+enddo j
+enddo i
+)");
+  const auto& b0 = std::get<DoStmt>(ast.main.stmts[0]->node).body;
+  const auto& b1 = std::get<DoStmt>(b0.stmts[0]->node).body;
+  const auto& body = std::get<DoStmt>(b1.stmts[0]->node).body;
+
+  const auto& fill = std::get<AssignStmt>(body.stmts[0]->node);
+  EXPECT_EQ(fill.rhs, AssignStmt::Rhs::kScalarExpr);
+  const auto& contract = std::get<AssignStmt>(body.stmts[2]->node);
+  EXPECT_EQ(contract.rhs, AssignStmt::Rhs::kBlockBinary);
+  EXPECT_EQ(contract.block_op, BinOp::kMul);
+  const auto& contract_acc = std::get<AssignStmt>(body.stmts[3]->node);
+  EXPECT_EQ(contract_acc.op, AssignStmt::Op::kPlusAssign);
+  const auto& scaled = std::get<AssignStmt>(body.stmts[4]->node);
+  EXPECT_EQ(scaled.rhs, AssignStmt::Rhs::kScaledBlock);
+  const auto& dot = std::get<AssignStmt>(body.stmts[5]->node);
+  EXPECT_EQ(dot.rhs, AssignStmt::Rhs::kScalarExpr);
+  EXPECT_EQ(dot.scalar->kind, Expr::Kind::kBlockDot);
+}
+
+TEST(ParserTest, BlockAddSub) {
+  const ProgramAst ast = parse(R"(
+moindex i = 1, nocc
+temp a(i)
+temp b(i)
+temp c(i)
+do i
+  c(i) = a(i) + b(i)
+  c(i) = a(i) - b(i)
+enddo i
+)");
+  const auto& body = std::get<DoStmt>(ast.main.stmts[0]->node).body;
+  EXPECT_EQ(std::get<AssignStmt>(body.stmts[0]->node).block_op, BinOp::kAdd);
+  EXPECT_EQ(std::get<AssignStmt>(body.stmts[1]->node).block_op, BinOp::kSub);
+}
+
+TEST(ParserTest, ProcAndCall) {
+  const ProgramAst ast = parse(R"(
+scalar x
+proc setx
+  x = 5.0
+endproc
+call setx
+)");
+  ASSERT_EQ(ast.procs.size(), 1u);
+  EXPECT_EQ(ast.procs[0].name, "setx");
+  const auto& call = std::get<CallStmt>(ast.main.stmts[0]->node);
+  EXPECT_EQ(call.proc, "setx");
+}
+
+TEST(ParserTest, CallUndeclaredProcThrows) {
+  EXPECT_THROW(parse("call nothing\n"), CompileError);
+}
+
+TEST(ParserTest, ExecuteArguments) {
+  const ProgramAst ast = parse(R"(
+moindex i = 1, nocc
+temp t(i)
+scalar s
+do i
+  execute my_op t(i) s "label" 3.5 7
+enddo i
+)");
+  const auto& body = std::get<DoStmt>(ast.main.stmts[0]->node).body;
+  const auto& exec = std::get<ExecuteStmt>(body.stmts[0]->node);
+  EXPECT_EQ(exec.name, "my_op");
+  ASSERT_EQ(exec.args.size(), 5u);
+  EXPECT_EQ(exec.args[0].kind, ExecArg::Kind::kBlock);
+  EXPECT_EQ(exec.args[1].kind, ExecArg::Kind::kScalar);
+  EXPECT_EQ(exec.args[2].kind, ExecArg::Kind::kString);
+  EXPECT_EQ(exec.args[3].kind, ExecArg::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(exec.args[4].number, 7.0);
+}
+
+TEST(ParserTest, BarriersCollectivePrint) {
+  const ProgramAst ast = parse(R"(
+scalar a
+scalar b
+sip_barrier
+server_barrier
+collective a += b
+print a
+println "text"
+)");
+  EXPECT_FALSE(std::get<BarrierStmt>(ast.main.stmts[0]->node).server);
+  EXPECT_TRUE(std::get<BarrierStmt>(ast.main.stmts[1]->node).server);
+  const auto& coll = std::get<CollectiveStmt>(ast.main.stmts[2]->node);
+  EXPECT_EQ(coll.dst, "a");
+  EXPECT_EQ(coll.src, "b");
+  EXPECT_NE(std::get<PrintStmt>(ast.main.stmts[3]->node).value, nullptr);
+  EXPECT_EQ(std::get<PrintStmt>(ast.main.stmts[4]->node).text, "text");
+}
+
+TEST(ParserTest, CheckpointRestore) {
+  const ProgramAst ast = parse(R"(
+moindex i = 1, nocc
+distributed d(i)
+checkpoint d "ck1"
+restore d "ck1"
+)");
+  EXPECT_FALSE(std::get<CheckpointStmt>(ast.main.stmts[0]->node).is_restore);
+  EXPECT_TRUE(std::get<CheckpointStmt>(ast.main.stmts[1]->node).is_restore);
+}
+
+TEST(ParserTest, DeclarationInsideLoopThrows) {
+  EXPECT_THROW(parse(R"(
+moindex i = 1, nocc
+do i
+  scalar x
+enddo i
+)"),
+               CompileError);
+}
+
+TEST(ParserTest, AssignToIndexThrows) {
+  EXPECT_THROW(parse("moindex i = 1, nocc\ni = 3\n"), CompileError);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  const ProgramAst ast = parse("scalar x\nx = 1.0 + 2.0 * 3.0\n");
+  const auto& assign = std::get<AssignStmt>(ast.main.stmts[0]->node);
+  ASSERT_EQ(assign.scalar->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(assign.scalar->binop, BinOp::kAdd);
+  EXPECT_EQ(assign.scalar->rhs->binop, BinOp::kMul);
+}
+
+TEST(ParserTest, FunctionCalls) {
+  const ProgramAst ast = parse("scalar x\nx = sqrt(abs(x) + exp(1.0))\n");
+  const auto& assign = std::get<AssignStmt>(ast.main.stmts[0]->node);
+  EXPECT_EQ(assign.scalar->kind, Expr::Kind::kFunc);
+  EXPECT_EQ(assign.scalar->name, "sqrt");
+}
+
+TEST(ParserTest, UnterminatedLoopThrows) {
+  EXPECT_THROW(parse("moindex i = 1, nocc\ndo i\n"), CompileError);
+}
+
+TEST(ParserTest, ExitStatement) {
+  const ProgramAst ast = parse(R"(
+moindex i = 1, nocc
+do i
+  exit
+enddo i
+)");
+  const auto& body = std::get<DoStmt>(ast.main.stmts[0]->node).body;
+  EXPECT_TRUE(std::holds_alternative<ExitStmt>(body.stmts[0]->node));
+}
+
+}  // namespace
+}  // namespace sia::sial

@@ -1,0 +1,204 @@
+// Unit tests for the look-ahead prefetcher (paper §V-A: "the SIP looks
+// ahead and requests several blocks that it expects will be needed
+// soon").
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sial/compiler.hpp"
+#include "sip/prefetch.hpp"
+
+namespace sia::sip {
+namespace {
+
+struct Fixture {
+  explicit Fixture(const std::string& body) {
+    SipConfig config;
+    config.default_segment = 4;
+    config.constants = {{"n", 16}};
+    program = std::make_unique<sial::ResolvedProgram>(
+        sial::compile_sial("sial test\n" + body + "\nendsial\n"), config);
+    values.assign(program->indices().size(), sial::kUndefinedIndexValue);
+  }
+
+  sial::BlockOperand get_operand() const {
+    for (const sial::Instruction& instr : program->code().code) {
+      if (instr.op == sial::Opcode::kGet) return instr.blocks[0];
+    }
+    throw sia::Error("no get in program");
+  }
+
+  std::unique_ptr<sial::ResolvedProgram> program;
+  std::vector<long> values;
+};
+
+constexpr const char* kDoLoopGet = R"(
+moindex i = 1, n
+moindex j = 1, n
+distributed d(i,j)
+temp t(i,j)
+pardo i
+  do j
+    get d(i,j)
+    t(i,j) = d(i,j)
+  enddo j
+endpardo i
+)";
+
+TEST(PrefetchTest, DoLoopLookaheadAdvancesTheLoopIndex) {
+  Fixture fx(kDoLoopGet);
+  fx.values[0] = 2;  // i
+  fx.values[1] = 1;  // j (current)
+  LoopContext loop;
+  loop.is_pardo = false;
+  loop.index_id = fx.program->code().index_id("j");
+  loop.current = 1;
+  loop.last = 4;
+  const auto ids = prefetch_candidates(*fx.program, fx.get_operand(),
+                                       fx.values, {&loop, 1}, 2);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], BlockId(0, std::vector<int>{2, 2}));
+  EXPECT_EQ(ids[1], BlockId(0, std::vector<int>{2, 3}));
+}
+
+TEST(PrefetchTest, LookaheadStopsAtLoopEnd) {
+  Fixture fx(kDoLoopGet);
+  fx.values[0] = 1;
+  fx.values[1] = 4;
+  LoopContext loop;
+  loop.is_pardo = false;
+  loop.index_id = fx.program->code().index_id("j");
+  loop.current = 4;
+  loop.last = 4;  // last iteration: nothing ahead
+  EXPECT_TRUE(prefetch_candidates(*fx.program, fx.get_operand(), fx.values,
+                                  {&loop, 1}, 3)
+                  .empty());
+}
+
+TEST(PrefetchTest, DepthZeroDisables) {
+  Fixture fx(kDoLoopGet);
+  fx.values[0] = 1;
+  fx.values[1] = 1;
+  LoopContext loop;
+  loop.is_pardo = false;
+  loop.index_id = fx.program->code().index_id("j");
+  loop.current = 1;
+  loop.last = 4;
+  EXPECT_TRUE(prefetch_candidates(*fx.program, fx.get_operand(), fx.values,
+                                  {&loop, 1}, 0)
+                  .empty());
+}
+
+TEST(PrefetchTest, LoopNotDrivingOperandIsSkipped) {
+  // The innermost loop runs over an index the operand does not use; the
+  // prefetcher must look at the next loop out.
+  Fixture fx(R"(
+moindex i = 1, n
+moindex j = 1, n
+moindex k = 1, n
+distributed d(i,j)
+temp t(i,j)
+pardo i
+  do j
+    do k
+      get d(i,j)
+      t(i,j) = d(i,j)
+    enddo k
+  enddo j
+endpardo i
+)");
+  fx.values[0] = 1;  // i
+  fx.values[1] = 2;  // j
+  fx.values[2] = 1;  // k
+  LoopContext inner;  // over k: irrelevant to d(i,j)
+  inner.is_pardo = false;
+  inner.index_id = fx.program->code().index_id("k");
+  inner.current = 1;
+  inner.last = 4;
+  LoopContext outer;  // over j: drives the operand
+  outer.is_pardo = false;
+  outer.index_id = fx.program->code().index_id("j");
+  outer.current = 2;
+  outer.last = 4;
+  const LoopContext loops[] = {inner, outer};
+  const auto ids = prefetch_candidates(*fx.program, fx.get_operand(),
+                                       fx.values, loops, 2);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], BlockId(0, std::vector<int>{1, 3}));
+  EXPECT_EQ(ids[1], BlockId(0, std::vector<int>{1, 4}));
+}
+
+TEST(PrefetchTest, PardoChunkLookaheadUsesFilteredPositions) {
+  Fixture fx(R"(
+moindex i = 1, n
+moindex j = 1, n
+distributed d(i,j)
+temp t(i,j)
+pardo i, j where i < j
+  get d(i,j)
+  t(i,j) = d(i,j)
+endpardo i, j
+)");
+  const sial::PardoInfo& pardo = fx.program->code().pardos[0];
+  const auto filtered = fx.program->pardo_filtered_space(pardo, fx.values);
+  ASSERT_EQ(filtered.size(), 6u);  // i<j over a 4x4 segment grid
+
+  // Current iteration is position 0 (i=1,j=2); chunk covers 0..3.
+  std::vector<long> decoded(2);
+  fx.program->pardo_decode(pardo, fx.values, filtered[0], decoded);
+  fx.values[0] = decoded[0];
+  fx.values[1] = decoded[1];
+
+  LoopContext loop;
+  loop.is_pardo = true;
+  loop.pardo = &pardo;
+  loop.filtered = &filtered;
+  loop.next_pos = 1;
+  loop.end_pos = 4;
+  const auto ids = prefetch_candidates(*fx.program, fx.get_operand(),
+                                       fx.values, {&loop, 1}, 8);
+  // Depth 8 clipped to the chunk end: positions 1..3.
+  ASSERT_EQ(ids.size(), 3u);
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    fx.program->pardo_decode(pardo, fx.values,
+                             filtered[k + 1], decoded);
+    EXPECT_EQ(ids[k],
+              BlockId(0, std::vector<int>{static_cast<int>(decoded[0]),
+                                          static_cast<int>(decoded[1])}));
+  }
+}
+
+TEST(PrefetchTest, NoLoopsMeansNoCandidates) {
+  Fixture fx(kDoLoopGet);
+  fx.values[0] = 1;
+  fx.values[1] = 1;
+  EXPECT_TRUE(
+      prefetch_candidates(*fx.program, fx.get_operand(), fx.values, {}, 4)
+          .empty());
+}
+
+TEST(PrefetchTest, HypotheticalValueOutsideArrayIsDropped) {
+  // The loop index range extends past the array (narrower decl index):
+  // candidates falling outside the array grid are skipped, not errors.
+  Fixture fx(R"(
+moindex i = 1, n
+moindex h = 1, n+8
+distributed d(i)
+temp t(i)
+do h
+  get d(h)
+  t(h) = d(h)
+enddo h
+)");
+  fx.values[1] = 4;  // h at the last segment that maps into d
+  LoopContext loop;
+  loop.is_pardo = false;
+  loop.index_id = fx.program->code().index_id("h");
+  loop.current = 4;
+  loop.last = 6;
+  const auto ids = prefetch_candidates(*fx.program, fx.get_operand(),
+                                       fx.values, {&loop, 1}, 3);
+  EXPECT_TRUE(ids.empty());  // 5 and 6 fall outside d's grid
+}
+
+}  // namespace
+}  // namespace sia::sip

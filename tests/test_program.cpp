@@ -1,0 +1,309 @@
+// Unit tests for program resolution (symbolic binding, segment math,
+// operand resolution, pardo spaces).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "sial/compiler.hpp"
+#include "sial/program.hpp"
+
+namespace sia::sial {
+namespace {
+
+SipConfig base_config() {
+  SipConfig config;
+  config.workers = 2;
+  config.io_servers = 0;
+  config.default_segment = 4;
+  config.subsegments_per_segment = 2;
+  config.constants = {{"norb", 16}, {"nocc", 8}};
+  return config;
+}
+
+ResolvedProgram resolve(const std::string& body,
+                        SipConfig config = base_config()) {
+  return ResolvedProgram(compile_sial("sial test\n" + body + "\nendsial\n"),
+                         config);
+}
+
+TEST(ProgramTest, MissingConstantThrows) {
+  SipConfig config = base_config();
+  config.constants.erase("norb");
+  EXPECT_THROW(resolve("aoindex mu = 1, norb\n", config), Error);
+}
+
+TEST(ProgramTest, IndexRangesResolved) {
+  const ResolvedProgram program = resolve(R"(
+aoindex mu = 1, norb
+moindex i = 1, nocc
+moindex a = nocc+1, norb
+)");
+  const ResolvedIndex& mu = program.index(0);
+  EXPECT_EQ(mu.low, 1);
+  EXPECT_EQ(mu.high, 16);
+  EXPECT_EQ(mu.segment_size, 4);
+  EXPECT_EQ(mu.seg_lo, 1);
+  EXPECT_EQ(mu.seg_hi, 4);
+  const ResolvedIndex& i = program.index(1);
+  EXPECT_EQ(i.seg_lo, 1);
+  EXPECT_EQ(i.seg_hi, 2);
+  const ResolvedIndex& a = program.index(2);
+  EXPECT_EQ(a.low, 9);
+  EXPECT_EQ(a.seg_lo, 3);  // absolute segment numbers
+  EXPECT_EQ(a.seg_hi, 4);
+}
+
+TEST(ProgramTest, MisalignedLowBoundThrows) {
+  SipConfig config = base_config();
+  config.constants["nocc"] = 6;  // 6 % 4 != 0 -> virtuals misaligned
+  EXPECT_THROW(resolve("moindex a = nocc+1, norb\n", config), Error);
+}
+
+TEST(ProgramTest, SimpleIndexHasUnitSegments) {
+  const ResolvedProgram program = resolve("index k = 1, 10\n");
+  EXPECT_EQ(program.index(0).segment_size, 1);
+  EXPECT_EQ(program.index(0).num_values(), 10);
+}
+
+TEST(ProgramTest, TailSegmentExtent) {
+  SipConfig config = base_config();
+  config.constants["norb"] = 14;  // 4+4+4+2
+  const ResolvedProgram program = resolve("aoindex mu = 1, norb\n", config);
+  const ResolvedIndex& mu = program.index(0);
+  EXPECT_EQ(mu.seg_hi, 4);
+  EXPECT_EQ(mu.segment_extent(4), 2);
+  EXPECT_EQ(mu.segment_extent(3), 4);
+}
+
+TEST(ProgramTest, SubindexResolution) {
+  const ResolvedProgram program = resolve(R"(
+moindex i = 1, nocc
+subindex ii of i
+)");
+  const ResolvedIndex& ii = program.index(1);
+  EXPECT_EQ(ii.segment_size, 2);  // 4 / 2 subsegments
+  EXPECT_EQ(ii.subs_per_segment, 2);
+  EXPECT_EQ(ii.seg_lo, 1);
+  EXPECT_EQ(ii.seg_hi, 4);  // 8 elements / 2
+}
+
+TEST(ProgramTest, SubsegmentsMustDivideSegment) {
+  SipConfig config = base_config();
+  config.subsegments_per_segment = 3;  // does not divide 4
+  EXPECT_THROW(resolve("moindex i = 1, nocc\nsubindex ii of i\n", config),
+               Error);
+}
+
+TEST(ProgramTest, ArrayGridsComputed) {
+  const ResolvedProgram program = resolve(R"(
+aoindex mu = 1, norb
+moindex i = 1, nocc
+distributed d(mu,i)
+)");
+  const ResolvedArray& array = program.array(0);
+  EXPECT_EQ(array.num_segments, (std::vector<int>{4, 2}));
+  EXPECT_EQ(array.total_blocks, 8);
+  EXPECT_EQ(array.max_block_elements, 16u);
+  EXPECT_EQ(array.total_elements, 16u * 8u);
+}
+
+TEST(ProgramTest, ResolveOperandBasics) {
+  const ResolvedProgram program = resolve(R"(
+aoindex mu = 1, norb
+moindex i = 1, nocc
+temp t(mu,i)
+do mu
+do i
+  t(mu,i) = 0.0
+enddo i
+enddo mu
+)");
+  std::vector<long> values(program.indices().size(),
+                           kUndefinedIndexValue);
+  values[0] = 2;  // mu segment 2
+  values[1] = 1;  // i segment 1
+  BlockOperand operand;
+  for (const Instruction& instr : program.code().code) {
+    if (instr.op == Opcode::kBlockScalarOp) operand = instr.blocks[0];
+  }
+  const BlockSelector sel = program.resolve_operand(operand, values);
+  EXPECT_EQ(sel.dim_local[0], 2);
+  EXPECT_EQ(sel.dim_local[1], 1);
+  EXPECT_FALSE(sel.sliced);
+  EXPECT_EQ(sel.extents[0], 4);
+  EXPECT_EQ(sel.first_element[0], 5);
+  EXPECT_EQ(sel.id(), BlockId(0, std::vector<int>{2, 1}));
+}
+
+TEST(ProgramTest, ResolveOperandUndefinedIndexThrows) {
+  const ResolvedProgram program = resolve(R"(
+aoindex mu = 1, norb
+temp t(mu)
+do mu
+  t(mu) = 0.0
+enddo mu
+)");
+  std::vector<long> values(program.indices().size(),
+                           kUndefinedIndexValue);
+  BlockOperand operand;
+  for (const Instruction& instr : program.code().code) {
+    if (instr.op == Opcode::kBlockScalarOp) operand = instr.blocks[0];
+  }
+  EXPECT_THROW(program.resolve_operand(operand, values), RuntimeError);
+}
+
+TEST(ProgramTest, VirtualIndexAddressesAbsoluteSegments) {
+  const ResolvedProgram program = resolve(R"(
+moindex p = 1, norb
+moindex a = nocc+1, norb
+temp t(p)
+do a
+  t(a) = 0.0
+enddo a
+)");
+  // `a` (virtual, segments 3..4) addressing the full-range array `t`.
+  std::vector<long> values(program.indices().size(),
+                           kUndefinedIndexValue);
+  values[1] = 3;
+  BlockOperand operand;
+  for (const Instruction& instr : program.code().code) {
+    if (instr.op == Opcode::kBlockScalarOp) operand = instr.blocks[0];
+  }
+  const BlockSelector sel = program.resolve_operand(operand, values);
+  EXPECT_EQ(sel.dim_local[0], 3);
+  EXPECT_EQ(sel.first_element[0], 9);
+}
+
+TEST(ProgramTest, SubindexSliceSelector) {
+  const ResolvedProgram program = resolve(R"(
+moindex i = 1, nocc
+subindex ii of i
+temp t(i)
+do i
+do ii in i
+  t(ii) = 0.0
+enddo ii
+enddo i
+)");
+  std::vector<long> values(program.indices().size(),
+                           kUndefinedIndexValue);
+  values[0] = 2;  // super segment 2 covers elements 5..8
+  values[1] = 4;  // second subsegment of segment 2: elements 7..8
+  BlockOperand operand;
+  for (const Instruction& instr : program.code().code) {
+    if (instr.op == Opcode::kBlockScalarOp) operand = instr.blocks[0];
+  }
+  const BlockSelector sel = program.resolve_operand(operand, values);
+  EXPECT_TRUE(sel.sliced);
+  EXPECT_EQ(sel.dim_local[0], 2);      // containing block
+  EXPECT_EQ(sel.slice_origin[0], 2);   // offset within the block
+  EXPECT_EQ(sel.extents[0], 2);        // subsegment extent
+  EXPECT_EQ(sel.block_extents[0], 4);
+  EXPECT_EQ(sel.first_element[0], 7);
+}
+
+TEST(ProgramTest, PardoSpaceUnfiltered) {
+  const ResolvedProgram program = resolve(R"(
+moindex i = 1, nocc
+moindex j = 1, nocc
+pardo i, j
+endpardo i, j
+)");
+  std::vector<long> values(program.indices().size(),
+                           kUndefinedIndexValue);
+  const PardoInfo& pardo = program.code().pardos[0];
+  EXPECT_EQ(program.pardo_dims(pardo, values), (std::vector<long>{2, 2}));
+  EXPECT_EQ(program.pardo_filtered_space(pardo, values).size(), 4u);
+}
+
+TEST(ProgramTest, PardoWhereFiltersSpace) {
+  const ResolvedProgram program = resolve(R"(
+moindex i = 1, nocc
+moindex j = 1, nocc
+pardo i, j where i < j
+endpardo i, j
+)");
+  std::vector<long> values(program.indices().size(),
+                           kUndefinedIndexValue);
+  const PardoInfo& pardo = program.code().pardos[0];
+  const auto filtered = program.pardo_filtered_space(pardo, values);
+  ASSERT_EQ(filtered.size(), 1u);  // only (1,2) of the 2x2 space
+  std::vector<long> decoded(2);
+  program.pardo_decode(pardo, values, filtered[0], decoded);
+  EXPECT_EQ(decoded, (std::vector<long>{1, 2}));
+}
+
+TEST(ProgramTest, PardoDecodeRoundTrip) {
+  const ResolvedProgram program = resolve(R"(
+aoindex mu = 1, norb
+moindex i = 1, nocc
+pardo mu, i
+endpardo mu, i
+)");
+  std::vector<long> values(program.indices().size(),
+                           kUndefinedIndexValue);
+  const PardoInfo& pardo = program.code().pardos[0];
+  const auto dims = program.pardo_dims(pardo, values);
+  std::vector<long> decoded(2);
+  std::set<std::pair<long, long>> seen;
+  for (std::int64_t raw = 0; raw < dims[0] * dims[1]; ++raw) {
+    program.pardo_decode(pardo, values, raw, decoded);
+    seen.insert({decoded[0], decoded[1]});
+    EXPECT_GE(decoded[0], 1);
+    EXPECT_LE(decoded[0], 4);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(dims[0] * dims[1]));
+}
+
+TEST(ProgramTest, PardoInSpaceDependsOnSuperValue) {
+  const ResolvedProgram program = resolve(R"(
+moindex i = 1, nocc
+subindex ii of i
+do i
+  pardo ii in i
+  endpardo ii
+enddo i
+)");
+  std::vector<long> values(program.indices().size(),
+                           kUndefinedIndexValue);
+  const PardoInfo& pardo = program.code().pardos[0];
+  EXPECT_THROW(program.pardo_dims(pardo, values), RuntimeError);
+  values[0] = 2;
+  EXPECT_EQ(program.pardo_dims(pardo, values), (std::vector<long>{2}));
+  std::vector<long> decoded(1);
+  program.pardo_decode(pardo, values, 0, decoded);
+  EXPECT_EQ(decoded[0], 3);  // first subsegment of super segment 2
+}
+
+TEST(ProgramTest, SegmentOverridePerIndexType) {
+  SipConfig config = base_config();
+  config.segment_overrides["moindex"] = 2;
+  const ResolvedProgram program = resolve(R"(
+aoindex mu = 1, norb
+moindex i = 1, nocc
+)",
+                                          config);
+  EXPECT_EQ(program.index(0).segment_size, 4);
+  EXPECT_EQ(program.index(1).segment_size, 2);
+}
+
+TEST(ProgramTest, EvalIntExprArithmetic) {
+  const ResolvedProgram program = resolve("scalar x\n");
+  IntExpr lhs;
+  lhs.kind = IntExpr::Kind::kConstant;
+  lhs.constant = "norb";
+  IntExpr rhs;
+  rhs.kind = IntExpr::Kind::kLiteral;
+  rhs.literal = 2;
+  IntExpr expr;
+  expr.kind = IntExpr::Kind::kDiv;
+  expr.lhs = std::make_unique<IntExpr>(lhs);
+  expr.rhs = std::make_unique<IntExpr>(rhs);
+  EXPECT_EQ(program.eval_int_expr(expr), 8);
+  expr.rhs->literal = 0;
+  EXPECT_THROW(program.eval_int_expr(expr), Error);
+}
+
+}  // namespace
+}  // namespace sia::sial

@@ -1,0 +1,156 @@
+// Property-based tests: invariants that must hold across the tuning
+// parameters the paper says are free to change without touching SIAL
+// source — segment size, worker count, I/O server count, prefetch depth.
+// The observable results must be identical (to rounding) in every
+// configuration.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "chem/integrals.hpp"
+#include "chem/programs.hpp"
+#include "chem/reference.hpp"
+#include "sip/launch.hpp"
+
+namespace sia::sip {
+namespace {
+
+SipConfig make_config(int workers, int segment, int servers = 1,
+                      int prefetch = 2) {
+  chem::register_chem_superinstructions();
+  SipConfig config;
+  config.workers = workers;
+  config.io_servers = servers;
+  config.default_segment = segment;
+  config.prefetch_depth = prefetch;
+  config.constants = {{"norb", 8}, {"nocc", 4}, {"maxiter", 2}};
+  return config;
+}
+
+// ---------------------------------------------------------------------
+// Segment size x worker count sweep: MP2 energy invariant.
+// nocc = 4 requires segment in {1, 2, 4} for aligned virtuals.
+
+class Mp2Invariance
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(Mp2Invariance, EnergyIndependentOfTuning) {
+  const auto [workers, segment] = GetParam();
+  Sip sip(make_config(workers, segment));
+  const RunResult result = sip.run_source(chem::mp2_energy_source());
+  EXPECT_NEAR(result.scalar("e2"), chem::ref_mp2_energy(8, 4), 1e-11)
+      << "workers=" << workers << " segment=" << segment;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Mp2Invariance,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 4)));
+
+// ---------------------------------------------------------------------
+// CCD energy invariant under worker count and prefetch depth.
+
+class CcdInvariance
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CcdInvariance, EnergyIndependentOfWorkersAndPrefetch) {
+  const auto [workers, prefetch] = GetParam();
+  Sip sip(make_config(workers, 4, 1, prefetch));
+  const RunResult result = sip.run_source(chem::ccd_energy_source());
+  double norm2 = 0.0;
+  const double want = chem::ref_ccd_energy(8, 4, 2, &norm2);
+  EXPECT_NEAR(result.scalar("energy"), want, 1e-11)
+      << "workers=" << workers << " prefetch=" << prefetch;
+  EXPECT_NEAR(result.scalar("rnorm2"), norm2, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CcdInvariance,
+                         ::testing::Combine(::testing::Values(1, 3, 5),
+                                            ::testing::Values(0, 3)));
+
+// ---------------------------------------------------------------------
+// Served arrays: result invariant under the I/O server count and server
+// cache size (including a cache so small everything spills to disk).
+
+class ServedInvariance
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(ServedInvariance, Mp2ServedStable) {
+  const auto [servers, cache_bytes] = GetParam();
+  SipConfig config = make_config(2, 4, servers);
+  config.server_cache_bytes = cache_bytes;
+  Sip sip(config);
+  const RunResult result = sip.run_source(chem::mp2_served_source());
+  EXPECT_NEAR(result.scalar("e2"), chem::ref_mp2_energy(8, 4), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ServedInvariance,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(std::size_t{256} * 8,
+                                         std::size_t{1} << 20)));
+
+// ---------------------------------------------------------------------
+// Fock build invariant across segment sizes (tail segments included).
+
+class FockInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(FockInvariance, NormIndependentOfSegmentSize) {
+  SipConfig config = make_config(2, GetParam());
+  Sip sip(config);
+  const RunResult result = sip.run_source(chem::fock_build_source());
+  EXPECT_NEAR(result.scalar("fnorm"), chem::ref_fock_norm(8), 1e-10)
+      << "segment " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Segments, FockInvariance,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+// ---------------------------------------------------------------------
+// Chunk-scheduling knobs must not change results.
+
+class SchedulingInvariance
+    : public ::testing::TestWithParam<std::tuple<int, long>> {};
+
+TEST_P(SchedulingInvariance, ContractionChecksumStable) {
+  const auto [divisor, min_chunk] = GetParam();
+  SipConfig config = make_config(3, 4);
+  config.chunk_divisor = divisor;
+  config.min_chunk = min_chunk;
+  Sip sip(config);
+  const RunResult result = sip.run_source(chem::contraction_demo_source());
+  EXPECT_NEAR(result.scalar("rnorm2"),
+              chem::ref_contraction_rnorm2(8, 4, 7.0), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SchedulingInvariance,
+                         ::testing::Combine(::testing::Values(1, 2, 8),
+                                            ::testing::Values(1l, 4l)));
+
+// ---------------------------------------------------------------------
+// Repeatability: identical configuration twice gives bit-identical
+// scalars (deterministic synthetic data, associativity-safe reductions at
+// this size).
+
+TEST(DeterminismTest, RepeatedRunsBitIdentical) {
+  Sip sip(make_config(3, 4));
+  const RunResult a = sip.run_source(chem::mp2_energy_source());
+  const RunResult b = sip.run_source(chem::mp2_energy_source());
+  EXPECT_EQ(a.scalar("e2"), b.scalar("e2"));
+}
+
+// Worker memory budget (as long as feasible) must not change results,
+// only pool behaviour.
+TEST(DeterminismTest, MemoryBudgetOnlyAffectsPools) {
+  SipConfig small = make_config(2, 4);
+  small.worker_memory_bytes = 1 << 18;
+  SipConfig large = make_config(2, 4);
+  large.worker_memory_bytes = 64 << 20;
+  Sip sip_small(small);
+  Sip sip_large(large);
+  const RunResult a = sip_small.run_source(chem::mp2_energy_source());
+  const RunResult b = sip_large.run_source(chem::mp2_energy_source());
+  EXPECT_EQ(a.scalar("e2"), b.scalar("e2"));
+}
+
+}  // namespace
+}  // namespace sia::sip

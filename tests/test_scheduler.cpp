@@ -1,0 +1,131 @@
+// Unit tests for the guided pardo chunk scheduler.
+#include <gtest/gtest.h>
+
+#include "sip/scheduler.hpp"
+
+namespace sia::sip {
+namespace {
+
+TEST(GuidedScheduleTest, CoversEveryPositionExactlyOnce) {
+  GuidedSchedule schedule(100, 4, 2, 1);
+  std::vector<int> seen(100, 0);
+  while (true) {
+    const auto [begin, end] = schedule.next_chunk();
+    if (begin >= end) break;
+    for (std::int64_t p = begin; p < end; ++p) {
+      seen[static_cast<std::size_t>(p)] += 1;
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+  EXPECT_TRUE(schedule.exhausted());
+}
+
+TEST(GuidedScheduleTest, ChunkSizesDecrease) {
+  GuidedSchedule schedule(1000, 4, 2, 1);
+  std::int64_t previous = 1 << 30;
+  while (true) {
+    const auto [begin, end] = schedule.next_chunk();
+    if (begin >= end) break;
+    const std::int64_t size = end - begin;
+    EXPECT_LE(size, previous);
+    previous = size;
+  }
+}
+
+TEST(GuidedScheduleTest, FirstChunkIsGuidedFraction) {
+  GuidedSchedule schedule(800, 4, 2, 1);
+  const auto [begin, end] = schedule.next_chunk();
+  EXPECT_EQ(begin, 0);
+  EXPECT_EQ(end - begin, 800 / (2 * 4));
+}
+
+TEST(GuidedScheduleTest, MinChunkRespected) {
+  GuidedSchedule schedule(10, 4, 2, 3);
+  const auto [begin, end] = schedule.next_chunk();
+  EXPECT_EQ(end - begin, 3);
+}
+
+TEST(GuidedScheduleTest, EmptySpaceIsImmediatelyDone) {
+  GuidedSchedule schedule(0, 4, 2, 1);
+  const auto [begin, end] = schedule.next_chunk();
+  EXPECT_EQ(begin, end);
+  EXPECT_TRUE(schedule.exhausted());
+}
+
+TEST(GuidedScheduleTest, DoneRepeatedlyAfterExhaustion) {
+  GuidedSchedule schedule(3, 2, 2, 1);
+  while (true) {
+    const auto [begin, end] = schedule.next_chunk();
+    if (begin >= end) break;
+  }
+  for (int k = 0; k < 3; ++k) {
+    const auto [begin, end] = schedule.next_chunk();
+    EXPECT_EQ(begin, end);
+  }
+}
+
+TEST(ScheduleTableTest, CreatesPerInstance) {
+  ScheduleTable table(2, 2, 1);
+  bool mismatch = false;
+  GuidedSchedule* first = table.get_or_create(0, 0, 10, &mismatch);
+  GuidedSchedule* second = table.get_or_create(0, 1, 10, &mismatch);
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(mismatch);
+  EXPECT_EQ(table.active(), 2u);
+}
+
+TEST(ScheduleTableTest, SameKeyReturnsSameSchedule) {
+  ScheduleTable table(2, 2, 1);
+  bool mismatch = false;
+  GuidedSchedule* a = table.get_or_create(3, 7, 10, &mismatch);
+  GuidedSchedule* b = table.get_or_create(3, 7, 10, &mismatch);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(mismatch);
+}
+
+TEST(ScheduleTableTest, TotalMismatchDetected) {
+  ScheduleTable table(2, 2, 1);
+  bool mismatch = false;
+  table.get_or_create(0, 0, 10, &mismatch);
+  EXPECT_FALSE(mismatch);
+  table.get_or_create(0, 0, 12, &mismatch);
+  EXPECT_TRUE(mismatch);
+}
+
+TEST(ScheduleTableTest, RetireAfterAllWorkers) {
+  ScheduleTable table(2, 2, 1);
+  bool mismatch = false;
+  table.get_or_create(0, 0, 10, &mismatch);
+  table.retire(0, 0);
+  EXPECT_EQ(table.active(), 1u);  // one worker still running
+  table.retire(0, 0);
+  EXPECT_EQ(table.active(), 0u);
+}
+
+TEST(ScheduleTableTest, TwoWorkersDrainEverything) {
+  // Simulate two workers pulling chunks concurrently from one schedule.
+  ScheduleTable table(2, 2, 1);
+  bool mismatch = false;
+  std::vector<int> seen(64, 0);
+  bool done[2] = {false, false};
+  int turn = 0;
+  while (!done[0] || !done[1]) {
+    const int w = turn++ % 2;
+    if (done[w]) continue;
+    GuidedSchedule* schedule = table.get_or_create(0, 0, 64, &mismatch);
+    const auto [begin, end] = schedule->next_chunk();
+    if (begin >= end) {
+      done[w] = true;
+      table.retire(0, 0);
+      continue;
+    }
+    for (std::int64_t p = begin; p < end; ++p) {
+      seen[static_cast<std::size_t>(p)] += 1;
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+  EXPECT_EQ(table.active(), 0u);
+}
+
+}  // namespace
+}  // namespace sia::sip

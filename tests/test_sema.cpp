@@ -1,0 +1,359 @@
+// Unit tests for SIAL semantic analysis.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sial/parser.hpp"
+#include "sial/sema.hpp"
+
+namespace sia::sial {
+namespace {
+
+void check(const std::string& body) {
+  const ProgramAst ast = parse_sial("sial test\n" + body + "\nendsial\n");
+  check_sial(ast);
+}
+
+void expect_reject(const std::string& body, const std::string& fragment) {
+  try {
+    check(body);
+    FAIL() << "expected CompileError mentioning '" << fragment << "'";
+  } catch (const CompileError& error) {
+    EXPECT_NE(std::string(error.what()).find(fragment), std::string::npos)
+        << "actual message: " << error.what();
+  }
+}
+
+constexpr const char* kDecls = R"(
+aoindex mu = 1, norb
+aoindex nu = 1, norb
+moindex i = 1, nocc
+moindex j = 1, nocc
+subindex ii of i
+temp t(mu,nu)
+temp t4(mu,nu,i,j)
+distributed d(mu,nu)
+served s(mu,nu)
+local l(mu,nu)
+static st(mu,nu)
+scalar x
+scalar y
+)";
+
+TEST(SemaTest, AcceptsWellFormedProgram) {
+  EXPECT_NO_THROW(check(std::string(kDecls) + R"(
+pardo mu, nu where mu <= nu
+  t(mu,nu) = 1.0
+  put d(mu,nu) = t(mu,nu)
+endpardo mu, nu
+sip_barrier
+)"));
+}
+
+TEST(SemaTest, RankMismatchRejected) {
+  expect_reject(std::string(kDecls) + R"(
+do mu
+  t(mu) = 0.0
+enddo mu
+)",
+                "rank");
+}
+
+TEST(SemaTest, IndexTypeMismatchRejected) {
+  expect_reject(std::string(kDecls) + R"(
+do mu
+do i
+  t(mu,i) = 0.0
+enddo i
+enddo mu
+)",
+                "requires aoindex");
+}
+
+TEST(SemaTest, SameTypeDifferentVariableAccepted) {
+  // nu has the same type as mu: V(M,N,L,S)-style access must work.
+  EXPECT_NO_THROW(check(std::string(kDecls) + R"(
+do nu
+do mu
+  t(nu,mu) = 0.0
+enddo mu
+enddo nu
+)"));
+}
+
+TEST(SemaTest, SubindexOnDistributedRejected) {
+  expect_reject(std::string(kDecls) + R"(
+moindex k = 1, nocc
+distributed di(i,k)
+do i
+do k
+do ii in i
+  get di(ii,k)
+enddo ii
+enddo k
+enddo i
+)",
+                "subindex");
+}
+
+TEST(SemaTest, DistributedArrayDeclaredWithSubindexRejected) {
+  expect_reject("moindex i = 1, nocc\nsubindex ii of i\ndistributed z(ii)\n",
+                "subindex");
+}
+
+TEST(SemaTest, PardoNestingRejected) {
+  expect_reject(std::string(kDecls) + R"(
+pardo mu
+  pardo nu
+  endpardo nu
+endpardo mu
+)",
+                "nested");
+}
+
+TEST(SemaTest, PardoOverSubindexRejected) {
+  expect_reject(std::string(kDecls) + R"(
+pardo ii
+endpardo ii
+)",
+                "subindex");
+}
+
+TEST(SemaTest, WhereClauseIndexMustBeInPardoList) {
+  expect_reject(std::string(kDecls) + R"(
+pardo mu where nu < 3
+endpardo mu
+)",
+                "not a pardo index");
+}
+
+TEST(SemaTest, GetOnServedSuggestsRequest) {
+  expect_reject(std::string(kDecls) + R"(
+do mu
+do nu
+  get s(mu,nu)
+enddo nu
+enddo mu
+)",
+                "request");
+}
+
+TEST(SemaTest, PutOnServedSuggestsPrepare) {
+  expect_reject(std::string(kDecls) + R"(
+do mu
+do nu
+  put s(mu,nu) = t(mu,nu)
+enddo nu
+enddo mu
+)",
+                "prepare");
+}
+
+TEST(SemaTest, RequestOnDistributedRejected) {
+  expect_reject(std::string(kDecls) + R"(
+do mu
+do nu
+  request d(mu,nu)
+enddo nu
+enddo mu
+)",
+                "served");
+}
+
+TEST(SemaTest, AssignIntoDistributedRejected) {
+  expect_reject(std::string(kDecls) + R"(
+do mu
+do nu
+  d(mu,nu) = 1.0
+enddo nu
+enddo mu
+)",
+                "put");
+}
+
+TEST(SemaTest, AllocateOnTempRejected) {
+  expect_reject(std::string(kDecls) + R"(
+do nu
+  allocate t(*,nu)
+enddo nu
+)",
+                "local");
+}
+
+TEST(SemaTest, AllocateOnLocalAccepted) {
+  EXPECT_NO_THROW(check(std::string(kDecls) + R"(
+do nu
+  allocate l(*,nu)
+  deallocate l(*,nu)
+enddo nu
+)"));
+}
+
+TEST(SemaTest, CreateDeleteRequireDistributed) {
+  expect_reject(std::string(kDecls) + "create s\n", "distributed");
+  expect_reject(std::string(kDecls) + "delete t\n", "distributed");
+  EXPECT_NO_THROW(check(std::string(kDecls) + "create d\ndelete d\n"));
+}
+
+TEST(SemaTest, ContractionIndexSetsChecked) {
+  // Result must be indexed by the symmetric difference.
+  expect_reject(std::string(kDecls) + R"(
+aoindex la = 1, norb
+temp a(mu,la)
+temp b(la,nu)
+do mu
+do nu
+do la
+  t(mu,la) = a(mu,la) * b(la,nu)
+enddo la
+enddo nu
+enddo mu
+)",
+                "must be indexed by");
+}
+
+TEST(SemaTest, ContractionRepeatedIndexRejected) {
+  expect_reject(std::string(kDecls) + R"(
+temp a(mu,mu)
+temp r(nu)
+do mu
+do nu
+  r(nu) = a(mu,mu) * t(mu,nu)
+enddo nu
+enddo mu
+)",
+                "repeat");
+}
+
+TEST(SemaTest, BlockAddRequiresSameIndexSets) {
+  expect_reject(std::string(kDecls) + R"(
+aoindex la = 1, norb
+temp a(mu,la)
+do mu
+do nu
+do la
+  t(mu,nu) = t(mu,nu) + a(mu,la)
+enddo la
+enddo nu
+enddo mu
+)",
+                "same index");
+}
+
+TEST(SemaTest, BlockCopyPermutationAccepted) {
+  EXPECT_NO_THROW(check(std::string(kDecls) + R"(
+temp u(nu,mu)
+do mu
+do nu
+  u(nu,mu) = t(mu,nu)
+enddo nu
+enddo mu
+)"));
+}
+
+TEST(SemaTest, BlockDotRequiresMatchingSets) {
+  expect_reject(std::string(kDecls) + R"(
+do mu
+do nu
+do i
+  x = t(mu,nu) * t4(mu,nu,i,i)
+enddo i
+enddo nu
+enddo mu
+)",
+                "same index");
+}
+
+TEST(SemaTest, BarrierInsidePardoRejected) {
+  expect_reject(std::string(kDecls) + R"(
+pardo mu
+  sip_barrier
+endpardo mu
+)",
+                "barrier");
+}
+
+TEST(SemaTest, CollectiveInsidePardoRejected) {
+  expect_reject(std::string(kDecls) + R"(
+pardo mu
+  collective x += y
+endpardo mu
+)",
+                "collective");
+}
+
+TEST(SemaTest, PardoInInsidePardoRejected) {
+  expect_reject(std::string(kDecls) + R"(
+pardo i
+  pardo ii in i
+  endpardo ii
+endpardo i
+)",
+                "nested");
+}
+
+TEST(SemaTest, DoInRequiresDeclaredSuper) {
+  expect_reject(std::string(kDecls) + R"(
+do j
+do ii in j
+enddo ii
+enddo j
+)",
+                "subindex of");
+}
+
+TEST(SemaTest, DoOverSubindexWithoutInRejected) {
+  expect_reject(std::string(kDecls) + "do ii\nenddo ii\n", "'in' form");
+}
+
+TEST(SemaTest, CheckpointRequiresDistributed) {
+  expect_reject(std::string(kDecls) + "checkpoint s \"k\"\n", "distributed");
+}
+
+TEST(SemaTest, ExitOutsideDoRejected) {
+  expect_reject(std::string(kDecls) + R"(
+pardo mu
+  exit
+endpardo mu
+)",
+                "do loop");
+}
+
+TEST(SemaTest, SubindexOfSubindexRejected) {
+  expect_reject("moindex i = 1, nocc\nsubindex ii of i\nsubindex iii of ii\n",
+                "subindex");
+}
+
+TEST(SemaTest, SliceOnStaticAccepted) {
+  EXPECT_NO_THROW(check(std::string(kDecls) + R"(
+moindex k = 1, nocc
+temp ts(ii,k)
+static sk(i,k)
+do i
+do k
+do ii in i
+  ts(ii,k) = sk(ii,k)
+  sk(ii,k) = ts(ii,k)
+enddo ii
+enddo k
+enddo i
+)"));
+}
+
+TEST(SemaTest, ScaledBlockRequiresMatchingIndexSets) {
+  expect_reject(std::string(kDecls) + R"(
+temp u(i,j)
+do mu
+do nu
+do i
+do j
+  t(mu,nu) = 2.0 * u(i,j)
+enddo j
+enddo i
+enddo nu
+enddo mu
+)",
+                "matching index");
+}
+
+}  // namespace
+}  // namespace sia::sial

@@ -1,0 +1,101 @@
+// Compiles and runs the shipped .sial programs under programs/ — the
+// files users feed to example_sial_tool must stay valid as the language
+// evolves.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "chem/integrals.hpp"
+#include "sial/compiler.hpp"
+#include "sial/disasm.hpp"
+#include "sip/launch.hpp"
+
+#ifndef SIA_PROGRAMS_DIR
+#define SIA_PROGRAMS_DIR "programs"
+#endif
+
+namespace sia::sip {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string program_path(const std::string& name) {
+  return std::string(SIA_PROGRAMS_DIR) + "/" + name;
+}
+
+SipConfig file_config() {
+  chem::register_chem_superinstructions();
+  SipConfig config;
+  config.workers = 2;
+  config.io_servers = 1;
+  config.default_segment = 4;
+  config.constants = {{"n", 8}, {"norb", 8}, {"nocc", 4}};
+  return config;
+}
+
+TEST(SialFilesTest, AllShippedProgramsCompile) {
+  int count = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(SIA_PROGRAMS_DIR)) {
+    if (entry.path().extension() != ".sial") continue;
+    ++count;
+    const std::string source = read_file(entry.path().string());
+    sial::CompiledProgram program;
+    ASSERT_NO_THROW(program = sial::compile_sial(source))
+        << entry.path().string();
+    EXPECT_FALSE(disassemble(program).empty());
+  }
+  EXPECT_GE(count, 4) << "shipped program files went missing";
+}
+
+TEST(SialFilesTest, QuickstartRuns) {
+  Sip sip(file_config());
+  const RunResult result =
+      sip.run_source(read_file(program_path("quickstart.sial")));
+  EXPECT_GT(result.scalar("cnorm"), 0.0);
+}
+
+TEST(SialFilesTest, PaperFragmentRuns) {
+  Sip sip(file_config());
+  const RunResult result =
+      sip.run_source(read_file(program_path("paper_fragment.sial")));
+  EXPECT_GT(result.scalar("rnorm"), 0.0);
+}
+
+TEST(SialFilesTest, Mp2FileMatchesEmbeddedProgram) {
+  Sip sip(file_config());
+  const RunResult from_file =
+      sip.run_source(read_file(program_path("mp2.sial")));
+  EXPECT_NEAR(from_file.scalar("e2"), -0.139488828857, 1e-9);
+}
+
+TEST(SialFilesTest, SubindexDemoTilesExactly) {
+  SipConfig config = file_config();
+  config.subsegments_per_segment = 2;
+  Sip sip(config);
+  const RunResult result =
+      sip.run_source(read_file(program_path("subindex_demo.sial")));
+  EXPECT_NEAR(result.scalar("full_total"), result.scalar("parts_total"),
+              1e-9);
+  EXPECT_GT(result.scalar("full_total"), 0.0);
+}
+
+TEST(SialFilesTest, DryRunWorksOnFiles) {
+  Sip sip(file_config());
+  const sial::CompiledProgram program = sial::compile_sial(
+      read_file(program_path("paper_fragment.sial")));
+  const DryRunReport report = sip.analyze(program);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_GT(report.dist_total_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace sia::sip

@@ -1,0 +1,201 @@
+// Tests for the cluster-scale performance simulator: determinism, model
+// monotonicity, and the qualitative shapes the paper's figures rely on.
+#include <gtest/gtest.h>
+
+#include "chem/system.hpp"
+#include "sim/des.hpp"
+#include "sim/ga_model.hpp"
+#include "sim/machine.hpp"
+#include "sim/report.hpp"
+#include "sim/sip_model.hpp"
+#include "sim/workload.hpp"
+
+namespace sia::sim {
+namespace {
+
+TEST(MachineTest, EffectiveBandwidthDegradesPastBisection) {
+  const MachineModel machine = cray_xt5();
+  EXPECT_DOUBLE_EQ(machine.effective_bw(100), machine.link_bw);
+  EXPECT_LT(machine.effective_bw(100000), machine.link_bw);
+  EXPECT_LT(machine.effective_bw(100000), machine.effective_bw(50000));
+}
+
+TEST(MachineTest, BgpIsRoughlyFourTimesSlowerThanXt5) {
+  const double ratio = cray_xt5().flops_per_core / bluegene_p().flops_per_core;
+  EXPECT_NEAR(ratio, 4.0, 1.0);
+}
+
+TEST(WorkloadTest, CcsdFlopsScaleSteeply) {
+  const auto small = ccsd_iteration(chem::toy_system(200, 20), 20);
+  const auto big = ccsd_iteration(chem::toy_system(400, 40), 20);
+  // CCSD is ~n^6: doubling the system must grow flops by far more than 8x.
+  EXPECT_GT(big.total_flops(), 30.0 * small.total_flops());
+}
+
+TEST(WorkloadTest, TriplesDominateCcsdT) {
+  const auto system = chem::rdx();
+  const auto ccsd = ccsd_energy(system, 20, 10);
+  const auto with_t = ccsd_t(system, 20, 10);
+  EXPECT_GT(with_t.total_flops(), 1.5 * ccsd.total_flops());
+}
+
+TEST(SimulatorTest, Deterministic) {
+  const MachineModel machine = cray_xt5();
+  const auto workload = ccsd_iteration(chem::rdx(), 24);
+  SimOptions options;
+  const WorkloadResult a = simulate_workload(machine, workload, 512, options);
+  const WorkloadResult b = simulate_workload(machine, workload, 512, options);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.chunks, b.chunks);
+}
+
+TEST(SimulatorTest, MoreWorkersFasterInScalingRegime) {
+  const MachineModel machine = cray_xt5();
+  const auto workload = ccsd_iteration(chem::rdx(), 24);
+  SimOptions options;
+  double previous = 1e30;
+  for (const long p : {256, 512, 1024, 2048}) {
+    const double t = simulate_workload(machine, workload, p, options).seconds;
+    EXPECT_LT(t, previous) << p << " cores";
+    previous = t;
+  }
+}
+
+TEST(SimulatorTest, EfficiencyDecreasesButStaysReasonable) {
+  const MachineModel machine = cray_xt5();
+  const auto workload = ccsd_iteration(chem::hmx(), 24);
+  SimOptions options;
+  std::vector<long> procs = {1000, 2000, 4000, 8000};
+  std::vector<double> times;
+  for (const long p : procs) {
+    times.push_back(simulate_workload(machine, workload, p, options).seconds);
+  }
+  const auto eff = scaling_efficiency(procs, times, 0);
+  EXPECT_NEAR(eff[0], 100.0, 1e-9);
+  for (std::size_t k = 1; k < eff.size(); ++k) {
+    EXPECT_LE(eff[k], 101.0);
+    EXPECT_GE(eff[k], 40.0) << "collapsed at " << procs[k];
+  }
+}
+
+TEST(SimulatorTest, OverlapBeatsBlocking) {
+  const MachineModel machine = cray_xt5();
+  const auto workload = ccsd_iteration(chem::rdx(), 24);
+  SimOptions overlap;
+  SimOptions blocking;
+  blocking.overlap = false;
+  const double t_overlap =
+      simulate_workload(machine, workload, 1024, overlap).seconds;
+  const double t_blocking =
+      simulate_workload(machine, workload, 1024, blocking).seconds;
+  EXPECT_LT(t_overlap, t_blocking);
+}
+
+TEST(SimulatorTest, WaitPercentSmallWhenTuned) {
+  // The paper reports 8-13% wait for the tuned Fig. 2 runs; the simulator
+  // should be in a compatible regime at moderate scale.
+  const MachineModel machine = sun_opteron_ib();
+  const auto workload = ccsd_iteration(chem::luciferin(), 24);
+  SimOptions options;
+  const WorkloadResult result =
+      simulate_workload(machine, workload, 128, options);
+  EXPECT_GT(result.wait_percent, 0.0);
+  EXPECT_LT(result.wait_percent, 50.0);
+}
+
+TEST(SimulatorTest, RefetchThrashSlowsDown) {
+  // The untuned BG/P port: premature prefetch evicts blocks before use,
+  // so they are refetched synchronously and overlap is lost entirely.
+  const MachineModel machine = bluegene_p();
+  const auto workload = ccsd_iteration(chem::water_cluster(), 16);
+  SimOptions tuned;
+  SimOptions thrashing;
+  thrashing.refetch_factor = 16.0;
+  thrashing.overlap = false;
+  const double t_tuned =
+      simulate_workload(machine, workload, 512, tuned).seconds;
+  const double t_thrash =
+      simulate_workload(machine, workload, 512, thrashing).seconds;
+  EXPECT_GT(t_thrash, 1.5 * t_tuned);
+}
+
+TEST(SimulatorTest, MasterBottleneckEmergesAtHugeScale) {
+  // Strong scaling must eventually turn over (Fig. 6's behaviour beyond
+  // 72k cores): time at some huge count exceeds the minimum over the
+  // sweep.
+  const MachineModel machine = cray_xt5();
+  const auto workload = fock_build(chem::diamond_nv(), 40);
+  SimOptions options;
+  double best = 1e30;
+  for (const long p : {12000, 24000, 48000, 72000}) {
+    best = std::min(
+        best, simulate_workload(machine, workload, p, options).seconds);
+  }
+  const double huge =
+      simulate_workload(machine, workload, 200000, options).seconds;
+  EXPECT_GT(huge, best);
+}
+
+TEST(SiaModelTest, CompletesWithinMachineMemory) {
+  const SiaOutcome outcome =
+      simulate_sia(cray_xt5(), ccsd_energy(chem::rdx(), 24, 10), 1000,
+                   SimOptions{});
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_GT(outcome.seconds, 0.0);
+}
+
+TEST(SiaModelTest, SpillsToDiskInsteadOfFailing) {
+  // Starved memory: the SIA model keeps running (served arrays) but
+  // slower — the paper's adaptability argument.
+  const auto workload = mp2_gradient(chem::cytosine_oh(), 16);
+  const MachineModel machine = sgi_altix();
+  const SiaOutcome roomy =
+      simulate_sia(machine, workload, 64, SimOptions{}, 4.0e9);
+  const SiaOutcome tight =
+      simulate_sia(machine, workload, 16, SimOptions{}, 0.03e9);
+  EXPECT_TRUE(roomy.completed);
+  EXPECT_TRUE(tight.completed);
+  EXPECT_TRUE(tight.spilled_to_disk);
+  EXPECT_FALSE(roomy.spilled_to_disk);
+}
+
+TEST(GaModelTest, RigidLayoutFailsPerCoreMemory) {
+  const auto workload = mp2_gradient(chem::cytosine_oh(), 16);
+  const GaOutcome outcome =
+      simulate_ga(sgi_altix(), workload, 256, 1.0e9, 24.0 * 3600.0);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_NE(outcome.reason.find("memory"), std::string::npos);
+}
+
+TEST(GaModelTest, CompletesWithEnoughMemory) {
+  const auto workload = mp2_gradient(chem::cytosine_oh(), 16);
+  const GaOutcome outcome =
+      simulate_ga(sgi_altix(), workload, 64, 2.0e9, 24.0 * 3600.0);
+  EXPECT_TRUE(outcome.completed) << outcome.reason;
+}
+
+TEST(GaModelTest, SlowerThanSiaAtSameScale) {
+  const auto workload = mp2_gradient(chem::cytosine_oh(), 16);
+  const MachineModel machine = sgi_altix();
+  const SiaOutcome sia =
+      simulate_sia(machine, workload, 64, SimOptions{}, 1.0e9);
+  const GaOutcome ga = simulate_ga(machine, workload, 64, 2.0e9, 0.0);
+  ASSERT_TRUE(sia.completed);
+  EXPECT_GT(ga.seconds, sia.seconds);
+}
+
+TEST(ReportTest, EfficiencyRelativeToBase) {
+  const std::vector<long> procs = {100, 200, 400};
+  const std::vector<double> times = {100.0, 60.0, 40.0};
+  const auto eff = scaling_efficiency(procs, times, 0);
+  EXPECT_DOUBLE_EQ(eff[0], 100.0);
+  EXPECT_NEAR(eff[1], 100.0 * 100.0 * 100.0 / (60.0 * 200.0), 1e-9);
+}
+
+TEST(ReportTest, Formatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_DOUBLE_EQ(to_minutes(120.0), 2.0);
+}
+
+}  // namespace
+}  // namespace sia::sim

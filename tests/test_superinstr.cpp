@@ -1,0 +1,260 @@
+// Unit tests for the intrinsic block kernels and the super-instruction
+// registry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "blas/elementwise.hpp"
+#include "block/block.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sip/superinstr.hpp"
+
+namespace sia::sip {
+namespace {
+
+Block random_block(std::vector<int> extents, std::uint64_t seed) {
+  Block block{BlockShape(extents)};
+  auto data = block.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 2.0 * unit_double(hash_combine(seed, i)) - 1.0;
+  }
+  return block;
+}
+
+// ---------------------------------------------------------------------
+// block_contract against explicit loops.
+
+TEST(ContractTest, MatrixMultiply) {
+  // c(0,2) = a(0,1) * b(1,2): plain matmul with ids {0,1},{1,2}->{0,2}.
+  Block a = random_block({3, 4}, 1);
+  Block b = random_block({4, 5}, 2);
+  Block c(BlockShape(std::vector<int>{3, 5}));
+  block_contract(c, std::vector<int>{0, 2}, a, std::vector<int>{0, 1}, b,
+                 std::vector<int>{1, 2}, false);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      double want = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        want += a.at(std::vector<int>{i, k}) * b.at(std::vector<int>{k, j});
+      }
+      EXPECT_NEAR(c.at(std::vector<int>{i, j}), want, 1e-12);
+    }
+  }
+}
+
+TEST(ContractTest, AccumulateAddsToExisting) {
+  Block a = random_block({2, 2}, 3);
+  Block b = random_block({2, 2}, 4);
+  Block c(BlockShape(std::vector<int>{2, 2}));
+  blas::fill(c.data(), 1.0);
+  block_contract(c, std::vector<int>{0, 2}, a, std::vector<int>{0, 1}, b,
+                 std::vector<int>{1, 2}, true);
+  double want = 1.0;
+  for (int k = 0; k < 2; ++k) {
+    want += a.at(std::vector<int>{0, k}) * b.at(std::vector<int>{k, 0});
+  }
+  EXPECT_NEAR(c.at(std::vector<int>{0, 0}), want, 1e-12);
+}
+
+TEST(ContractTest, PermutedDestination) {
+  // c(j,i) = sum_k a(i,k) b(k,j) — destination order swapped.
+  Block a = random_block({3, 4}, 5);
+  Block b = random_block({4, 2}, 6);
+  Block c(BlockShape(std::vector<int>{2, 3}));
+  block_contract(c, std::vector<int>{2, 0}, a, std::vector<int>{0, 1}, b,
+                 std::vector<int>{1, 2}, false);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      double want = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        want += a.at(std::vector<int>{i, k}) * b.at(std::vector<int>{k, j});
+      }
+      EXPECT_NEAR(c.at(std::vector<int>{j, i}), want, 1e-12);
+    }
+  }
+}
+
+TEST(ContractTest, Rank4PaperContraction) {
+  // R(m,n,i,j) = sum_{l,s} V(m,n,l,s) T(l,s,i,j) — the §III example.
+  enum { m = 10, n = 11, l = 12, s = 13, i = 14, j = 15 };
+  Block v = random_block({2, 3, 2, 2}, 7);
+  Block t = random_block({2, 2, 3, 2}, 8);
+  Block r(BlockShape(std::vector<int>{2, 3, 3, 2}));
+  block_contract(r, std::vector<int>{m, n, i, j}, v,
+                 std::vector<int>{m, n, l, s}, t,
+                 std::vector<int>{l, s, i, j}, false);
+  for (int im = 0; im < 2; ++im) {
+    for (int in = 0; in < 3; ++in) {
+      for (int ii = 0; ii < 3; ++ii) {
+        for (int ij = 0; ij < 2; ++ij) {
+          double want = 0.0;
+          for (int il = 0; il < 2; ++il) {
+            for (int is = 0; is < 2; ++is) {
+              want += v.at(std::vector<int>{im, in, il, is}) *
+                      t.at(std::vector<int>{il, is, ii, ij});
+            }
+          }
+          ASSERT_NEAR(r.at(std::vector<int>{im, in, ii, ij}), want, 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(ContractTest, InnerContractedIndices) {
+  // Contracted index NOT trailing: c(i,j) = sum_k a(k,i) b(j,k).
+  Block a = random_block({4, 3}, 9);
+  Block b = random_block({2, 4}, 10);
+  Block c(BlockShape(std::vector<int>{3, 2}));
+  block_contract(c, std::vector<int>{1, 2}, a, std::vector<int>{0, 1}, b,
+                 std::vector<int>{2, 0}, false);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      double want = 0.0;
+      for (int k = 0; k < 4; ++k) {
+        want += a.at(std::vector<int>{k, i}) * b.at(std::vector<int>{j, k});
+      }
+      EXPECT_NEAR(c.at(std::vector<int>{i, j}), want, 1e-12);
+    }
+  }
+}
+
+TEST(ContractTest, OuterProduct) {
+  Block a = random_block({3}, 11);
+  Block b = random_block({4}, 12);
+  Block c(BlockShape(std::vector<int>{3, 4}));
+  block_contract(c, std::vector<int>{0, 1}, a, std::vector<int>{0}, b,
+                 std::vector<int>{1}, false);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_NEAR(c.at(std::vector<int>{i, j}),
+                  a.at(std::vector<int>{i}) * b.at(std::vector<int>{j}),
+                  1e-12);
+    }
+  }
+}
+
+TEST(ContractTest, ExtentMismatchThrows) {
+  Block a = random_block({3, 4}, 13);
+  Block b = random_block({5, 2}, 14);  // contracted extents 4 vs 5
+  Block c(BlockShape(std::vector<int>{3, 2}));
+  EXPECT_THROW(block_contract(c, std::vector<int>{0, 2}, a,
+                              std::vector<int>{0, 1}, b,
+                              std::vector<int>{1, 2}, false),
+               RuntimeError);
+}
+
+// ---------------------------------------------------------------------
+// block_dot.
+
+TEST(BlockDotTest, MatchesManualSum) {
+  Block a = random_block({3, 4}, 15);
+  Block b = random_block({3, 4}, 16);
+  const double got =
+      block_dot(a, std::vector<int>{0, 1}, b, std::vector<int>{0, 1});
+  double want = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    want += a.data()[i] * b.data()[i];
+  }
+  EXPECT_NEAR(got, want, 1e-12);
+}
+
+TEST(BlockDotTest, PermutedOperand) {
+  // dot of a(i,j) with b(j,i): sum a[i][j]*b[j][i].
+  Block a = random_block({3, 4}, 17);
+  Block b = random_block({4, 3}, 18);
+  const double got =
+      block_dot(a, std::vector<int>{0, 1}, b, std::vector<int>{1, 0});
+  double want = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      want += a.at(std::vector<int>{i, j}) * b.at(std::vector<int>{j, i});
+    }
+  }
+  EXPECT_NEAR(got, want, 1e-12);
+}
+
+TEST(BlockDotTest, MismatchedSetsThrow) {
+  Block a = random_block({2, 2}, 19);
+  Block b = random_block({2, 2}, 20);
+  EXPECT_THROW(
+      block_dot(a, std::vector<int>{0, 1}, b, std::vector<int>{0, 2}),
+      RuntimeError);
+}
+
+// ---------------------------------------------------------------------
+// Copy / add kernels.
+
+TEST(CopyPermuteTest, AllModes) {
+  Block src = random_block({2, 3}, 21);
+  Block dst(BlockShape(std::vector<int>{3, 2}));
+  block_copy_permute(dst, std::vector<int>{1, 0}, src,
+                     std::vector<int>{0, 1}, CopyMode::kAssign);
+  EXPECT_EQ(dst.at(std::vector<int>{2, 1}), src.at(std::vector<int>{1, 2}));
+
+  Block acc = dst.clone();
+  block_copy_permute(acc, std::vector<int>{1, 0}, src,
+                     std::vector<int>{0, 1}, CopyMode::kAccumulate);
+  EXPECT_NEAR(acc.at(std::vector<int>{0, 0}),
+              2.0 * src.at(std::vector<int>{0, 0}), 1e-12);
+
+  block_copy_permute(acc, std::vector<int>{1, 0}, src,
+                     std::vector<int>{0, 1}, CopyMode::kSubtract);
+  EXPECT_NEAR(acc.at(std::vector<int>{0, 0}),
+              src.at(std::vector<int>{0, 0}), 1e-12);
+}
+
+TEST(BlockAddTest, AddAndSubtractWithPermutations) {
+  Block a = random_block({2, 3}, 22);
+  Block b = random_block({3, 2}, 23);
+  Block c(BlockShape(std::vector<int>{2, 3}));
+  block_add(c, std::vector<int>{0, 1}, a, std::vector<int>{0, 1}, b,
+            std::vector<int>{1, 0}, /*subtract=*/false,
+            /*accumulate=*/false);
+  EXPECT_NEAR(c.at(std::vector<int>{1, 2}),
+              a.at(std::vector<int>{1, 2}) + b.at(std::vector<int>{2, 1}),
+              1e-12);
+  block_add(c, std::vector<int>{0, 1}, a, std::vector<int>{0, 1}, b,
+            std::vector<int>{1, 0}, /*subtract=*/true, /*accumulate=*/true);
+  EXPECT_NEAR(c.at(std::vector<int>{1, 2}),
+              2.0 * a.at(std::vector<int>{1, 2}), 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+
+TEST(RegistryTest, RegisterLookupAndList) {
+  auto& registry = SuperInstructionRegistry::global();
+  bool called = false;
+  registry.register_instruction("test_only_op",
+                                [&](SuperInstructionContext&) {
+                                  called = true;
+                                });
+  const SuperInstructionFn* fn = registry.lookup("test_only_op");
+  ASSERT_NE(fn, nullptr);
+  std::vector<ExecArgValue> args;
+  const sial::ResolvedProgram program(sial::CompiledProgram{}, SipConfig{});
+  SuperInstructionContext context(program, args, 0, 1);
+  (*fn)(context);
+  EXPECT_TRUE(called);
+  EXPECT_EQ(registry.lookup("no_such_op"), nullptr);
+
+  const auto names = registry.names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test_only_op"),
+            names.end());
+}
+
+TEST(RegistryTest, BuiltinsRegistered) {
+  register_builtin_superinstructions();
+  auto& registry = SuperInstructionRegistry::global();
+  for (const char* name :
+       {"fill_value", "fill_coords", "random_block", "block_nrm2",
+        "block_asum", "block_max_abs", "print_block_norm"}) {
+    EXPECT_NE(registry.lookup(name), nullptr) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sia::sip
