@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bgp_tuning.dir/ablation_bgp_tuning.cpp.o"
+  "CMakeFiles/ablation_bgp_tuning.dir/ablation_bgp_tuning.cpp.o.d"
+  "ablation_bgp_tuning"
+  "ablation_bgp_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bgp_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_luciferin_ccsd.dir/fig2_luciferin_ccsd.cpp.o"
+  "CMakeFiles/fig2_luciferin_ccsd.dir/fig2_luciferin_ccsd.cpp.o.d"
+  "fig2_luciferin_ccsd"
+  "fig2_luciferin_ccsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_luciferin_ccsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_luciferin_ccsd.
+# This may be replaced when dependencies are built.

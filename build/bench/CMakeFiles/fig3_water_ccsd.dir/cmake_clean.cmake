@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_water_ccsd.dir/fig3_water_ccsd.cpp.o"
+  "CMakeFiles/fig3_water_ccsd.dir/fig3_water_ccsd.cpp.o.d"
+  "fig3_water_ccsd"
+  "fig3_water_ccsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_water_ccsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

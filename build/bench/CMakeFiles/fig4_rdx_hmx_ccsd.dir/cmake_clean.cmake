@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rdx_hmx_ccsd.dir/fig4_rdx_hmx_ccsd.cpp.o"
+  "CMakeFiles/fig4_rdx_hmx_ccsd.dir/fig4_rdx_hmx_ccsd.cpp.o.d"
+  "fig4_rdx_hmx_ccsd"
+  "fig4_rdx_hmx_ccsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rdx_hmx_ccsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_rdx_hmx_ccsd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_rdx_ccsdt.dir/fig5_rdx_ccsdt.cpp.o"
+  "CMakeFiles/fig5_rdx_ccsdt.dir/fig5_rdx_ccsdt.cpp.o.d"
+  "fig5_rdx_ccsdt"
+  "fig5_rdx_ccsdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_rdx_ccsdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fock_build.dir/fig6_fock_build.cpp.o"
+  "CMakeFiles/fig6_fock_build.dir/fig6_fock_build.cpp.o.d"
+  "fig6_fock_build"
+  "fig6_fock_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fock_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mp2_nwchem_compare.dir/fig7_mp2_nwchem_compare.cpp.o"
+  "CMakeFiles/fig7_mp2_nwchem_compare.dir/fig7_mp2_nwchem_compare.cpp.o.d"
+  "fig7_mp2_nwchem_compare"
+  "fig7_mp2_nwchem_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mp2_nwchem_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_mp2_nwchem_compare.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/kernels.cpp" "bench/CMakeFiles/kernels.dir/kernels.cpp.o" "gcc" "bench/CMakeFiles/kernels.dir/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sia_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_sial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ccsd_energy.dir/ccsd_energy.cpp.o"
+  "CMakeFiles/example_ccsd_energy.dir/ccsd_energy.cpp.o.d"
+  "example_ccsd_energy"
+  "example_ccsd_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ccsd_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fock_build.dir/fock_build.cpp.o"
+  "CMakeFiles/example_fock_build.dir/fock_build.cpp.o.d"
+  "example_fock_build"
+  "example_fock_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fock_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

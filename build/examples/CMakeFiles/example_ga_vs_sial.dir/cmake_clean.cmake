@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ga_vs_sial.dir/ga_vs_sial.cpp.o"
+  "CMakeFiles/example_ga_vs_sial.dir/ga_vs_sial.cpp.o.d"
+  "example_ga_vs_sial"
+  "example_ga_vs_sial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ga_vs_sial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

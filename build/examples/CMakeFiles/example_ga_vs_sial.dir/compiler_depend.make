@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_ga_vs_sial.
+# This may be replaced when dependencies are built.

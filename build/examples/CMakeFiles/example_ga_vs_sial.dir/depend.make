@@ -1,0 +1,2 @@
+# Empty dependencies file for example_ga_vs_sial.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mp2_gradient.dir/mp2_gradient.cpp.o"
+  "CMakeFiles/example_mp2_gradient.dir/mp2_gradient.cpp.o.d"
+  "example_mp2_gradient"
+  "example_mp2_gradient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mp2_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sial_tool.dir/sial_tool.cpp.o"
+  "CMakeFiles/example_sial_tool.dir/sial_tool.cpp.o.d"
+  "example_sial_tool"
+  "example_sial_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sial_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_blas.dir/blas/elementwise.cpp.o"
+  "CMakeFiles/sia_blas.dir/blas/elementwise.cpp.o.d"
+  "CMakeFiles/sia_blas.dir/blas/gemm.cpp.o"
+  "CMakeFiles/sia_blas.dir/blas/gemm.cpp.o.d"
+  "CMakeFiles/sia_blas.dir/blas/permute.cpp.o"
+  "CMakeFiles/sia_blas.dir/blas/permute.cpp.o.d"
+  "libsia_blas.a"
+  "libsia_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

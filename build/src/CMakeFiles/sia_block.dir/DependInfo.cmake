@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/block.cpp" "src/CMakeFiles/sia_block.dir/block/block.cpp.o" "gcc" "src/CMakeFiles/sia_block.dir/block/block.cpp.o.d"
+  "/root/repo/src/block/block_cache.cpp" "src/CMakeFiles/sia_block.dir/block/block_cache.cpp.o" "gcc" "src/CMakeFiles/sia_block.dir/block/block_cache.cpp.o.d"
+  "/root/repo/src/block/block_id.cpp" "src/CMakeFiles/sia_block.dir/block/block_id.cpp.o" "gcc" "src/CMakeFiles/sia_block.dir/block/block_id.cpp.o.d"
+  "/root/repo/src/block/block_pool.cpp" "src/CMakeFiles/sia_block.dir/block/block_pool.cpp.o" "gcc" "src/CMakeFiles/sia_block.dir/block/block_pool.cpp.o.d"
+  "/root/repo/src/block/index_range.cpp" "src/CMakeFiles/sia_block.dir/block/index_range.cpp.o" "gcc" "src/CMakeFiles/sia_block.dir/block/index_range.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_block.dir/block/block.cpp.o"
+  "CMakeFiles/sia_block.dir/block/block.cpp.o.d"
+  "CMakeFiles/sia_block.dir/block/block_cache.cpp.o"
+  "CMakeFiles/sia_block.dir/block/block_cache.cpp.o.d"
+  "CMakeFiles/sia_block.dir/block/block_id.cpp.o"
+  "CMakeFiles/sia_block.dir/block/block_id.cpp.o.d"
+  "CMakeFiles/sia_block.dir/block/block_pool.cpp.o"
+  "CMakeFiles/sia_block.dir/block/block_pool.cpp.o.d"
+  "CMakeFiles/sia_block.dir/block/index_range.cpp.o"
+  "CMakeFiles/sia_block.dir/block/index_range.cpp.o.d"
+  "libsia_block.a"
+  "libsia_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_chem.dir/chem/integrals.cpp.o"
+  "CMakeFiles/sia_chem.dir/chem/integrals.cpp.o.d"
+  "CMakeFiles/sia_chem.dir/chem/programs.cpp.o"
+  "CMakeFiles/sia_chem.dir/chem/programs.cpp.o.d"
+  "CMakeFiles/sia_chem.dir/chem/reference.cpp.o"
+  "CMakeFiles/sia_chem.dir/chem/reference.cpp.o.d"
+  "CMakeFiles/sia_chem.dir/chem/system.cpp.o"
+  "CMakeFiles/sia_chem.dir/chem/system.cpp.o.d"
+  "libsia_chem.a"
+  "libsia_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

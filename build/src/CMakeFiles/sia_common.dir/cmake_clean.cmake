@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_common.dir/common/config.cpp.o"
+  "CMakeFiles/sia_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/sia_common.dir/common/log.cpp.o"
+  "CMakeFiles/sia_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/sia_common.dir/common/stats.cpp.o"
+  "CMakeFiles/sia_common.dir/common/stats.cpp.o.d"
+  "libsia_common.a"
+  "libsia_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

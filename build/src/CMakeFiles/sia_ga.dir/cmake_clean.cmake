@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_ga.dir/ga/ga.cpp.o"
+  "CMakeFiles/sia_ga.dir/ga/ga.cpp.o.d"
+  "libsia_ga.a"
+  "libsia_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_msg.dir/msg/fabric.cpp.o"
+  "CMakeFiles/sia_msg.dir/msg/fabric.cpp.o.d"
+  "libsia_msg.a"
+  "libsia_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sial/bytecode.cpp" "src/CMakeFiles/sia_sial.dir/sial/bytecode.cpp.o" "gcc" "src/CMakeFiles/sia_sial.dir/sial/bytecode.cpp.o.d"
+  "/root/repo/src/sial/compiler.cpp" "src/CMakeFiles/sia_sial.dir/sial/compiler.cpp.o" "gcc" "src/CMakeFiles/sia_sial.dir/sial/compiler.cpp.o.d"
+  "/root/repo/src/sial/disasm.cpp" "src/CMakeFiles/sia_sial.dir/sial/disasm.cpp.o" "gcc" "src/CMakeFiles/sia_sial.dir/sial/disasm.cpp.o.d"
+  "/root/repo/src/sial/lexer.cpp" "src/CMakeFiles/sia_sial.dir/sial/lexer.cpp.o" "gcc" "src/CMakeFiles/sia_sial.dir/sial/lexer.cpp.o.d"
+  "/root/repo/src/sial/parser.cpp" "src/CMakeFiles/sia_sial.dir/sial/parser.cpp.o" "gcc" "src/CMakeFiles/sia_sial.dir/sial/parser.cpp.o.d"
+  "/root/repo/src/sial/program.cpp" "src/CMakeFiles/sia_sial.dir/sial/program.cpp.o" "gcc" "src/CMakeFiles/sia_sial.dir/sial/program.cpp.o.d"
+  "/root/repo/src/sial/sema.cpp" "src/CMakeFiles/sia_sial.dir/sial/sema.cpp.o" "gcc" "src/CMakeFiles/sia_sial.dir/sial/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_sial.dir/sial/bytecode.cpp.o"
+  "CMakeFiles/sia_sial.dir/sial/bytecode.cpp.o.d"
+  "CMakeFiles/sia_sial.dir/sial/compiler.cpp.o"
+  "CMakeFiles/sia_sial.dir/sial/compiler.cpp.o.d"
+  "CMakeFiles/sia_sial.dir/sial/disasm.cpp.o"
+  "CMakeFiles/sia_sial.dir/sial/disasm.cpp.o.d"
+  "CMakeFiles/sia_sial.dir/sial/lexer.cpp.o"
+  "CMakeFiles/sia_sial.dir/sial/lexer.cpp.o.d"
+  "CMakeFiles/sia_sial.dir/sial/parser.cpp.o"
+  "CMakeFiles/sia_sial.dir/sial/parser.cpp.o.d"
+  "CMakeFiles/sia_sial.dir/sial/program.cpp.o"
+  "CMakeFiles/sia_sial.dir/sial/program.cpp.o.d"
+  "CMakeFiles/sia_sial.dir/sial/sema.cpp.o"
+  "CMakeFiles/sia_sial.dir/sial/sema.cpp.o.d"
+  "libsia_sial.a"
+  "libsia_sial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_sial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

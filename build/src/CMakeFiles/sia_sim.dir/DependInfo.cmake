@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/des.cpp" "src/CMakeFiles/sia_sim.dir/sim/des.cpp.o" "gcc" "src/CMakeFiles/sia_sim.dir/sim/des.cpp.o.d"
+  "/root/repo/src/sim/ga_model.cpp" "src/CMakeFiles/sia_sim.dir/sim/ga_model.cpp.o" "gcc" "src/CMakeFiles/sia_sim.dir/sim/ga_model.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/sia_sim.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/sia_sim.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/program_model.cpp" "src/CMakeFiles/sia_sim.dir/sim/program_model.cpp.o" "gcc" "src/CMakeFiles/sia_sim.dir/sim/program_model.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/sia_sim.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/sia_sim.dir/sim/report.cpp.o.d"
+  "/root/repo/src/sim/sip_model.cpp" "src/CMakeFiles/sia_sim.dir/sim/sip_model.cpp.o" "gcc" "src/CMakeFiles/sia_sim.dir/sim/sip_model.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/sia_sim.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/sia_sim.dir/sim/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_sial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_sim.dir/sim/des.cpp.o"
+  "CMakeFiles/sia_sim.dir/sim/des.cpp.o.d"
+  "CMakeFiles/sia_sim.dir/sim/ga_model.cpp.o"
+  "CMakeFiles/sia_sim.dir/sim/ga_model.cpp.o.d"
+  "CMakeFiles/sia_sim.dir/sim/machine.cpp.o"
+  "CMakeFiles/sia_sim.dir/sim/machine.cpp.o.d"
+  "CMakeFiles/sia_sim.dir/sim/program_model.cpp.o"
+  "CMakeFiles/sia_sim.dir/sim/program_model.cpp.o.d"
+  "CMakeFiles/sia_sim.dir/sim/report.cpp.o"
+  "CMakeFiles/sia_sim.dir/sim/report.cpp.o.d"
+  "CMakeFiles/sia_sim.dir/sim/sip_model.cpp.o"
+  "CMakeFiles/sia_sim.dir/sim/sip_model.cpp.o.d"
+  "CMakeFiles/sia_sim.dir/sim/workload.cpp.o"
+  "CMakeFiles/sia_sim.dir/sim/workload.cpp.o.d"
+  "libsia_sim.a"
+  "libsia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sip/checkpoint.cpp" "src/CMakeFiles/sia_sip.dir/sip/checkpoint.cpp.o" "gcc" "src/CMakeFiles/sia_sip.dir/sip/checkpoint.cpp.o.d"
+  "/root/repo/src/sip/data_manager.cpp" "src/CMakeFiles/sia_sip.dir/sip/data_manager.cpp.o" "gcc" "src/CMakeFiles/sia_sip.dir/sip/data_manager.cpp.o.d"
+  "/root/repo/src/sip/dist_array.cpp" "src/CMakeFiles/sia_sip.dir/sip/dist_array.cpp.o" "gcc" "src/CMakeFiles/sia_sip.dir/sip/dist_array.cpp.o.d"
+  "/root/repo/src/sip/interpreter.cpp" "src/CMakeFiles/sia_sip.dir/sip/interpreter.cpp.o" "gcc" "src/CMakeFiles/sia_sip.dir/sip/interpreter.cpp.o.d"
+  "/root/repo/src/sip/io_server.cpp" "src/CMakeFiles/sia_sip.dir/sip/io_server.cpp.o" "gcc" "src/CMakeFiles/sia_sip.dir/sip/io_server.cpp.o.d"
+  "/root/repo/src/sip/launch.cpp" "src/CMakeFiles/sia_sip.dir/sip/launch.cpp.o" "gcc" "src/CMakeFiles/sia_sip.dir/sip/launch.cpp.o.d"
+  "/root/repo/src/sip/master.cpp" "src/CMakeFiles/sia_sip.dir/sip/master.cpp.o" "gcc" "src/CMakeFiles/sia_sip.dir/sip/master.cpp.o.d"
+  "/root/repo/src/sip/prefetch.cpp" "src/CMakeFiles/sia_sip.dir/sip/prefetch.cpp.o" "gcc" "src/CMakeFiles/sia_sip.dir/sip/prefetch.cpp.o.d"
+  "/root/repo/src/sip/profiler.cpp" "src/CMakeFiles/sia_sip.dir/sip/profiler.cpp.o" "gcc" "src/CMakeFiles/sia_sip.dir/sip/profiler.cpp.o.d"
+  "/root/repo/src/sip/scheduler.cpp" "src/CMakeFiles/sia_sip.dir/sip/scheduler.cpp.o" "gcc" "src/CMakeFiles/sia_sip.dir/sip/scheduler.cpp.o.d"
+  "/root/repo/src/sip/served_array.cpp" "src/CMakeFiles/sia_sip.dir/sip/served_array.cpp.o" "gcc" "src/CMakeFiles/sia_sip.dir/sip/served_array.cpp.o.d"
+  "/root/repo/src/sip/superinstr.cpp" "src/CMakeFiles/sia_sip.dir/sip/superinstr.cpp.o" "gcc" "src/CMakeFiles/sia_sip.dir/sip/superinstr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sia_sial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_sip.dir/sip/checkpoint.cpp.o"
+  "CMakeFiles/sia_sip.dir/sip/checkpoint.cpp.o.d"
+  "CMakeFiles/sia_sip.dir/sip/data_manager.cpp.o"
+  "CMakeFiles/sia_sip.dir/sip/data_manager.cpp.o.d"
+  "CMakeFiles/sia_sip.dir/sip/dist_array.cpp.o"
+  "CMakeFiles/sia_sip.dir/sip/dist_array.cpp.o.d"
+  "CMakeFiles/sia_sip.dir/sip/interpreter.cpp.o"
+  "CMakeFiles/sia_sip.dir/sip/interpreter.cpp.o.d"
+  "CMakeFiles/sia_sip.dir/sip/io_server.cpp.o"
+  "CMakeFiles/sia_sip.dir/sip/io_server.cpp.o.d"
+  "CMakeFiles/sia_sip.dir/sip/launch.cpp.o"
+  "CMakeFiles/sia_sip.dir/sip/launch.cpp.o.d"
+  "CMakeFiles/sia_sip.dir/sip/master.cpp.o"
+  "CMakeFiles/sia_sip.dir/sip/master.cpp.o.d"
+  "CMakeFiles/sia_sip.dir/sip/prefetch.cpp.o"
+  "CMakeFiles/sia_sip.dir/sip/prefetch.cpp.o.d"
+  "CMakeFiles/sia_sip.dir/sip/profiler.cpp.o"
+  "CMakeFiles/sia_sip.dir/sip/profiler.cpp.o.d"
+  "CMakeFiles/sia_sip.dir/sip/scheduler.cpp.o"
+  "CMakeFiles/sia_sip.dir/sip/scheduler.cpp.o.d"
+  "CMakeFiles/sia_sip.dir/sip/served_array.cpp.o"
+  "CMakeFiles/sia_sip.dir/sip/served_array.cpp.o.d"
+  "CMakeFiles/sia_sip.dir/sip/superinstr.cpp.o"
+  "CMakeFiles/sia_sip.dir/sip/superinstr.cpp.o.d"
+  "libsia_sip.a"
+  "libsia_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dryrun.dir/test_dryrun.cpp.o"
+  "CMakeFiles/test_dryrun.dir/test_dryrun.cpp.o.d"
+  "test_dryrun"
+  "test_dryrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dryrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

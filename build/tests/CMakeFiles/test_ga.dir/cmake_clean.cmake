@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ga.dir/test_ga.cpp.o"
+  "CMakeFiles/test_ga.dir/test_ga.cpp.o.d"
+  "test_ga"
+  "test_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

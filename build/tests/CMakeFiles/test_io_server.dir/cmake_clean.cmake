@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_server.dir/test_io_server.cpp.o"
+  "CMakeFiles/test_io_server.dir/test_io_server.cpp.o.d"
+  "test_io_server"
+  "test_io_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_program_model.dir/test_program_model.cpp.o"
+  "CMakeFiles/test_program_model.dir/test_program_model.cpp.o.d"
+  "test_program_model"
+  "test_program_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_program_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sial_files.dir/test_sial_files.cpp.o"
+  "CMakeFiles/test_sial_files.dir/test_sial_files.cpp.o.d"
+  "test_sial_files"
+  "test_sial_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sial_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sip_basic.dir/test_sip_basic.cpp.o"
+  "CMakeFiles/test_sip_basic.dir/test_sip_basic.cpp.o.d"
+  "test_sip_basic"
+  "test_sip_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sip_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sip_dist.dir/test_sip_dist.cpp.o"
+  "CMakeFiles/test_sip_dist.dir/test_sip_dist.cpp.o.d"
+  "test_sip_dist"
+  "test_sip_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sip_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

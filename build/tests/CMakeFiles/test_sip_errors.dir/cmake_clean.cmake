@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sip_errors.dir/test_sip_errors.cpp.o"
+  "CMakeFiles/test_sip_errors.dir/test_sip_errors.cpp.o.d"
+  "test_sip_errors"
+  "test_sip_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sip_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

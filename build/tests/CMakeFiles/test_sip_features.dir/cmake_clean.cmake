@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sip_features.dir/test_sip_features.cpp.o"
+  "CMakeFiles/test_sip_features.dir/test_sip_features.cpp.o.d"
+  "test_sip_features"
+  "test_sip_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sip_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

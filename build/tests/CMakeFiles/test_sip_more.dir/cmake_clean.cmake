@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sip_more.dir/test_sip_more.cpp.o"
+  "CMakeFiles/test_sip_more.dir/test_sip_more.cpp.o.d"
+  "test_sip_more"
+  "test_sip_more.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sip_more.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

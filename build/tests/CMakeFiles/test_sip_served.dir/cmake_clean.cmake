@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sip_served.dir/test_sip_served.cpp.o"
+  "CMakeFiles/test_sip_served.dir/test_sip_served.cpp.o.d"
+  "test_sip_served"
+  "test_sip_served.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sip_served.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_superinstr.dir/test_superinstr.cpp.o"
+  "CMakeFiles/test_superinstr.dir/test_superinstr.cpp.o.d"
+  "test_superinstr"
+  "test_superinstr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_superinstr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
