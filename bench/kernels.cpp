@@ -48,7 +48,14 @@ void BM_BlockContraction(benchmark::State& state) {
       flops * static_cast<double>(state.iterations()) * 1e-9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_BlockContraction)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+BENCHMARK(BM_BlockContraction)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Arg(20)
+    ->Arg(24)
+    ->Arg(32);
 
 // The DGEMM kernel directly.
 void BM_Dgemm(benchmark::State& state) {

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/contraction_plan.cpp" "src/CMakeFiles/sia_blas.dir/blas/contraction_plan.cpp.o" "gcc" "src/CMakeFiles/sia_blas.dir/blas/contraction_plan.cpp.o.d"
   "/root/repo/src/blas/elementwise.cpp" "src/CMakeFiles/sia_blas.dir/blas/elementwise.cpp.o" "gcc" "src/CMakeFiles/sia_blas.dir/blas/elementwise.cpp.o.d"
   "/root/repo/src/blas/gemm.cpp" "src/CMakeFiles/sia_blas.dir/blas/gemm.cpp.o" "gcc" "src/CMakeFiles/sia_blas.dir/blas/gemm.cpp.o.d"
   "/root/repo/src/blas/permute.cpp" "src/CMakeFiles/sia_blas.dir/blas/permute.cpp.o" "gcc" "src/CMakeFiles/sia_blas.dir/blas/permute.cpp.o.d"

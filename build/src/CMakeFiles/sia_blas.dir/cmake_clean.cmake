@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/sia_blas.dir/blas/contraction_plan.cpp.o"
+  "CMakeFiles/sia_blas.dir/blas/contraction_plan.cpp.o.d"
   "CMakeFiles/sia_blas.dir/blas/elementwise.cpp.o"
   "CMakeFiles/sia_blas.dir/blas/elementwise.cpp.o.d"
   "CMakeFiles/sia_blas.dir/blas/gemm.cpp.o"

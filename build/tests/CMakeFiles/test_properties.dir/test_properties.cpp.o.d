@@ -293,14 +293,14 @@ tests/CMakeFiles/test_properties.dir/test_properties.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/chem/integrals.hpp /usr/include/c++/12/span \
- /root/repo/src/chem/programs.hpp /root/repo/src/chem/reference.hpp \
- /root/repo/src/sip/launch.hpp /root/repo/src/common/config.hpp \
- /root/repo/src/msg/fabric.hpp /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/blas/contraction_plan.hpp /usr/include/c++/12/span \
+ /root/repo/src/chem/integrals.hpp /root/repo/src/chem/programs.hpp \
+ /root/repo/src/chem/reference.hpp /root/repo/src/sip/launch.hpp \
+ /root/repo/src/common/config.hpp /root/repo/src/msg/fabric.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

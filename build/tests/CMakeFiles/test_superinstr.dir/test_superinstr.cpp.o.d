@@ -295,15 +295,8 @@ tests/CMakeFiles/test_superinstr.dir/test_superinstr.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/blas/elementwise.hpp /usr/include/c++/12/span \
- /root/repo/src/block/block.hpp /root/repo/src/blas/permute.hpp \
- /root/repo/src/block/block_pool.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/error.hpp \
- /root/repo/src/common/rng.hpp /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -323,13 +316,19 @@ tests/CMakeFiles/test_superinstr.dir/test_superinstr.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
- /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/sip/superinstr.hpp /root/repo/src/sial/program.hpp \
- /root/repo/src/block/block_id.hpp /root/repo/src/block/index_range.hpp \
- /root/repo/src/common/config.hpp /root/repo/src/sial/bytecode.hpp \
- /root/repo/src/sial/ast.hpp
+ /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/span \
+ /root/repo/src/blas/contraction_plan.hpp \
+ /root/repo/src/blas/elementwise.hpp /root/repo/src/blas/gemm.hpp \
+ /root/repo/src/block/block.hpp /root/repo/src/blas/permute.hpp \
+ /root/repo/src/block/block_pool.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/error.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/sip/superinstr.hpp \
+ /root/repo/src/sial/program.hpp /root/repo/src/block/block_id.hpp \
+ /root/repo/src/block/index_range.hpp /root/repo/src/common/config.hpp \
+ /root/repo/src/sial/bytecode.hpp /root/repo/src/sial/ast.hpp

@@ -1,0 +1,227 @@
+#include "blas/contraction_plan.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+
+#include "blas/permute.hpp"
+#include "common/error.hpp"
+
+namespace sia::blas {
+namespace {
+
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+
+int find_id(std::span<const int> ids, int id) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// Row-major strides (last index fastest).
+std::array<std::size_t, kMaxRank> strides_of(std::span<const int> dims) {
+  std::array<std::size_t, kMaxRank> strides{};
+  std::size_t stride = 1;
+  for (int d = static_cast<int>(dims.size()) - 1; d >= 0; --d) {
+    strides[static_cast<std::size_t>(d)] = stride;
+    stride *= static_cast<std::size_t>(dims[static_cast<std::size_t>(d)]);
+  }
+  return strides;
+}
+
+// Offsets of every multi-index over the axis subset `axes` (in that
+// order, last entry fastest), using the source tensor's strides. Because
+// row-major offsets are additive over disjoint axis groups, the offset of
+// a full element is the sum of its group offsets — which is what lets the
+// GEMM address a permuted tensor through two 1-D tables.
+std::vector<std::size_t> axis_offsets(std::span<const int> axes,
+                                      std::span<const int> dims,
+                                      const std::array<std::size_t, kMaxRank>&
+                                          strides) {
+  std::size_t total = 1;
+  for (const int axis : axes) {
+    total *= static_cast<std::size_t>(dims[static_cast<std::size_t>(axis)]);
+  }
+  std::vector<std::size_t> offsets(total);
+  std::array<int, kMaxRank> counter{};
+  std::size_t offset = 0;
+  for (std::size_t idx = 0; idx < total; ++idx) {
+    offsets[idx] = offset;
+    for (int d = static_cast<int>(axes.size()) - 1; d >= 0; --d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      const std::size_t axis = static_cast<std::size_t>(axes[ud]);
+      offset += strides[axis];
+      if (++counter[ud] < dims[axis]) break;
+      offset -= strides[axis] * static_cast<std::size_t>(dims[axis]);
+      counter[ud] = 0;
+    }
+  }
+  return offsets;
+}
+
+}  // namespace
+
+ContractionPlan build_contraction_plan(std::span<const int> dst_ids,
+                                       std::span<const int> a_ids,
+                                       std::span<const int> b_ids,
+                                       std::span<const int> a_dims,
+                                       std::span<const int> b_dims) {
+  if (a_ids.size() != a_dims.size() || b_ids.size() != b_dims.size()) {
+    throw RuntimeError("contraction plan: id/extent rank mismatch");
+  }
+  const int a_rank = static_cast<int>(a_ids.size());
+  const int b_rank = static_cast<int>(b_ids.size());
+
+  // Partition a's axes into free and contracted (order preserved).
+  std::vector<int> a_free, a_common;
+  for (int d = 0; d < a_rank; ++d) {
+    if (find_id(b_ids, a_ids[static_cast<std::size_t>(d)]) >= 0) {
+      a_common.push_back(d);
+    } else {
+      a_free.push_back(d);
+    }
+  }
+  // b's axes: common first in a's common order, then free.
+  std::vector<int> b_common, b_free;
+  for (const int a_axis : a_common) {
+    b_common.push_back(
+        find_id(b_ids, a_ids[static_cast<std::size_t>(a_axis)]));
+  }
+  for (int d = 0; d < b_rank; ++d) {
+    if (find_id(a_ids, b_ids[static_cast<std::size_t>(d)]) < 0) {
+      b_free.push_back(d);
+    }
+  }
+
+  // Validate extents along contracted ids.
+  for (std::size_t c = 0; c < a_common.size(); ++c) {
+    const int ae = a_dims[static_cast<std::size_t>(a_common[c])];
+    const int be = b_dims[static_cast<std::size_t>(b_common[c])];
+    if (ae != be) {
+      throw RuntimeError("contraction extent mismatch along a shared index");
+    }
+  }
+
+  ContractionPlan plan;
+  std::vector<int> m_dims, n_dims;
+  for (const int axis : a_free) {
+    const int extent = a_dims[static_cast<std::size_t>(axis)];
+    m_dims.push_back(extent);
+    plan.m *= static_cast<std::size_t>(extent);
+  }
+  for (const int axis : a_common) {
+    plan.k *= static_cast<std::size_t>(a_dims[static_cast<std::size_t>(axis)]);
+  }
+  for (const int axis : b_free) {
+    const int extent = b_dims[static_cast<std::size_t>(axis)];
+    n_dims.push_back(extent);
+    plan.n *= static_cast<std::size_t>(extent);
+  }
+
+  const auto a_strides = strides_of(a_dims);
+  const auto b_strides = strides_of(b_dims);
+  plan.a_row_off = axis_offsets(a_free, a_dims, a_strides);
+  plan.a_col_off = axis_offsets(a_common, a_dims, a_strides);
+  plan.b_row_off = axis_offsets(b_common, b_dims, b_strides);
+  plan.b_col_off = axis_offsets(b_free, b_dims, b_strides);
+
+  // Contiguity: the matricized operand equals plain row-major addressing
+  // when its axis order [free..., common...] / [common..., free...] is
+  // already ascending.
+  std::vector<int> a_order(a_free);
+  a_order.insert(a_order.end(), a_common.begin(), a_common.end());
+  plan.a_contiguous = std::is_sorted(a_order.begin(), a_order.end());
+  std::vector<int> b_order(b_common);
+  b_order.insert(b_order.end(), b_free.begin(), b_free.end());
+  plan.b_contiguous = std::is_sorted(b_order.begin(), b_order.end());
+
+  // Output side: GEMM produces [a_free..., b_free...]; dst may want any
+  // permutation of those ids.
+  std::vector<int> result_ids;
+  for (const int axis : a_free) {
+    result_ids.push_back(a_ids[static_cast<std::size_t>(axis)]);
+  }
+  for (const int axis : b_free) {
+    result_ids.push_back(b_ids[static_cast<std::size_t>(axis)]);
+  }
+  if (result_ids.size() != dst_ids.size()) {
+    throw RuntimeError(
+        "contraction destination rank does not match the free index set");
+  }
+  plan.result_dims = std::move(m_dims);
+  plan.result_dims.insert(plan.result_dims.end(), n_dims.begin(),
+                          n_dims.end());
+  plan.final_perm.resize(dst_ids.size());
+  plan.dst_identity = true;
+  for (std::size_t d = 0; d < dst_ids.size(); ++d) {
+    const int pos = find_id(result_ids, dst_ids[d]);
+    if (pos < 0) {
+      throw RuntimeError("contraction destination index not produced");
+    }
+    plan.final_perm[d] = pos;
+    if (pos != static_cast<int>(d)) plan.dst_identity = false;
+  }
+  return plan;
+}
+
+std::size_t ContractionPlanCache::KeyHash::operator()(
+    const std::vector<int>& key) const {
+  // FNV-1a over the int sequence.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const int value : key) {
+    hash ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(value));
+    hash *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(hash);
+}
+
+const ContractionPlan& ContractionPlanCache::get(std::span<const int> dst_ids,
+                                                 std::span<const int> a_ids,
+                                                 std::span<const int> b_ids,
+                                                 std::span<const int> a_dims,
+                                                 std::span<const int> b_dims) {
+  std::vector<int>& key = scratch_key_;
+  key.clear();
+  key.reserve(3 + dst_ids.size() + 2 * (a_ids.size() + b_ids.size()));
+  key.push_back(static_cast<int>(dst_ids.size()));
+  key.push_back(static_cast<int>(a_ids.size()));
+  key.push_back(static_cast<int>(b_ids.size()));
+  key.insert(key.end(), dst_ids.begin(), dst_ids.end());
+  key.insert(key.end(), a_ids.begin(), a_ids.end());
+  key.insert(key.end(), b_ids.begin(), b_ids.end());
+  key.insert(key.end(), a_dims.begin(), a_dims.end());
+  key.insert(key.end(), b_dims.begin(), b_dims.end());
+
+  const auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+    return *it->second;
+  }
+  g_misses.fetch_add(1, std::memory_order_relaxed);
+  auto plan = std::make_unique<ContractionPlan>(
+      build_contraction_plan(dst_ids, a_ids, b_ids, a_dims, b_dims));
+  const ContractionPlan& ref = *plan;
+  plans_.emplace(key, std::move(plan));
+  return ref;
+}
+
+ContractionPlanCache& thread_plan_cache() {
+  thread_local ContractionPlanCache cache;
+  return cache;
+}
+
+PlanCacheStats plan_cache_stats() {
+  PlanCacheStats stats;
+  stats.hits = g_hits.load(std::memory_order_relaxed);
+  stats.misses = g_misses.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void reset_plan_cache_stats() {
+  g_hits.store(0, std::memory_order_relaxed);
+  g_misses.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sia::blas

@@ -1,0 +1,101 @@
+// Contraction planning and the per-worker plan cache.
+//
+// A block contraction dst(dst_ids) = a(a_ids) * b(b_ids) needs a fixed
+// amount of symbolic analysis before any floating-point work: partition
+// each operand's axes into free and contracted sets, derive the matricized
+// m/n/k geometry, build the gather tables that let dgemm_gather read the
+// operands in permuted order during packing, and compute the output-side
+// permutation. Inside a `pardo` the same symbolic contraction executes
+// thousands of times over identically-shaped blocks (the paper's segment
+// grid makes shapes highly repetitive), so this analysis is memoized in a
+// per-worker (thread-local) cache keyed on the id lists and extents.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace sia::blas {
+
+// Everything dgemm_gather and the output permute need, precomputed once.
+struct ContractionPlan {
+  // Matricized geometry: result is m x n, contracted dimension k.
+  std::size_t m = 1;
+  std::size_t n = 1;
+  std::size_t k = 1;
+
+  // Gather tables for dgemm_gather: element (i, p) of the matricized A is
+  // a[a_row_off[i] + a_col_off[p]], and likewise for B. Row order of A is
+  // a's free axes in operand order; columns are the contracted axes in
+  // a's order (B rows follow the same contracted order).
+  std::vector<std::size_t> a_row_off;
+  std::vector<std::size_t> a_col_off;
+  std::vector<std::size_t> b_row_off;
+  std::vector<std::size_t> b_col_off;
+
+  // True when the operand is already laid out [free..., common...] (A) or
+  // [common..., free...] (B), i.e. the gather tables are just the identity
+  // row-major addressing. block_dot uses the B flag to skip gathering.
+  bool a_contiguous = false;
+  bool b_contiguous = false;
+
+  // Output side: extents of the GEMM result in [a_free..., b_free...]
+  // order and the permutation taking it into dst's id order. When
+  // dst_identity is true the GEMM can write straight into dst.
+  std::vector<int> result_dims;
+  std::vector<int> final_perm;
+  bool dst_identity = true;
+};
+
+// Builds a plan from scratch. Throws RuntimeError on rank/extent
+// mismatches or when dst_ids is not exactly the free id set. dst_ids may
+// be empty (full contraction — block_dot), in which case m == n == 1 and
+// k is the whole block.
+ContractionPlan build_contraction_plan(std::span<const int> dst_ids,
+                                       std::span<const int> a_ids,
+                                       std::span<const int> b_ids,
+                                       std::span<const int> a_dims,
+                                       std::span<const int> b_dims);
+
+// Cumulative hit/miss counters, aggregated across all worker caches.
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class ContractionPlanCache {
+ public:
+  // Returns the memoized plan, building it on first sight of the key
+  // (dst_ids, a_ids, b_ids, a_dims, b_dims). The reference stays valid for
+  // the cache's lifetime. Bumps the process-wide hit/miss counters.
+  const ContractionPlan& get(std::span<const int> dst_ids,
+                             std::span<const int> a_ids,
+                             std::span<const int> b_ids,
+                             std::span<const int> a_dims,
+                             std::span<const int> b_dims);
+
+  std::size_t size() const { return plans_.size(); }
+  void clear() { plans_.clear(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<int>& key) const;
+  };
+  std::unordered_map<std::vector<int>, std::unique_ptr<ContractionPlan>,
+                     KeyHash>
+      plans_;
+  std::vector<int> scratch_key_;
+};
+
+// The calling thread's (i.e. SIP worker's) plan cache.
+ContractionPlanCache& thread_plan_cache();
+
+// Process-wide cache statistics (sum over every worker's cache) and reset,
+// for tests and the profiler.
+PlanCacheStats plan_cache_stats();
+void reset_plan_cache_stats();
+
+}  // namespace sia::blas

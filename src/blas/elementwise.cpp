@@ -57,6 +57,13 @@ double dot(std::span<const double> x, std::span<const double> y) {
   return sum;
 }
 
+double dot_gather(std::span<const double> x, const double* y,
+                  const std::size_t* off) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[off[i]];
+  return sum;
+}
+
 double asum(std::span<const double> x) {
   double sum = 0.0;
   for (double v : x) sum += std::abs(v);

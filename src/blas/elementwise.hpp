@@ -22,6 +22,11 @@ void sub(std::span<const double> x, std::span<const double> y,
 void hadamard(std::span<const double> x, std::span<const double> y,
               std::span<double> z);                     // z = x .* y
 double dot(std::span<const double> x, std::span<const double> y);
+// Dot of contiguous x with a gathered y: sum_i x[i] * y[off[i]]. Used by
+// block_dot when the operands' index orders differ, so the permutation is
+// folded into the reduction instead of materializing a permuted copy.
+double dot_gather(std::span<const double> x, const double* y,
+                  const std::size_t* off);
 double asum(std::span<const double> x);
 double nrm2(std::span<const double> x);
 double max_abs(std::span<const double> x);

@@ -1,5 +1,6 @@
 #include "blas/permute.hpp"
 
+#include <algorithm>
 #include <array>
 
 #include "common/error.hpp"
@@ -17,6 +18,118 @@ std::array<std::size_t, kMaxRank> strides_of(std::span<const int> dims) {
     stride *= static_cast<std::size_t>(dims[static_cast<std::size_t>(d)]);
   }
   return strides;
+}
+
+// Generic odometer walk over dst in row-major order; used when the source
+// and destination share the same fastest axis, so the inner loop copies
+// contiguous runs from both sides.
+template <bool kAccumulate>
+void permute_linear(const double* src, double* dst,
+                    std::span<const int> dst_dims,
+                    const std::array<std::size_t, kMaxRank>& step) {
+  const int rank = static_cast<int>(dst_dims.size());
+  std::array<int, kMaxRank> counter{};
+  std::size_t src_offset = 0;
+  std::size_t total = 1;
+  for (const int d : dst_dims) total *= static_cast<std::size_t>(d);
+  const int last = rank - 1;
+  const std::size_t inner_extent =
+      static_cast<std::size_t>(dst_dims[static_cast<std::size_t>(last)]);
+  const std::size_t inner_step = step[static_cast<std::size_t>(last)];
+
+  std::size_t written = 0;
+  while (written < total) {
+    std::size_t offset = src_offset;
+    for (std::size_t j = 0; j < inner_extent; ++j) {
+      if constexpr (kAccumulate) {
+        dst[written + j] += src[offset];
+      } else {
+        dst[written + j] = src[offset];
+      }
+      offset += inner_step;
+    }
+    written += inner_extent;
+
+    int d = last - 1;
+    for (; d >= 0; --d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      src_offset += step[ud];
+      if (++counter[ud] < dst_dims[ud]) break;
+      src_offset -= step[ud] * static_cast<std::size_t>(dst_dims[ud]);
+      counter[ud] = 0;
+    }
+    if (d < 0 && written < total) {
+      // rank == 1: single pass already covered everything.
+      break;
+    }
+  }
+}
+
+// Cache-blocked walk for genuine transposes (the destination's fastest
+// axis is strided in the source). Tiles the plane spanned by the two
+// "fast" axes — dst's last axis (contiguous in dst, stride sL in src) and
+// the dst axis fed by src's last axis (contiguous in src, stride dj in
+// dst) — so both sides touch only ~T cache lines per tile instead of one
+// line per element.
+template <bool kAccumulate>
+void permute_tiled(const double* src, double* dst,
+                   std::span<const int> dst_dims,
+                   const std::array<std::size_t, kMaxRank>& step, int jd) {
+  constexpr std::size_t kTile = 16;
+  const int rank = static_cast<int>(dst_dims.size());
+  const int last = rank - 1;
+  const auto dst_strides = strides_of(dst_dims);
+
+  const std::size_t extent_l =
+      static_cast<std::size_t>(dst_dims[static_cast<std::size_t>(last)]);
+  const std::size_t extent_j =
+      static_cast<std::size_t>(dst_dims[static_cast<std::size_t>(jd)]);
+  const std::size_t src_stride_l = step[static_cast<std::size_t>(last)];
+  const std::size_t dst_stride_j = dst_strides[static_cast<std::size_t>(jd)];
+
+  // Axes other than the two tiled ones, walked by odometer.
+  std::array<int, kMaxRank> outer{};
+  int num_outer = 0;
+  for (int d = 0; d < rank; ++d) {
+    if (d != jd && d != last) outer[static_cast<std::size_t>(num_outer++)] = d;
+  }
+
+  std::array<int, kMaxRank> counter{};
+  std::size_t base_src = 0;
+  std::size_t base_dst = 0;
+  while (true) {
+    for (std::size_t j0 = 0; j0 < extent_j; j0 += kTile) {
+      const std::size_t jn = std::min(kTile, extent_j - j0);
+      for (std::size_t l0 = 0; l0 < extent_l; l0 += kTile) {
+        const std::size_t ln = std::min(kTile, extent_l - l0);
+        const double* src_tile = src + base_src + j0 + l0 * src_stride_l;
+        double* dst_tile = dst + base_dst + j0 * dst_stride_j + l0;
+        for (std::size_t j = 0; j < jn; ++j) {
+          double* dst_row = dst_tile + j * dst_stride_j;
+          const double* src_col = src_tile + j;
+          for (std::size_t l = 0; l < ln; ++l) {
+            if constexpr (kAccumulate) {
+              dst_row[l] += src_col[l * src_stride_l];
+            } else {
+              dst_row[l] = src_col[l * src_stride_l];
+            }
+          }
+        }
+      }
+    }
+    int d = num_outer - 1;
+    for (; d >= 0; --d) {
+      const std::size_t axis =
+          static_cast<std::size_t>(outer[static_cast<std::size_t>(d)]);
+      base_src += step[axis];
+      base_dst += dst_strides[axis];
+      if (++counter[axis] < dst_dims[axis]) break;
+      base_src -= step[axis] * static_cast<std::size_t>(dst_dims[axis]);
+      base_dst -= dst_strides[axis] * static_cast<std::size_t>(dst_dims[axis]);
+      counter[axis] = 0;
+    }
+    if (d < 0) break;
+  }
 }
 
 template <bool kAccumulate>
@@ -37,44 +150,21 @@ void permute_impl(const double* src, std::span<const int> src_dims,
         src_strides[static_cast<std::size_t>(perm[static_cast<std::size_t>(d)])];
   }
 
-  // Odometer walk over dst in row-major order; src offset tracked
-  // incrementally so the inner loop is addition-only.
-  std::array<int, kMaxRank> counter{};
-  std::size_t src_offset = 0;
-  const std::size_t total = element_count(src_dims);
   const int last = rank - 1;
-  const std::size_t inner_extent =
-      static_cast<std::size_t>(dst_dims[static_cast<std::size_t>(last)]);
-  const std::size_t inner_step = step[static_cast<std::size_t>(last)];
-
-  std::size_t written = 0;
-  while (written < total) {
-    // Inner axis as a tight loop.
-    std::size_t offset = src_offset;
-    for (std::size_t j = 0; j < inner_extent; ++j) {
-      if constexpr (kAccumulate) {
-        dst[written + j] += src[offset];
-      } else {
-        dst[written + j] = src[offset];
+  if (rank >= 2 && perm[static_cast<std::size_t>(last)] != last) {
+    // The dst axis fed by src's fastest axis (exists and differs from
+    // `last` because perm is a permutation that moves src's last axis).
+    int jd = -1;
+    for (int d = 0; d < rank; ++d) {
+      if (perm[static_cast<std::size_t>(d)] == last) {
+        jd = d;
+        break;
       }
-      offset += inner_step;
     }
-    written += inner_extent;
-
-    // Advance the odometer over the outer axes.
-    int d = last - 1;
-    for (; d >= 0; --d) {
-      const std::size_t ud = static_cast<std::size_t>(d);
-      src_offset += step[ud];
-      if (++counter[ud] < dst_dims[ud]) break;
-      src_offset -= step[ud] * static_cast<std::size_t>(dst_dims[ud]);
-      counter[ud] = 0;
-    }
-    if (d < 0 && written < total) {
-      // rank == 1: single pass already covered everything.
-      break;
-    }
+    permute_tiled<kAccumulate>(src, dst, dst_dims, step, jd);
+    return;
   }
+  permute_linear<kAccumulate>(src, dst, dst_dims, step);
 }
 
 }  // namespace

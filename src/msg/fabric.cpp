@@ -21,22 +21,22 @@ void Fabric::send(int src, int dst, Message message) {
   if (stopped()) throw RuntimeError("Fabric::send after stop()");
   message.src = src;
 
-  {
-    Mailbox& sender = *boxes_[static_cast<std::size_t>(src)];
-    std::lock_guard<std::mutex> lock(sender.mutex);
-    sender.sent.messages_sent += 1;
-    sender.sent.payload_doubles_sent +=
-        static_cast<std::int64_t>(message.data.size());
-    sender.sent.header_words_sent +=
-        static_cast<std::int64_t>(message.header.size());
-  }
+  Mailbox& sender = *boxes_[static_cast<std::size_t>(src)];
+  sender.messages_sent.fetch_add(1, std::memory_order_relaxed);
+  sender.payload_doubles_sent.fetch_add(
+      static_cast<std::int64_t>(message.data.size()),
+      std::memory_order_relaxed);
+  sender.header_words_sent.fetch_add(
+      static_cast<std::int64_t>(message.header.size()),
+      std::memory_order_relaxed);
 
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
     box.queue.push_back(std::move(message));
   }
-  box.cv.notify_all();
+  // Each mailbox has a single consuming rank; waking one waiter suffices.
+  box.cv.notify_one();
 }
 
 std::optional<Message> Fabric::try_recv(int rank) {
@@ -116,8 +116,13 @@ void Fabric::stop() {
 
 TrafficStats Fabric::stats(int rank) const {
   const Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
-  std::lock_guard<std::mutex> lock(box.mutex);
-  return box.sent;
+  TrafficStats stats;
+  stats.messages_sent = box.messages_sent.load(std::memory_order_relaxed);
+  stats.payload_doubles_sent =
+      box.payload_doubles_sent.load(std::memory_order_relaxed);
+  stats.header_words_sent =
+      box.header_words_sent.load(std::memory_order_relaxed);
+  return stats;
 }
 
 TrafficStats Fabric::total_stats() const {

@@ -80,7 +80,12 @@ class Fabric {
     mutable std::mutex mutex;
     std::condition_variable cv;
     std::deque<Message> queue;
-    TrafficStats sent;  // counters for messages this rank sent
+    // Counters for messages this rank sent. Atomics so send() can bump
+    // them without taking the sender's mailbox lock (which would serialize
+    // unrelated sends against the sender's own receives).
+    std::atomic<std::int64_t> messages_sent{0};
+    std::atomic<std::int64_t> payload_doubles_sent{0};
+    std::atomic<std::int64_t> header_words_sent{0};
   };
 
   std::vector<std::unique_ptr<Mailbox>> boxes_;

@@ -222,7 +222,11 @@ BlockPtr Interpreter::permuted_for(BlockPtr src,
     }
   }
   if (identity) return src;  // callers only read the result
-  auto out = std::make_shared<Block>(dst_shape);
+  // Stage the permuted copy in pool memory — this runs per iteration on
+  // put/prepare hot loops and must not bypass the paper's preallocated
+  // block stacks (§V-B) with ad-hoc heap traffic.
+  auto out = std::make_shared<Block>(dst_shape,
+                                     pool_->allocate(dst_shape.element_count()));
   block_copy_permute(*out, dst_ids, *src, src_ids, CopyMode::kAssign);
   return out;
 }

@@ -1,8 +1,11 @@
 #include "sip/superinstr.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <cstdio>
 
+#include "blas/contraction_plan.hpp"
 #include "blas/elementwise.hpp"
 #include "blas/gemm.hpp"
 #include "blas/permute.hpp"
@@ -20,155 +23,72 @@ int find_id(std::span<const int> ids, int id) {
   return -1;
 }
 
-std::size_t product(std::span<const int> dims) {
-  std::size_t total = 1;
-  for (int d : dims) total *= static_cast<std::size_t>(d);
-  return total;
-}
+// Regression tripwire: counts full-block permute copies of A/B operands
+// materialized by block_contract. The gather-packing engine reads permuted
+// operands directly during GEMM packing, so this must stay zero; any
+// future fallback that re-introduces an operand transpose pass must bump
+// it so tests catch the regression.
+std::atomic<std::uint64_t> g_operand_permutes{0};
 
 }  // namespace
+
+std::uint64_t contract_operand_permute_count() {
+  return g_operand_permutes.load(std::memory_order_relaxed);
+}
 
 void block_contract(Block& dst, std::span<const int> dst_ids, const Block& a,
                     std::span<const int> a_ids, const Block& b,
                     std::span<const int> b_ids, bool accumulate) {
-  const int a_rank = a.shape().rank();
-  const int b_rank = b.shape().rank();
-
-  // Partition a's axes into free and contracted (order preserved).
-  std::vector<int> a_free, a_common;  // axis positions in a
-  for (int d = 0; d < a_rank; ++d) {
-    if (find_id(b_ids, a_ids[static_cast<std::size_t>(d)]) >= 0) {
-      a_common.push_back(d);
-    } else {
-      a_free.push_back(d);
-    }
-  }
-  // b's axes: common first in a's common order, then free.
-  std::vector<int> b_common, b_free;
-  for (const int a_axis : a_common) {
-    const int b_axis =
-        find_id(b_ids, a_ids[static_cast<std::size_t>(a_axis)]);
-    SIA_CHECK(b_axis >= 0, "contract: common id vanished");
-    b_common.push_back(b_axis);
-  }
-  for (int d = 0; d < b_rank; ++d) {
-    if (find_id(a_ids, b_ids[static_cast<std::size_t>(d)]) < 0) {
-      b_free.push_back(d);
-    }
-  }
-
-  // Validate extents along contracted ids.
-  for (std::size_t c = 0; c < a_common.size(); ++c) {
-    if (a.shape().extent(a_common[c]) != b.shape().extent(b_common[c])) {
-      throw RuntimeError("contraction extent mismatch along a shared index");
-    }
-  }
-
-  // Permute a -> [free..., common...], b -> [common..., free...].
-  std::vector<int> a_perm(a_free.begin(), a_free.end());
-  a_perm.insert(a_perm.end(), a_common.begin(), a_common.end());
-  std::vector<int> b_perm(b_common.begin(), b_common.end());
-  b_perm.insert(b_perm.end(), b_free.begin(), b_free.end());
-
-  const std::vector<int> a_dims(a.shape().extents().begin(),
-                                a.shape().extents().end());
-  const std::vector<int> b_dims(b.shape().extents().begin(),
-                                b.shape().extents().end());
-
-  std::vector<int> m_dims, n_dims, k_dims;
-  for (const int axis : a_free) m_dims.push_back(a_dims[static_cast<std::size_t>(axis)]);
-  for (const int axis : a_common) k_dims.push_back(a_dims[static_cast<std::size_t>(axis)]);
-  for (const int axis : b_free) n_dims.push_back(b_dims[static_cast<std::size_t>(axis)]);
-  const std::size_t m = product(m_dims);
-  const std::size_t k = product(k_dims);
-  const std::size_t n = product(n_dims);
-
-  thread_local std::vector<double> a_buf, b_buf, c_buf;
+  // All symbolic analysis (axis partition, gather tables, output
+  // permutation) is memoized per worker; inside a pardo the same shaped
+  // contraction repeats thousands of times and hits the cache.
+  const blas::ContractionPlan& plan = blas::thread_plan_cache().get(
+      dst_ids, a_ids, b_ids, a.shape().extents(), b.shape().extents());
 
   const double* a_ptr = a.data().data();
-  if (!(a_perm.size() <= 1 || std::is_sorted(a_perm.begin(), a_perm.end()))) {
-    a_buf.resize(m * k);
-    blas::permute(a.data().data(), a_dims, a_perm, a_buf.data());
-    a_ptr = a_buf.data();
-  }
   const double* b_ptr = b.data().data();
-  if (!(b_perm.size() <= 1 || std::is_sorted(b_perm.begin(), b_perm.end()))) {
-    b_buf.resize(k * n);
-    blas::permute(b.data().data(), b_dims, b_perm, b_buf.data());
-    b_ptr = b_buf.data();
-  }
 
-  // Result ids in [a_free..., b_free...] order.
-  std::vector<int> result_ids;
-  for (const int axis : a_free) {
-    result_ids.push_back(a_ids[static_cast<std::size_t>(axis)]);
-  }
-  for (const int axis : b_free) {
-    result_ids.push_back(b_ids[static_cast<std::size_t>(axis)]);
-  }
-  SIA_CHECK(result_ids.size() == dst_ids.size(),
-            "contract: destination rank mismatch");
-
-  // Final permutation: dst axis d comes from result axis position of
-  // dst_ids[d].
-  std::vector<int> final_perm(dst_ids.size());
-  bool identity = true;
-  for (std::size_t d = 0; d < dst_ids.size(); ++d) {
-    const int pos = find_id(result_ids, dst_ids[d]);
-    if (pos < 0) {
-      throw RuntimeError("contraction destination index not produced");
-    }
-    final_perm[d] = pos;
-    if (pos != static_cast<int>(d)) identity = false;
-  }
-
-  if (identity) {
-    blas::dgemm(m, n, k, 1.0, a_ptr, k, b_ptr, n, accumulate ? 1.0 : 0.0,
-                dst.data().data(), n);
+  if (plan.dst_identity) {
+    blas::dgemm_gather(plan.m, plan.n, plan.k, 1.0, a_ptr,
+                       plan.a_row_off.data(), plan.a_col_off.data(), b_ptr,
+                       plan.b_row_off.data(), plan.b_col_off.data(),
+                       accumulate ? 1.0 : 0.0, dst.data().data(), plan.n);
     return;
   }
 
-  c_buf.resize(m * n);
-  blas::dgemm(m, n, k, 1.0, a_ptr, k, b_ptr, n, 0.0, c_buf.data(), n);
-
-  std::vector<int> result_dims;
-  result_dims.insert(result_dims.end(), m_dims.begin(), m_dims.end());
-  result_dims.insert(result_dims.end(), n_dims.begin(), n_dims.end());
+  // Output-side permutation remains: GEMM into scratch, then one
+  // cache-blocked permute (or permute-accumulate) into dst.
+  thread_local std::vector<double> c_buf;
+  c_buf.resize(plan.m * plan.n);
+  blas::dgemm_gather(plan.m, plan.n, plan.k, 1.0, a_ptr,
+                     plan.a_row_off.data(), plan.a_col_off.data(), b_ptr,
+                     plan.b_row_off.data(), plan.b_col_off.data(), 0.0,
+                     c_buf.data(), plan.n);
   if (accumulate) {
-    blas::permute_acc(c_buf.data(), result_dims, final_perm,
+    blas::permute_acc(c_buf.data(), plan.result_dims, plan.final_perm,
                       dst.data().data());
   } else {
-    blas::permute(c_buf.data(), result_dims, final_perm, dst.data().data());
+    blas::permute(c_buf.data(), plan.result_dims, plan.final_perm,
+                  dst.data().data());
   }
 }
 
 double block_dot(const Block& a, std::span<const int> a_ids, const Block& b,
                  std::span<const int> b_ids) {
-  SIA_CHECK(a_ids.size() == b_ids.size(), "block_dot: rank mismatch");
-  // Permute b into a's id order if necessary.
-  std::vector<int> perm(a_ids.size());
-  bool identity = true;
-  for (std::size_t d = 0; d < a_ids.size(); ++d) {
-    const int pos = find_id(b_ids, a_ids[d]);
-    if (pos < 0) throw RuntimeError("block_dot: mismatched index sets");
-    perm[d] = pos;
-    if (pos != static_cast<int>(d)) identity = false;
+  if (a_ids.size() != b_ids.size()) {
+    throw RuntimeError("block_dot: rank mismatch");
   }
-  if (identity) {
-    if (a.size() != b.size()) {
-      throw RuntimeError("block_dot: extent mismatch");
-    }
+  // A full contraction is a contraction plan with an empty destination:
+  // every id must be shared, m == n == 1, and b_row_off gathers b in a's
+  // element order. The plan cache makes repeated dots (residual norms in
+  // iterative solvers) pay for the analysis once.
+  static const std::vector<int> kNoIds;
+  const blas::ContractionPlan& plan = blas::thread_plan_cache().get(
+      kNoIds, a_ids, b_ids, a.shape().extents(), b.shape().extents());
+  if (plan.b_contiguous) {
     return blas::dot(a.data(), b.data());
   }
-  const std::vector<int> b_dims(b.shape().extents().begin(),
-                                b.shape().extents().end());
-  thread_local std::vector<double> buf;
-  buf.resize(b.size());
-  blas::permute(b.data().data(), b_dims, perm, buf.data());
-  if (a.size() != buf.size()) {
-    throw RuntimeError("block_dot: extent mismatch");
-  }
-  return blas::dot(a.data(), {buf.data(), buf.size()});
+  return blas::dot_gather(a.data(), b.data().data(), plan.b_row_off.data());
 }
 
 namespace {

@@ -16,6 +16,7 @@
 // planner knows what to contract.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -44,6 +45,12 @@ void block_contract(Block& dst, std::span<const int> dst_ids, const Block& a,
 // Full contraction of two blocks over identical id sets -> scalar.
 double block_dot(const Block& a, std::span<const int> a_ids, const Block& b,
                  std::span<const int> b_ids);
+
+// Test hook: number of full-block permute copies of A/B operands that
+// block_contract has materialized since process start. The gather-packing
+// contraction engine folds operand transposes into GEMM packing, so this
+// stays zero; tests assert on it to catch regressions.
+std::uint64_t contract_operand_permute_count();
 
 // dst(dst_ids) op= src(src_ids) with permutation derived from the ids.
 void block_copy_permute(Block& dst, std::span<const int> dst_ids,

@@ -86,6 +86,53 @@ TEST(GemmTest, RespectsLeadingDimensions) {
 }
 
 // ---------------------------------------------------------------------
+// Gather GEMM: offset-table addressing must match a materialized
+// transpose followed by plain dgemm.
+
+TEST(GemmGatherTest, TransposedOperandsMatchNaive) {
+  // A stored column-major (i.e. we multiply A^T), B stored row-major but
+  // with shuffled column order; both expressed purely via offset tables.
+  const std::size_t m = 37, n = 29, k = 41;
+  const auto a_t = random_matrix(k * m, 11);  // a_t[p * m + i] = A(i, p)
+  const auto b = random_matrix(k * n, 12);
+
+  std::vector<std::size_t> a_row(m), a_col(k), b_row(k), b_col(n);
+  for (std::size_t i = 0; i < m; ++i) a_row[i] = i;
+  for (std::size_t p = 0; p < k; ++p) a_col[p] = p * m;
+  for (std::size_t p = 0; p < k; ++p) b_row[p] = p * n;
+  for (std::size_t j = 0; j < n; ++j) b_col[j] = n - 1 - j;  // reversed
+
+  auto c1 = random_matrix(m * n, 13);
+  auto c2 = c1;
+  dgemm_gather(m, n, k, 1.1, a_t.data(), a_row.data(), a_col.data(),
+               b.data(), b_row.data(), b_col.data(), 0.4, c1.data(), n);
+
+  // Reference: materialize A and the column-reversed B, then naive.
+  std::vector<double> a_mat(m * k), b_mat(k * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) a_mat[i * k + p] = a_t[p * m + i];
+  }
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < n; ++j) {
+      b_mat[p * n + j] = b[p * n + (n - 1 - j)];
+    }
+  }
+  dgemm_naive(m, n, k, 1.1, a_mat.data(), k, b_mat.data(), n, 0.4, c2.data(),
+              n);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1[i], c2[i], 1e-11) << "element " << i;
+  }
+}
+
+TEST(GemmKernelTest, SelectionRoundTrip) {
+  EXPECT_FALSE(gemm_kernel_name().empty());
+  EXPECT_TRUE(select_gemm_kernel("portable"));
+  EXPECT_EQ(gemm_kernel_name(), "portable-4x8");
+  EXPECT_FALSE(select_gemm_kernel("no-such-kernel"));
+  EXPECT_TRUE(select_gemm_kernel("auto"));
+}
+
+// ---------------------------------------------------------------------
 // Permutations.
 
 TEST(PermuteTest, Rank2Transpose) {
@@ -163,6 +210,28 @@ std::vector<std::array<int, 4>> all_rank4_perms() {
 
 INSTANTIATE_TEST_SUITE_P(All24, Rank4Perms,
                          ::testing::ValuesIn(all_rank4_perms()));
+
+// Extents beyond the 16x16 cache tile (and not multiples of it) exercise
+// the tiled-transpose path's interior tiles and ragged edges.
+TEST(PermuteTest, TiledPathLargeExtents) {
+  const std::vector<int> dims = {19, 3, 33};
+  const std::vector<int> perm = {2, 1, 0};  // src fastest axis moves first
+  const auto src = random_matrix(19 * 3 * 33, 21);
+  std::vector<double> dst(src.size());
+  permute(src.data(), dims, perm, dst.data());
+  std::vector<double> acc(src.size(), 1.0);
+  permute_acc(src.data(), dims, perm, acc.data());
+  for (int i = 0; i < 19; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      for (int k = 0; k < 33; ++k) {
+        const std::size_t s = static_cast<std::size_t>((i * 3 + j) * 33 + k);
+        const std::size_t d = static_cast<std::size_t>((k * 3 + j) * 19 + i);
+        ASSERT_DOUBLE_EQ(dst[d], src[s]);
+        ASSERT_DOUBLE_EQ(acc[d], 1.0 + src[s]);
+      }
+    }
+  }
+}
 
 TEST(PermuteTest, IsPermutationValidation) {
   EXPECT_TRUE(is_permutation(std::vector<int>{0, 1, 2}));

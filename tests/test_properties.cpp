@@ -5,8 +5,10 @@
 // configuration.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <tuple>
 
+#include "blas/contraction_plan.hpp"
 #include "chem/integrals.hpp"
 #include "chem/programs.hpp"
 #include "chem/reference.hpp"
@@ -136,6 +138,31 @@ TEST(DeterminismTest, RepeatedRunsBitIdentical) {
   const RunResult a = sip.run_source(chem::mp2_energy_source());
   const RunResult b = sip.run_source(chem::mp2_energy_source());
   EXPECT_EQ(a.scalar("e2"), b.scalar("e2"));
+}
+
+// ---------------------------------------------------------------------
+// Contraction plan cache: inside pardos the same symbolic contraction
+// repeats over identically shaped blocks, so planning must be amortized —
+// the per-worker caches should serve the overwhelming majority of
+// block_contract calls from memory on the example programs.
+
+TEST(PlanCacheTest, HighHitRateOnMp2AndCcd) {
+  blas::reset_plan_cache_stats();
+  {
+    Sip sip(make_config(2, 2));
+    sip.run_source(chem::mp2_energy_source());
+  }
+  {
+    Sip sip(make_config(2, 2));
+    sip.run_source(chem::ccd_energy_source());
+  }
+  const blas::PlanCacheStats stats = blas::plan_cache_stats();
+  const std::uint64_t total = stats.hits + stats.misses;
+  ASSERT_GT(total, 0u);
+  const double hit_rate =
+      static_cast<double>(stats.hits) / static_cast<double>(total);
+  EXPECT_GT(hit_rate, 0.95) << "hits=" << stats.hits
+                            << " misses=" << stats.misses;
 }
 
 // Worker memory budget (as long as feasible) must not change results,

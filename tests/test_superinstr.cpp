@@ -3,9 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <random>
+#include <span>
 #include <tuple>
 
+#include "blas/contraction_plan.hpp"
 #include "blas/elementwise.hpp"
+#include "blas/gemm.hpp"
 #include "block/block.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -220,6 +227,193 @@ TEST(BlockAddTest, AddAndSubtractWithPermutations) {
             std::vector<int>{1, 0}, /*subtract=*/true, /*accumulate=*/true);
   EXPECT_NEAR(c.at(std::vector<int>{1, 2}),
               2.0 * a.at(std::vector<int>{1, 2}), 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Property test: block_contract (gather packing, SIMD micro-kernel, plan
+// cache) against a naive index-loop reference, across randomized ranks,
+// shuffled id orders, unequal extents, and both accumulate modes. This is
+// the safety net for the contraction engine.
+
+// Reference contraction: explicit loops over every destination element
+// and every assignment of the contracted ids.
+void naive_contract(Block& dst, std::span<const int> dst_ids, const Block& a,
+                    std::span<const int> a_ids, const Block& b,
+                    std::span<const int> b_ids, bool accumulate) {
+  std::vector<int> common_ids, common_ext;
+  for (std::size_t d = 0; d < a_ids.size(); ++d) {
+    if (std::find(b_ids.begin(), b_ids.end(), a_ids[d]) != b_ids.end()) {
+      common_ids.push_back(a_ids[d]);
+      common_ext.push_back(a.shape().extent(static_cast<int>(d)));
+    }
+  }
+  const auto index_for = [](std::span<const int> ids,
+                            const std::map<int, int>& values) {
+    std::vector<int> index;
+    for (const int id : ids) index.push_back(values.at(id));
+    return index;
+  };
+
+  std::map<int, int> values;
+  std::vector<int> dst_counter(dst_ids.size(), 0);
+  const std::size_t dst_total = dst.size();
+  for (std::size_t out = 0; out < dst_total; ++out) {
+    for (std::size_t d = 0; d < dst_ids.size(); ++d) {
+      values[dst_ids[d]] = dst_counter[d];
+    }
+    double sum = 0.0;
+    std::vector<int> k_counter(common_ids.size(), 0);
+    std::size_t k_total = 1;
+    for (const int e : common_ext) k_total *= static_cast<std::size_t>(e);
+    for (std::size_t kk = 0; kk < k_total; ++kk) {
+      for (std::size_t d = 0; d < common_ids.size(); ++d) {
+        values[common_ids[d]] = k_counter[d];
+      }
+      sum += a.at(index_for(a_ids, values)) * b.at(index_for(b_ids, values));
+      for (int d = static_cast<int>(common_ids.size()) - 1; d >= 0; --d) {
+        const std::size_t ud = static_cast<std::size_t>(d);
+        if (++k_counter[ud] < common_ext[ud]) break;
+        k_counter[ud] = 0;
+      }
+    }
+    const std::vector<int> dst_index = index_for(dst_ids, values);
+    if (accumulate) {
+      dst.at(dst_index) += sum;
+    } else {
+      dst.at(dst_index) = sum;
+    }
+    for (int d = static_cast<int>(dst_ids.size()) - 1; d >= 0; --d) {
+      const std::size_t ud = static_cast<std::size_t>(d);
+      if (++dst_counter[ud] < dst.shape().extent(d)) break;
+      dst_counter[ud] = 0;
+    }
+  }
+}
+
+TEST(ContractPropertyTest, MatchesNaiveReferenceAcrossRandomCases) {
+  constexpr int kCases = 250;
+  constexpr double kRelTol = 1e-10;
+  const std::vector<int> extent_choices = {1, 2, 3, 4, 5, 7};
+
+  for (int t = 0; t < kCases; ++t) {
+    std::mt19937 rng(static_cast<std::uint32_t>(1000 + t));
+    const auto pick = [&rng](int lo, int hi) {
+      return lo + static_cast<int>(rng() % static_cast<unsigned>(hi - lo + 1));
+    };
+    const int a_rank = pick(1, 4);
+    const int b_rank = pick(1, 4);
+    // Valid contracted-id counts: dst rank in 1..kMaxRank.
+    std::vector<int> valid_c;
+    for (int c = 0; c <= std::min(a_rank, b_rank); ++c) {
+      const int dst_rank = a_rank + b_rank - 2 * c;
+      if (dst_rank >= 1 && dst_rank <= blas::kMaxRank) valid_c.push_back(c);
+    }
+    ASSERT_FALSE(valid_c.empty());
+    const int num_common =
+        valid_c[static_cast<std::size_t>(pick(0, static_cast<int>(valid_c.size()) - 1))];
+
+    // Distinct ids with random extents; id numbering shuffled so the axis
+    // partition sees arbitrary orders.
+    const int num_ids = a_rank + b_rank - num_common;
+    std::vector<int> ids(static_cast<std::size_t>(num_ids));
+    std::iota(ids.begin(), ids.end(), 10);
+    std::shuffle(ids.begin(), ids.end(), rng);
+    std::map<int, int> extent_of;
+    for (const int id : ids) {
+      extent_of[id] =
+          extent_choices[rng() % extent_choices.size()];
+    }
+    const std::vector<int> common(ids.begin(), ids.begin() + num_common);
+    std::vector<int> a_ids(common);
+    std::vector<int> b_ids(common);
+    std::vector<int> dst_ids;
+    for (int i = num_common; i < num_ids; ++i) {
+      if (i - num_common < a_rank - num_common) {
+        a_ids.push_back(ids[static_cast<std::size_t>(i)]);
+      } else {
+        b_ids.push_back(ids[static_cast<std::size_t>(i)]);
+      }
+      dst_ids.push_back(ids[static_cast<std::size_t>(i)]);
+    }
+    std::shuffle(a_ids.begin(), a_ids.end(), rng);
+    std::shuffle(b_ids.begin(), b_ids.end(), rng);
+    std::shuffle(dst_ids.begin(), dst_ids.end(), rng);
+
+    const auto extents_for = [&extent_of](const std::vector<int>& arr_ids) {
+      std::vector<int> extents;
+      for (const int id : arr_ids) extents.push_back(extent_of.at(id));
+      return extents;
+    };
+    Block a = random_block(extents_for(a_ids),
+                           static_cast<std::uint64_t>(2 * t + 1));
+    Block b = random_block(extents_for(b_ids),
+                           static_cast<std::uint64_t>(2 * t + 2));
+    const bool accumulate = (t % 2) == 1;
+    Block got = random_block(extents_for(dst_ids),
+                             static_cast<std::uint64_t>(3 * t + 5));
+    Block want = got.clone();
+
+    block_contract(got, dst_ids, a, a_ids, b, b_ids, accumulate);
+    naive_contract(want, dst_ids, a, a_ids, b, b_ids, accumulate);
+
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      const double g = got.data()[i];
+      const double w = want.data()[i];
+      ASSERT_LE(std::abs(g - w), kRelTol * std::max(1.0, std::abs(w)))
+          << "case " << t << " element " << i << ": got " << g << " want "
+          << w;
+    }
+  }
+}
+
+TEST(ContractPropertyTest, PortableAndSimdKernelsAgree) {
+  Block a = random_block({9, 7, 5}, 71);
+  Block b = random_block({5, 9, 6}, 72);
+  const std::vector<int> a_ids = {0, 1, 2};
+  const std::vector<int> b_ids = {2, 0, 3};
+  const std::vector<int> dst_ids = {3, 1};
+
+  ASSERT_TRUE(blas::select_gemm_kernel("portable"));
+  Block c_portable(BlockShape(std::vector<int>{6, 7}));
+  block_contract(c_portable, dst_ids, a, a_ids, b, b_ids, false);
+
+  if (blas::select_gemm_kernel("avx2")) {
+    Block c_simd(BlockShape(std::vector<int>{6, 7}));
+    block_contract(c_simd, dst_ids, a, a_ids, b, b_ids, false);
+    for (std::size_t i = 0; i < c_simd.size(); ++i) {
+      EXPECT_NEAR(c_simd.data()[i], c_portable.data()[i], 1e-12);
+    }
+  }
+  ASSERT_TRUE(blas::select_gemm_kernel("auto"));
+}
+
+TEST(ContractPropertyTest, NoOperandPermuteCopies) {
+  // Both operands need transposing relative to GEMM layout; the engine
+  // must fold that into packing, never materialize a permuted copy.
+  Block a = random_block({4, 6, 5}, 73);
+  Block b = random_block({7, 6, 4}, 74);  // common ids 0,1 land strided
+  Block c(BlockShape(std::vector<int>{5, 7}));
+  block_contract(c, std::vector<int>{2, 3}, a, std::vector<int>{1, 0, 2}, b,
+                 std::vector<int>{3, 0, 1}, false);
+  EXPECT_EQ(contract_operand_permute_count(), 0u);
+}
+
+TEST(ContractPropertyTest, PlanCacheHitsOnRepeat) {
+  // A shape/id combination no other test uses: first call misses, the
+  // rest hit.
+  Block a = random_block({3, 2, 7, 2}, 75);
+  Block b = random_block({7, 3, 5, 2}, 76);
+  Block c(BlockShape(std::vector<int>{2, 5}));
+  const std::vector<int> dst_ids = {31, 33};  // free: 31 in a, 33 in b
+  const std::vector<int> a_ids = {30, 31, 32, 34};
+  const std::vector<int> b_ids = {32, 30, 33, 34};  // common: 30, 32, 34
+  blas::reset_plan_cache_stats();
+  for (int i = 0; i < 8; ++i) {
+    block_contract(c, dst_ids, a, a_ids, b, b_ids, false);
+  }
+  const blas::PlanCacheStats stats = blas::plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 7u);
 }
 
 // ---------------------------------------------------------------------
