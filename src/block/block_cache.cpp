@@ -57,12 +57,14 @@ void BlockCache::put(const BlockId& id, BlockPtr block, bool dirty) {
 
 void BlockCache::evict_to_fit(std::size_t incoming) {
   if (used_ + incoming <= capacity_) return;
-  // Scan from least-recently-used; skip entries still referenced outside
-  // the cache (in use by an executing super instruction or in flight).
+  // Evict from least-recently-used. Dropping the cache's shared_ptr never
+  // invalidates other holders (an executing super instruction, an
+  // in-flight zero-copy message), so shared entries are evictable too —
+  // skipping them would make blocks adopted from remote pools, whose home
+  // rank keeps a reference, permanently unevictable.
   auto it = lru_.end();
   while (used_ + incoming > capacity_ && it != lru_.begin()) {
     --it;
-    if (it->block.use_count() > 1) continue;
     if (on_evict_) on_evict_(it->id, it->block, it->dirty);
     used_ -= it->block->size();
     entries_.erase(it->id);

@@ -45,10 +45,11 @@ class BlockCache {
   bool contains(const BlockId& id) const;
 
   // Inserts (or replaces) an entry; may evict least-recently-used entries
-  // to fit. Blocks still referenced elsewhere (use_count > 1) are skipped
-  // by eviction — an in-flight or in-use block is never dropped. A block
-  // larger than the whole capacity is passed through uncached (the victim
-  // handler sees it immediately if dirty).
+  // to fit. Eviction drops only the cache's own reference, so blocks held
+  // elsewhere (in use by a super instruction, in flight in a message)
+  // stay valid for their holders. A block larger than the whole capacity
+  // is passed through uncached (the victim handler sees it immediately if
+  // dirty).
   void put(const BlockId& id, BlockPtr block, bool dirty = false);
 
   // Marks an existing entry dirty (e.g. accumulated into).

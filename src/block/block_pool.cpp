@@ -6,12 +6,120 @@
 
 namespace sia {
 
+namespace detail {
+
+// Shared slot storage. Referenced by the owning BlockPool and by every
+// outstanding PoolBuffer, so buffers stay valid after the BlockPool
+// object is gone (zero-copy messaging hands pool-backed blocks across
+// rank boundaries and destruction order between ranks is arbitrary).
+class PoolCore {
+ public:
+  PoolCore() = default;
+  PoolCore(std::map<std::size_t, std::size_t> size_classes,
+           bool allow_heap_fallback)
+      : allow_heap_fallback_(allow_heap_fallback) {
+    std::size_t total = 0;
+    for (const auto& [capacity, slots] : size_classes) {
+      SIA_CHECK(capacity > 0, "BlockPool: zero-capacity size class");
+      total += capacity * slots;
+    }
+    arena_.resize(total);
+    std::size_t offset = 0;
+    for (const auto& [capacity, slots] : size_classes) {  // map: ascending
+      SizeClass cls;
+      cls.capacity = capacity;
+      cls.free_slots.reserve(slots);
+      for (std::size_t s = 0; s < slots; ++s) {
+        cls.free_slots.push_back(arena_.data() + offset);
+        offset += capacity;
+      }
+      classes_.push_back(std::move(cls));
+    }
+  }
+
+  PoolBuffer allocate(const std::shared_ptr<PoolCore>& self,
+                      std::size_t count) {
+    SIA_CHECK(count > 0, "BlockPool: zero-size allocation");
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (auto& cls : classes_) {
+        if (cls.capacity >= count && !cls.free_slots.empty()) {
+          double* slot = cls.free_slots.back();
+          cls.free_slots.pop_back();
+          ++stats_.pool_allocs;
+          stats_.in_use_doubles += cls.capacity;
+          stats_.peak_in_use_doubles =
+              std::max(stats_.peak_in_use_doubles, stats_.in_use_doubles);
+          return PoolBuffer(self, slot, cls.capacity, cls.capacity, false);
+        }
+      }
+      if (!allow_heap_fallback_) {
+        throw RuntimeError("block pool exhausted for request of " +
+                           std::to_string(count) +
+                           " doubles; dry-run sizing was violated");
+      }
+      ++stats_.heap_fallbacks;
+      stats_.in_use_doubles += count;
+      stats_.peak_in_use_doubles =
+          std::max(stats_.peak_in_use_doubles, stats_.in_use_doubles);
+    }
+    return PoolBuffer(self, new double[count], count, count, true);
+  }
+
+  void release_slot(double* data, std::size_t size_class, bool heap,
+                    std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.in_use_doubles -= capacity;
+    if (heap) {
+      delete[] data;
+      return;
+    }
+    for (auto& cls : classes_) {
+      if (cls.capacity == size_class) {
+        cls.free_slots.push_back(data);
+        return;
+      }
+    }
+    // Unreachable if the buffer came from this pool.
+    throw InternalError("BlockPool: released slot of unknown size class");
+  }
+
+  BlockPool::Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  std::size_t total_pool_doubles() const { return arena_.size(); }
+
+  std::size_t free_slots_for(std::size_t count) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& cls : classes_) {
+      if (cls.capacity >= count) return cls.free_slots.size();
+    }
+    return 0;
+  }
+
+ private:
+  struct SizeClass {
+    std::size_t capacity = 0;         // doubles per slot
+    std::vector<double*> free_slots;  // stack of available slots
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<double> arena_;
+  std::vector<SizeClass> classes_;  // sorted by capacity ascending
+  bool allow_heap_fallback_ = true;
+  BlockPool::Stats stats_;
+};
+
+}  // namespace detail
+
 PoolBuffer::~PoolBuffer() { release(); }
 
 PoolBuffer::PoolBuffer(PoolBuffer&& other) noexcept
-    : pool_(other.pool_), data_(other.data_), capacity_(other.capacity_),
-      size_class_(other.size_class_), heap_(other.heap_) {
-  other.pool_ = nullptr;
+    : core_(std::move(other.core_)), data_(other.data_),
+      capacity_(other.capacity_), size_class_(other.size_class_),
+      heap_(other.heap_) {
   other.data_ = nullptr;
   other.capacity_ = 0;
 }
@@ -19,12 +127,11 @@ PoolBuffer::PoolBuffer(PoolBuffer&& other) noexcept
 PoolBuffer& PoolBuffer::operator=(PoolBuffer&& other) noexcept {
   if (this != &other) {
     release();
-    pool_ = other.pool_;
+    core_ = std::move(other.core_);
     data_ = other.data_;
     capacity_ = other.capacity_;
     size_class_ = other.size_class_;
     heap_ = other.heap_;
-    other.pool_ = nullptr;
     other.data_ = nullptr;
     other.capacity_ = 0;
   }
@@ -32,98 +139,36 @@ PoolBuffer& PoolBuffer::operator=(PoolBuffer&& other) noexcept {
 }
 
 void PoolBuffer::release() {
-  if (data_ != nullptr && pool_ != nullptr) {
-    pool_->release_slot(data_, size_class_, heap_, capacity_);
+  if (data_ != nullptr && core_ != nullptr) {
+    core_->release_slot(data_, size_class_, heap_, capacity_);
   } else if (data_ != nullptr && heap_) {
     delete[] data_;
   }
   data_ = nullptr;
-  pool_ = nullptr;
+  core_.reset();
 }
 
-BlockPool::BlockPool() = default;
+BlockPool::BlockPool() : core_(std::make_shared<detail::PoolCore>()) {}
 
 BlockPool::BlockPool(std::map<std::size_t, std::size_t> size_classes,
                      bool allow_heap_fallback)
-    : allow_heap_fallback_(allow_heap_fallback) {
-  std::size_t total = 0;
-  for (const auto& [capacity, slots] : size_classes) {
-    SIA_CHECK(capacity > 0, "BlockPool: zero-capacity size class");
-    total += capacity * slots;
-  }
-  arena_.resize(total);
-  std::size_t offset = 0;
-  for (const auto& [capacity, slots] : size_classes) {  // map: ascending
-    SizeClass cls;
-    cls.capacity = capacity;
-    cls.free_slots.reserve(slots);
-    for (std::size_t s = 0; s < slots; ++s) {
-      cls.free_slots.push_back(arena_.data() + offset);
-      offset += capacity;
-    }
-    classes_.push_back(std::move(cls));
-  }
-}
+    : core_(std::make_shared<detail::PoolCore>(std::move(size_classes),
+                                               allow_heap_fallback)) {}
 
 BlockPool::~BlockPool() = default;
 
 PoolBuffer BlockPool::allocate(std::size_t count) {
-  SIA_CHECK(count > 0, "BlockPool: zero-size allocation");
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& cls : classes_) {
-      if (cls.capacity >= count && !cls.free_slots.empty()) {
-        double* slot = cls.free_slots.back();
-        cls.free_slots.pop_back();
-        ++stats_.pool_allocs;
-        stats_.in_use_doubles += cls.capacity;
-        stats_.peak_in_use_doubles =
-            std::max(stats_.peak_in_use_doubles, stats_.in_use_doubles);
-        return PoolBuffer(this, slot, cls.capacity, cls.capacity, false);
-      }
-    }
-    if (!allow_heap_fallback_) {
-      throw RuntimeError("block pool exhausted for request of " +
-                         std::to_string(count) +
-                         " doubles; dry-run sizing was violated");
-    }
-    ++stats_.heap_fallbacks;
-    stats_.in_use_doubles += count;
-    stats_.peak_in_use_doubles =
-        std::max(stats_.peak_in_use_doubles, stats_.in_use_doubles);
-  }
-  return PoolBuffer(this, new double[count], count, count, true);
+  return core_->allocate(core_, count);
 }
 
-void BlockPool::release_slot(double* data, std::size_t size_class, bool heap,
-                             std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.in_use_doubles -= capacity;
-  if (heap) {
-    delete[] data;
-    return;
-  }
-  for (auto& cls : classes_) {
-    if (cls.capacity == size_class) {
-      cls.free_slots.push_back(data);
-      return;
-    }
-  }
-  // Unreachable if the buffer came from this pool.
-  throw InternalError("BlockPool: released slot of unknown size class");
-}
+BlockPool::Stats BlockPool::stats() const { return core_->stats(); }
 
-BlockPool::Stats BlockPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+std::size_t BlockPool::total_pool_doubles() const {
+  return core_->total_pool_doubles();
 }
 
 std::size_t BlockPool::free_slots_for(std::size_t count) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& cls : classes_) {
-    if (cls.capacity >= count) return cls.free_slots.size();
-  }
-  return 0;
+  return core_->free_slots_for(count);
 }
 
 }  // namespace sia

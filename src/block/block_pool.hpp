@@ -8,19 +8,28 @@
 // arena. Allocation pops a slot from the smallest class that fits;
 // release pushes it back. A configurable heap fallback (with a counter)
 // lets non-dry-run callers keep running while making pool misses visible.
+//
+// The slot storage lives in a shared PoolCore: the owning BlockPool and
+// every outstanding PoolBuffer hold a reference, so a buffer may outlive
+// the BlockPool object that allocated it. The zero-copy message path
+// relies on this — a block allocated from worker A's pool can sit in
+// worker B's cache past the point where A's rank object is destroyed.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 namespace sia {
 
-class BlockPool;
+namespace detail {
+class PoolCore;
+}  // namespace detail
 
 // Move-only handle to a pool slot (or a heap fallback allocation).
-// Returns the memory on destruction.
+// Returns the memory on destruction. Keeps the backing arena alive.
 class PoolBuffer {
  public:
   PoolBuffer() = default;
@@ -36,14 +45,15 @@ class PoolBuffer {
 
  private:
   friend class BlockPool;
-  PoolBuffer(BlockPool* pool, double* data, std::size_t capacity,
-             std::size_t size_class, bool heap)
-      : pool_(pool), data_(data), capacity_(capacity),
+  friend class detail::PoolCore;
+  PoolBuffer(std::shared_ptr<detail::PoolCore> core, double* data,
+             std::size_t capacity, std::size_t size_class, bool heap)
+      : core_(std::move(core)), data_(data), capacity_(capacity),
         size_class_(size_class), heap_(heap) {}
 
   void release();
 
-  BlockPool* pool_ = nullptr;
+  std::shared_ptr<detail::PoolCore> core_;
   double* data_ = nullptr;
   std::size_t capacity_ = 0;
   std::size_t size_class_ = 0;  // element capacity of the class
@@ -79,25 +89,12 @@ class BlockPool {
   PoolBuffer allocate(std::size_t count);
 
   Stats stats() const;
-  std::size_t total_pool_doubles() const { return arena_.size(); }
+  std::size_t total_pool_doubles() const;
   // Free slots remaining in the class that would serve `count`.
   std::size_t free_slots_for(std::size_t count) const;
 
  private:
-  friend class PoolBuffer;
-  void release_slot(double* data, std::size_t size_class, bool heap,
-                    std::size_t capacity);
-
-  struct SizeClass {
-    std::size_t capacity = 0;             // doubles per slot
-    std::vector<double*> free_slots;      // stack of available slots
-  };
-
-  mutable std::mutex mutex_;
-  std::vector<double> arena_;
-  std::vector<SizeClass> classes_;  // sorted by capacity ascending
-  bool allow_heap_fallback_ = true;
-  Stats stats_;
+  std::shared_ptr<detail::PoolCore> core_;
 };
 
 }  // namespace sia

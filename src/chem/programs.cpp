@@ -248,6 +248,53 @@ endsial
 )SIAL";
 }
 
+std::string comm_storm_source() {
+  return R"SIAL(
+sial comm_storm
+# Communication-bound Gram-matrix sweep C = A * A^T. The inner do loop
+# re-accumulates into the same C(a,b) block every iteration, so almost
+# all traffic is gets of A rows plus repeated put+= of C blocks — the
+# pattern the runtime's write combining and zero-copy transfers target.
+aoindex a = 1, norb
+aoindex b = 1, norb
+aoindex k = 1, norb
+
+distributed A(a,k)
+distributed C(a,b)
+temp t(a,k)
+temp tmp(a,b)
+temp cfin(a,b)
+scalar csum
+scalar cnorm2
+
+pardo a, k
+  execute random_block t(a,k) 11
+  put A(a,k) = t(a,k)
+endpardo a, k
+sip_barrier
+
+pardo a, b
+  do k
+    get A(a,k)
+    get A(b,k)
+    tmp(a,b) = A(a,k) * A(b,k)
+    put C(a,b) += tmp(a,b)
+  enddo k
+endpardo a, b
+sip_barrier
+
+csum = 0.0
+pardo a, b
+  get C(a,b)
+  cfin(a,b) = C(a,b)
+  csum += cfin(a,b) * cfin(a,b)
+endpardo a, b
+cnorm2 = 0.0
+collective cnorm2 += csum
+endsial
+)SIAL";
+}
+
 std::string mp2_served_source() {
   return R"SIAL(
 sial mp2_served

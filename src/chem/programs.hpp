@@ -31,6 +31,14 @@ std::string ccd_energy_source();
 // model density. Constants: norb. Result scalar: fnorm (Frobenius norm).
 std::string fock_build_source();
 
+// Communication-bound stress program: phase 1 fills a distributed matrix
+// with random blocks, phase 2 is a Gram-matrix-style sweep where every
+// inner iteration issues two gets and accumulates into the same output
+// block with put+= (the workload behind the zero-copy / put-coalescing
+// benches). Constants: norb. Result scalar: cnorm2 (squared Frobenius
+// norm of the output matrix).
+std::string comm_storm_source();
+
 // MP2-like two-phase program exercising served (disk-backed) arrays:
 // phase 1 prepares amplitude blocks to a served array, phase 2 requests
 // them back and contracts. Constants: norb, nocc. Result scalars: e2

@@ -42,6 +42,16 @@ struct SipConfig {
   // block requests ahead of use. 0 disables prefetching.
   int prefetch_depth = 2;
 
+  // Write-combine repeated `put ... +=` to the same block in a per-worker
+  // shadow table, flushing at pardo-iteration boundaries and barriers.
+  // Cuts put message count on accumulate-heavy inner loops.
+  bool coalesce_puts = true;
+
+  // Issue every distributed-array get and served-array request of an
+  // instruction before blocking on the first one, so replies overlap the
+  // remaining fetches (wait-any instead of fetch-then-wait per operand).
+  bool batch_gets = true;
+
   // Guided-scheduling knobs: first chunks are remaining/(chunk_divisor *
   // workers), never below min_chunk iterations.
   int chunk_divisor = 2;

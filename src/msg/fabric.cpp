@@ -14,6 +14,24 @@ Fabric::Fabric(int ranks) {
   }
 }
 
+Fabric::~Fabric() = default;
+
+Message Fabric::Mailbox::pop_oldest_locked() {
+  for (;;) {
+    auto [tag, seq] = fifo.front();
+    fifo.pop_front();
+    auto it = by_tag.find(tag);
+    if (it == by_tag.end() || it->second.empty() ||
+        it->second.front().seq != seq) {
+      continue;  // stale index entry: drained earlier by try_recv_tag
+    }
+    Message message = std::move(it->second.front().msg);
+    it->second.pop_front();
+    --pending;
+    return message;
+  }
+}
+
 void Fabric::send(int src, int dst, Message message) {
   if (src < 0 || src >= ranks() || dst < 0 || dst >= ranks()) {
     throw InternalError("Fabric::send: rank out of range");
@@ -24,16 +42,26 @@ void Fabric::send(int src, int dst, Message message) {
   Mailbox& sender = *boxes_[static_cast<std::size_t>(src)];
   sender.messages_sent.fetch_add(1, std::memory_order_relaxed);
   sender.payload_doubles_sent.fetch_add(
-      static_cast<std::int64_t>(message.data.size()),
+      static_cast<std::int64_t>(message.payload_doubles()),
       std::memory_order_relaxed);
   sender.header_words_sent.fetch_add(
       static_cast<std::int64_t>(message.header.size()),
       std::memory_order_relaxed);
+  if (message.block) {
+    sender.zero_copy_messages.fetch_add(1, std::memory_order_relaxed);
+    sender.zero_copy_doubles.fetch_add(
+        static_cast<std::int64_t>(message.block->size()),
+        std::memory_order_relaxed);
+  }
 
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
-    box.queue.push_back(std::move(message));
+    const int tag = message.tag;
+    const std::uint64_t seq = box.next_seq++;
+    box.by_tag[tag].push_back(TaggedMessage{seq, std::move(message)});
+    box.fifo.emplace_back(tag, seq);
+    ++box.pending;
   }
   // Each mailbox has a single consuming rank; waking one waiter suffices.
   box.cv.notify_one();
@@ -42,50 +70,44 @@ void Fabric::send(int src, int dst, Message message) {
 std::optional<Message> Fabric::try_recv(int rank) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
   std::lock_guard<std::mutex> lock(box.mutex);
-  if (box.queue.empty()) return std::nullopt;
-  Message message = std::move(box.queue.front());
-  box.queue.pop_front();
-  return message;
+  if (box.pending == 0) return std::nullopt;
+  return box.pop_oldest_locked();
 }
 
 std::optional<Message> Fabric::try_recv_tag(int rank, int tag) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
   std::lock_guard<std::mutex> lock(box.mutex);
-  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-    if (it->tag == tag) {
-      Message message = std::move(*it);
-      box.queue.erase(it);
-      return message;
-    }
-  }
-  return std::nullopt;
+  auto it = box.by_tag.find(tag);
+  if (it == box.by_tag.end() || it->second.empty()) return std::nullopt;
+  Message message = std::move(it->second.front().msg);
+  it->second.pop_front();
+  --box.pending;
+  // The (tag, seq) pair left in `fifo` goes stale; pop_oldest_locked
+  // skips it when it reaches the front.
+  return message;
 }
 
 bool Fabric::has_message(int rank) const {
   const Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
   std::lock_guard<std::mutex> lock(box.mutex);
-  return !box.queue.empty();
+  return box.pending > 0;
 }
 
 std::optional<Message> Fabric::recv(int rank) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
   std::unique_lock<std::mutex> lock(box.mutex);
-  box.cv.wait(lock, [&] { return !box.queue.empty() || stopped(); });
-  if (box.queue.empty()) return std::nullopt;
-  Message message = std::move(box.queue.front());
-  box.queue.pop_front();
-  return message;
+  box.cv.wait(lock, [&] { return box.pending > 0 || stopped(); });
+  if (box.pending == 0) return std::nullopt;
+  return box.pop_oldest_locked();
 }
 
 std::optional<Message> Fabric::recv_for(int rank, int timeout_ms) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
   std::unique_lock<std::mutex> lock(box.mutex);
   box.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                  [&] { return !box.queue.empty() || stopped(); });
-  if (box.queue.empty()) return std::nullopt;
-  Message message = std::move(box.queue.front());
-  box.queue.pop_front();
-  return message;
+                  [&] { return box.pending > 0 || stopped(); });
+  if (box.pending == 0) return std::nullopt;
+  return box.pop_oldest_locked();
 }
 
 void Fabric::barrier(int rank) {
@@ -104,6 +126,10 @@ void Fabric::barrier(int rank) {
 
 void Fabric::stop() {
   stopped_.store(true, std::memory_order_release);
+  // Notify under each mailbox lock: a receiver that observed the old
+  // `stopped_` value inside its predicate is either still holding the
+  // lock (we wait for it) or already waiting (the notify wakes it), so
+  // no blocked recv/recv_for can miss the shutdown.
   for (auto& box : boxes_) {
     std::lock_guard<std::mutex> lock(box->mutex);
     box->cv.notify_all();
@@ -122,6 +148,10 @@ TrafficStats Fabric::stats(int rank) const {
       box.payload_doubles_sent.load(std::memory_order_relaxed);
   stats.header_words_sent =
       box.header_words_sent.load(std::memory_order_relaxed);
+  stats.zero_copy_messages =
+      box.zero_copy_messages.load(std::memory_order_relaxed);
+  stats.zero_copy_doubles =
+      box.zero_copy_doubles.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -132,6 +162,8 @@ TrafficStats Fabric::total_stats() const {
     total.messages_sent += s.messages_sent;
     total.payload_doubles_sent += s.payload_doubles_sent;
     total.header_words_sent += s.header_words_sent;
+    total.zero_copy_messages += s.zero_copy_messages;
+    total.zero_copy_doubles += s.zero_copy_doubles;
   }
   return total;
 }

@@ -11,8 +11,16 @@
 //   * a fabric-wide barrier used by the GA baseline and tests (the SIP
 //     builds its own explicit barrier protocol on plain messages).
 //
-// The fabric also counts messages and bytes per rank pair so tests and
-// ablation benches can observe communication volume.
+// Mailboxes are tag-indexed: each tag has its own FIFO sub-queue and a
+// global arrival-order index threads them together, so try_recv_tag is
+// O(1) instead of a linear scan and control traffic (barriers, acks,
+// chunk grants) never convoys behind queued block payloads. Global FIFO
+// order per (src,dst) pair is preserved — the SIP's barrier protocol
+// depends on it for epoch causality.
+//
+// The fabric also counts messages and payload volume per rank so tests
+// and ablation benches can observe communication traffic, including how
+// many messages moved their block payload zero-copy.
 #pragma once
 
 #include <atomic>
@@ -22,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "msg/message.hpp"
@@ -31,13 +40,19 @@ namespace sia::msg {
 // Communication counters for one rank (what it sent).
 struct TrafficStats {
   std::int64_t messages_sent = 0;
-  std::int64_t payload_doubles_sent = 0;  // data words only
+  std::int64_t payload_doubles_sent = 0;  // wire-equivalent data words
   std::int64_t header_words_sent = 0;
+  // Messages whose block payload travelled as a shared BlockPtr instead
+  // of being packed into a wire buffer, and the doubles that therefore
+  // were never copied (once at pack time and once at unpack time each).
+  std::int64_t zero_copy_messages = 0;
+  std::int64_t zero_copy_doubles = 0;
 };
 
 class Fabric {
  public:
   explicit Fabric(int ranks);
+  ~Fabric();
 
   int ranks() const { return static_cast<int>(boxes_.size()); }
 
@@ -49,7 +64,7 @@ class Fabric {
   std::optional<Message> try_recv(int rank);
 
   // Non-blocking receive of the oldest pending message with `tag`,
-  // skipping (and preserving order of) other messages.
+  // skipping (and preserving order of) other messages. O(1).
   std::optional<Message> try_recv_tag(int rank, int tag);
 
   // True if any message is pending for `rank`.
@@ -76,16 +91,36 @@ class Fabric {
   TrafficStats total_stats() const;
 
  private:
+  struct TaggedMessage {
+    std::uint64_t seq = 0;  // arrival order within the mailbox
+    Message msg;
+  };
+
   struct Mailbox {
     mutable std::mutex mutex;
     std::condition_variable cv;
-    std::deque<Message> queue;
+    // Per-tag FIFO sub-queues plus a global arrival-order index of
+    // (tag, seq) pairs. A fifo entry is live iff the tag queue's front
+    // still carries that seq; entries drained out of order by
+    // try_recv_tag leave stale index pairs that the FIFO pops skip
+    // lazily (each is skipped at most once, so amortized O(1)).
+    std::unordered_map<int, std::deque<TaggedMessage>> by_tag;
+    std::deque<std::pair<int, std::uint64_t>> fifo;
+    std::uint64_t next_seq = 0;
+    std::size_t pending = 0;  // total live messages
+
     // Counters for messages this rank sent. Atomics so send() can bump
     // them without taking the sender's mailbox lock (which would serialize
     // unrelated sends against the sender's own receives).
     std::atomic<std::int64_t> messages_sent{0};
     std::atomic<std::int64_t> payload_doubles_sent{0};
     std::atomic<std::int64_t> header_words_sent{0};
+    std::atomic<std::int64_t> zero_copy_messages{0};
+    std::atomic<std::int64_t> zero_copy_doubles{0};
+
+    // Pops the globally oldest live message. Caller holds `mutex` and
+    // guarantees pending > 0.
+    Message pop_oldest_locked();
   };
 
   std::vector<std::unique_ptr<Mailbox>> boxes_;

@@ -3,12 +3,17 @@
 // Real SIP implementations exchange MPI messages whose payloads are either
 // small control records or whole blocks of doubles. We mirror that split:
 // `header` carries protocol control words (block ids, index values, chunk
-// bounds), `data` carries block contents. Keeping doubles in their own
-// vector avoids any serialization of floating-point data.
+// bounds), while block contents travel as a shared `BlockPtr` — the
+// in-process analogue of MPI zero-copy / rendezvous transfers. The sender
+// attaches a reference to (or ownership of) the block and the receiver
+// adopts it without either side packing doubles into a wire buffer.
+// `data` remains for small non-block payloads (scalars, collectives).
 #pragma once
 
 #include <cstdint>
 #include <vector>
+
+#include "block/block.hpp"
 
 namespace sia::msg {
 
@@ -17,6 +22,15 @@ struct Message {
   int tag = 0;    // protocol tag, see tags.hpp
   std::vector<std::int64_t> header;
   std::vector<double> data;
+  // Zero-copy block payload. Shared (aliasing) for read replies; for
+  // writes the sender moves its last reference in, transferring ownership.
+  BlockPtr block;
+
+  // Total payload volume in doubles, wire-equivalent: what an MPI
+  // implementation would have put on the network for this message.
+  std::size_t payload_doubles() const {
+    return data.size() + (block ? block->size() : 0);
+  }
 };
 
 }  // namespace sia::msg

@@ -7,11 +7,18 @@
 
 namespace sia::sip {
 
+namespace {
+// Shadow-table size at which coalesced puts are pushed out even without
+// reaching a flush point, bounding worker-side buffering.
+constexpr std::size_t kCoalesceFlushThreshold = 128;
+}  // namespace
+
 DistArrayManager::DistArrayManager(SipShared& shared, int my_rank,
                                    BlockPool& pool,
-                                   std::size_t cache_capacity_doubles)
+                                   std::size_t cache_capacity_doubles,
+                                   bool coalesce_puts)
     : shared_(shared), my_rank_(my_rank), pool_(pool),
-      cache_(cache_capacity_doubles) {}
+      cache_(cache_capacity_doubles), coalesce_enabled_(coalesce_puts) {}
 
 BlockPtr DistArrayManager::make_block(const BlockShape& shape) {
   return std::make_shared<Block>(shape,
@@ -35,12 +42,30 @@ BlockId DistArrayManager::id_from_linear(int array_id,
   return BlockId::from_linear(array_id, linear, array.num_segments);
 }
 
+void DistArrayManager::ensure_exclusive_home(BlockPtr& block) {
+  if (block.use_count() <= 1) return;
+  ++stats_.home_cow_copies;
+  BlockPtr copy = make_block(block->shape());
+  blas::copy(block->data(), copy->data());
+  block = std::move(copy);
+}
+
+BlockPtr DistArrayManager::make_exclusive(BlockPtr data) {
+  if (data.use_count() == 1) return data;
+  BlockPtr copy = make_block(data->shape());
+  blas::copy(data->data(), copy->data());
+  return copy;
+}
+
 void DistArrayManager::issue_get(const BlockId& id, bool implicit) {
   const int owner = shared_.owner_rank(id);
   if (owner == my_rank_) {
     ++stats_.gets_local;
     return;
   }
+  // Read-your-own-accumulate: a shadowed put+= for this block must reach
+  // the home before the get request (same src-dst FIFO keeps the order).
+  if (coalesce_.count(id) > 0) flush_coalesced_block(id);
   if (cache_.contains(id) || pending_.count(id) > 0) return;
   if (implicit) ++stats_.implicit_gets;
   ++stats_.gets_issued;
@@ -102,34 +127,87 @@ void DistArrayManager::check_write_conflict(const BlockId& id, int writer,
   record.accumulate = accumulate;
 }
 
-void DistArrayManager::put(const BlockId& id, const Block& data,
-                           bool accumulate) {
-  const int owner = shared_.owner_rank(id);
-  if (owner == my_rank_) {
-    ++stats_.puts_local;
-    check_write_conflict(id, my_rank_, accumulate);
-    auto it = home_.find(id);
-    if (it == home_.end()) {
-      BlockPtr block = make_block(shape_of(id));
-      home_doubles_ += block->size();
-      it = home_.emplace(id, std::move(block)).first;
-    }
-    if (it->second->size() != data.size()) {
-      throw RuntimeError("put: shape mismatch for block " + id.to_string());
-    }
-    if (accumulate) {
-      blas::axpy(1.0, data.data(), it->second->data());
-    } else {
-      blas::copy(data.data(), it->second->data());
-    }
-    return;
-  }
+void DistArrayManager::send_put_message(const BlockId& id,
+                                        BlockPtr exclusive_data,
+                                        bool accumulate, int owner) {
   ++stats_.puts_remote;
   msg::Message message;
   message.tag = accumulate ? msg::kBlockPutAcc : msg::kBlockPut;
   message.header = {id.array_id, linear_of(id), my_rank_};
-  message.data.assign(data.data().begin(), data.data().end());
+  message.block = std::move(exclusive_data);
   shared_.fabric->send(my_rank_, owner, std::move(message));
+}
+
+void DistArrayManager::put(const BlockId& id, BlockPtr data,
+                           bool accumulate) {
+  SIA_CHECK(data != nullptr, "DistArrayManager::put: null block");
+  const int owner = shared_.owner_rank(id);
+  if (owner == my_rank_) {
+    ++stats_.puts_local;
+    check_write_conflict(id, my_rank_, accumulate);
+    if (data->size() != shape_of(id).element_count()) {
+      throw RuntimeError("put: shape mismatch for block " + id.to_string());
+    }
+    auto it = home_.find(id);
+    if (it == home_.end()) {
+      // First write to this home block: adopt the payload outright when
+      // we own it exclusively, else materialize a private copy.
+      BlockPtr block = make_exclusive(std::move(data));
+      home_doubles_ += block->size();
+      home_.emplace(id, std::move(block));
+      return;
+    }
+    if (it->second->size() != data->size()) {
+      throw RuntimeError("put: shape mismatch for block " + id.to_string());
+    }
+    ensure_exclusive_home(it->second);
+    if (accumulate) {
+      blas::axpy(1.0, data->data(), it->second->data());
+    } else {
+      blas::copy(data->data(), it->second->data());
+    }
+    return;
+  }
+
+  if (!accumulate) {
+    // A replace conflicts with shadowed accumulates; push them out first
+    // so the home-side conflict detector sees both writes.
+    if (coalesce_.count(id) > 0) flush_coalesced_block(id);
+    send_put_message(id, make_exclusive(std::move(data)), false, owner);
+    return;
+  }
+
+  if (!coalesce_enabled_) {
+    send_put_message(id, make_exclusive(std::move(data)), true, owner);
+    return;
+  }
+
+  auto it = coalesce_.find(id);
+  if (it != coalesce_.end()) {
+    blas::axpy(1.0, data->data(), it->second->data());
+    ++stats_.puts_coalesced;
+    return;
+  }
+  coalesce_.emplace(id, make_exclusive(std::move(data)));
+  if (coalesce_.size() >= kCoalesceFlushThreshold) flush_coalesced();
+}
+
+void DistArrayManager::flush_coalesced_block(const BlockId& id) {
+  auto it = coalesce_.find(id);
+  if (it == coalesce_.end()) return;
+  // `id` may alias the key of the node being erased (flush_coalesced
+  // passes begin()->first), so copy it before the erase.
+  const BlockId key = it->first;
+  BlockPtr payload = std::move(it->second);
+  coalesce_.erase(it);
+  ++stats_.coalesce_flushes;
+  send_put_message(key, std::move(payload), true, shared_.owner_rank(key));
+}
+
+void DistArrayManager::flush_coalesced() {
+  while (!coalesce_.empty()) {
+    flush_coalesced_block(coalesce_.begin()->first);
+  }
 }
 
 void DistArrayManager::create_array(int array_id) {
@@ -160,10 +238,20 @@ void DistArrayManager::delete_array(int array_id) {
       ++it;
     }
   }
+  for (auto it = coalesce_.begin(); it != coalesce_.end();) {
+    if (it->first.array_id == array_id) {
+      it = coalesce_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   created_.erase(array_id);
 }
 
 void DistArrayManager::advance_epoch() {
+  SIA_CHECK(coalesce_.empty(),
+            "advance_epoch with unflushed coalesced puts (interpreter must "
+            "flush before entering the barrier)");
   ++epoch_;
   // Cached remote copies may be rewritten in the new epoch; drop them all.
   // In-flight requests keep their old epoch tag, so replies arriving after
@@ -216,14 +304,16 @@ void DistArrayManager::handle_get_request(const msg::Message& message) {
         "sip_barrier)");
   }
 
+  // Zero-copy reply: share the home block itself. Home mutations go
+  // through ensure_exclusive_home, so the reader's snapshot is stable.
   msg::Message reply;
   reply.tag = msg::kBlockGetReply;
   reply.header = {array_id, linear, /*found=*/1};
-  reply.data.assign(it->second->data().begin(), it->second->data().end());
+  reply.block = it->second;
   shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
 }
 
-void DistArrayManager::handle_get_reply(const msg::Message& message) {
+void DistArrayManager::handle_get_reply(msg::Message& message) {
   const int array_id = static_cast<int>(message.header[0]);
   const BlockId id = id_from_linear(array_id, message.header[1]);
   auto it = pending_.find(id);
@@ -238,38 +328,70 @@ void DistArrayManager::handle_get_reply(const msg::Message& message) {
     misses_.insert(id);
     return;
   }
-  BlockPtr block = make_block(shape_of(id));
-  if (block->size() != message.data.size()) {
+  SIA_CHECK(message.block != nullptr, "get reply without block payload");
+  if (message.block->size() != shape_of(id).element_count()) {
     throw RuntimeError("get reply shape mismatch for " + id.to_string());
   }
-  std::copy(message.data.begin(), message.data.end(),
-            block->data().begin());
-  cache_.put(id, std::move(block));
+  // Adopt the shared payload directly — no allocation, no unpack copy.
+  cache_.put(id, std::move(message.block));
 }
 
-void DistArrayManager::handle_put(const msg::Message& message,
-                                  bool accumulate) {
+void DistArrayManager::handle_put(msg::Message& message, bool accumulate) {
   const int array_id = static_cast<int>(message.header[0]);
   const BlockId id = id_from_linear(array_id, message.header[1]);
   const int writer = static_cast<int>(message.header[2]);
   check_write_conflict(id, writer, accumulate);
 
-  auto it = home_.find(id);
-  if (it == home_.end()) {
-    BlockPtr block = make_block(shape_of(id));
-    home_doubles_ += block->size();
-    it = home_.emplace(id, std::move(block)).first;
-  }
-  if (it->second->size() != message.data.size()) {
+  BlockPtr incoming = std::move(message.block);
+  const std::size_t incoming_size =
+      incoming ? incoming->size() : message.data.size();
+  const BlockShape shape = shape_of(id);
+  if (incoming_size != shape.element_count()) {
     throw RuntimeError("put shape mismatch for block " + id.to_string());
   }
+
+  auto it = home_.find(id);
+  if (it == home_.end()) {
+    // First write this epoch to a fresh home slot: adopt the payload
+    // (for put+= the missing block is implicitly zero, so the payload is
+    // already the correct value).
+    BlockPtr block;
+    if (incoming && incoming.use_count() == 1) {
+      block = std::move(incoming);
+    } else {
+      block = make_block(shape);
+      if (incoming) {
+        blas::copy(incoming->data(), block->data());
+      } else {
+        std::copy(message.data.begin(), message.data.end(),
+                  block->data().begin());
+      }
+    }
+    home_doubles_ += block->size();
+    home_.emplace(id, std::move(block));
+    return;
+  }
+
+  ensure_exclusive_home(it->second);
   if (accumulate) {
-    for (std::size_t i = 0; i < message.data.size(); ++i) {
-      it->second->data()[i] += message.data[i];
+    if (incoming) {
+      blas::axpy(1.0, incoming->data(), it->second->data());
+    } else {
+      for (std::size_t i = 0; i < message.data.size(); ++i) {
+        it->second->data()[i] += message.data[i];
+      }
     }
   } else {
-    std::copy(message.data.begin(), message.data.end(),
-              it->second->data().begin());
+    if (incoming && incoming.use_count() == 1) {
+      home_doubles_ -= it->second->size();
+      it->second = std::move(incoming);
+      home_doubles_ += it->second->size();
+    } else if (incoming) {
+      blas::copy(incoming->data(), it->second->data());
+    } else {
+      std::copy(message.data.begin(), message.data.end(),
+                it->second->data().begin());
+    }
   }
 }
 

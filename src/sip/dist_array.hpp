@@ -9,11 +9,17 @@
 //   * the remote-block LRU cache ("it may be available ... because it is
 //     still available in the block cache from a recent use", §V-A);
 //   * the pending-request table for asynchronous gets, tagged with the
-//     issuing epoch so replies that cross a barrier are dropped.
+//     issuing epoch so replies that cross a barrier are dropped;
+//   * the put-accumulate shadow table: with `coalesce_puts` on, repeated
+//     `put += ` to the same remote block merge locally and go out as one
+//     message at the next flush point (pardo iteration boundary, barrier,
+//     conflicting access, or table-size threshold).
 //
-// All communication is asynchronous: issue_get sends a request and
-// returns; the consuming instruction waits via try_read + message
-// servicing in the interpreter.
+// All communication is asynchronous and zero-copy: get replies carry a
+// shared reference to the home block (the getter caches the alias; the
+// home side copies-on-write before mutating a shared block so reader
+// snapshots stay consistent), and puts move an exclusively owned block
+// into the message so the home can adopt it without unpacking.
 #pragma once
 
 #include <cstdint>
@@ -36,13 +42,17 @@ class DistArrayManager {
     std::int64_t gets_local = 0;       // satisfied by home store
     std::int64_t gets_cached = 0;      // satisfied by cache
     std::int64_t implicit_gets = 0;    // reads that had to issue a get
-    std::int64_t puts_remote = 0;
+    std::int64_t puts_remote = 0;      // put messages actually sent
     std::int64_t puts_local = 0;
+    std::int64_t puts_coalesced = 0;   // put+= merged into the shadow table
+    std::int64_t coalesce_flushes = 0; // shadow entries sent out
     std::int64_t replies_dropped = 0;  // stale (pre-barrier) replies
+    std::int64_t home_cow_copies = 0;  // copy-on-write before home mutation
   };
 
   DistArrayManager(SipShared& shared, int my_rank, BlockPool& pool,
-                   std::size_t cache_capacity_doubles);
+                   std::size_t cache_capacity_doubles,
+                   bool coalesce_puts = false);
 
   // ------------------------------------------------------------------
   // Program-visible operations.
@@ -57,8 +67,19 @@ class DistArrayManager {
   // True if a get for the block is in flight.
   bool pending(const BlockId& id) const;
 
-  // SIAL `put` / `put +=` of `data` (already shaped for the target).
-  void put(const BlockId& id, const Block& data, bool accumulate);
+  // SIAL `put` / `put +=` of `data` (already shaped for the target). If
+  // the caller passes its last reference (use_count == 1) the block moves
+  // into the message or shadow table without a copy.
+  void put(const BlockId& id, BlockPtr data, bool accumulate);
+
+  // Sends every entry of the put-accumulate shadow table to its home.
+  // Must run before the worker enters a barrier (the flushed puts travel
+  // ahead of the barrier-enter message on the same src-dst FIFO, so they
+  // reach the home rank in the closing epoch). Also called at pardo
+  // iteration boundaries and program end.
+  void flush_coalesced();
+  // Number of entries currently write-combining.
+  std::size_t coalesced_pending() const { return coalesce_.size(); }
 
   // `create`/`delete` (uniform control flow: every worker runs these, so
   // each erases its own home blocks and cached copies).
@@ -71,10 +92,12 @@ class DistArrayManager {
   std::int64_t epoch() const { return epoch_; }
 
   // ------------------------------------------------------------------
-  // Message handling (called by the interpreter's dispatcher).
+  // Message handling (called by the interpreter's dispatcher). Handlers
+  // take the message by mutable reference so they can steal its block
+  // payload instead of copying it.
   void handle_get_request(const msg::Message& message);
-  void handle_get_reply(const msg::Message& message);
-  void handle_put(const msg::Message& message, bool accumulate);
+  void handle_get_reply(msg::Message& message);
+  void handle_put(msg::Message& message, bool accumulate);
   void handle_delete(const msg::Message& message);
 
   // ------------------------------------------------------------------
@@ -100,6 +123,22 @@ class DistArrayManager {
   // Applies the conflict rules for a write arriving at the home store.
   void check_write_conflict(const BlockId& id, int writer, bool accumulate);
 
+  // Replaces `block` with a private pool-backed copy if any alias exists
+  // outside `block` itself (a get reply in flight, a remote cache). Home
+  // mutations go through this so zero-copy reader snapshots never change
+  // under the reader.
+  void ensure_exclusive_home(BlockPtr& block);
+
+  // Returns an exclusively owned version of `data`: moves it when the
+  // caller's reference is the only one, otherwise copies into a fresh
+  // pool block.
+  BlockPtr make_exclusive(BlockPtr data);
+
+  // Sends one shadow-table entry to its home and removes it.
+  void flush_coalesced_block(const BlockId& id);
+  void send_put_message(const BlockId& id, BlockPtr exclusive_data,
+                        bool accumulate, int owner);
+
   BlockPtr make_block(const BlockShape& shape);
   BlockShape shape_of(const BlockId& id) const;
   std::int64_t linear_of(const BlockId& id) const;
@@ -118,6 +157,10 @@ class DistArrayManager {
   // the point of actual use.
   std::unordered_set<BlockId, BlockIdHash> misses_;
   std::unordered_set<int> created_;  // array ids seen by `create`
+  // Write-combining shadow table: exclusively owned accumulate payloads
+  // not yet sent to their home worker.
+  std::unordered_map<BlockId, BlockPtr, BlockIdHash> coalesce_;
+  bool coalesce_enabled_ = false;
   std::int64_t epoch_ = 0;
   std::size_t home_doubles_ = 0;
   Stats stats_;

@@ -36,9 +36,11 @@ Interpreter::Interpreter(SipShared& shared, int worker_index)
   const std::size_t cache_doubles = std::max<std::size_t>(
       shared_.config.worker_memory_bytes / sizeof(double) / 4, 4096);
   dist_ = std::make_unique<DistArrayManager>(shared_, my_rank_, *pool_,
-                                             cache_doubles);
+                                             cache_doubles,
+                                             shared_.config.coalesce_puts);
   served_ = std::make_unique<ServedArrayClient>(shared_, my_rank_, *pool_,
-                                                cache_doubles);
+                                                cache_doubles,
+                                                shared_.config.coalesce_puts);
 
   // Resolve super instruction names once.
   const auto& names = program_.code().superinstructions;
@@ -53,7 +55,7 @@ Interpreter::Interpreter(SipShared& shared, int worker_index)
 // ---------------------------------------------------------------------
 // Messaging.
 
-void Interpreter::handle_message(const msg::Message& message) {
+void Interpreter::handle_message(msg::Message& message) {
   switch (message.tag) {
     case msg::kBlockGetRequest:
       dist_->handle_get_request(message);
@@ -104,7 +106,7 @@ void Interpreter::service_messages() {
 }
 
 void Interpreter::wait_until(const std::function<bool()>& ready,
-                             const char* what) {
+                             const char* what, WaitKind kind) {
   service_messages();
   if (ready()) return;
   const double start = wall_seconds();
@@ -117,7 +119,7 @@ void Interpreter::wait_until(const std::function<bool()>& ready,
     }
   }
   const double waited = wall_seconds() - start;
-  profiler_.record_wait(current_pardo_id(), waited);
+  profiler_.record_wait(current_pardo_id(), waited, kind);
   SIA_DEBUG(my_rank_) << "waited " << waited * 1e3 << " ms for " << what;
 }
 
@@ -162,7 +164,8 @@ BlockPtr Interpreter::fetch_base_block(const BlockSelector& selector) {
       while (true) {
         if (BlockPtr block = dist_->try_read(id)) return block;
         if (!dist_->pending(id)) dist_->issue_get(id, /*implicit=*/true);
-        wait_until([&] { return !dist_->pending(id); }, "distributed block");
+        wait_until([&] { return !dist_->pending(id); }, "distributed block",
+                   WaitKind::kBlock);
       }
     }
     case ArrayKind::kServed: {
@@ -170,7 +173,8 @@ BlockPtr Interpreter::fetch_base_block(const BlockSelector& selector) {
       while (true) {
         if (BlockPtr block = served_->try_read(id)) return block;
         if (!served_->pending(id)) served_->issue_request(id);
-        wait_until([&] { return !served_->pending(id); }, "served block");
+        wait_until([&] { return !served_->pending(id); }, "served block",
+                   WaitKind::kServed);
       }
     }
   }
@@ -258,7 +262,8 @@ bool Interpreter::pardo_request_chunk(Frame& frame) {
   shared_.fabric->send(my_rank_, shared_.master_rank(), std::move(request));
 
   const std::pair<int, std::int64_t> key{frame.pardo_id, frame.instance};
-  wait_until([&] { return chunk_replies_.count(key) > 0; }, "pardo chunk");
+  wait_until([&] { return chunk_replies_.count(key) > 0; }, "pardo chunk",
+             WaitKind::kChunk);
   const auto [begin, end] = chunk_replies_[key];
   chunk_replies_.erase(key);
   frame.chunk_begin = begin;
@@ -268,6 +273,11 @@ bool Interpreter::pardo_request_chunk(Frame& frame) {
 }
 
 bool Interpreter::pardo_advance(Frame& frame) {
+  // Iteration boundary: write-combined put/prepare accumulates are local
+  // to a loop body, so push them out before starting the next iteration
+  // (or blocking on the master for a chunk).
+  dist_->flush_coalesced();
+  served_->flush_coalesced();
   while (true) {
     if (frame.pos < frame.chunk_end) {
       data_->clear_temps();
@@ -512,6 +522,25 @@ void Interpreter::exec_request(const Instruction& instr) {
   served_->issue_request(selector.id());
 }
 
+void Interpreter::batch_issue_gets(const Instruction& instr,
+                                   std::size_t first_block) {
+  if (!shared_.config.batch_gets) return;
+  const auto issue = [&](const BlockOperand& operand) {
+    const sial::ResolvedArray& array = program_.array(operand.array_id);
+    if (array.kind == ArrayKind::kDistributed) {
+      dist_->issue_get(resolve(operand).id(), /*implicit=*/true);
+    } else if (array.kind == ArrayKind::kServed) {
+      served_->issue_request(resolve(operand).id());
+    }
+  };
+  for (std::size_t i = first_block; i < instr.blocks.size(); ++i) {
+    issue(instr.blocks[i]);
+  }
+  for (const sial::ExecOperand& earg : instr.eargs) {
+    if (earg.kind == sial::ExecOperand::Kind::kBlock) issue(earg.block);
+  }
+}
+
 void Interpreter::exec_put(const Instruction& instr) {
   const BlockSelector dst = resolve(instr.blocks[0]);
   BlockPtr src = read_operand(instr.blocks[1]);
@@ -520,7 +549,9 @@ void Interpreter::exec_put(const Instruction& instr) {
   if (shaped->size() != dst.shape().element_count()) {
     throw RuntimeError("put: block shape mismatch");
   }
-  dist_->put(dst.id(), *shaped, instr.a0 == 1);
+  // Hand the shared_ptr over: when `shaped` is the last reference (the
+  // common permuted-copy case) the manager ships it zero-copy.
+  dist_->put(dst.id(), std::move(shaped), instr.a0 == 1);
 }
 
 void Interpreter::exec_prepare(const Instruction& instr) {
@@ -531,7 +562,7 @@ void Interpreter::exec_prepare(const Instruction& instr) {
   if (shaped->size() != dst.shape().element_count()) {
     throw RuntimeError("prepare: block shape mismatch");
   }
-  served_->prepare(dst.id(), *shaped, instr.a0 == 1);
+  served_->prepare(dst.id(), std::move(shaped), instr.a0 == 1);
 }
 
 void Interpreter::exec_allocate(const Instruction& instr, bool allocate) {
@@ -653,6 +684,12 @@ void Interpreter::exec_execute(const Instruction& instr) {
 }
 
 void Interpreter::exec_barrier(bool server) {
+  // All coalesced writes must be at their home/server before this worker
+  // enters the barrier: the fabric enqueues synchronously, so flushing
+  // here guarantees the puts sit in the destination mailbox ahead of the
+  // master's release (which is only sent after every worker entered).
+  dist_->flush_coalesced();
+  served_->flush_coalesced();
   const std::int64_t seq = ++barrier_seq_;
   pending_barrier_server_ = server;
   msg::Message enter;
@@ -661,7 +698,8 @@ void Interpreter::exec_barrier(bool server) {
   shared_.fabric->send(my_rank_, shared_.master_rank(), std::move(enter));
   // The epoch advance happens inside handle_message when the release
   // arrives (see kBarrierRelease).
-  wait_until([&] { return barrier_released_.count(seq) > 0; }, "barrier");
+  wait_until([&] { return barrier_released_.count(seq) > 0; }, "barrier",
+             WaitKind::kBarrier);
   barrier_released_.erase(seq);
 }
 
@@ -673,7 +711,7 @@ void Interpreter::exec_collective(const Instruction& instr) {
   reduce.data = {data_->scalar(instr.a1)};
   shared_.fabric->send(my_rank_, shared_.master_rank(), std::move(reduce));
   wait_until([&] { return collective_results_.count(seq) > 0; },
-             "collective");
+             "collective", WaitKind::kCollective);
   data_->scalar_ref(instr.a0) += collective_results_[seq];
   collective_results_.erase(seq);
 }
@@ -866,6 +904,7 @@ void Interpreter::step() {
       return;
     }
     case Opcode::kBlockDot: {
+      batch_issue_gets(instr, 0);
       BlockPtr a = read_operand(instr.blocks[0]);
       BlockPtr b = read_operand(instr.blocks[1]);
       push(block_dot(*a, ids_of(instr.blocks[0]), *b,
@@ -897,14 +936,17 @@ void Interpreter::step() {
       ++pc_;
       return;
     case Opcode::kBlockCopy:
+      batch_issue_gets(instr, 1);  // dst (index 0) is a local-kind write
       exec_block_copy(instr);
       ++pc_;
       return;
     case Opcode::kBlockBinary:
+      batch_issue_gets(instr, 1);
       exec_block_binary(instr);
       ++pc_;
       return;
     case Opcode::kBlockScaledCopy:
+      batch_issue_gets(instr, 1);
       exec_block_scaled_copy(instr);
       ++pc_;
       return;
@@ -917,10 +959,12 @@ void Interpreter::step() {
       ++pc_;
       return;
     case Opcode::kPut:
+      batch_issue_gets(instr, 1);  // source may itself be remote
       exec_put(instr);
       ++pc_;
       return;
     case Opcode::kPrepare:
+      batch_issue_gets(instr, 1);
       exec_prepare(instr);
       ++pc_;
       return;
@@ -941,6 +985,7 @@ void Interpreter::step() {
       ++pc_;
       return;
     case Opcode::kExecute:
+      batch_issue_gets(instr, 0);  // block operands live in eargs
       exec_execute(instr);
       ++pc_;
       return;
@@ -985,6 +1030,10 @@ void Interpreter::execute_program() {
                                  wall_seconds() - t0);
   }
   profiler_.record_total(wall_seconds() - start);
+
+  // Nothing may stay write-combined past the end of the program.
+  dist_->flush_coalesced();
+  served_->flush_coalesced();
 
   // Tell the master this worker is done; keep servicing messages until
   // the fabric stops or all peers finish (other workers may still need

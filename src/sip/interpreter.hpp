@@ -79,6 +79,12 @@ class Interpreter {
   void exec_block_scaled_copy(const sial::Instruction& instr);
   void exec_get(const sial::Instruction& instr);
   void exec_request(const sial::Instruction& instr);
+  // Issues the asynchronous fetch for every distributed/served block
+  // operand of `instr` starting at `first_block` (plus execute args), so
+  // all replies are in flight before the first blocking read (wait-any).
+  // Gated by config.batch_gets.
+  void batch_issue_gets(const sial::Instruction& instr,
+                        std::size_t first_block);
   void exec_put(const sial::Instruction& instr);
   void exec_prepare(const sial::Instruction& instr);
   void exec_allocate(const sial::Instruction& instr, bool allocate);
@@ -122,9 +128,12 @@ class Interpreter {
   // ------------------------------------------------------------------
   // Messaging and waiting.
   void service_messages();
-  void handle_message(const msg::Message& message);
-  // Services messages until `ready` returns true; accounts wait time.
-  void wait_until(const std::function<bool()>& ready, const char* what);
+  // Mutable reference: block payloads are adopted out of the message.
+  void handle_message(msg::Message& message);
+  // Services messages until `ready` returns true; accounts wait time
+  // against the enclosing pardo, bucketed by what was awaited.
+  void wait_until(const std::function<bool()>& ready, const char* what,
+                  WaitKind kind);
   int current_pardo_id() const;
 
   // ------------------------------------------------------------------

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "blas/elementwise.hpp"
 #include "common/log.hpp"
 #include "msg/tags.hpp"
 
@@ -255,7 +256,7 @@ BlockPtr IoServer::load_block(const BlockId& id, bool* found) {
   return block;
 }
 
-void IoServer::handle_prepare(const msg::Message& message, bool accumulate) {
+void IoServer::handle_prepare(msg::Message& message, bool accumulate) {
   ++stats_.prepares;
   const int array_id = static_cast<int>(message.header[0]);
   const sial::ResolvedArray& array = shared_.program->array(array_id);
@@ -280,6 +281,21 @@ void IoServer::handle_prepare(const msg::Message& message, bool accumulate) {
   record.writer = writer;
   record.accumulate = accumulate;
 
+  BlockPtr incoming = std::move(message.block);
+  const std::size_t incoming_size =
+      incoming ? incoming->size() : message.data.size();
+  if (incoming_size != shape_of(id).element_count()) {
+    throw RuntimeError("prepare shape mismatch for " + id.to_string());
+  }
+
+  if (!accumulate && incoming && incoming.use_count() == 1) {
+    // Replace with an exclusively owned payload: adopt it outright — no
+    // allocation, no unpack copy. The cache entry swap leaves any shared
+    // snapshot (earlier zero-copy reply) untouched for its holders.
+    cache_.put(id, std::move(incoming), /*dirty=*/true);
+    return;
+  }
+
   BlockPtr block = cache_.get(id);
   if (!block) {
     if (accumulate) {
@@ -292,16 +308,33 @@ void IoServer::handle_prepare(const msg::Message& message, bool accumulate) {
   } else {
     ++stats_.cache_hits;
   }
-  if (block->size() != message.data.size()) {
-    throw RuntimeError("prepare shape mismatch for " + id.to_string());
+  // Copy-on-write before mutating: `block` is referenced by the cache and
+  // by this local variable; any further reference means a zero-copy reply
+  // snapshot, a write-behind queue entry, or a worker-side adopted copy
+  // is watching the storage, so mutate a private copy instead. (This also
+  // closes the pre-existing race of accumulating into a block the
+  // write-behind thread is concurrently writing to disk.)
+  if (block.use_count() > 2) {
+    ++stats_.cow_copies;
+    auto copy = std::make_shared<Block>(block->shape());
+    blas::copy(block->data(), copy->data());
+    block = std::move(copy);
   }
   if (accumulate) {
-    for (std::size_t i = 0; i < message.data.size(); ++i) {
-      block->data()[i] += message.data[i];
+    if (incoming) {
+      blas::axpy(1.0, incoming->data(), block->data());
+    } else {
+      for (std::size_t i = 0; i < message.data.size(); ++i) {
+        block->data()[i] += message.data[i];
+      }
     }
   } else {
-    std::copy(message.data.begin(), message.data.end(),
-              block->data().begin());
+    if (incoming) {
+      blas::copy(incoming->data(), block->data());
+    } else {
+      std::copy(message.data.begin(), message.data.end(),
+                block->data().begin());
+    }
   }
   cache_.put(id, std::move(block), /*dirty=*/true);
 }
@@ -345,10 +378,12 @@ void IoServer::handle_request(const msg::Message& message) {
     cache_.put(id, block, /*dirty=*/false);
   }
 
+  // Zero-copy reply: share the cached block. Later prepares copy-on-write
+  // before mutating, so the requester's snapshot stays stable.
   msg::Message reply;
   reply.tag = msg::kServedReply;
   reply.header = {array_id, message.header[1]};
-  reply.data.assign(block->data().begin(), block->data().end());
+  reply.block = std::move(block);
   shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
 }
 

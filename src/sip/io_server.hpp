@@ -127,6 +127,7 @@ class IoServer {
     std::int64_t disk_reads = 0;
     std::int64_t cache_hits = 0;
     std::int64_t computed = 0;  // blocks generated on demand (§V-B)
+    std::int64_t cow_copies = 0;  // copy-on-write before accumulate
   };
 
   IoServer(SipShared& shared, int my_rank);
@@ -137,7 +138,8 @@ class IoServer {
   const Stats& stats() const { return stats_; }
 
  private:
-  void handle_prepare(const msg::Message& message, bool accumulate);
+  // Mutable reference: prepare adopts the message's block payload.
+  void handle_prepare(msg::Message& message, bool accumulate);
   void handle_request(const msg::Message& message);
   void handle_barrier(const msg::Message& message);
   void flush();

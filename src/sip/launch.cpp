@@ -148,6 +148,13 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
       cost.wait += entry.wait;
     }
     result.profile.total_wait += profiler.total_wait();
+    result.profile.block_wait += profiler.wait_for(WaitKind::kBlock);
+    result.profile.served_wait += profiler.wait_for(WaitKind::kServed);
+    result.profile.chunk_wait += profiler.wait_for(WaitKind::kChunk);
+    result.profile.barrier_wait += profiler.wait_for(WaitKind::kBarrier);
+    result.profile.collective_wait +=
+        profiler.wait_for(WaitKind::kCollective);
+    result.profile.worker_block_wait.push_back(profiler.block_wait());
     result.profile.total_elapsed =
         std::max(result.profile.total_elapsed, profiler.total_elapsed());
   }
@@ -172,6 +179,11 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
     result.workers.implicit_gets += stats.implicit_gets;
     result.workers.puts_remote += stats.puts_remote;
     result.workers.puts_local += stats.puts_local;
+    result.workers.puts_coalesced += stats.puts_coalesced;
+    result.workers.coalesce_flushes += stats.coalesce_flushes;
+    const ServedArrayClient::Stats& served = worker->served().stats();
+    result.workers.prepares_coalesced += served.prepares_coalesced;
+    result.workers.coalesce_flushes += served.coalesce_flushes;
     const BlockCache::Stats cache = worker->dist().cache_stats();
     result.workers.cache_hits += cache.hits;
     result.workers.cache_misses += cache.misses;

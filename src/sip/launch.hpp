@@ -33,6 +33,12 @@ struct RunResult {
     std::int64_t implicit_gets = 0;
     std::int64_t puts_remote = 0;
     std::int64_t puts_local = 0;
+    // Write combining (config.coalesce_puts): accumulate-puts/prepares
+    // merged into a shadow block instead of sent, and the messages that
+    // eventually carried the merged blocks out.
+    std::int64_t puts_coalesced = 0;
+    std::int64_t prepares_coalesced = 0;
+    std::int64_t coalesce_flushes = 0;
     std::int64_t cache_hits = 0;
     std::int64_t cache_misses = 0;
     std::int64_t cache_evictions = 0;

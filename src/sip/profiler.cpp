@@ -19,6 +19,14 @@ std::string ProfileReport::to_string() const {
       << " ms, busy " << TablePrinter::num(total_busy * 1e3, 2)
       << " ms, wait " << TablePrinter::num(total_wait * 1e3, 2) << " ms ("
       << TablePrinter::num(wait_percent(), 1) << "% of work time)\n";
+  if (total_wait > 0.0) {
+    out << "wait breakdown: block "
+        << TablePrinter::num(block_wait * 1e3, 2) << " ms, served "
+        << TablePrinter::num(served_wait * 1e3, 2) << " ms, chunk "
+        << TablePrinter::num(chunk_wait * 1e3, 2) << " ms, barrier "
+        << TablePrinter::num(barrier_wait * 1e3, 2) << " ms, collective "
+        << TablePrinter::num(collective_wait * 1e3, 2) << " ms\n";
+  }
   if (!pardos.empty()) {
     out << "pardo loops:\n";
     for (const PardoCost& pardo : pardos) {

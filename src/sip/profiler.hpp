@@ -11,12 +11,26 @@
 // does not optimize.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace sia::sip {
+
+// What a worker was blocked on while servicing messages. Block/served
+// waits are the paper's headline metric ("wait time indicates how much
+// time is spent waiting for blocks of data", §VI-B); the other kinds
+// separate scheduler and synchronization stalls from data stalls.
+enum class WaitKind : int {
+  kBlock = 0,   // distributed-array get reply
+  kServed,      // served-array request reply
+  kChunk,       // master chunk grant
+  kBarrier,     // barrier release
+  kCollective,  // collective result
+};
+inline constexpr std::size_t kWaitKindCount = 5;
 
 class Profiler {
  public:
@@ -32,10 +46,12 @@ class Profiler {
     entry.seconds += seconds;
   }
 
-  // Wait time: spent blocked on a block that had not yet arrived.
-  void record_wait(int pardo_id, double seconds) {
+  // Wait time: spent blocked (servicing messages) on something that had
+  // not yet arrived, bucketed by what was awaited.
+  void record_wait(int pardo_id, double seconds, WaitKind kind) {
     if (!enabled_) return;
     total_wait_ += seconds;
+    wait_by_kind_[static_cast<std::size_t>(kind)] += seconds;
     if (pardo_id >= 0) pardo_[pardo_id].wait += seconds;
   }
 
@@ -67,6 +83,13 @@ class Profiler {
   const std::map<int, PardoEntry>& pardos() const { return pardo_; }
   double total_wait() const { return total_wait_; }
   double total_elapsed() const { return total_elapsed_; }
+  double wait_for(WaitKind kind) const {
+    return wait_by_kind_[static_cast<std::size_t>(kind)];
+  }
+  // Get/request wait: time blocked on distributed or served block data.
+  double block_wait() const {
+    return wait_for(WaitKind::kBlock) + wait_for(WaitKind::kServed);
+  }
 
  private:
   bool enabled_;
@@ -74,6 +97,7 @@ class Profiler {
   std::map<int, PardoEntry> pardo_;     // keyed by pardo table id
   double total_wait_ = 0.0;
   double total_elapsed_ = 0.0;
+  std::array<double, kWaitKindCount> wait_by_kind_{};
 };
 
 // Aggregated view over all workers, returned from a SIP run.
@@ -97,6 +121,15 @@ struct ProfileReport {
   double total_elapsed = 0.0;     // wall time of the slowest worker
   double total_wait = 0.0;        // summed over workers
   double total_busy = 0.0;        // summed instruction time over workers
+
+  // Wait-time breakdown by kind, summed over workers.
+  double block_wait = 0.0;        // distributed get replies
+  double served_wait = 0.0;       // served request replies
+  double chunk_wait = 0.0;        // master chunk grants
+  double barrier_wait = 0.0;      // barrier releases
+  double collective_wait = 0.0;   // collective results
+  // Per-worker get/request wait (block + served), indexed by worker.
+  std::vector<double> worker_block_wait;
 
   // Percentage of elapsed time spent waiting (the paper's bottom line in
   // Fig. 2), averaged over workers.

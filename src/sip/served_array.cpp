@@ -2,15 +2,21 @@
 
 #include <algorithm>
 
+#include "blas/elementwise.hpp"
 #include "msg/tags.hpp"
 
 namespace sia::sip {
 
+namespace {
+constexpr std::size_t kCoalesceFlushThreshold = 128;
+}  // namespace
+
 ServedArrayClient::ServedArrayClient(SipShared& shared, int my_rank,
                                      BlockPool& pool,
-                                     std::size_t cache_capacity_doubles)
+                                     std::size_t cache_capacity_doubles,
+                                     bool coalesce_puts)
     : shared_(shared), my_rank_(my_rank), pool_(pool),
-      cache_(cache_capacity_doubles) {}
+      cache_(cache_capacity_doubles), coalesce_enabled_(coalesce_puts) {}
 
 BlockShape ServedArrayClient::shape_of(const BlockId& id) const {
   const sial::ResolvedArray& array = shared_.program->array(id.array_id);
@@ -23,7 +29,18 @@ std::int64_t ServedArrayClient::linear_of(const BlockId& id) const {
   return id.linearize(array.num_segments);
 }
 
+BlockPtr ServedArrayClient::make_exclusive(BlockPtr data) {
+  if (data.use_count() == 1) return data;
+  auto copy = std::make_shared<Block>(data->shape(),
+                                      pool_.allocate(data->size()));
+  blas::copy(data->data(), copy->data());
+  return copy;
+}
+
 void ServedArrayClient::issue_request(const BlockId& id) {
+  // A shadowed prepare+= must reach the server before the request so the
+  // reply reflects it (same src-dst FIFO preserves the order).
+  if (coalesce_.count(id) > 0) flush_coalesced_block(id);
   if (cache_.contains(id) || pending_.count(id) > 0) return;
   ++stats_.requests_issued;
   pending_.emplace(id, epoch_);
@@ -44,24 +61,68 @@ bool ServedArrayClient::pending(const BlockId& id) const {
   return pending_.count(id) > 0;
 }
 
-void ServedArrayClient::prepare(const BlockId& id, const Block& data,
-                                bool accumulate) {
+void ServedArrayClient::send_prepare_message(const BlockId& id,
+                                             BlockPtr exclusive_data,
+                                             bool accumulate) {
   ++stats_.prepares;
   msg::Message message;
   message.tag = accumulate ? msg::kServedPrepareAcc : msg::kServedPrepare;
   message.header = {id.array_id, linear_of(id), my_rank_};
-  message.data.assign(data.data().begin(), data.data().end());
+  message.block = std::move(exclusive_data);
   shared_.fabric->send(my_rank_, shared_.server_rank(id),
                        std::move(message));
 }
 
+void ServedArrayClient::prepare(const BlockId& id, BlockPtr data,
+                                bool accumulate) {
+  SIA_CHECK(data != nullptr, "ServedArrayClient::prepare: null block");
+  if (!accumulate) {
+    if (coalesce_.count(id) > 0) flush_coalesced_block(id);
+    send_prepare_message(id, make_exclusive(std::move(data)), false);
+    return;
+  }
+  if (!coalesce_enabled_) {
+    send_prepare_message(id, make_exclusive(std::move(data)), true);
+    return;
+  }
+  auto it = coalesce_.find(id);
+  if (it != coalesce_.end()) {
+    blas::axpy(1.0, data->data(), it->second->data());
+    ++stats_.prepares_coalesced;
+    return;
+  }
+  coalesce_.emplace(id, make_exclusive(std::move(data)));
+  if (coalesce_.size() >= kCoalesceFlushThreshold) flush_coalesced();
+}
+
+void ServedArrayClient::flush_coalesced_block(const BlockId& id) {
+  auto it = coalesce_.find(id);
+  if (it == coalesce_.end()) return;
+  // `id` may alias the key of the node being erased (flush_coalesced
+  // passes begin()->first), so copy it before the erase.
+  const BlockId key = it->first;
+  BlockPtr payload = std::move(it->second);
+  coalesce_.erase(it);
+  ++stats_.coalesce_flushes;
+  send_prepare_message(key, std::move(payload), true);
+}
+
+void ServedArrayClient::flush_coalesced() {
+  while (!coalesce_.empty()) {
+    flush_coalesced_block(coalesce_.begin()->first);
+  }
+}
+
 void ServedArrayClient::advance_epoch() {
+  SIA_CHECK(coalesce_.empty(),
+            "advance_epoch with unflushed coalesced prepares (interpreter "
+            "must flush before entering the barrier)");
   ++epoch_;
   cache_ = BlockCache(cache_.capacity_doubles());
   pending_.clear();
 }
 
-void ServedArrayClient::handle_reply(const msg::Message& message) {
+void ServedArrayClient::handle_reply(msg::Message& message) {
   const int array_id = static_cast<int>(message.header[0]);
   const sial::ResolvedArray& array = shared_.program->array(array_id);
   const BlockId id =
@@ -73,15 +134,12 @@ void ServedArrayClient::handle_reply(const msg::Message& message) {
     return;
   }
   pending_.erase(it);
-  const BlockShape shape = shape_of(id);
-  auto block =
-      std::make_shared<Block>(shape, pool_.allocate(shape.element_count()));
-  if (block->size() != message.data.size()) {
+  SIA_CHECK(message.block != nullptr, "served reply without block payload");
+  if (message.block->size() != shape_of(id).element_count()) {
     throw RuntimeError("served reply shape mismatch for " + id.to_string());
   }
-  std::copy(message.data.begin(), message.data.end(),
-            block->data().begin());
-  cache_.put(id, std::move(block));
+  // Adopt the server's shared payload — no allocation, no unpack copy.
+  cache_.put(id, std::move(message.block));
 }
 
 }  // namespace sia::sip

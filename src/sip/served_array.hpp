@@ -4,7 +4,8 @@
 // prepare commands" (paper §IV-A). The client sends prepares to the
 // responsible I/O server and issues asynchronous requests whose replies
 // land in a local LRU cache. Epochs advance at server_barrier, mirroring
-// the distributed-array rules.
+// the distributed-array rules — including the zero-copy payload path and
+// the prepare-accumulate shadow table (`coalesce_puts`).
 #pragma once
 
 #include <cstdint>
@@ -24,12 +25,15 @@ class ServedArrayClient {
   struct Stats {
     std::int64_t requests_issued = 0;
     std::int64_t requests_cached = 0;
-    std::int64_t prepares = 0;
+    std::int64_t prepares = 0;           // prepare messages actually sent
+    std::int64_t prepares_coalesced = 0; // merged into the shadow table
+    std::int64_t coalesce_flushes = 0;   // shadow entries sent out
     std::int64_t replies_dropped = 0;
   };
 
   ServedArrayClient(SipShared& shared, int my_rank, BlockPool& pool,
-                    std::size_t cache_capacity_doubles);
+                    std::size_t cache_capacity_doubles,
+                    bool coalesce_puts = false);
 
   // SIAL `request`: async fetch unless cached or in flight.
   void issue_request(const BlockId& id);
@@ -37,25 +41,39 @@ class ServedArrayClient {
   BlockPtr try_read(const BlockId& id);
   bool pending(const BlockId& id) const;
 
-  // SIAL `prepare` / `prepare +=`.
-  void prepare(const BlockId& id, const Block& data, bool accumulate);
+  // SIAL `prepare` / `prepare +=`. Passing the last reference
+  // (use_count == 1) moves the block into the message without a copy.
+  void prepare(const BlockId& id, BlockPtr data, bool accumulate);
+
+  // Sends pending coalesced prepare+= entries. Must run before entering
+  // any barrier; also called at pardo iteration boundaries.
+  void flush_coalesced();
+  std::size_t coalesced_pending() const { return coalesce_.size(); }
 
   // server_barrier passed.
   void advance_epoch();
 
-  void handle_reply(const msg::Message& message);
+  // Takes the message by mutable reference to adopt its block payload.
+  void handle_reply(msg::Message& message);
 
   const Stats& stats() const { return stats_; }
 
  private:
   BlockShape shape_of(const BlockId& id) const;
   std::int64_t linear_of(const BlockId& id) const;
+  BlockPtr make_exclusive(BlockPtr data);
+  void flush_coalesced_block(const BlockId& id);
+  void send_prepare_message(const BlockId& id, BlockPtr exclusive_data,
+                            bool accumulate);
 
   SipShared& shared_;
   int my_rank_;
   BlockPool& pool_;
   BlockCache cache_;
   std::unordered_map<BlockId, std::int64_t, BlockIdHash> pending_;
+  // Write-combining shadow table of exclusively owned prepare+= payloads.
+  std::unordered_map<BlockId, BlockPtr, BlockIdHash> coalesce_;
+  bool coalesce_enabled_ = false;
   std::int64_t epoch_ = 0;
   Stats stats_;
 };

@@ -273,14 +273,20 @@ TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.stats().evictions, 1);
 }
 
-TEST(BlockCacheTest, InUseBlocksAreNotEvicted) {
+TEST(BlockCacheTest, SharedBlocksAreEvictableAndStayValid) {
+  // Eviction drops the cache's reference only; outside holders keep the
+  // block alive. (Zero-copy transfers hand out aliased shared_ptrs, so
+  // shared entries must stay evictable or they would pin the cache full.)
   BlockCache cache(20);
-  BlockPtr pinned = make_block(10);
-  cache.put(bid(0, 1), pinned);  // use_count 2: cache + local
+  BlockPtr held = make_block(10);
+  held->data()[0] = 42.0;
+  cache.put(bid(0, 1), held);  // use_count 2: cache + local
   cache.put(bid(0, 2), make_block(10));
-  cache.put(bid(0, 3), make_block(10));  // must evict 2, not pinned 1
-  EXPECT_TRUE(cache.contains(bid(0, 1)));
-  EXPECT_FALSE(cache.contains(bid(0, 2)));
+  cache.put(bid(0, 3), make_block(10));  // evicts LRU entry 1
+  EXPECT_FALSE(cache.contains(bid(0, 1)));
+  EXPECT_TRUE(cache.contains(bid(0, 2)));
+  EXPECT_EQ(held.use_count(), 1);
+  EXPECT_EQ(held->data()[0], 42.0);
 }
 
 TEST(BlockCacheTest, VictimHandlerSeesDirtyFlag) {
