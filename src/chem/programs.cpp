@@ -295,6 +295,64 @@ endsial
 )SIAL";
 }
 
+std::string io_storm_source() {
+  return R"SIAL(
+sial io_storm
+# Disk-bound served-array sweep: phase 1 prepares a norb x norb block
+# matrix to the I/O servers; the sweep loop then requests every block back
+# nsweeps times. The server cache is configured much smaller than the
+# array, so most requests miss and go to disk — the workload the threaded
+# disk service, request look-ahead, and batched write-behind target.
+# fill_coords writes integer-valued elements, so the checksum is a sum of
+# integer squares and bit-identical under any request order.
+index sweep = 1, nsweeps
+aoindex a = 1, norb
+aoindex k = 1, norb
+aoindex r = 1, nshared
+
+served S(a,k)
+temp t(a,k)
+temp u(a,k)
+scalar lsum
+scalar snorm2
+
+pardo a, k
+  execute fill_coords t(a,k)
+  prepare S(a,k) = t(a,k)
+endpardo a, k
+server_barrier
+
+lsum = 0.0
+do sweep
+  pardo a
+    do k
+      request S(a,k)
+      u(a,k) = S(a,k)
+      lsum += u(a,k) * u(a,k)
+    enddo k
+  endpardo a
+  server_barrier
+enddo sweep
+
+# Shared-read phase: a plain do nest runs on every worker, so all workers
+# scan the same blocks of the first nshared rows in the same order. Cold
+# requests from different workers land on the server while the first read
+# is still in flight (the in-flight-table coalescing path); the rest hit
+# the server cache.
+do r
+  do k
+    request S(r,k)
+    u(r,k) = S(r,k)
+    lsum += u(r,k) * u(r,k)
+  enddo k
+enddo r
+server_barrier
+snorm2 = 0.0
+collective snorm2 += lsum
+endsial
+)SIAL";
+}
+
 std::string mp2_served_source() {
   return R"SIAL(
 sial mp2_served

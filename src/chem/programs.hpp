@@ -39,6 +39,17 @@ std::string fock_build_source();
 // norm of the output matrix).
 std::string comm_storm_source();
 
+// Disk-bound served-array stress: phase 1 prepares a norb x norb block
+// matrix to the I/O servers, then `nsweeps` full read sweeps request every
+// block back through a deliberately undersized server cache, and a final
+// shared-read phase has every worker re-scan the first `nshared` rows so
+// concurrent cold requests for the same block exercise in-flight read
+// coalescing. Workload for the threaded disk service / look-ahead /
+// write-behind benches; the checksum is integer-valued and bit-identical
+// under any request order. Constants: norb, nsweeps, nshared (elements,
+// <= norb). Result scalar: snorm2.
+std::string io_storm_source();
+
 // MP2-like two-phase program exercising served (disk-backed) arrays:
 // phase 1 prepares amplitude blocks to a served array, phase 2 requests
 // them back and contracts. Constants: norb, nocc. Result scalars: e2

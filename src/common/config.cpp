@@ -18,6 +18,9 @@ void SipConfig::validate() const {
     throw Error("SipConfig: subsegments_per_segment must be >= 1");
   }
   if (prefetch_depth < 0) throw Error("SipConfig: prefetch_depth must be >= 0");
+  if (server_disk_threads < 0) {
+    throw Error("SipConfig: server_disk_threads must be >= 0");
+  }
   if (chunk_divisor < 1) throw Error("SipConfig: chunk_divisor must be >= 1");
   if (min_chunk < 1) throw Error("SipConfig: min_chunk must be >= 1");
 }

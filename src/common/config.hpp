@@ -39,8 +39,28 @@ struct SipConfig {
   std::size_t server_cache_bytes = 32ull << 20;
 
   // Number of future loop iterations for which the interpreter issues
-  // block requests ahead of use. 0 disables prefetching.
+  // block requests ahead of use. 0 disables prefetching. Applies to both
+  // distributed-array gets and served-array requests (the latter arrive
+  // at the I/O server flagged as look-ahead and become low-priority
+  // read-ahead jobs).
   int prefetch_depth = 2;
+
+  // Disk service threads per I/O server. Cache-miss reads (and on-demand
+  // block generation) become jobs on this pool so the server's message
+  // loop keeps answering cache hits and prepares while reads are in
+  // flight; duplicate in-flight requests for the same block coalesce into
+  // one disk read. 0 restores the fully synchronous single-threaded
+  // service path.
+  int server_disk_threads = 2;
+
+  // Keep served-array files out of the OS page cache: fdatasync once per
+  // write-behind batch, then posix_fadvise(DONTNEED) written and read
+  // ranges. The server already fronts its disk with an application-level
+  // LRU cache (server_cache_bytes), so the page cache only duplicates it
+  // and hides the cost the cache exists to manage; cold I/O reproduces
+  // the data-larger-than-RAM regime served arrays target and makes reads
+  // genuine blocking device I/O the disk pool can overlap.
+  bool server_cold_io = false;
 
   // Write-combine repeated `put ... +=` to the same block in a per-worker
   // shadow table, flushing at pardo-iteration boundaries and barriers.

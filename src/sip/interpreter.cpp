@@ -484,30 +484,35 @@ void Interpreter::exec_block_scaled_copy(const Instruction& instr) {
 // ---------------------------------------------------------------------
 // Communication instructions.
 
+std::vector<LoopContext> Interpreter::loop_contexts() const {
+  std::vector<LoopContext> loops;
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    LoopContext loop;
+    if (it->kind == Frame::Kind::kDo) {
+      loop.is_pardo = false;
+      loop.index_id = it->index_id;
+      loop.current = it->current;
+      loop.last = it->last;
+    } else {
+      loop.is_pardo = true;
+      loop.pardo =
+          &program_.code().pardos[static_cast<std::size_t>(it->pardo_id)];
+      loop.filtered = &it->filtered;
+      loop.next_pos = it->pos;
+      loop.end_pos = it->chunk_end;
+    }
+    loops.push_back(loop);
+  }
+  return loops;
+}
+
 void Interpreter::exec_get(const Instruction& instr) {
   const BlockSelector selector = resolve(instr.blocks[0]);
   dist_->issue_get(selector.id());
 
   // Look ahead along the enclosing loops (paper §V-A).
   if (shared_.config.prefetch_depth > 0) {
-    std::vector<LoopContext> loops;
-    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
-      LoopContext loop;
-      if (it->kind == Frame::Kind::kDo) {
-        loop.is_pardo = false;
-        loop.index_id = it->index_id;
-        loop.current = it->current;
-        loop.last = it->last;
-      } else {
-        loop.is_pardo = true;
-        loop.pardo =
-            &program_.code().pardos[static_cast<std::size_t>(it->pardo_id)];
-        loop.filtered = &it->filtered;
-        loop.next_pos = it->pos;
-        loop.end_pos = it->chunk_end;
-      }
-      loops.push_back(loop);
-    }
+    const std::vector<LoopContext> loops = loop_contexts();
     for (const BlockId& id :
          prefetch_candidates(program_, instr.blocks[0],
                              data_->index_values(), loops,
@@ -520,6 +525,19 @@ void Interpreter::exec_get(const Instruction& instr) {
 void Interpreter::exec_request(const Instruction& instr) {
   const BlockSelector selector = resolve(instr.blocks[0]);
   served_->issue_request(selector.id());
+
+  // Served-array look-ahead, mirroring exec_get: speculative requests for
+  // the next iterations become low-priority read-ahead jobs at the I/O
+  // server, warming its cache (and this worker's) behind demand traffic.
+  if (shared_.config.prefetch_depth > 0) {
+    const std::vector<LoopContext> loops = loop_contexts();
+    for (const BlockId& id :
+         prefetch_candidates(program_, instr.blocks[0],
+                             data_->index_values(), loops,
+                             shared_.config.prefetch_depth)) {
+      served_->issue_lookahead(id);
+    }
+  }
 }
 
 void Interpreter::batch_issue_gets(const Instruction& instr,

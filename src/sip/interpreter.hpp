@@ -20,6 +20,7 @@
 #include "block/block_pool.hpp"
 #include "sip/data_manager.hpp"
 #include "sip/dist_array.hpp"
+#include "sip/prefetch.hpp"
 #include "sip/profiler.hpp"
 #include "sip/served_array.hpp"
 #include "sip/shared.hpp"
@@ -79,6 +80,9 @@ class Interpreter {
   void exec_block_scaled_copy(const sial::Instruction& instr);
   void exec_get(const sial::Instruction& instr);
   void exec_request(const sial::Instruction& instr);
+  // Snapshot of the enclosing do/pardo loops, innermost first, for
+  // prefetch_candidates (shared by exec_get and exec_request look-ahead).
+  std::vector<LoopContext> loop_contexts() const;
   // Issues the asynchronous fetch for every distributed/served block
   // operand of `instr` starting at `first_block` (plus execute args), so
   // all replies are in flight before the first blocking read (wait-any).

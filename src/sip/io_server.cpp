@@ -13,12 +13,21 @@
 
 namespace sia::sip {
 
+namespace {
+// Upper bound on blocks retired per write-behind batch; keeps lookup
+// latency for queued blocks bounded while still amortizing the presence
+// map flush over many writes.
+constexpr std::size_t kMaxWriteBatch = 64;
+}  // namespace
+
 // ---------------------------------------------------------------------
 // DiskStore.
 
 DiskStore::DiskStore(const std::string& dir, const std::string& array_name,
-                     std::size_t slot_doubles, std::int64_t num_blocks)
-    : slot_doubles_(slot_doubles),
+                     std::size_t slot_doubles, std::int64_t num_blocks,
+                     bool cold_io)
+    : cold_io_(cold_io),
+      slot_doubles_(slot_doubles),
       present_(static_cast<std::size_t>(num_blocks), 0) {
   const std::string data_path = dir + "/" + array_name + ".srv";
   const std::string map_path = dir + "/" + array_name + ".map";
@@ -45,6 +54,11 @@ DiskStore::DiskStore(const std::string& dir, const std::string& array_name,
 }
 
 DiskStore::~DiskStore() {
+  try {
+    flush_map();
+  } catch (...) {
+    // Destructor: nothing sensible to do with a failed final flush.
+  }
   if (fd_ >= 0) ::close(fd_);
   if (map_fd_ >= 0) ::close(map_fd_);
 }
@@ -70,10 +84,14 @@ void DiskStore::read(std::int64_t linear, double* out,
   if (got != static_cast<ssize_t>(bytes)) {
     throw RuntimeError("short read from served array file");
   }
+  if (cold_io_) {
+    ::posix_fadvise(fd_, offset, static_cast<off_t>(bytes),
+                    POSIX_FADV_DONTNEED);
+  }
 }
 
-void DiskStore::write(std::int64_t linear, const double* data,
-                      std::size_t count) {
+void DiskStore::write_deferred(std::int64_t linear, const double* data,
+                               std::size_t count) {
   SIA_CHECK(count <= slot_doubles_, "served block exceeds disk slot");
   const off_t offset =
       static_cast<off_t>(linear) *
@@ -82,27 +100,89 @@ void DiskStore::write(std::int64_t linear, const double* data,
   if (::pwrite(fd_, data, bytes, offset) != static_cast<ssize_t>(bytes)) {
     throw RuntimeError("short write to served array file");
   }
-  const char one = 1;
-  if (::pwrite(map_fd_, &one, 1, static_cast<off_t>(linear)) != 1) {
-    throw RuntimeError("cannot update served array map");
-  }
   std::lock_guard<std::mutex> lock(mutex_);
   present_[static_cast<std::size_t>(linear)] = 1;
+  if (map_dirty_lo_ < 0 || linear < map_dirty_lo_) map_dirty_lo_ = linear;
+  if (linear > map_dirty_hi_) map_dirty_hi_ = linear;
   ++blocks_written_;
+}
+
+void DiskStore::flush_map() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (map_dirty_lo_ < 0) return;
+  // One pwrite over the dirty range. Batches are sorted by linear id, so
+  // the range is dense in practice; bytes inside it that were already on
+  // disk are simply rewritten with their current in-memory value.
+  const std::size_t lo = static_cast<std::size_t>(map_dirty_lo_);
+  const std::size_t len = static_cast<std::size_t>(map_dirty_hi_) - lo + 1;
+  if (::pwrite(map_fd_, present_.data() + lo, len,
+               static_cast<off_t>(lo)) != static_cast<ssize_t>(len)) {
+    throw RuntimeError("cannot update served array map");
+  }
+  map_dirty_lo_ = map_dirty_hi_ = -1;
+  ++map_flushes_;
+}
+
+void DiskStore::after_batch() {
+  if (!cold_io_) return;
+  // One sync per batch instead of per block; dropping the pages right
+  // after keeps the data file cold so the application-level cache stays
+  // the only cache.
+  ::fdatasync(fd_);
+  ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
+}
+
+void DiskStore::write(std::int64_t linear, const double* data,
+                      std::size_t count) {
+  write_deferred(linear, data, count);
+  flush_map();
+  after_batch();
+}
+
+void DiskStore::erase_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(present_.begin(), present_.end(), 0);
+  if (!present_.empty() &&
+      ::pwrite(map_fd_, present_.data(), present_.size(), 0) !=
+          static_cast<ssize_t>(present_.size())) {
+    throw RuntimeError("cannot clear served array map");
+  }
+  map_dirty_lo_ = map_dirty_hi_ = -1;
+  ++map_flushes_;
+}
+
+std::int64_t DiskStore::blocks_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_written_;
+}
+
+std::int64_t DiskStore::map_flushes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_flushes_;
 }
 
 // ---------------------------------------------------------------------
 // WriteBehind.
 
-WriteBehind::WriteBehind() : thread_([this] { run(); }) {}
+WriteBehind::WriteBehind(int lanes, bool batched)
+    : max_batch_(batched ? kMaxWriteBatch : 1) {
+  const int count = std::max(1, lanes);
+  threads_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { run(); });
+  }
+}
 
 WriteBehind::~WriteBehind() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
+    paused_ = false;
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
 }
 
 void WriteBehind::enqueue(DiskStore* store, int array_id,
@@ -122,9 +202,23 @@ BlockPtr WriteBehind::lookup(int array_id, std::int64_t linear) const {
   return it == pending_.end() ? nullptr : it->second;
 }
 
+void WriteBehind::cancel_array(int array_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    it = it->key.first == array_id ? queue_.erase(it) : std::next(it);
+  }
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    it = it->first.first == array_id ? pending_.erase(it) : std::next(it);
+  }
+  cv_.wait(lock, [&] {
+    return std::none_of(in_flight_keys_.begin(), in_flight_keys_.end(),
+                        [&](const Key& key) { return key.first == array_id; });
+  });
+}
+
 void WriteBehind::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [&] { return queue_.empty() && !in_flight_; });
+  cv_.wait(lock, [&] { return queue_.empty() && in_flight_keys_.empty(); });
 }
 
 std::int64_t WriteBehind::writes() const {
@@ -132,30 +226,176 @@ std::int64_t WriteBehind::writes() const {
   return writes_;
 }
 
+std::int64_t WriteBehind::batches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_;
+}
+
+void WriteBehind::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void WriteBehind::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+bool WriteBehind::has_runnable_item() const {
+  for (const Item& item : queue_) {
+    if (std::find(in_flight_keys_.begin(), in_flight_keys_.end(),
+                  item.key) == in_flight_keys_.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void WriteBehind::run() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
+    cv_.wait(lock, [&] {
+      return stop_ || (!paused_ && has_runnable_item());
+    });
+    if (stop_ && queue_.empty()) return;
+    if (paused_ || !has_runnable_item()) {
+      if (stop_) {
+        // Remaining items are all in flight on other lanes.
+        if (queue_.empty()) return;
+        continue;
+      }
+      continue;
+    }
+    // Build a batch: queued blocks of one array, oldest first, skipping
+    // keys another lane is writing right now (same-slot writes must keep
+    // their enqueue order).
+    int array_id = -1;
+    std::vector<Item> batch;
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < max_batch_;) {
+      const bool busy =
+          std::find(in_flight_keys_.begin(), in_flight_keys_.end(),
+                    it->key) != in_flight_keys_.end();
+      if (busy) {
+        ++it;
+        continue;
+      }
+      if (array_id < 0) array_id = it->key.first;
+      if (it->key.first != array_id) {
+        ++it;
+        continue;
+      }
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+      in_flight_keys_.push_back(batch.back().key);
+    }
+    if (batch.empty()) continue;
+    // Sort by linear id for sequential locality; stable keeps two queued
+    // versions of the same block in enqueue order.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Item& a, const Item& b) {
+                       return a.key.second < b.key.second;
+                     });
+    lock.unlock();
+    DiskStore* store = batch.front().store;
+    for (const Item& item : batch) {
+      item.store->write_deferred(item.key.second, item.block->data().data(),
+                                 item.block->size());
+    }
+    // One presence-map pwrite (and, under cold I/O, one fdatasync) for
+    // the whole batch.
+    store->flush_map();
+    store->after_batch();
+    lock.lock();
+    writes_ += static_cast<std::int64_t>(batch.size());
+    ++batches_;
+    for (const Item& item : batch) {
+      auto in_flight = std::find(in_flight_keys_.begin(),
+                                 in_flight_keys_.end(), item.key);
+      if (in_flight != in_flight_keys_.end()) {
+        in_flight_keys_.erase(in_flight);
+      }
+      // Remove from the pending map only if it still refers to this block
+      // (a newer version may have been enqueued meanwhile).
+      auto it = pending_.find(item.key);
+      if (it != pending_.end() && it->second == item.block) {
+        pending_.erase(it);
+      }
+    }
+    cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------
+// DiskPool.
+
+DiskPool::DiskPool(int threads) {
+  const int count = std::max(1, threads);
+  threads_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { run(); });
+  }
+}
+
+DiskPool::~DiskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void DiskPool::submit(const Key& key, Job job, bool low_priority) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    (low_priority ? low_ : high_).push_back(Entry{key, std::move(job)});
+  }
+  cv_.notify_one();
+}
+
+void DiskPool::promote(const Key& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = low_.begin(); it != low_.end(); ++it) {
+    if (it->key == key) {
+      high_.push_back(std::move(*it));
+      low_.erase(it);
+      return;
+    }
+  }
+}
+
+void DiskPool::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] {
+    return high_.empty() && low_.empty() && running_ == 0;
+  });
+}
+
+void DiskPool::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [&] { return stop_ || !high_.empty() || !low_.empty(); });
+    if (high_.empty() && low_.empty()) {
       if (stop_) return;
       continue;
     }
-    Item item = std::move(queue_.front());
-    queue_.pop_front();
-    in_flight_ = true;
+    std::deque<Entry>& source = high_.empty() ? low_ : high_;
+    Entry entry = std::move(source.front());
+    source.pop_front();
+    ++running_;
     lock.unlock();
-    item.store->write(item.key.second, item.block->data().data(),
-                      item.block->size());
+    entry.job();
     lock.lock();
-    in_flight_ = false;
-    ++writes_;
-    // Remove from the pending map only if it still refers to this block
-    // (a newer version may have been enqueued meanwhile).
-    auto it = pending_.find(item.key);
-    if (it != pending_.end() && it->second == item.block) {
-      pending_.erase(it);
+    --running_;
+    if (high_.empty() && low_.empty() && running_ == 0) {
+      idle_cv_.notify_all();
     }
-    cv_.notify_all();
   }
 }
 
@@ -193,7 +433,16 @@ IoServer::IoServer(SipShared& shared, int my_rank)
                write_behind_.enqueue(&store_for(id.array_id), id.array_id,
                                      id.linearize(array.num_segments),
                                      block);
-             }) {}
+             }),
+      write_behind_(std::max(1, shared.config.server_disk_threads),
+                    /*batched=*/shared.config.server_disk_threads > 0) {
+  if (shared.config.server_disk_threads > 0) {
+    disk_pool_ =
+        std::make_unique<DiskPool>(shared.config.server_disk_threads);
+  }
+}
+
+IoServer::~IoServer() = default;
 
 DiskStore& IoServer::store_for(int array_id) {
   auto it = stores_.find(array_id);
@@ -203,7 +452,8 @@ DiskStore& IoServer::store_for(int array_id) {
              .emplace(array_id, std::make_unique<DiskStore>(
                                     shared_.scratch_dir, array.name,
                                     array.max_block_elements,
-                                    array.total_blocks))
+                                    array.total_blocks,
+                                    shared_.config.server_cold_io))
              .first;
   }
   return *it->second;
@@ -339,57 +589,235 @@ void IoServer::handle_prepare(msg::Message& message, bool accumulate) {
   cache_.put(id, std::move(block), /*dirty=*/true);
 }
 
-void IoServer::handle_request(const msg::Message& message) {
-  ++stats_.requests;
-  const int array_id = static_cast<int>(message.header[0]);
-  const sial::ResolvedArray& array = shared_.program->array(array_id);
-  const BlockId id =
-      BlockId::from_linear(array_id, message.header[1], array.num_segments);
-  const int reply_rank = static_cast<int>(message.header[2]);
-
-  BlockPtr block = cache_.get(id);
-  if (block) {
-    ++stats_.cache_hits;
-  } else {
-    bool found = false;
-    block = load_block(id, &found);
-    if (!found) {
-      // Computed served array? Generate the block on demand instead of
-      // reading it from disk (paper §V-B).
-      if (const ServerComputeFn* generate = generator_for(array_id)) {
-        block = std::make_shared<Block>(shape_of(id));
-        std::array<long, blas::kMaxRank> first{};
-        for (int d = 0; d < id.rank; ++d) {
-          const std::size_t ud = static_cast<std::size_t>(d);
-          const sial::ResolvedIndex& decl = shared_.program->index(
-              array.index_ids[ud]);
-          const int abs_seg = id.segments[ud] + array.seg_lo[ud] - 1;
-          first[ud] = decl.segment_start(abs_seg);
-        }
-        (*generate)(*block,
-                    {first.data(), static_cast<std::size_t>(id.rank)});
-        ++stats_.computed;
-      } else {
-        throw RuntimeError("request of served block " + id.to_string() +
-                           " of '" + array.name +
-                           "' that has never been prepared");
-      }
-    }
-    cache_.put(id, block, /*dirty=*/false);
-  }
-
+void IoServer::send_reply(int reply_rank, int array_id, std::int64_t linear,
+                          BlockPtr block) {
   // Zero-copy reply: share the cached block. Later prepares copy-on-write
   // before mutating, so the requester's snapshot stays stable.
   msg::Message reply;
   reply.tag = msg::kServedReply;
-  reply.header = {array_id, message.header[1]};
+  reply.header = {array_id, linear};
   reply.block = std::move(block);
   shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
 }
 
+void IoServer::send_miss_reply(int reply_rank, int array_id,
+                               std::int64_t linear) {
+  // Look-ahead of a block that does not exist (yet): tell the client to
+  // forget the speculative request instead of failing the run — the
+  // demand request will follow if the program really reads the block.
+  msg::Message reply;
+  reply.tag = msg::kServedReply;
+  reply.header = {array_id, linear, /*miss=*/1};
+  shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
+}
+
+void IoServer::read_job(BlockId id, DiskStore* store, std::int64_t linear,
+                        const ServerComputeFn* generate, BlockShape shape,
+                        std::array<long, blas::kMaxRank> first,
+                        std::string array_name) {
+  Completion done;
+  done.id = id;
+  std::string error;
+  try {
+    auto block = std::make_shared<Block>(shape);
+    if (BlockPtr pending = write_behind_.lookup(id.array_id, linear)) {
+      // Enqueued for write after the miss was detected; serve the queued
+      // version directly.
+      done.block = std::move(pending);
+    } else if (store->has(linear)) {
+      store->read(linear, block->data().data(), block->size());
+      done.from_disk = true;
+      done.block = std::move(block);
+    } else if (generate != nullptr) {
+      (*generate)(*block, {first.data(), static_cast<std::size_t>(id.rank)});
+      done.computed = true;
+      done.block = std::move(block);
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  std::vector<Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_.find(id);
+    if (it != inflight_.end()) {
+      waiters = std::move(it->second.waiters);
+      inflight_.erase(it);
+    }
+  }
+
+  if (!error.empty()) {
+    shared_.raise_abort(error);
+    return;
+  }
+  try {
+    for (const Waiter& waiter : waiters) {
+      if (done.block) {
+        send_reply(waiter.reply_rank, id.array_id, linear, done.block);
+      } else if (waiter.lookahead) {
+        send_miss_reply(waiter.reply_rank, id.array_id, linear);
+      } else {
+        shared_.raise_abort("request of served block " + id.to_string() +
+                            " of '" + array_name +
+                            "' that has never been prepared");
+        return;
+      }
+    }
+  } catch (const std::exception&) {
+    // Fabric stopped mid-abort; nothing left to deliver.
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    completions_.push_back(std::move(done));
+  }
+}
+
+void IoServer::drain_completions() {
+  std::deque<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    done.swap(completions_);
+  }
+  for (Completion& completion : done) {
+    if (completion.from_disk) ++stats_.disk_reads;
+    if (completion.computed) ++stats_.computed;
+    if (completion.block) {
+      cache_.put(completion.id, std::move(completion.block),
+                 /*dirty=*/false);
+    }
+  }
+}
+
+void IoServer::handle_request(const msg::Message& message) {
+  const int array_id = static_cast<int>(message.header[0]);
+  const sial::ResolvedArray& array = shared_.program->array(array_id);
+  const std::int64_t linear = message.header[1];
+  const BlockId id =
+      BlockId::from_linear(array_id, linear, array.num_segments);
+  const int reply_rank = static_cast<int>(message.header[2]);
+  const bool lookahead = message.header.size() > 3 && message.header[3] != 0;
+  if (lookahead) {
+    ++stats_.lookahead_requests;
+  } else {
+    ++stats_.requests;
+  }
+
+  if (BlockPtr block = cache_.get(id)) {
+    ++stats_.cache_hits;
+    send_reply(reply_rank, array_id, linear, std::move(block));
+    return;
+  }
+
+  if (disk_pool_) {
+    // Threaded path: coalesce onto an in-flight read or submit a new job.
+    // The message loop goes straight back to servicing traffic; the disk
+    // thread replies on completion.
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      auto it = inflight_.find(id);
+      if (it != inflight_.end()) {
+        it->second.waiters.push_back(Waiter{reply_rank, lookahead});
+        ++stats_.reads_coalesced;
+        if (!lookahead && it->second.low_priority) {
+          // A demand request caught up with a queued read-ahead: bump it.
+          disk_pool_->promote({array_id, linear});
+          it->second.low_priority = false;
+        }
+        return;
+      }
+      InflightRead read;
+      read.waiters.push_back(Waiter{reply_rank, lookahead});
+      read.low_priority = lookahead;
+      inflight_.emplace(id, std::move(read));
+    }
+    // Resolve everything the job needs on this thread — store/generator
+    // tables and program metadata are not synchronized.
+    DiskStore* store = &store_for(array_id);
+    const ServerComputeFn* generate = generator_for(array_id);
+    const BlockShape shape = shape_of(id);
+    std::array<long, blas::kMaxRank> first{};
+    if (generate != nullptr) {
+      for (int d = 0; d < id.rank; ++d) {
+        const std::size_t ud = static_cast<std::size_t>(d);
+        const sial::ResolvedIndex& decl =
+            shared_.program->index(array.index_ids[ud]);
+        const int abs_seg = id.segments[ud] + array.seg_lo[ud] - 1;
+        first[ud] = decl.segment_start(abs_seg);
+      }
+    }
+    disk_pool_->submit(
+        {array_id, linear},
+        [this, id, store, linear, generate, shape, first,
+         name = array.name] {
+          read_job(id, store, linear, generate, shape, first, name);
+        },
+        /*low_priority=*/lookahead);
+    return;
+  }
+
+  // Synchronous fallback (server_disk_threads == 0): the original
+  // single-threaded service path.
+  bool found = false;
+  BlockPtr block = load_block(id, &found);
+  if (!found) {
+    // Computed served array? Generate the block on demand instead of
+    // reading it from disk (paper §V-B).
+    if (const ServerComputeFn* generate = generator_for(array_id)) {
+      block = std::make_shared<Block>(shape_of(id));
+      std::array<long, blas::kMaxRank> first{};
+      for (int d = 0; d < id.rank; ++d) {
+        const std::size_t ud = static_cast<std::size_t>(d);
+        const sial::ResolvedIndex& decl = shared_.program->index(
+            array.index_ids[ud]);
+        const int abs_seg = id.segments[ud] + array.seg_lo[ud] - 1;
+        first[ud] = decl.segment_start(abs_seg);
+      }
+      (*generate)(*block,
+                  {first.data(), static_cast<std::size_t>(id.rank)});
+      ++stats_.computed;
+    } else if (lookahead) {
+      send_miss_reply(reply_rank, array_id, linear);
+      return;
+    } else {
+      throw RuntimeError("request of served block " + id.to_string() +
+                         " of '" + array.name +
+                         "' that has never been prepared");
+    }
+  }
+  cache_.put(id, block, /*dirty=*/false);
+  send_reply(reply_rank, array_id, linear, std::move(block));
+}
+
+void IoServer::handle_delete(const msg::Message& message) {
+  const int array_id = static_cast<int>(message.header[0]);
+  // Let in-flight reads of the array finish before the state goes away
+  // (a well-formed program separates reads from the delete with a
+  // barrier, but the server must stay consistent regardless).
+  if (disk_pool_) disk_pool_->drain();
+  drain_completions();
+  cache_.erase_array(array_id);
+  // A late queued write must not resurrect the deleted array on disk:
+  // drop its write-behind entries and its on-disk presence, and forget
+  // its prepare conflict records.
+  write_behind_.cancel_array(array_id);
+  auto store = stores_.find(array_id);
+  if (store != stores_.end()) store->second->erase_all();
+  for (auto it = write_records_.begin(); it != write_records_.end();) {
+    it = it->first.array_id == array_id ? write_records_.erase(it)
+                                        : std::next(it);
+  }
+}
+
 void IoServer::flush() {
+  if (disk_pool_) disk_pool_->drain();
+  drain_completions();
   cache_.flush_dirty();
   write_behind_.drain();
+  // Presence maps hit disk at least once per barrier even if the lanes
+  // deferred them.
+  for (auto& [array_id, store] : stores_) store->flush_map();
 }
 
 void IoServer::handle_barrier(const msg::Message& message) {
@@ -401,10 +829,21 @@ void IoServer::handle_barrier(const msg::Message& message) {
   shared_.fabric->send(my_rank_, shared_.master_rank(), std::move(ack));
 }
 
+IoServer::Stats IoServer::stats() const {
+  Stats merged = stats_;
+  merged.disk_writes = write_behind_.writes();
+  merged.write_batches = write_behind_.batches();
+  for (const auto& [array_id, store] : stores_) {
+    merged.map_flushes += store->map_flushes();
+  }
+  return merged;
+}
+
 void IoServer::run() {
   try {
     while (true) {
       shared_.check_abort();
+      drain_completions();
       auto message = shared_.fabric->recv_for(my_rank_, 50);
       if (!message.has_value()) continue;
       switch (message->tag) {
@@ -420,11 +859,9 @@ void IoServer::run() {
         case msg::kServerBarrierEnter:
           handle_barrier(*message);
           break;
-        case msg::kServedDelete: {
-          const int array_id = static_cast<int>(message->header[0]);
-          cache_.erase_array(array_id);
+        case msg::kServedDelete:
+          handle_delete(*message);
           break;
-        }
         case msg::kShutdown:
           flush();
           return;

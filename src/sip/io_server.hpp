@@ -11,12 +11,19 @@
 // Components:
 //   * DiskStore — one slotted file per served array under the scratch
 //     directory (slot = the array's maximal block size) plus a presence
-//     byte map, so blocks survive both cache eviction and SIP runs;
-//   * WriteBehind — a writer thread draining dirty evicted blocks to the
-//     DiskStore; lookups intercept blocks still in the queue;
+//     byte map, so blocks survive both cache eviction and SIP runs.
+//     Presence-map updates can be deferred in memory and flushed in one
+//     pwrite per batch/barrier instead of one per block;
+//   * WriteBehind — writer lanes draining dirty evicted blocks to their
+//     DiskStores in per-array batches sorted by linear id; lookups
+//     intercept blocks still in the queue;
+//   * DiskPool — the read-side thread pool: cache-miss requests become
+//     jobs here so the message loop keeps servicing hits and prepares
+//     while reads are in flight. Demand reads take priority over
+//     look-ahead (read-ahead) jobs;
 //   * IoServer — the rank main loop: prepare/request handling with
-//     conflict detection, LRU cache with dirty write-behind, barrier
-//     flush, shutdown.
+//     conflict detection, LRU cache with dirty write-behind, an in-flight
+//     read table coalescing duplicate requests, barrier flush, shutdown.
 #pragma once
 
 #include <condition_variable>
@@ -27,6 +34,8 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include <functional>
 
@@ -57,13 +66,18 @@ class ServerComputeRegistry {
   std::map<std::string, ServerComputeFn> table_;
 };
 
-// Slotted block file for one served array. Thread safe (pread/pwrite).
+// Slotted block file for one served array. Thread safe (pread/pwrite);
+// callers serialize writes to the same slot.
 class DiskStore {
  public:
   // Creates/opens `<dir>/<array_name>.srv` (+ `.map`) with the given slot
-  // capacity in doubles and block count.
+  // capacity in doubles and block count. With `cold_io` the store keeps
+  // its data file out of the OS page cache (fdatasync + fadvise DONTNEED
+  // per batch/read) — see SipConfig::server_cold_io.
   DiskStore(const std::string& dir, const std::string& array_name,
-            std::size_t slot_doubles, std::int64_t num_blocks);
+            std::size_t slot_doubles, std::int64_t num_blocks,
+            bool cold_io = false);
+  // Flushes any deferred presence-map updates.
   ~DiskStore();
   DiskStore(const DiskStore&) = delete;
   DiskStore& operator=(const DiskStore&) = delete;
@@ -71,23 +85,49 @@ class DiskStore {
   bool has(std::int64_t linear) const;
   // Reads `count` doubles of block `linear` into `out`. Throws if absent.
   void read(std::int64_t linear, double* out, std::size_t count) const;
+  // Writes block data and immediately persists the presence-map byte
+  // (write_deferred + flush_map).
   void write(std::int64_t linear, const double* data, std::size_t count);
+  // Writes block data and marks presence only in memory; flush_map()
+  // persists the dirty map range in one pwrite. Batching presence updates
+  // is what keeps write-behind from issuing one 1-byte pwrite per block.
+  void write_deferred(std::int64_t linear, const double* data,
+                      std::size_t count);
+  void flush_map();
+  // Batch epilogue: under cold I/O, persist outstanding data-file writes
+  // and evict their pages (fdatasync + fadvise DONTNEED). No-op otherwise.
+  void after_batch();
+  // Drops every block: clears the presence map in memory and on disk.
+  void erase_all();
 
-  std::int64_t blocks_written() const { return blocks_written_; }
+  std::int64_t blocks_written() const;
+  std::int64_t map_flushes() const;
 
  private:
   int fd_ = -1;
   int map_fd_ = -1;
+  bool cold_io_ = false;
   std::size_t slot_doubles_;
   std::vector<char> present_;  // in-memory presence map
   std::int64_t blocks_written_ = 0;
+  std::int64_t map_flushes_ = 0;
+  // Dirty presence range not yet on disk; -1 lo means clean.
+  std::int64_t map_dirty_lo_ = -1;
+  std::int64_t map_dirty_hi_ = -1;
   mutable std::mutex mutex_;
 };
 
-// Background writer draining dirty blocks to their DiskStores.
+// Background writer lanes draining dirty blocks to their DiskStores in
+// per-array batches, sorted by linear id for sequential locality. Two
+// versions of the same block keep their enqueue order (a key being
+// written blocks other lanes from picking up its successor).
 class WriteBehind {
  public:
-  WriteBehind();
+  // `batched == false` reproduces the legacy retirement policy (the
+  // pre-pipeline engine): one block and one presence-map pwrite per
+  // write. It is selected when server_disk_threads == 0 so the serial
+  // configuration stays an honest baseline for the pipelined one.
+  explicit WriteBehind(int lanes = 1, bool batched = true);
   ~WriteBehind();
 
   using Key = std::pair<int, std::int64_t>;  // (array_id, linear)
@@ -96,12 +136,23 @@ class WriteBehind {
                BlockPtr block);
   // Block still waiting to be written, if any.
   BlockPtr lookup(int array_id, std::int64_t linear) const;
-  // Blocks until the queue is empty and the in-flight write finished.
+  // Drops every queued write of `array_id` and waits until none of its
+  // blocks is mid-write, so a deleted array cannot be resurrected on disk
+  // by a late queued write.
+  void cancel_array(int array_id);
+  // Blocks until the queue is empty and all in-flight writes finished.
   void drain();
   std::int64_t writes() const;
+  std::int64_t batches() const;
+
+  // Test hooks: freeze/unfreeze the lanes to make queue-state assertions
+  // deterministic.
+  void pause();
+  void resume();
 
  private:
   void run();
+  bool has_runnable_item() const;
 
   struct Item {
     DiskStore* store;
@@ -113,34 +164,82 @@ class WriteBehind {
   std::condition_variable cv_;
   std::deque<Item> queue_;
   std::map<Key, BlockPtr> pending_;
-  bool in_flight_ = false;
+  std::vector<Key> in_flight_keys_;
+  std::size_t max_batch_;
+  bool paused_ = false;
   bool stop_ = false;
   std::int64_t writes_ = 0;
-  std::thread thread_;
+  std::int64_t batches_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+// Priority thread pool for disk reads and on-demand block generation.
+// Demand jobs (high) always run before read-ahead jobs (low); promote()
+// upgrades a still-queued read-ahead job when a demand request coalesces
+// onto it.
+class DiskPool {
+ public:
+  using Key = std::pair<int, std::int64_t>;  // (array_id, linear)
+  using Job = std::function<void()>;
+
+  explicit DiskPool(int threads);
+  ~DiskPool();
+
+  int threads() const { return static_cast<int>(threads_.size()); }
+  void submit(const Key& key, Job job, bool low_priority);
+  void promote(const Key& key);
+  // Blocks until both queues are empty and no job is running.
+  void drain();
+
+ private:
+  void run();
+
+  struct Entry {
+    Key key;
+    Job job;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Entry> high_;
+  std::deque<Entry> low_;
+  int running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
 };
 
 class IoServer {
  public:
   struct Stats {
     std::int64_t prepares = 0;
-    std::int64_t requests = 0;
+    std::int64_t requests = 0;            // demand requests
+    std::int64_t lookahead_requests = 0;  // flagged look-ahead requests
     std::int64_t disk_reads = 0;
+    std::int64_t disk_writes = 0;         // write-behind retirements
     std::int64_t cache_hits = 0;
+    std::int64_t reads_coalesced = 0;  // duplicate in-flight requests merged
+    std::int64_t write_batches = 0;
+    std::int64_t map_flushes = 0;
     std::int64_t computed = 0;  // blocks generated on demand (§V-B)
     std::int64_t cow_copies = 0;  // copy-on-write before accumulate
   };
 
   IoServer(SipShared& shared, int my_rank);
+  ~IoServer();
 
   // Rank main loop; returns after kShutdown (or abort).
   void run();
 
-  const Stats& stats() const { return stats_; }
+  // Counters merged from the message loop, the disk pool, the write-behind
+  // lanes, and the disk stores. Safe to call once run() returned.
+  Stats stats() const;
 
  private:
   // Mutable reference: prepare adopts the message's block payload.
   void handle_prepare(msg::Message& message, bool accumulate);
   void handle_request(const msg::Message& message);
+  void handle_delete(const msg::Message& message);
   void handle_barrier(const msg::Message& message);
   void flush();
 
@@ -150,6 +249,18 @@ class IoServer {
   // Generator for a computed served array (nullptr if the array is a
   // plain stored one). Resolved lazily from the config.
   const ServerComputeFn* generator_for(int array_id);
+
+  void send_reply(int reply_rank, int array_id, std::int64_t linear,
+                  BlockPtr block);
+  void send_miss_reply(int reply_rank, int array_id, std::int64_t linear);
+  // Runs on a DiskPool thread: read (or generate) the block, reply to
+  // every waiter, queue a completion for the cache warm.
+  void read_job(BlockId id, DiskStore* store, std::int64_t linear,
+                const ServerComputeFn* generate, BlockShape shape,
+                std::array<long, blas::kMaxRank> first,
+                std::string array_name);
+  // Main loop: absorb finished reads into the cache and the stats.
+  void drain_completions();
 
   struct WriteRecord {
     std::int64_t epoch = -1;
@@ -162,15 +273,41 @@ class IoServer {
     const ServerComputeFn* fn = nullptr;
   };
 
+  struct Waiter {
+    int reply_rank = -1;
+    bool lookahead = false;
+  };
+
+  struct InflightRead {
+    std::vector<Waiter> waiters;
+    bool low_priority = false;  // still queued as read-ahead
+  };
+
+  struct Completion {
+    BlockId id;
+    BlockPtr block;  // null if the block does not exist (look-ahead miss)
+    bool from_disk = false;
+    bool computed = false;
+  };
+
   SipShared& shared_;
   int my_rank_;
-  BlockCache cache_;
-  WriteBehind write_behind_;
+  // Destruction order matters: the disk pool and write-behind lanes are
+  // joined before the stores they reference go away.
   std::unordered_map<int, std::unique_ptr<DiskStore>> stores_;
+  BlockCache cache_;
   std::unordered_map<int, GeneratorSlot> generators_;
   std::unordered_map<BlockId, WriteRecord, BlockIdHash> write_records_;
   std::int64_t epoch_ = 0;
   Stats stats_;
+
+  std::mutex inflight_mutex_;
+  std::unordered_map<BlockId, InflightRead, BlockIdHash> inflight_;
+  std::mutex completion_mutex_;
+  std::deque<Completion> completions_;
+
+  WriteBehind write_behind_;
+  std::unique_ptr<DiskPool> disk_pool_;  // null when server_disk_threads==0
 };
 
 }  // namespace sia::sip

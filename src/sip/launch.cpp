@@ -184,6 +184,10 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
     const ServedArrayClient::Stats& served = worker->served().stats();
     result.workers.prepares_coalesced += served.prepares_coalesced;
     result.workers.coalesce_flushes += served.coalesce_flushes;
+    result.profile.served.client_requests_issued += served.requests_issued;
+    result.profile.served.client_requests_cached += served.requests_cached;
+    result.profile.served.client_lookahead_issued += served.lookahead_issued;
+    result.profile.served.client_lookahead_misses += served.lookahead_misses;
     const BlockCache::Stats cache = worker->dist().cache_stats();
     result.workers.cache_hits += cache.hits;
     result.workers.cache_misses += cache.misses;
@@ -193,6 +197,19 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
     result.workers.peak_local_doubles =
         std::max(result.workers.peak_local_doubles,
                  worker->data().peak_doubles());
+  }
+  for (const auto& server : servers) {
+    const IoServer::Stats stats = server->stats();
+    ProfileReport::ServedPipeline& served = result.profile.served;
+    served.server_requests += stats.requests;
+    served.server_lookahead_requests += stats.lookahead_requests;
+    served.server_cache_hits += stats.cache_hits;
+    served.server_disk_reads += stats.disk_reads;
+    served.server_disk_writes += stats.disk_writes;
+    served.reads_coalesced += stats.reads_coalesced;
+    served.write_batches += stats.write_batches;
+    served.map_flushes += stats.map_flushes;
+    served.computed += stats.computed;
   }
   return result;
 }

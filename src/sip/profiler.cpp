@@ -27,6 +27,25 @@ std::string ProfileReport::to_string() const {
         << TablePrinter::num(barrier_wait * 1e3, 2) << " ms, collective "
         << TablePrinter::num(collective_wait * 1e3, 2) << " ms\n";
   }
+  if (served.any()) {
+    out << "served pipeline: client issued " << served.client_requests_issued
+        << " requests (" << served.client_requests_cached
+        << " served from worker cache), look-ahead "
+        << served.client_lookahead_issued << " issued / "
+        << served.client_lookahead_misses << " missed\n";
+    out << "  servers: " << served.server_requests << " demand + "
+        << served.server_lookahead_requests << " look-ahead requests, "
+        << served.server_cache_hits << " cache hits, "
+        << served.server_disk_reads << " disk reads ("
+        << served.reads_coalesced << " coalesced), "
+        << served.server_disk_writes << " disk writes in "
+        << served.write_batches << " batches, " << served.map_flushes
+        << " map flushes";
+    if (served.computed > 0) {
+      out << ", " << served.computed << " blocks computed on demand";
+    }
+    out << "\n";
+  }
   if (!pardos.empty()) {
     out << "pardo loops:\n";
     for (const PardoCost& pardo : pardos) {

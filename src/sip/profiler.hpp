@@ -131,6 +131,33 @@ struct ProfileReport {
   // Per-worker get/request wait (block + served), indexed by worker.
   std::vector<double> worker_block_wait;
 
+  // Served-array pipeline counters, aggregated over workers (client side)
+  // and I/O servers (server side). All zero when no served traffic ran.
+  struct ServedPipeline {
+    // Client (ServedArrayClient::Stats, summed over workers).
+    std::int64_t client_requests_issued = 0;
+    std::int64_t client_requests_cached = 0;
+    std::int64_t client_lookahead_issued = 0;
+    std::int64_t client_lookahead_misses = 0;
+    // Server (IoServer::Stats, summed over I/O servers).
+    std::int64_t server_requests = 0;
+    std::int64_t server_lookahead_requests = 0;
+    std::int64_t server_cache_hits = 0;
+    std::int64_t server_disk_reads = 0;
+    std::int64_t server_disk_writes = 0;
+    std::int64_t reads_coalesced = 0;
+    std::int64_t write_batches = 0;
+    std::int64_t map_flushes = 0;
+    std::int64_t computed = 0;
+
+    bool any() const {
+      return client_requests_issued != 0 || client_requests_cached != 0 ||
+             client_lookahead_issued != 0 || server_requests != 0 ||
+             server_lookahead_requests != 0 || server_disk_writes != 0;
+    }
+  };
+  ServedPipeline served;
+
   // Percentage of elapsed time spent waiting (the paper's bottom line in
   // Fig. 2), averaged over workers.
   double wait_percent() const;

@@ -51,6 +51,21 @@ void ServedArrayClient::issue_request(const BlockId& id) {
                        std::move(request));
 }
 
+void ServedArrayClient::issue_lookahead(const BlockId& id) {
+  // Unlike a demand request, a speculative one must not force the shadow
+  // prepare+= out early — write-combining wins outrank read-ahead. The
+  // demand request that may follow flushes it first, keeping FIFO order.
+  if (coalesce_.count(id) > 0) return;
+  if (cache_.contains(id) || pending_.count(id) > 0) return;
+  ++stats_.lookahead_issued;
+  pending_.emplace(id, epoch_);
+  msg::Message request;
+  request.tag = msg::kServedRequest;
+  request.header = {id.array_id, linear_of(id), my_rank_, /*lookahead=*/1};
+  shared_.fabric->send(my_rank_, shared_.server_rank(id),
+                       std::move(request));
+}
+
 BlockPtr ServedArrayClient::try_read(const BlockId& id) {
   BlockPtr block = cache_.get(id);
   if (block) ++stats_.requests_cached;
@@ -134,6 +149,13 @@ void ServedArrayClient::handle_reply(msg::Message& message) {
     return;
   }
   pending_.erase(it);
+  if (message.header.size() > 2 && message.header[2] != 0) {
+    // Look-ahead miss: the block does not exist on the server (yet).
+    // Forget the speculative request; a later demand request re-asks and
+    // fails the run only if the program really reads an absent block.
+    ++stats_.lookahead_misses;
+    return;
+  }
   SIA_CHECK(message.block != nullptr, "served reply without block payload");
   if (message.block->size() != shape_of(id).element_count()) {
     throw RuntimeError("served reply shape mismatch for " + id.to_string());

@@ -25,6 +25,8 @@ class ServedArrayClient {
   struct Stats {
     std::int64_t requests_issued = 0;
     std::int64_t requests_cached = 0;
+    std::int64_t lookahead_issued = 0;   // speculative requests sent
+    std::int64_t lookahead_misses = 0;   // server had no such block (yet)
     std::int64_t prepares = 0;           // prepare messages actually sent
     std::int64_t prepares_coalesced = 0; // merged into the shadow table
     std::int64_t coalesce_flushes = 0;   // shadow entries sent out
@@ -37,6 +39,12 @@ class ServedArrayClient {
 
   // SIAL `request`: async fetch unless cached or in flight.
   void issue_request(const BlockId& id);
+  // Speculative fetch for a future loop iteration. Like issue_request but
+  // flagged look-ahead: the server queues it behind demand reads and
+  // answers with a miss (instead of failing the run) if the block was
+  // never prepared. No-op if cached, in flight, or shadowed by a pending
+  // coalesced prepare+=.
+  void issue_lookahead(const BlockId& id);
   // Cached block or nullptr.
   BlockPtr try_read(const BlockId& id);
   bool pending(const BlockId& id) const;

@@ -1,15 +1,22 @@
-// Unit tests for the I/O server internals: the slotted DiskStore and the
-// write-behind queue (paper §V-B: blocks "lazily written to disk", all
-// server operations non-blocking).
+// Unit tests for the I/O server internals: the slotted DiskStore with
+// deferred presence-map flushing, the batching write-behind lanes, the
+// priority disk pool, and the end-to-end request pipeline (paper §V-B:
+// blocks "lazily written to disk", all server operations non-blocking).
 #include <gtest/gtest.h>
 
 #include <unistd.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
+#include <mutex>
 #include <thread>
 
+#include "chem/integrals.hpp"
+#include "chem/programs.hpp"
 #include "common/error.hpp"
 #include "sip/io_server.hpp"
+#include "sip/launch.hpp"
 
 namespace sia::sip {
 namespace {
@@ -98,6 +105,69 @@ TEST_F(DiskStoreTest, SeparateArraysSeparateFiles) {
   EXPECT_FALSE(b.has(0));
 }
 
+TEST_F(DiskStoreTest, DeferredMapFlushPersistsAcrossReopen) {
+  // Crash-consistency of the batched presence-map path: many deferred
+  // writes, one map pwrite, then reopen against the same scratch dir and
+  // check that both the presence map and the block contents survived.
+  {
+    DiskStore store(dir_, "arr", 4, 16);
+    std::vector<double> v(4);
+    for (int i = 0; i < 10; ++i) {
+      std::fill(v.begin(), v.end(), static_cast<double>(i));
+      store.write_deferred(i, v.data(), 4);
+    }
+    EXPECT_TRUE(store.has(7));  // visible in memory before any flush
+    store.flush_map();
+    EXPECT_EQ(store.map_flushes(), 1);  // one pwrite covers all ten blocks
+  }
+  DiskStore reopened(dir_, "arr", 4, 16);
+  std::vector<double> back(4);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(reopened.has(i)) << "block " << i;
+    reopened.read(i, back.data(), 4);
+    EXPECT_EQ(back, (std::vector<double>(4, static_cast<double>(i))));
+  }
+  EXPECT_FALSE(reopened.has(12));
+}
+
+TEST_F(DiskStoreTest, DestructorFlushesDeferredMap) {
+  {
+    DiskStore store(dir_, "arr", 4, 8);
+    const std::vector<double> v = {6, 6, 6, 6};
+    store.write_deferred(3, v.data(), 4);
+    // No explicit flush_map: a clean shutdown must not lose presence.
+  }
+  DiskStore reopened(dir_, "arr", 4, 8);
+  EXPECT_TRUE(reopened.has(3));
+  std::vector<double> back(4);
+  reopened.read(3, back.data(), 4);
+  EXPECT_EQ(back, (std::vector<double>(4, 6.0)));
+}
+
+TEST_F(DiskStoreTest, ColdIoRoundTrip) {
+  // cold_io adds fdatasync + fadvise on the same data path; semantics
+  // must be unchanged.
+  DiskStore store(dir_, "arr", 4, 8, /*cold_io=*/true);
+  const std::vector<double> v = {1, 2, 3, 4};
+  store.write(2, v.data(), 4);
+  store.after_batch();
+  std::vector<double> back(4);
+  store.read(2, back.data(), 4);
+  EXPECT_EQ(back, v);
+}
+
+TEST_F(DiskStoreTest, EraseAllClearsPresenceOnDisk) {
+  {
+    DiskStore store(dir_, "arr", 4, 8);
+    const std::vector<double> v = {1, 1, 1, 1};
+    store.write(1, v.data(), 4);
+    store.erase_all();
+    EXPECT_FALSE(store.has(1));
+  }
+  DiskStore reopened(dir_, "arr", 4, 8);
+  EXPECT_FALSE(reopened.has(1));
+}
+
 // ---------------------------------------------------------------------
 // WriteBehind.
 
@@ -166,6 +236,210 @@ TEST_F(DiskStoreTest, WriteBehindManyBlocks) {
   std::vector<double> back(4);
   store.read(100, back.data(), 4);
   EXPECT_EQ(back[0], 100.0);
+}
+
+TEST_F(DiskStoreTest, WriteBehindBatchesWritesOfOneArray) {
+  // pause() lets the whole backlog accumulate, so the lanes must retire
+  // it in large per-array batches — far fewer batches (and map flushes)
+  // than blocks.
+  DiskStore store(dir_, "wb", 4, 64);
+  WriteBehind writer(/*lanes=*/2, /*batched=*/true);
+  writer.pause();
+  for (int i = 0; i < 32; ++i) {
+    writer.enqueue(&store, 0, i, block_of(static_cast<double>(i)));
+  }
+  writer.resume();
+  writer.drain();
+  EXPECT_EQ(writer.writes(), 32);
+  EXPECT_LE(writer.batches(), 4);
+  EXPECT_LE(store.map_flushes(), writer.batches());
+  std::vector<double> back(4);
+  store.read(31, back.data(), 4);
+  EXPECT_EQ(back[0], 31.0);
+}
+
+TEST_F(DiskStoreTest, LegacyWriterRetiresOneBlockPerBatch) {
+  // batched=false reproduces the pre-pipeline policy: one block and one
+  // presence-map pwrite per write (the serial baseline of BENCH_io.json).
+  DiskStore store(dir_, "wb", 4, 16);
+  WriteBehind writer(/*lanes=*/1, /*batched=*/false);
+  writer.pause();
+  for (int i = 0; i < 8; ++i) {
+    writer.enqueue(&store, 0, i, block_of(static_cast<double>(i)));
+  }
+  writer.resume();
+  writer.drain();
+  EXPECT_EQ(writer.writes(), 8);
+  EXPECT_EQ(writer.batches(), 8);
+  EXPECT_EQ(store.map_flushes(), 8);
+}
+
+TEST_F(DiskStoreTest, CancelArrayDropsQueuedWrites) {
+  // Regression for the kServedDelete bug: deleting an array must cancel
+  // its queued write-behind entries, or a late write resurrects deleted
+  // blocks on disk.
+  DiskStore a(dir_, "a", 4, 8);
+  DiskStore b(dir_, "b", 4, 8);
+  WriteBehind writer;
+  writer.pause();
+  writer.enqueue(&a, 1, 0, block_of(1.0));
+  writer.enqueue(&a, 1, 3, block_of(1.5));
+  writer.enqueue(&b, 2, 0, block_of(2.0));
+  writer.cancel_array(1);
+  EXPECT_EQ(writer.lookup(1, 0), nullptr);
+  EXPECT_EQ(writer.lookup(1, 3), nullptr);
+  writer.resume();
+  writer.drain();
+  EXPECT_FALSE(a.has(0));  // deleted array was not resurrected on disk
+  EXPECT_FALSE(a.has(3));
+  EXPECT_TRUE(b.has(0));  // unrelated array unaffected
+}
+
+// ---------------------------------------------------------------------
+// DiskPool priority.
+
+TEST(DiskPoolTest, DemandRunsBeforeReadAhead) {
+  DiskPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<int> order;
+  // Occupy the single thread, then queue a read-ahead job followed by a
+  // demand job: the demand job must run first once the thread frees up.
+  pool.submit({0, 0},
+              [&] {
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait(lock, [&] { return release; });
+              },
+              /*low_priority=*/false);
+  pool.submit({0, 1},
+              [&] {
+                std::lock_guard<std::mutex> lock(mutex);
+                order.push_back(1);
+              },
+              /*low_priority=*/true);
+  pool.submit({0, 2},
+              [&] {
+                std::lock_guard<std::mutex> lock(mutex);
+                order.push_back(2);
+              },
+              /*low_priority=*/false);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  pool.drain();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(DiskPoolTest, PromoteUpgradesQueuedReadAhead) {
+  DiskPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<int> order;
+  pool.submit({0, 0},
+              [&] {
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait(lock, [&] { return release; });
+              },
+              /*low_priority=*/false);
+  pool.submit({0, 1},
+              [&] {
+                std::lock_guard<std::mutex> lock(mutex);
+                order.push_back(1);
+              },
+              /*low_priority=*/true);
+  pool.submit({0, 2},
+              [&] {
+                std::lock_guard<std::mutex> lock(mutex);
+                order.push_back(2);
+              },
+              /*low_priority=*/true);
+  // A demand request coalesced onto the queued read-ahead {0,2}: it
+  // must now run before the other read-ahead job.
+  pool.promote({0, 2});
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  pool.drain();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);
+  EXPECT_EQ(order[1], 1);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end pipeline: in-flight read coalescing and threaded stress
+// (this suite carries the `tsan` label; see tests/CMakeLists.txt).
+
+TEST(ServedPipelineTest, DuplicateColdRequestsCoalesceToOneRead) {
+  // Four workers request the same never-cached block of a computed
+  // served array whose generator is deliberately slow: the first demand
+  // request starts the one generation, the other three must coalesce
+  // onto the in-flight entry and share the reply fan-out.
+  ServerComputeRegistry::global().register_generator(
+      "slow_unit_fill", [](Block& block, std::span<const long>) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        for (double& v : block.data()) v = 1.0;
+      });
+  SipConfig config;
+  config.workers = 4;
+  config.io_servers = 1;
+  config.default_segment = 6;
+  config.server_disk_threads = 2;
+  config.prefetch_depth = 4;
+  config.constants = {{"n", 6}};  // one 6-element block
+  config.computed_served["V"] = "slow_unit_fill";
+  Sip sip(config);
+  const RunResult result = sip.run_source(R"(sial test
+moindex i = 1, n
+served V(i)
+temp u(i)
+scalar lsum
+scalar total
+do i
+  request V(i)
+  u(i) = V(i)
+  lsum += u(i) * u(i)
+enddo i
+total = 0.0
+collective total += lsum
+endsial
+)");
+  // Every worker sums the same 6 unit elements.
+  EXPECT_DOUBLE_EQ(result.scalar("total"), 4.0 * 6.0);
+  EXPECT_EQ(result.profile.served.computed, 1);
+  EXPECT_EQ(result.profile.served.reads_coalesced, 3);
+}
+
+TEST(ServedPipelineTest, ThreadedStressMatchesSerialBitExact) {
+  // io_storm shrunk to test size, threaded pipeline vs the serial
+  // engine through an undersized server cache: heavy eviction, disk
+  // reads, look-ahead, and shared re-reads — and a bit-identical result.
+  const auto run = [](bool pipelined) {
+    SipConfig config;
+    config.workers = 4;
+    config.io_servers = 1;
+    config.default_segment = 8;
+    config.server_cache_bytes = 8 * 8 * 8 * sizeof(double);  // 8 blocks
+    config.server_disk_threads = pipelined ? 4 : 0;
+    config.prefetch_depth = pipelined ? 4 : 0;
+    config.constants = {{"norb", 96}, {"nsweeps", 2}, {"nshared", 96}};
+    Sip sip(config);
+    return sip.run_source(chem::io_storm_source());
+  };
+  chem::register_chem_superinstructions();
+  const RunResult threaded = run(true);
+  const RunResult serial = run(false);
+  EXPECT_DOUBLE_EQ(threaded.scalar("snorm2"), serial.scalar("snorm2"));
+  EXPECT_GT(threaded.profile.served.server_lookahead_requests, 0);
+  EXPECT_GT(threaded.profile.served.server_disk_reads, 0);
+  EXPECT_GT(threaded.profile.served.write_batches, 0);
 }
 
 }  // namespace

@@ -288,5 +288,78 @@ TEST(BatchGetsTest, BatchingDoesNotIncreaseBlockWait) {
       << "batched gets waited longer than serial gets";
 }
 
+// ---------------------------------------------------------------------
+// Request look-ahead (served arrays): exec_request reuses the same
+// prefetch_candidates walk as exec_get, so blocks stream toward the
+// worker while the current iteration is still computing.
+
+constexpr const char* kServedSweep = R"(
+moindex a = 1, n
+moindex k = 1, n
+served S(a,k)
+temp t(a,k)
+temp u(a,k)
+scalar lsum
+scalar total
+pardo a, k
+  execute fill_coords t(a,k)
+  prepare S(a,k) = t(a,k)
+endpardo a, k
+server_barrier
+pardo a
+  do k
+    request S(a,k)
+    u(a,k) = S(a,k)
+    lsum += u(a,k) * u(a,k)
+  enddo k
+endpardo a
+total = 0.0
+collective total += lsum
+)";
+
+RunResult run_served(int prefetch_depth) {
+  SipConfig config;
+  config.workers = 4;
+  config.io_servers = 1;
+  config.default_segment = 4;
+  config.server_disk_threads = 2;
+  config.prefetch_depth = prefetch_depth;
+  config.constants = {{"n", 24}};
+  config.profiling = true;
+  Sip sip(config);
+  return sip.run_source(std::string("sial test\n") + kServedSweep +
+                        "\nendsial\n");
+}
+
+TEST(RequestLookaheadTest, LookaheadIssuesAndResultUnchanged) {
+  const RunResult off = run_served(0);
+  const RunResult on = run_served(4);
+  // Identical result regardless of speculative request order.
+  EXPECT_DOUBLE_EQ(off.scalar("total"), on.scalar("total"));
+  // The client actually speculated, the server saw the flagged requests,
+  // and no speculation was wasted on absent blocks.
+  EXPECT_GT(on.profile.served.client_lookahead_issued, 0);
+  EXPECT_GT(on.profile.served.server_lookahead_requests, 0);
+  EXPECT_EQ(on.profile.served.client_lookahead_misses, 0);
+  EXPECT_EQ(off.profile.served.client_lookahead_issued, 0);
+  // Look-ahead turns demand requests into local cache hits, so far
+  // fewer blocking demand round trips are issued.
+  EXPECT_LT(on.profile.served.client_requests_issued,
+            off.profile.served.client_requests_issued);
+}
+
+TEST(RequestLookaheadTest, LookaheadDoesNotIncreaseRequestWait) {
+  // Wall-clock based like BatchingDoesNotIncreaseBlockWait: compare the
+  // best of three runs; look-ahead must not make request waits worse,
+  // and usually shrinks them (the block is local before it is needed).
+  double min_off = 1e9, min_on = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    min_off = std::min(min_off, total_block_wait(run_served(0)));
+    min_on = std::min(min_on, total_block_wait(run_served(4)));
+  }
+  EXPECT_LE(min_on, min_off * 1.5 + 0.01)
+      << "request look-ahead waited longer than blocking requests";
+}
+
 }  // namespace
 }  // namespace sia::sip

@@ -2,6 +2,10 @@
 // server-side LRU with write-behind, and persistence across SIP runs.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "chem/integrals.hpp"
 #include "sip/launch.hpp"
 
@@ -152,6 +156,59 @@ total = 0.0
 collective total += lsum
 )");
   EXPECT_DOUBLE_EQ(second.scalar("total"), 9.0 * 6.25);
+}
+
+TEST(SipServedTest, PipelinedServerSurvivesReopenOfScratchDir) {
+  // Crash-consistency of the full pipeline: prepare through the batched
+  // write-behind (deferred presence-map flush), tear the whole SIP down,
+  // then a second SIP reopens the same scratch directory and must find
+  // every block. The tiny cache forces all data through the disk path.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("sia_served_reopen_" + std::to_string(::getpid())))
+          .string();
+  SipConfig config = config_with(2, 1);
+  config.scratch_dir = dir;
+  config.server_disk_threads = 4;
+  config.prefetch_depth = 4;
+  config.server_cache_bytes = 9 * sizeof(double);  // one 3x3 block
+  {
+    Sip sip(config);
+    run(sip, R"(
+moindex i = 1, n
+moindex j = 1, n
+served s(i,j)
+temp t(i,j)
+pardo i, j
+  execute fill_coords t(i,j)
+  prepare s(i,j) = t(i,j)
+endpardo i, j
+server_barrier
+)");
+  }
+  {
+    Sip sip(config);
+    const RunResult second = run(sip, R"(
+moindex i = 1, n
+moindex j = 1, n
+served s(i,j)
+temp t(i,j)
+temp u(i,j)
+scalar lsum
+scalar total
+pardo i, j
+  request s(i,j)
+  execute fill_coords t(i,j)
+  u(i,j) = s(i,j)
+  u(i,j) -= t(i,j)
+  lsum += u(i,j) * u(i,j)
+endpardo i, j
+total = 0.0
+collective total += lsum
+)");
+    EXPECT_NEAR(second.scalar("total"), 0.0, 1e-18);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SipServedTest, RequestOfNeverPreparedBlockFails) {
