@@ -27,7 +27,7 @@ enum Tag : int {
   kServedPrepare = 301,     // [array_id, block_linear, epoch] + data
   kServedPrepareAcc = 302,  // [array_id, block_linear, epoch] + data
   kServedRequest = 303,     // [array_id, block_linear, reply_rank]
-  kServedReply = 304,       // [array_id, block_linear] + data
+  kServedReply = 304,       // [array_id, block_linear, miss, lookahead]
   kServerBarrierEnter = 305,  // worker -> server: flush, then ack
   kServerBarrierAck = 306,    // server -> master
   kServedDelete = 307,        // [array_id]

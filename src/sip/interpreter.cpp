@@ -172,7 +172,12 @@ BlockPtr Interpreter::fetch_base_block(const BlockSelector& selector) {
       const BlockId id = selector.id();
       while (true) {
         if (BlockPtr block = served_->try_read(id)) return block;
-        if (!served_->pending(id)) served_->issue_request(id);
+        // Unconditional: a no-op while a demand fetch is in flight, but
+        // if only a look-ahead is pending this sends the demand request
+        // that promotes the server's queued read-ahead job — otherwise
+        // the worker would block at low priority behind every other
+        // rank's demand reads.
+        served_->issue_request(id);
         wait_until([&] { return !served_->pending(id); }, "served block",
                    WaitKind::kServed);
       }

@@ -164,8 +164,9 @@ std::int64_t DiskStore::map_flushes() const {
 // ---------------------------------------------------------------------
 // WriteBehind.
 
-WriteBehind::WriteBehind(int lanes, bool batched)
-    : max_batch_(batched ? kMaxWriteBatch : 1) {
+WriteBehind::WriteBehind(int lanes, bool batched, ErrorHandler on_error)
+    : max_batch_(batched ? kMaxWriteBatch : 1),
+      on_error_(std::move(on_error)) {
   const int count = std::max(1, lanes);
   threads_.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
@@ -219,6 +220,9 @@ void WriteBehind::cancel_array(int array_id) {
 void WriteBehind::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return queue_.empty() && in_flight_keys_.empty(); });
+  if (!error_.empty()) {
+    throw RuntimeError("write-behind disk failure: " + error_);
+  }
 }
 
 std::int64_t WriteBehind::writes() const {
@@ -300,18 +304,32 @@ void WriteBehind::run() {
                        return a.key.second < b.key.second;
                      });
     lock.unlock();
-    DiskStore* store = batch.front().store;
-    for (const Item& item : batch) {
-      item.store->write_deferred(item.key.second, item.block->data().data(),
-                                 item.block->size());
+    // A throw escaping a lane thread would std::terminate the process, so
+    // disk failures (short write, ENOSPC) are caught here, surfaced via
+    // the error handler, and rethrown from drain().
+    std::string error;
+    try {
+      DiskStore* store = batch.front().store;
+      for (const Item& item : batch) {
+        item.store->write_deferred(item.key.second,
+                                   item.block->data().data(),
+                                   item.block->size());
+      }
+      // One presence-map pwrite (and, under cold I/O, one fdatasync) for
+      // the whole batch.
+      store->flush_map();
+      store->after_batch();
+    } catch (const std::exception& e) {
+      error = e.what();
     }
-    // One presence-map pwrite (and, under cold I/O, one fdatasync) for
-    // the whole batch.
-    store->flush_map();
-    store->after_batch();
+    if (!error.empty() && on_error_) on_error_(error);
     lock.lock();
-    writes_ += static_cast<std::int64_t>(batch.size());
-    ++batches_;
+    if (error.empty()) {
+      writes_ += static_cast<std::int64_t>(batch.size());
+      ++batches_;
+    } else if (error_.empty()) {
+      error_ = error;
+    }
     for (const Item& item : batch) {
       auto in_flight = std::find(in_flight_keys_.begin(),
                                  in_flight_keys_.end(), item.key);
@@ -435,7 +453,11 @@ IoServer::IoServer(SipShared& shared, int my_rank)
                                      block);
              }),
       write_behind_(std::max(1, shared.config.server_disk_threads),
-                    /*batched=*/shared.config.server_disk_threads > 0) {
+                    /*batched=*/shared.config.server_disk_threads > 0,
+                    [this](const std::string& error) {
+                      shared_.raise_abort("write-behind disk failure: " +
+                                          error);
+                    }) {
   if (shared.config.server_disk_threads > 0) {
     disk_pool_ =
         std::make_unique<DiskPool>(shared.config.server_disk_threads);
@@ -531,6 +553,30 @@ void IoServer::handle_prepare(msg::Message& message, bool accumulate) {
   record.writer = writer;
   record.accumulate = accumulate;
 
+  // This prepare supersedes any disk read of the same block still in
+  // flight: bump the version so the read's completion is discarded
+  // instead of clobbering the fresh dirty block with a stale clean one,
+  // and abandon the in-flight entry so later demand requests submit a
+  // fresh job (which sees the new data) rather than coalescing onto the
+  // stale read. Its waiters are answered from the fresh payload below.
+  ++prepare_versions_[id];
+  std::vector<Waiter> stolen;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto inflight = inflight_.find(id);
+    if (inflight != inflight_.end()) {
+      stolen = std::move(inflight->second.waiters);
+      inflight_.erase(inflight);
+    }
+  }
+  const std::int64_t linear = message.header[1];
+  const auto reply_to_stolen = [&](const BlockPtr& fresh) {
+    for (const Waiter& waiter : stolen) {
+      send_reply(waiter.reply_rank, array_id, linear, fresh,
+                 waiter.lookahead);
+    }
+  };
+
   BlockPtr incoming = std::move(message.block);
   const std::size_t incoming_size =
       incoming ? incoming->size() : message.data.size();
@@ -542,7 +588,9 @@ void IoServer::handle_prepare(msg::Message& message, bool accumulate) {
     // Replace with an exclusively owned payload: adopt it outright — no
     // allocation, no unpack copy. The cache entry swap leaves any shared
     // snapshot (earlier zero-copy reply) untouched for its holders.
+    BlockPtr fresh = incoming;
     cache_.put(id, std::move(incoming), /*dirty=*/true);
+    reply_to_stolen(fresh);
     return;
   }
 
@@ -586,16 +634,20 @@ void IoServer::handle_prepare(msg::Message& message, bool accumulate) {
                 block->data().begin());
     }
   }
-  cache_.put(id, std::move(block), /*dirty=*/true);
+  cache_.put(id, block, /*dirty=*/true);
+  reply_to_stolen(block);
 }
 
 void IoServer::send_reply(int reply_rank, int array_id, std::int64_t linear,
-                          BlockPtr block) {
+                          BlockPtr block, bool lookahead) {
   // Zero-copy reply: share the cached block. Later prepares copy-on-write
-  // before mutating, so the requester's snapshot stays stable.
+  // before mutating, so the requester's snapshot stays stable. The
+  // look-ahead flag is echoed so the client can discard a speculative
+  // reply made stale by its own intervening prepare without also
+  // discarding the demand reply that supersedes it.
   msg::Message reply;
   reply.tag = msg::kServedReply;
-  reply.header = {array_id, linear};
+  reply.header = {array_id, linear, /*miss=*/0, lookahead ? 1 : 0};
   reply.block = std::move(block);
   shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
 }
@@ -607,28 +659,33 @@ void IoServer::send_miss_reply(int reply_rank, int array_id,
   // demand request will follow if the program really reads the block.
   msg::Message reply;
   reply.tag = msg::kServedReply;
-  reply.header = {array_id, linear, /*miss=*/1};
+  reply.header = {array_id, linear, /*miss=*/1, /*lookahead=*/1};
   shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
 }
 
 void IoServer::read_job(BlockId id, DiskStore* store, std::int64_t linear,
                         const ServerComputeFn* generate, BlockShape shape,
                         std::array<long, blas::kMaxRank> first,
-                        std::string array_name) {
+                        std::string array_name, std::uint64_t version) {
   Completion done;
   done.id = id;
+  done.version = version;
   std::string error;
   try {
-    auto block = std::make_shared<Block>(shape);
+    // Allocate only once a disk read or generation is certain: coalesced
+    // write-behind hits and look-ahead misses must not pay a max-block
+    // heap allocation on the disk threads.
     if (BlockPtr pending = write_behind_.lookup(id.array_id, linear)) {
       // Enqueued for write after the miss was detected; serve the queued
       // version directly.
       done.block = std::move(pending);
     } else if (store->has(linear)) {
+      auto block = std::make_shared<Block>(shape);
       store->read(linear, block->data().data(), block->size());
       done.from_disk = true;
       done.block = std::move(block);
     } else if (generate != nullptr) {
+      auto block = std::make_shared<Block>(shape);
       (*generate)(*block, {first.data(), static_cast<std::size_t>(id.rank)});
       done.computed = true;
       done.block = std::move(block);
@@ -654,7 +711,8 @@ void IoServer::read_job(BlockId id, DiskStore* store, std::int64_t linear,
   try {
     for (const Waiter& waiter : waiters) {
       if (done.block) {
-        send_reply(waiter.reply_rank, id.array_id, linear, done.block);
+        send_reply(waiter.reply_rank, id.array_id, linear, done.block,
+                   waiter.lookahead);
       } else if (waiter.lookahead) {
         send_miss_reply(waiter.reply_rank, id.array_id, linear);
       } else {
@@ -674,6 +732,11 @@ void IoServer::read_job(BlockId id, DiskStore* store, std::int64_t linear,
   }
 }
 
+std::uint64_t IoServer::version_of(const BlockId& id) const {
+  auto it = prepare_versions_.find(id);
+  return it == prepare_versions_.end() ? 0 : it->second;
+}
+
 void IoServer::drain_completions() {
   std::deque<Completion> done;
   {
@@ -683,7 +746,14 @@ void IoServer::drain_completions() {
   for (Completion& completion : done) {
     if (completion.from_disk) ++stats_.disk_reads;
     if (completion.computed) ++stats_.computed;
-    if (completion.block) {
+    // Install only if no prepare landed while the read was in flight and
+    // the cache has no newer entry: a stale clean disk image put over a
+    // freshly prepared dirty block would drop the dirty flag and lose the
+    // update at the next barrier (BlockCache::put replaces without
+    // calling the victim handler).
+    if (completion.block &&
+        completion.version == version_of(completion.id) &&
+        !cache_.contains(completion.id)) {
       cache_.put(completion.id, std::move(completion.block),
                  /*dirty=*/false);
     }
@@ -706,7 +776,7 @@ void IoServer::handle_request(const msg::Message& message) {
 
   if (BlockPtr block = cache_.get(id)) {
     ++stats_.cache_hits;
-    send_reply(reply_rank, array_id, linear, std::move(block));
+    send_reply(reply_rank, array_id, linear, std::move(block), lookahead);
     return;
   }
 
@@ -750,8 +820,9 @@ void IoServer::handle_request(const msg::Message& message) {
     disk_pool_->submit(
         {array_id, linear},
         [this, id, store, linear, generate, shape, first,
-         name = array.name] {
-          read_job(id, store, linear, generate, shape, first, name);
+         name = array.name, version = version_of(id)] {
+          read_job(id, store, linear, generate, shape, first, name,
+                   version);
         },
         /*low_priority=*/lookahead);
     return;
@@ -787,7 +858,7 @@ void IoServer::handle_request(const msg::Message& message) {
     }
   }
   cache_.put(id, block, /*dirty=*/false);
-  send_reply(reply_rank, array_id, linear, std::move(block));
+  send_reply(reply_rank, array_id, linear, std::move(block), lookahead);
 }
 
 void IoServer::handle_delete(const msg::Message& message) {
@@ -808,6 +879,11 @@ void IoServer::handle_delete(const msg::Message& message) {
     it = it->first.array_id == array_id ? write_records_.erase(it)
                                         : std::next(it);
   }
+  for (auto it = prepare_versions_.begin();
+       it != prepare_versions_.end();) {
+    it = it->first.array_id == array_id ? prepare_versions_.erase(it)
+                                        : std::next(it);
+  }
 }
 
 void IoServer::flush() {
@@ -822,6 +898,10 @@ void IoServer::flush() {
 
 void IoServer::handle_barrier(const msg::Message& message) {
   flush();
+  // flush() drained the disk pool and absorbed every completion, so no
+  // in-flight read still carries a version stamp; reset the counters to
+  // keep the table bounded by the blocks prepared per epoch.
+  prepare_versions_.clear();
   ++epoch_;
   msg::Message ack;
   ack.tag = msg::kServerBarrierAck;

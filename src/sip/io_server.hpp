@@ -123,14 +123,18 @@ class DiskStore {
 // written blocks other lanes from picking up its successor).
 class WriteBehind {
  public:
+  using Key = std::pair<int, std::int64_t>;  // (array_id, linear)
+  // Called (off the caller's thread) with the first disk failure seen by
+  // any lane, e.g. to abort the run promptly. drain() also rethrows it.
+  using ErrorHandler = std::function<void(const std::string&)>;
+
   // `batched == false` reproduces the legacy retirement policy (the
   // pre-pipeline engine): one block and one presence-map pwrite per
   // write. It is selected when server_disk_threads == 0 so the serial
   // configuration stays an honest baseline for the pipelined one.
-  explicit WriteBehind(int lanes = 1, bool batched = true);
+  explicit WriteBehind(int lanes = 1, bool batched = true,
+                       ErrorHandler on_error = nullptr);
   ~WriteBehind();
-
-  using Key = std::pair<int, std::int64_t>;  // (array_id, linear)
 
   void enqueue(DiskStore* store, int array_id, std::int64_t linear,
                BlockPtr block);
@@ -141,6 +145,9 @@ class WriteBehind {
   // by a late queued write.
   void cancel_array(int array_id);
   // Blocks until the queue is empty and all in-flight writes finished.
+  // Throws RuntimeError if any lane hit a disk error (short write, full
+  // filesystem): an exception escaping a lane thread would terminate the
+  // process, so lanes record the failure here instead.
   void drain();
   std::int64_t writes() const;
   std::int64_t batches() const;
@@ -166,6 +173,8 @@ class WriteBehind {
   std::map<Key, BlockPtr> pending_;
   std::vector<Key> in_flight_keys_;
   std::size_t max_batch_;
+  ErrorHandler on_error_;
+  std::string error_;  // first disk failure from any lane
   bool paused_ = false;
   bool stop_ = false;
   std::int64_t writes_ = 0;
@@ -250,17 +259,23 @@ class IoServer {
   // plain stored one). Resolved lazily from the config.
   const ServerComputeFn* generator_for(int array_id);
 
+  // `lookahead` is echoed in the reply header so the client can tell
+  // which of its requests (speculative or demand) is being answered.
   void send_reply(int reply_rank, int array_id, std::int64_t linear,
-                  BlockPtr block);
+                  BlockPtr block, bool lookahead);
   void send_miss_reply(int reply_rank, int array_id, std::int64_t linear);
   // Runs on a DiskPool thread: read (or generate) the block, reply to
-  // every waiter, queue a completion for the cache warm.
+  // every waiter, queue a completion for the cache warm. `version` is the
+  // prepare version observed when the job was submitted; a completion
+  // whose version is stale (a prepare landed while the read was in
+  // flight) must not be installed over the newer data.
   void read_job(BlockId id, DiskStore* store, std::int64_t linear,
                 const ServerComputeFn* generate, BlockShape shape,
                 std::array<long, blas::kMaxRank> first,
-                std::string array_name);
+                std::string array_name, std::uint64_t version);
   // Main loop: absorb finished reads into the cache and the stats.
   void drain_completions();
+  std::uint64_t version_of(const BlockId& id) const;
 
   struct WriteRecord {
     std::int64_t epoch = -1;
@@ -286,6 +301,7 @@ class IoServer {
   struct Completion {
     BlockId id;
     BlockPtr block;  // null if the block does not exist (look-ahead miss)
+    std::uint64_t version = 0;  // prepare version at job submission
     bool from_disk = false;
     bool computed = false;
   };
@@ -298,6 +314,11 @@ class IoServer {
   BlockCache cache_;
   std::unordered_map<int, GeneratorSlot> generators_;
   std::unordered_map<BlockId, WriteRecord, BlockIdHash> write_records_;
+  // Per-block prepare counter (server thread only; cleared per barrier).
+  // Read completions are stamped with the version seen at submission and
+  // dropped if a prepare bumped it meanwhile — otherwise a stale clean
+  // disk image would silently replace the freshly prepared dirty block.
+  std::unordered_map<BlockId, std::uint64_t, BlockIdHash> prepare_versions_;
   std::int64_t epoch_ = 0;
   Stats stats_;
 

@@ -188,6 +188,8 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
     result.profile.served.client_requests_cached += served.requests_cached;
     result.profile.served.client_lookahead_issued += served.lookahead_issued;
     result.profile.served.client_lookahead_misses += served.lookahead_misses;
+    result.profile.served.client_lookahead_promoted +=
+        served.lookahead_promoted;
     const BlockCache::Stats cache = worker->dist().cache_stats();
     result.workers.cache_hits += cache.hits;
     result.workers.cache_misses += cache.misses;

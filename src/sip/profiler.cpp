@@ -32,7 +32,8 @@ std::string ProfileReport::to_string() const {
         << " requests (" << served.client_requests_cached
         << " served from worker cache), look-ahead "
         << served.client_lookahead_issued << " issued / "
-        << served.client_lookahead_misses << " missed\n";
+        << served.client_lookahead_misses << " missed / "
+        << served.client_lookahead_promoted << " promoted\n";
     out << "  servers: " << served.server_requests << " demand + "
         << served.server_lookahead_requests << " look-ahead requests, "
         << served.server_cache_hits << " cache hits, "

@@ -139,6 +139,9 @@ struct ProfileReport {
     std::int64_t client_requests_cached = 0;
     std::int64_t client_lookahead_issued = 0;
     std::int64_t client_lookahead_misses = 0;
+    // Demand requests sent while a look-ahead for the same block was
+    // still in flight (promotes the server's queued read-ahead job).
+    std::int64_t client_lookahead_promoted = 0;
     // Server (IoServer::Stats, summed over I/O servers).
     std::int64_t server_requests = 0;
     std::int64_t server_lookahead_requests = 0;

@@ -41,9 +41,23 @@ void ServedArrayClient::issue_request(const BlockId& id) {
   // A shadowed prepare+= must reach the server before the request so the
   // reply reflects it (same src-dst FIFO preserves the order).
   if (coalesce_.count(id) > 0) flush_coalesced_block(id);
-  if (cache_.contains(id) || pending_.count(id) > 0) return;
+  if (cache_.contains(id)) return;
+  auto it = pending_.find(id);
+  if (it != pending_.end() && it->second.demand_inflight) return;
   ++stats_.requests_issued;
-  pending_.emplace(id, epoch_);
+  if (it == pending_.end()) {
+    Pending entry;
+    entry.epoch = epoch_;
+    entry.demand_inflight = true;
+    pending_.emplace(id, entry);
+  } else {
+    // Only a look-ahead is in flight: send the demand request anyway. It
+    // coalesces onto the server's in-flight read and promotes the queued
+    // read-ahead job, so this worker is not stuck behind every other
+    // demand read; whichever reply lands first is adopted.
+    ++stats_.lookahead_promoted;
+    it->second.demand_inflight = true;
+  }
   msg::Message request;
   request.tag = msg::kServedRequest;
   request.header = {id.array_id, linear_of(id), my_rank_};
@@ -58,7 +72,10 @@ void ServedArrayClient::issue_lookahead(const BlockId& id) {
   if (coalesce_.count(id) > 0) return;
   if (cache_.contains(id) || pending_.count(id) > 0) return;
   ++stats_.lookahead_issued;
-  pending_.emplace(id, epoch_);
+  Pending entry;
+  entry.epoch = epoch_;
+  entry.lookahead_inflight = true;
+  pending_.emplace(id, entry);
   msg::Message request;
   request.tag = msg::kServedRequest;
   request.header = {id.array_id, linear_of(id), my_rank_, /*lookahead=*/1};
@@ -80,6 +97,16 @@ void ServedArrayClient::send_prepare_message(const BlockId& id,
                                              BlockPtr exclusive_data,
                                              bool accumulate) {
   ++stats_.prepares;
+  // Our cached copy and any speculative reply still in flight pre-date
+  // this prepare: drop the one and mark the other stale, so a later
+  // demand read of the same block in this epoch cannot return data that
+  // misses the write (the demand request re-fetches post-prepare state;
+  // client->server FIFO guarantees the server sees the prepare first).
+  cache_.erase(id);
+  auto it = pending_.find(id);
+  if (it != pending_.end() && it->second.lookahead_inflight) {
+    it->second.lookahead_stale = true;
+  }
   msg::Message message;
   message.tag = accumulate ? msg::kServedPrepareAcc : msg::kServedPrepare;
   message.header = {id.array_id, linear_of(id), my_rank_};
@@ -142,26 +169,47 @@ void ServedArrayClient::handle_reply(msg::Message& message) {
   const sial::ResolvedArray& array = shared_.program->array(array_id);
   const BlockId id =
       BlockId::from_linear(array_id, message.header[1], array.num_segments);
+  const bool miss = message.header.size() > 2 && message.header[2] != 0;
+  const bool lookahead =
+      message.header.size() > 3 && message.header[3] != 0;
   auto it = pending_.find(id);
-  if (it == pending_.end() || it->second != epoch_) {
+  if (it == pending_.end() || it->second.epoch != epoch_) {
+    // Stray reply: from a previous epoch, or the second of a promoted
+    // look-ahead/demand pair after the first one was already adopted.
     ++stats_.replies_dropped;
     if (it != pending_.end()) pending_.erase(it);
     return;
   }
-  pending_.erase(it);
-  if (message.header.size() > 2 && message.header[2] != 0) {
-    // Look-ahead miss: the block does not exist on the server (yet).
-    // Forget the speculative request; a later demand request re-asks and
-    // fails the run only if the program really reads an absent block.
-    ++stats_.lookahead_misses;
-    return;
+  Pending& entry = it->second;
+  if (lookahead) {
+    entry.lookahead_inflight = false;
+    if (entry.lookahead_stale) {
+      // The speculative fetch pre-dates one of our own prepares; its
+      // payload misses that write. Discard it — the demand request
+      // issued after the prepare re-fetches the post-prepare state.
+      entry.lookahead_stale = false;
+      ++stats_.replies_dropped;
+      if (!entry.demand_inflight) pending_.erase(it);
+      return;
+    }
+    if (miss) {
+      // Look-ahead miss: the block does not exist on the server (yet).
+      // Forget the speculative request; a demand request re-asks and
+      // fails the run only if the program really reads an absent block.
+      ++stats_.lookahead_misses;
+      if (!entry.demand_inflight) pending_.erase(it);
+      return;
+    }
   }
   SIA_CHECK(message.block != nullptr, "served reply without block payload");
   if (message.block->size() != shape_of(id).element_count()) {
     throw RuntimeError("served reply shape mismatch for " + id.to_string());
   }
   // Adopt the server's shared payload — no allocation, no unpack copy.
+  // This resolves the whole fetch, even if a promoted demand request is
+  // still in flight; its reply arrives as a stray and is dropped.
   cache_.put(id, std::move(message.block));
+  pending_.erase(it);
 }
 
 }  // namespace sia::sip

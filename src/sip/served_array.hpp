@@ -27,6 +27,7 @@ class ServedArrayClient {
     std::int64_t requests_cached = 0;
     std::int64_t lookahead_issued = 0;   // speculative requests sent
     std::int64_t lookahead_misses = 0;   // server had no such block (yet)
+    std::int64_t lookahead_promoted = 0; // demand sent while one in flight
     std::int64_t prepares = 0;           // prepare messages actually sent
     std::int64_t prepares_coalesced = 0; // merged into the shadow table
     std::int64_t coalesce_flushes = 0;   // shadow entries sent out
@@ -37,7 +38,12 @@ class ServedArrayClient {
                     std::size_t cache_capacity_doubles,
                     bool coalesce_puts = false);
 
-  // SIAL `request`: async fetch unless cached or in flight.
+  // SIAL `request`: async fetch unless cached or a demand fetch is
+  // already in flight. If only a look-ahead is in flight, a demand
+  // request is sent anyway: it coalesces onto the server's in-flight
+  // read table and promotes the queued read-ahead job to demand
+  // priority, instead of leaving the worker blocked behind every other
+  // rank's demand traffic.
   void issue_request(const BlockId& id);
   // Speculative fetch for a future loop iteration. Like issue_request but
   // flagged look-ahead: the server queues it behind demand reads and
@@ -74,11 +80,24 @@ class ServedArrayClient {
   void send_prepare_message(const BlockId& id, BlockPtr exclusive_data,
                             bool accumulate);
 
+  // One in-flight fetch of a block. A look-ahead and a demand request
+  // may be outstanding at once (look-ahead promotion); `lookahead_stale`
+  // marks a speculative reply pre-dating one of our own prepares, which
+  // must be discarded — the server replies tagged with the request kind
+  // so the stale speculative reply cannot be confused with the demand
+  // reply that supersedes it.
+  struct Pending {
+    std::int64_t epoch = 0;
+    bool demand_inflight = false;
+    bool lookahead_inflight = false;
+    bool lookahead_stale = false;
+  };
+
   SipShared& shared_;
   int my_rank_;
   BlockPool& pool_;
   BlockCache cache_;
-  std::unordered_map<BlockId, std::int64_t, BlockIdHash> pending_;
+  std::unordered_map<BlockId, Pending, BlockIdHash> pending_;
   // Write-combining shadow table of exclusively owned prepare+= payloads.
   std::unordered_map<BlockId, BlockPtr, BlockIdHash> coalesce_;
   bool coalesce_enabled_ = false;

@@ -12,11 +12,15 @@
 #include <mutex>
 #include <thread>
 
+#include "block/block_pool.hpp"
 #include "chem/integrals.hpp"
 #include "chem/programs.hpp"
 #include "common/error.hpp"
+#include "msg/tags.hpp"
+#include "sial/compiler.hpp"
 #include "sip/io_server.hpp"
 #include "sip/launch.hpp"
+#include "sip/served_array.hpp"
 
 namespace sia::sip {
 namespace {
@@ -274,6 +278,21 @@ TEST_F(DiskStoreTest, LegacyWriterRetiresOneBlockPerBatch) {
   EXPECT_EQ(store.map_flushes(), 8);
 }
 
+TEST_F(DiskStoreTest, WriteBehindSurfacesWriteErrorsInsteadOfTerminating) {
+  // A disk failure on a lane thread (here: a block exceeding its slot,
+  // standing in for ENOSPC/short writes) must not escape the thread body
+  // — that would std::terminate the process. It is reported through the
+  // error handler and rethrown from drain().
+  DiskStore store(dir_, "wb", 4, 8);
+  std::string reported;
+  WriteBehind writer(/*lanes=*/1, /*batched=*/true,
+                     [&](const std::string& error) { reported = error; });
+  writer.enqueue(&store, 0, 1, block_of(9.0, /*count=*/8));
+  EXPECT_THROW(writer.drain(), RuntimeError);
+  EXPECT_FALSE(reported.empty());
+  EXPECT_FALSE(store.has(1));
+}
+
 TEST_F(DiskStoreTest, CancelArrayDropsQueuedWrites) {
   // Regression for the kServedDelete bug: deleting an array must cancel
   // its queued write-behind entries, or a late write resurrects deleted
@@ -440,6 +459,177 @@ TEST(ServedPipelineTest, ThreadedStressMatchesSerialBitExact) {
   EXPECT_GT(threaded.profile.served.server_lookahead_requests, 0);
   EXPECT_GT(threaded.profile.served.server_disk_reads, 0);
   EXPECT_GT(threaded.profile.served.write_batches, 0);
+}
+
+// ---------------------------------------------------------------------
+// Lost-update and stale-speculation regressions: a prepare racing with an
+// in-flight read of the same block must win on both ends of the protocol.
+
+// Shared fixture bits: a one-block served array program and a fabric of
+// {master=0, worker=1, server=2}.
+struct ServedProtocolHarness {
+  explicit ServedProtocolHarness(SipConfig base, const std::string& dir,
+                                 const std::string& array_name) {
+    config = std::move(base);
+    config.workers = 1;
+    config.io_servers = 1;
+    config.default_segment = 4;
+    config.constants = {{"n", 4}};
+    program = std::make_unique<sial::ResolvedProgram>(
+        sial::compile_sial("sial test\nmoindex i = 1, n\nserved " +
+                           array_name + "(i)\nendsial\n"),
+        config);
+    fabric = std::make_unique<msg::Fabric>(3);
+    shared.program = program.get();
+    shared.fabric = fabric.get();
+    shared.config = config;
+    shared.scratch_dir = dir;
+    for (std::size_t i = 0; i < program->arrays().size(); ++i) {
+      if (program->arrays()[i].name == array_name) {
+        array_id = static_cast<int>(i);
+      }
+    }
+    id = BlockId(array_id, std::vector<int>{1});
+    linear = id.linearize(program->array(array_id).num_segments);
+  }
+
+  SipConfig config;
+  std::unique_ptr<sial::ResolvedProgram> program;
+  std::unique_ptr<msg::Fabric> fabric;
+  SipShared shared;
+  int array_id = -1;
+  BlockId id;
+  std::int64_t linear = 0;
+};
+
+TEST_F(DiskStoreTest, PrepareDuringInflightReadIsNotLost) {
+  // A speculative read of block B is in flight (a deliberately slow
+  // generation) when a prepare of B lands. The prepared dirty block must
+  // survive: the stale completion may neither clobber it in the cache
+  // (losing the dirty flag and thus the write at the barrier) nor feed
+  // later demand reads.
+  ServerComputeRegistry::global().register_generator(
+      "slow_seven_fill", [](Block& block, std::span<const long>) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        for (double& v : block.data()) v = 7.0;
+      });
+  SipConfig base;
+  base.server_disk_threads = 2;
+  base.computed_served["V"] = "slow_seven_fill";
+  ServedProtocolHarness hx(base, dir_, "V");
+  IoServer server(hx.shared, /*my_rank=*/2);
+  std::thread server_thread([&] { server.run(); });
+  const auto send = [&](msg::Message m) {
+    hx.fabric->send(1, 2, std::move(m));
+  };
+
+  // Look-ahead request: becomes the slow in-flight generation job.
+  {
+    msg::Message m;
+    m.tag = msg::kServedRequest;
+    m.header = {hx.array_id, hx.linear, /*reply_rank=*/1, /*lookahead=*/1};
+    send(std::move(m));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Prepare of the same block while the read is (normally) in flight.
+  {
+    msg::Message m;
+    m.tag = msg::kServedPrepare;
+    m.header = {hx.array_id, hx.linear, /*writer=*/1};
+    m.block = block_of(5.0);
+    send(std::move(m));
+  }
+  // The speculative reply arrives either way (answered from the fresh
+  // prepare, or — if the generation won the race — from its result).
+  std::optional<msg::Message> speculative = hx.fabric->recv_for(1, 5000);
+  ASSERT_TRUE(speculative.has_value());
+  ASSERT_GE(speculative->header.size(), 4u);
+  EXPECT_EQ(speculative->header[3], 1);  // tagged as look-ahead reply
+  // Barrier: waits out the generation job and flushes dirty blocks.
+  {
+    msg::Message m;
+    m.tag = msg::kServerBarrierEnter;
+    m.header = {0};
+    send(std::move(m));
+  }
+  ASSERT_TRUE(hx.fabric->recv_for(0, 5000).has_value());  // master ack
+  // Demand read in the next epoch must see the prepared data, from the
+  // cache or from disk — not the stale generated block.
+  {
+    msg::Message m;
+    m.tag = msg::kServedRequest;
+    m.header = {hx.array_id, hx.linear, /*reply_rank=*/1};
+    send(std::move(m));
+  }
+  std::optional<msg::Message> reply = hx.fabric->recv_for(1, 5000);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_NE(reply->block, nullptr);
+  for (const double v : reply->block->data()) EXPECT_EQ(v, 5.0);
+  {
+    msg::Message m;
+    m.tag = msg::kShutdown;
+    send(std::move(m));
+  }
+  server_thread.join();
+  EXPECT_TRUE(hx.shared.first_error.empty()) << hx.shared.first_error;
+}
+
+TEST_F(DiskStoreTest, ClientPrepareInvalidatesPendingLookahead) {
+  // prepare-then-request of the same block in one epoch, with a
+  // look-ahead already in flight: the request must not be absorbed by
+  // the pending speculation (whose reply pre-dates the prepare). The
+  // client re-issues a demand request and discards the stale speculative
+  // reply — in either arrival order.
+  for (const bool stale_reply_first : {true, false}) {
+    ServedProtocolHarness hx(SipConfig{}, dir_, "S");
+    BlockPool pool;
+    ServedArrayClient client(hx.shared, /*my_rank=*/1, pool,
+                             /*cache_capacity_doubles=*/1 << 16);
+
+    client.issue_lookahead(hx.id);
+    std::optional<msg::Message> la_req = hx.fabric->recv_for(2, 1000);
+    ASSERT_TRUE(la_req.has_value());
+    EXPECT_EQ(la_req->tag, msg::kServedRequest);
+    ASSERT_EQ(la_req->header.size(), 4u);
+    EXPECT_EQ(la_req->header[3], 1);
+
+    // The prepare supersedes whatever the speculation will return.
+    client.prepare(hx.id, block_of(2.0), /*accumulate=*/false);
+    ASSERT_TRUE(hx.fabric->recv_for(2, 1000).has_value());  // prepare msg
+
+    // The demand read is NOT suppressed by the pending look-ahead: a
+    // demand request goes out (server-side it promotes the queued job).
+    client.issue_request(hx.id);
+    std::optional<msg::Message> demand_req = hx.fabric->recv_for(2, 1000);
+    ASSERT_TRUE(demand_req.has_value());
+    EXPECT_EQ(demand_req->tag, msg::kServedRequest);
+    EXPECT_EQ(client.stats().lookahead_promoted, 1);
+
+    // Server's two replies: the stale speculative one (pre-prepare data)
+    // and the fresh demand one. Deliver in both orders; the client must
+    // end up with the post-prepare data either way.
+    msg::Message stale;
+    stale.tag = msg::kServedReply;
+    stale.header = {hx.array_id, hx.linear, /*miss=*/0, /*lookahead=*/1};
+    stale.block = block_of(1.0);
+    msg::Message fresh;
+    fresh.tag = msg::kServedReply;
+    fresh.header = {hx.array_id, hx.linear, /*miss=*/0, /*lookahead=*/0};
+    fresh.block = block_of(2.0);
+    if (stale_reply_first) {
+      client.handle_reply(stale);
+      client.handle_reply(fresh);
+    } else {
+      client.handle_reply(fresh);
+      client.handle_reply(stale);
+    }
+    BlockPtr got = client.try_read(hx.id);
+    ASSERT_NE(got, nullptr) << "stale_reply_first=" << stale_reply_first;
+    EXPECT_EQ(got->data()[0], 2.0)
+        << "demand read missed its own prepare (stale_reply_first="
+        << stale_reply_first << ")";
+    EXPECT_FALSE(client.pending(hx.id));
+  }
 }
 
 }  // namespace
