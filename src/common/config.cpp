@@ -1,8 +1,143 @@
 #include "common/config.hpp"
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "common/error.hpp"
 
 namespace sia {
+
+namespace {
+
+// Splits "a=1,b=2" into {"a=1","b=2"}; empty tokens are rejected later.
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      break;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+double parse_probability(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(value, &used);
+  } catch (const std::exception&) {
+    throw Error("FaultPlan: bad value for '" + key + "': '" + value + "'");
+  }
+  if (used != value.size() || p < 0.0 || p > 1.0) {
+    throw Error("FaultPlan: '" + key + "' must be a probability in [0,1], got '" +
+                value + "'");
+  }
+  return p;
+}
+
+long parse_long(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  long v = 0;
+  try {
+    v = std::stol(value, &used);
+  } catch (const std::exception&) {
+    throw Error("FaultPlan: bad value for '" + key + "': '" + value + "'");
+  }
+  if (used != value.size()) {
+    throw Error("FaultPlan: bad value for '" + key + "': '" + value + "'");
+  }
+  return v;
+}
+
+// Parses "X@msg:N" / "X@op:N" suffixes: returns {head, N} where N defaults
+// to `default_at` when no @-suffix is present.
+std::pair<std::string, long> parse_at(const std::string& key,
+                                      const std::string& value,
+                                      const std::string& marker,
+                                      long default_at) {
+  const std::size_t at = value.find('@');
+  if (at == std::string::npos) return {value, default_at};
+  const std::string suffix = value.substr(at + 1);
+  if (suffix.rfind(marker, 0) != 0) {
+    throw Error("FaultPlan: '" + key + "' expects '@" + marker +
+                "N' suffix, got '" + value + "'");
+  }
+  return {value.substr(0, at),
+          parse_long(key, suffix.substr(marker.size()))};
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  if (text.empty()) return plan;
+  for (const std::string& token : split(text, ',')) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw Error("FaultPlan: expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "drop") {
+      plan.drop = parse_probability(key, value);
+    } else if (key == "dup") {
+      plan.dup = parse_probability(key, value);
+    } else if (key == "reorder") {
+      plan.reorder = parse_probability(key, value);
+    } else if (key == "delay_ms") {
+      plan.delay_ms = static_cast<int>(parse_long(key, value));
+    } else if (key == "delay_jitter_ms") {
+      plan.delay_jitter_ms = static_cast<int>(parse_long(key, value));
+    } else if (key == "kill_rank") {
+      auto [rank, at] = parse_at(key, value, "msg:", 1);
+      plan.kill_rank = static_cast<int>(parse_long(key, rank));
+      plan.kill_at_msg = at;
+    } else if (key == "disk") {
+      auto [kind, at] = parse_at(key, value, "op:", 1);
+      if (kind == "eio") {
+        plan.disk_fault = 1;
+      } else if (kind == "enospc") {
+        plan.disk_fault = 2;
+      } else if (kind == "short") {
+        plan.disk_fault = 3;
+      } else {
+        throw Error("FaultPlan: unknown disk fault '" + kind +
+                    "' (want eio|enospc|short)");
+      }
+      plan.disk_fault_at_op = at;
+    } else if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(parse_long(key, value));
+    } else {
+      throw Error("FaultPlan: unknown key '" + key + "'");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* text = std::getenv("SIA_FAULT_PLAN");
+  if (text == nullptr) return FaultPlan{};
+  return parse(text);
+}
+
+void FaultPlan::validate() const {
+  if (delay_ms < 0 || delay_jitter_ms < 0) {
+    throw Error("FaultPlan: delays must be >= 0");
+  }
+  if (kill_rank >= 0 && kill_at_msg < 1) {
+    throw Error("FaultPlan: kill_rank needs @msg:N with N >= 1");
+  }
+  if (disk_fault != 0 && disk_fault_at_op < 1) {
+    throw Error("FaultPlan: disk fault needs @op:N with N >= 1");
+  }
+}
 
 void SipConfig::validate() const {
   if (workers < 1) throw Error("SipConfig: need at least one worker");
@@ -23,6 +158,20 @@ void SipConfig::validate() const {
   }
   if (chunk_divisor < 1) throw Error("SipConfig: chunk_divisor must be >= 1");
   if (min_chunk < 1) throw Error("SipConfig: min_chunk must be >= 1");
+  fault_plan.validate();
+  if (retry_timeout_ms < 1) {
+    throw Error("SipConfig: retry_timeout_ms must be >= 1");
+  }
+  if (retry_max < 1) throw Error("SipConfig: retry_max must be >= 1");
+  if (heartbeat_misses < 1) {
+    throw Error("SipConfig: heartbeat_misses must be >= 1");
+  }
+  if (fault_plan.kill_rank >= total_ranks()) {
+    throw Error("FaultPlan: kill_rank out of range for this launch");
+  }
+  if (fault_plan.kill_rank == master_rank()) {
+    throw Error("FaultPlan: cannot kill the master rank");
+  }
 }
 
 int SipConfig::segment_for(const std::string& index_type) const {

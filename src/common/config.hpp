@@ -13,6 +13,46 @@
 
 namespace sia {
 
+// Deterministic fault-injection plan. Every fault the ChaosFabric and the
+// DiskStore inject is a pure function of {seed, plan, message/op index},
+// so a failing chaos run replays exactly from its plan string.
+//
+// Parse format (also accepted from the SIA_FAULT_PLAN environment
+// variable): comma-separated key=value pairs, e.g.
+//   drop=0.01,delay_ms=5,dup=0.01,kill_rank=5@msg:200,disk=eio@op:40,seed=42
+// Keys: drop / dup / reorder (probabilities in [0,1]), delay_ms /
+// delay_jitter_ms (fixed + uniform-random extra delay), kill_rank=R@msg:N
+// (rank R goes dark at its Nth sent message), disk=eio|enospc|short@op:N
+// (the Nth tracked DiskStore operation fails), seed (RNG seed).
+struct FaultPlan {
+  double drop = 0.0;     // P(drop) per protected data-plane message
+  double dup = 0.0;      // P(duplicate)
+  double reorder = 0.0;  // P(reorder within tag) — applied as a small delay
+  int delay_ms = 0;          // fixed delivery delay for every message
+  int delay_jitter_ms = 0;   // extra uniform-random delay in [0, jitter]
+  int kill_rank = -1;        // rank to kill (-1: none)
+  long kill_at_msg = 0;      // ...at its Nth counted message
+  // Disk fault: 0 none, 1 EIO, 2 ENOSPC, 3 short write.
+  int disk_fault = 0;
+  long disk_fault_at_op = 0;  // ...at the Nth tracked DiskStore operation
+  std::uint64_t seed = 1;
+
+  // True when any fault is configured; gates the reliable protocol and
+  // the ChaosFabric decorator on.
+  bool active() const {
+    return drop > 0.0 || dup > 0.0 || reorder > 0.0 || delay_ms > 0 ||
+           delay_jitter_ms > 0 || kill_rank >= 0 || disk_fault != 0;
+  }
+
+  // Parses the plan string above; throws Error with the offending token
+  // on malformed input. Empty string -> empty plan.
+  static FaultPlan parse(const std::string& text);
+  // Reads SIA_FAULT_PLAN from the environment (empty plan if unset).
+  static FaultPlan from_env();
+
+  void validate() const;
+};
+
 // Configuration of a SIP launch. Defaults give a small, laptop-friendly
 // virtual machine; benchmarks and tests override fields as needed.
 struct SipConfig {
@@ -101,6 +141,48 @@ struct SipConfig {
   // Collect and keep per-instruction / per-pardo timing (cheap; on by
   // default as in the paper).
   bool profiling = true;
+
+  // ---- Fault tolerance (PR 4) ----
+
+  // Fault-injection plan; empty (inactive) by default. When active the
+  // launch wraps the fabric in a ChaosFabric and turns the reliable
+  // delivery protocol + heartbeat watchdog on.
+  FaultPlan fault_plan;
+
+  // Force the seq/ack/retry protocol on even without fault injection
+  // (e.g. to measure its overhead). Off by default: bookkeeping stays off
+  // the zero-copy fast path in fault-free runs.
+  bool reliable_protocol = false;
+
+  // Retransmit timer for unacked retryable sends, and how many retries a
+  // single message gets (exponential backoff, base retry_timeout_ms)
+  // before the sender declares the peer dead and aborts with a diagnostic.
+  int retry_timeout_ms = 200;
+  int retry_max = 10;
+
+  // Master heartbeat period in ms. 0 = auto: off in fault-free runs, on
+  // (kAutoHeartbeatMs) when fault tolerance is enabled; < 0 = always off.
+  int heartbeat_ms = 0;
+  static constexpr int kAutoHeartbeatMs = 100;
+  // Consecutive missed pings before a rank is declared dead.
+  int heartbeat_misses = 5;
+
+  // When a dead rank is an I/O server, respawn it and rebuild its state
+  // from the durable DiskStore files instead of aborting the run.
+  bool server_recovery = true;
+
+  // Effective switch for the seq/ack/dedup machinery.
+  bool fault_tolerance_enabled() const {
+    return reliable_protocol || fault_plan.active();
+  }
+  // Effective heartbeat period (ms); 0 means no heartbeat.
+  int effective_heartbeat_ms() const {
+    if (heartbeat_ms > 0) return heartbeat_ms;
+    if (heartbeat_ms == 0 && fault_tolerance_enabled()) {
+      return kAutoHeartbeatMs;
+    }
+    return 0;
+  }
 
   // Validated copy with derived values filled in; throws Error on nonsense
   // (e.g. workers < 1, segment < 1).

@@ -36,7 +36,17 @@ void Fabric::send(int src, int dst, Message message) {
   if (src < 0 || src >= ranks() || dst < 0 || dst >= ranks()) {
     throw InternalError("Fabric::send: rank out of range");
   }
-  if (stopped()) throw RuntimeError("Fabric::send after stop()");
+  if (stopped()) {
+    // Teardown path: surviving ranks' retransmit timers and reply sends
+    // keep firing after an abort stops the fabric. Count and drop.
+    boxes_[static_cast<std::size_t>(src)]->sends_after_stop.fetch_add(
+        1, std::memory_order_relaxed);
+    return;
+  }
+  deliver(src, dst, std::move(message));
+}
+
+void Fabric::deliver(int src, int dst, Message message) {
   message.src = src;
 
   Mailbox& sender = *boxes_[static_cast<std::size_t>(src)];
@@ -152,6 +162,8 @@ TrafficStats Fabric::stats(int rank) const {
       box.zero_copy_messages.load(std::memory_order_relaxed);
   stats.zero_copy_doubles =
       box.zero_copy_doubles.load(std::memory_order_relaxed);
+  stats.sends_after_stop =
+      box.sends_after_stop.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -164,6 +176,7 @@ TrafficStats Fabric::total_stats() const {
     total.header_words_sent += s.header_words_sent;
     total.zero_copy_messages += s.zero_copy_messages;
     total.zero_copy_doubles += s.zero_copy_doubles;
+    total.sends_after_stop += s.sends_after_stop;
   }
   return total;
 }

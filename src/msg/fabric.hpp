@@ -47,48 +47,68 @@ struct TrafficStats {
   // were never copied (once at pack time and once at unpack time each).
   std::int64_t zero_copy_messages = 0;
   std::int64_t zero_copy_doubles = 0;
+  // Sends attempted after stop(): counted no-ops, not errors. During a
+  // fault-triggered teardown surviving ranks' retransmit timers keep
+  // firing; turning each into an exception would make shutdown an
+  // exception storm.
+  std::int64_t sends_after_stop = 0;
 };
 
 class Fabric {
  public:
   explicit Fabric(int ranks);
-  ~Fabric();
+  virtual ~Fabric();
 
   int ranks() const { return static_cast<int>(boxes_.size()); }
 
   // Asynchronous buffered send; never blocks. `src` is stamped into the
-  // message. Sending to a stopped fabric or out-of-range rank throws.
-  void send(int src, int dst, Message message);
+  // message. Sending to an out-of-range rank throws; sending on a stopped
+  // fabric is a counted no-op (TrafficStats::sends_after_stop).
+  virtual void send(int src, int dst, Message message);
 
   // Non-blocking receive of the oldest pending message, any tag.
-  std::optional<Message> try_recv(int rank);
+  virtual std::optional<Message> try_recv(int rank);
 
   // Non-blocking receive of the oldest pending message with `tag`,
   // skipping (and preserving order of) other messages. O(1).
-  std::optional<Message> try_recv_tag(int rank, int tag);
+  virtual std::optional<Message> try_recv_tag(int rank, int tag);
 
   // True if any message is pending for `rank`.
-  bool has_message(int rank) const;
+  virtual bool has_message(int rank) const;
 
   // Blocking receive; waits on a condition variable. Returns nullopt only
   // if the fabric is stopped while waiting (shutdown path).
-  std::optional<Message> recv(int rank);
+  virtual std::optional<Message> recv(int rank);
 
   // Blocking receive with timeout in milliseconds; nullopt on timeout or
   // stop.
-  std::optional<Message> recv_for(int rank, int timeout_ms);
+  virtual std::optional<Message> recv_for(int rank, int timeout_ms);
 
   // Fabric-wide barrier across all ranks (sense-reversing). Every rank
   // must call it; used by the GA baseline and by tests.
   void barrier(int rank);
 
   // Wakes all blocked receivers and makes further recv calls return
-  // nullopt. Sends after stop() throw.
-  void stop();
+  // nullopt. Sends after stop() become counted no-ops.
+  virtual void stop();
   bool stopped() const { return stopped_.load(std::memory_order_acquire); }
+
+  // Fault-injection hooks; the plain fabric has no dead ranks. ChaosFabric
+  // overrides these: `killed` marks a rank whose sends/receives go dark,
+  // `revive` clears the mark after the master respawns the rank's thread.
+  virtual bool killed(int rank) const {
+    (void)rank;
+    return false;
+  }
+  virtual void revive(int rank) { (void)rank; }
 
   TrafficStats stats(int rank) const;
   TrafficStats total_stats() const;
+
+ protected:
+  // Enqueue into dst's mailbox without fault interposition; used by send()
+  // and by ChaosFabric's delayed-delivery thread.
+  void deliver(int src, int dst, Message message);
 
  private:
   struct TaggedMessage {
@@ -117,6 +137,7 @@ class Fabric {
     std::atomic<std::int64_t> header_words_sent{0};
     std::atomic<std::int64_t> zero_copy_messages{0};
     std::atomic<std::int64_t> zero_copy_doubles{0};
+    std::atomic<std::int64_t> sends_after_stop{0};
 
     // Pops the globally oldest live message. Caller holds `mutex` and
     // guarantees pending > 0.

@@ -20,6 +20,13 @@ namespace sia::msg {
 struct Message {
   int src = -1;   // sending rank; filled in by Fabric::send
   int tag = 0;    // protocol tag, see tags.hpp
+  // Reliable-protocol fields (zero when the protocol is off). `seq` is a
+  // per-(src,dst) monotonic sequence number stamped by the sending
+  // ReliableChannel on retryable data-plane messages; `ack` on a reply
+  // echoes the request's seq (the reply *is* the ack). Kept out of
+  // `header` so positional header parsing is untouched.
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
   std::vector<std::int64_t> header;
   std::vector<double> data;
   // Zero-copy block payload. Shared (aliasing) for read replies; for

@@ -1,0 +1,162 @@
+#include "msg/reliable.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "msg/tags.hpp"
+
+namespace sia::msg {
+
+// ---- ReliableChannel ----
+
+ReliableChannel::Clock::duration ReliableChannel::backoff(
+    int attempts) const {
+  // Exponential, capped at 8x base so a recovering I/O server does not
+  // leave clients parked on a far-future retry.
+  const int shift = std::min(attempts, 3);
+  return timeout_ * (1 << shift);
+}
+
+std::uint64_t ReliableChannel::track_and_send(int dst, Message msg) {
+  const std::uint64_t seq = msg.seq;
+  Entry entry;
+  entry.msg = msg;  // copy retained; BlockPtr is shared, not deep-copied
+  entry.dst = dst;
+  entry.deadline = Clock::now() + backoff(0);
+  next_deadline_ = std::min(next_deadline_, entry.deadline);
+  unacked_.emplace(std::make_pair(dst, seq), std::move(entry));
+  fabric_->send(my_rank_, dst, std::move(msg));
+  return seq;
+}
+
+std::uint64_t ReliableChannel::send_ordered(int dst, Message msg) {
+  msg.seq = ++ordered_seq_[dst];
+  return track_and_send(dst, std::move(msg));
+}
+
+std::uint64_t ReliableChannel::send_request(int dst, Message msg) {
+  msg.seq = kRequestIdBit | ++request_seq_[dst];
+  msg.ack = ordered_seq_.count(dst) ? ordered_seq_[dst] : 0;
+  return track_and_send(dst, std::move(msg));
+}
+
+void ReliableChannel::on_ack(int dst, std::uint64_t seq) {
+  unacked_.erase(std::make_pair(dst, seq));
+  if (unacked_.empty()) next_deadline_ = Clock::time_point::max();
+}
+
+void ReliableChannel::poll() {
+  if (unacked_.empty()) return;
+  const Clock::time_point now = Clock::now();
+  if (now < next_deadline_) return;
+  next_deadline_ = Clock::time_point::max();
+  for (auto& [key, entry] : unacked_) {
+    if (entry.deadline > now) {
+      next_deadline_ = std::min(next_deadline_, entry.deadline);
+      continue;
+    }
+    ++entry.attempts;
+    if (entry.attempts > retry_max_) {
+      ++stats_.acks_timed_out;
+      throw RuntimeError(
+          "reliable channel: rank " + std::to_string(entry.dst) +
+          " unresponsive (tag " + std::to_string(entry.msg.tag) + " seq " +
+          std::to_string(key.second & ~kRequestIdBit) + " unacked after " +
+          std::to_string(retry_max_) + " retransmits from rank " +
+          std::to_string(my_rank_) + ")");
+    }
+    ++stats_.retries_sent;
+    entry.deadline = now + backoff(entry.attempts);
+    next_deadline_ = std::min(next_deadline_, entry.deadline);
+    fabric_->send(my_rank_, entry.dst, entry.msg);  // copy stays tracked
+  }
+}
+
+std::vector<int> ReliableChannel::unacked_ordered_dsts() const {
+  std::vector<int> dsts;
+  for (const auto& [key, entry] : unacked_) {
+    if (key.second & kRequestIdBit) continue;
+    if (std::find(dsts.begin(), dsts.end(), key.first) == dsts.end()) {
+      dsts.push_back(key.first);
+    }
+  }
+  return dsts;
+}
+
+// ---- PeerSequencer ----
+
+bool PeerSequencer::is_applied(int src, std::uint64_t seq) const {
+  auto it = peers_.find(src);
+  if (it == peers_.end()) return false;
+  return seq < it->second.next_expected ||
+         it->second.applied_ahead.count(seq) != 0;
+}
+
+void PeerSequencer::advance(Peer& peer, Admit& out) {
+  for (;;) {
+    if (peer.applied_ahead.erase(peer.next_expected) != 0) {
+      ++peer.next_expected;
+      continue;
+    }
+    auto held = peer.held.find(peer.next_expected);
+    if (held != peer.held.end()) {
+      out.deliver.push_back(std::move(held->second));
+      peer.held.erase(held);
+      ++peer.next_expected;
+      continue;
+    }
+    break;
+  }
+  // Release requests whose ordered dependency is now below the floor.
+  // (applied_ahead entries only exist from journal replay, which happens
+  // before any traffic, so admit_after catches those directly.)
+  while (!peer.dependent.empty() &&
+         peer.dependent.begin()->first < peer.next_expected) {
+    out.deliver.push_back(std::move(peer.dependent.begin()->second));
+    peer.dependent.erase(peer.dependent.begin());
+  }
+}
+
+PeerSequencer::Admit PeerSequencer::admit_ordered(Message msg) {
+  Admit out;
+  Peer& peer = peers_[msg.src];
+  const std::uint64_t seq = msg.seq;
+  if (seq < peer.next_expected || peer.applied_ahead.count(seq) != 0 ||
+      peer.held.count(seq) != 0) {
+    ++dups_dropped_;
+    out.duplicate = true;
+    return out;
+  }
+  if (seq == peer.next_expected) {
+    out.deliver.push_back(std::move(msg));
+    ++peer.next_expected;
+    advance(peer, out);
+  } else {
+    peer.held.emplace(seq, std::move(msg));
+  }
+  return out;
+}
+
+PeerSequencer::Admit PeerSequencer::admit_after(Message msg) {
+  Admit out;
+  Peer& peer = peers_[msg.src];
+  const std::uint64_t after = msg.ack;
+  if (after == 0 || after < peer.next_expected ||
+      peer.applied_ahead.count(after) != 0) {
+    out.deliver.push_back(std::move(msg));
+  } else {
+    peer.dependent.emplace(after, std::move(msg));
+  }
+  return out;
+}
+
+void PeerSequencer::mark_applied(int src, std::uint64_t seq) {
+  Peer& peer = peers_[src];
+  if (seq < peer.next_expected) return;
+  peer.applied_ahead.insert(seq);
+  Admit scratch;
+  advance(peer, scratch);
+  // Journal replay happens before any messages arrive; nothing to deliver.
+}
+
+}  // namespace sia::msg

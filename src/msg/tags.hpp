@@ -31,6 +31,8 @@ enum Tag : int {
   kServerBarrierEnter = 305,  // worker -> server: flush, then ack
   kServerBarrierAck = 306,    // server -> master
   kServedDelete = 307,        // [array_id]
+  kServerFlushHint = 308,     // worker -> server: flush dirty so pending
+                              // prepares get durability-acked (pre-barrier)
 
   // GA baseline library.
   kGaGet = 401,
@@ -42,6 +44,11 @@ enum Tag : int {
   // Housekeeping.
   kShutdown = 901,
   kAbort = 902,  // fatal error broadcast: header = error code, data unused
+
+  // Fault-tolerance protocol (PR 4).
+  kHeartbeatPing = 903,  // master -> rank: [tick]
+  kHeartbeatAck = 904,   // rank -> master: [tick, rank]
+  kProtoAck = 905,       // standalone ack: msg.ack = applied seq
 };
 
 }  // namespace sia::msg

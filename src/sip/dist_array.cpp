@@ -74,7 +74,11 @@ void DistArrayManager::issue_get(const BlockId& id, bool implicit) {
   msg::Message request;
   request.tag = msg::kBlockGetRequest;
   request.header = {id.array_id, linear_of(id), my_rank_};
-  shared_.fabric->send(my_rank_, owner, std::move(request));
+  if (channel_ != nullptr) {
+    channel_->send_request(owner, std::move(request));
+  } else {
+    shared_.fabric->send(my_rank_, owner, std::move(request));
+  }
 }
 
 BlockPtr DistArrayManager::try_read(const BlockId& id) {
@@ -135,7 +139,14 @@ void DistArrayManager::send_put_message(const BlockId& id,
   message.tag = accumulate ? msg::kBlockPutAcc : msg::kBlockPut;
   message.header = {id.array_id, linear_of(id), my_rank_};
   message.block = std::move(exclusive_data);
-  shared_.fabric->send(my_rank_, owner, std::move(message));
+  if (channel_ != nullptr) {
+    // Tracked ordered send: retransmitted until the home worker acks,
+    // exactly-once applied via its per-peer sequencer (a duplicated or
+    // retransmitted put+= must not accumulate twice).
+    channel_->send_ordered(owner, std::move(message));
+  } else {
+    shared_.fabric->send(my_rank_, owner, std::move(message));
+  }
 }
 
 void DistArrayManager::put(const BlockId& id, BlockPtr data,
@@ -290,6 +301,7 @@ void DistArrayManager::handle_get_request(const msg::Message& message) {
     msg::Message miss;
     miss.tag = msg::kBlockGetReply;
     miss.header = {array_id, linear, /*found=*/0};
+    miss.ack = message.seq;  // the reply is the request's ack
     shared_.fabric->send(my_rank_, reply_rank, std::move(miss));
     return;
   }
@@ -309,6 +321,7 @@ void DistArrayManager::handle_get_request(const msg::Message& message) {
   msg::Message reply;
   reply.tag = msg::kBlockGetReply;
   reply.header = {array_id, linear, /*found=*/1};
+  reply.ack = message.seq;  // the reply is the request's ack
   reply.block = it->second;
   shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
 }

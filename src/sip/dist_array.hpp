@@ -31,6 +31,7 @@
 #include "block/block_id.hpp"
 #include "block/block_pool.hpp"
 #include "msg/message.hpp"
+#include "msg/reliable.hpp"
 #include "sip/shared.hpp"
 
 namespace sia::sip {
@@ -100,6 +101,11 @@ class DistArrayManager {
   void handle_put(msg::Message& message, bool accumulate);
   void handle_delete(const msg::Message& message);
 
+  // Reliable protocol: when set, puts go out as tracked ordered sends
+  // (retransmitted until the home worker acks) and gets as tracked
+  // idempotent sends (the reply is the ack). Null = plain sends.
+  void set_channel(msg::ReliableChannel* channel) { channel_ = channel; }
+
   // ------------------------------------------------------------------
   // Introspection (checkpointing, tests).
   const std::unordered_map<BlockId, BlockPtr, BlockIdHash>& home_blocks()
@@ -147,6 +153,7 @@ class DistArrayManager {
   SipShared& shared_;
   int my_rank_;
   BlockPool& pool_;
+  msg::ReliableChannel* channel_ = nullptr;
 
   std::unordered_map<BlockId, BlockPtr, BlockIdHash> home_;
   std::unordered_map<BlockId, WriteRecord, BlockIdHash> write_records_;

@@ -41,6 +41,13 @@ Interpreter::Interpreter(SipShared& shared, int worker_index)
   served_ = std::make_unique<ServedArrayClient>(shared_, my_rank_, *pool_,
                                                 cache_doubles,
                                                 shared_.config.coalesce_puts);
+  if (shared_.config.fault_tolerance_enabled()) {
+    channel_ = std::make_unique<msg::ReliableChannel>(
+        shared_.fabric, my_rank_, shared_.config.retry_timeout_ms,
+        shared_.config.retry_max);
+    dist_->set_channel(channel_.get());
+    served_->set_channel(channel_.get());
+  }
 
   // Resolve super instruction names once.
   const auto& names = program_.code().superinstructions;
@@ -55,19 +62,78 @@ Interpreter::Interpreter(SipShared& shared, int worker_index)
 // ---------------------------------------------------------------------
 // Messaging.
 
-void Interpreter::handle_message(msg::Message& message) {
+void Interpreter::dispatch_admitted(msg::Message& message) {
   switch (message.tag) {
+    case msg::kBlockPut:
+    case msg::kBlockPutAcc: {
+      // Apply, then ack with the applied seq. Home blocks are in-memory
+      // state that dies with the run, so unlike a served prepare there is
+      // no durability to wait for: applied == safe to ack.
+      const int src = message.src;
+      const std::uint64_t seq = message.seq;
+      dist_->handle_put(message, message.tag == msg::kBlockPutAcc);
+      msg::Message ack;
+      ack.tag = msg::kProtoAck;
+      ack.ack = seq;
+      shared_.fabric->send(my_rank_, src, std::move(ack));
+      break;
+    }
     case msg::kBlockGetRequest:
       dist_->handle_get_request(message);
+      break;
+    default:
+      throw InternalError("sequencer released unexpected tag " +
+                          std::to_string(message.tag));
+  }
+}
+
+void Interpreter::handle_message(msg::Message& message) {
+  // Replies double as acks for their tracked request under the reliable
+  // protocol; clear the retransmit entry before normal dispatch (even a
+  // reply the handler then drops as stale still acknowledges delivery).
+  if (channel_ && message.ack != 0 &&
+      (message.tag == msg::kBlockGetReply ||
+       message.tag == msg::kServedReply)) {
+    channel_->on_ack(message.src, message.ack);
+  }
+  switch (message.tag) {
+    case msg::kBlockGetRequest:
+      if (channel_ && message.seq != 0) {
+        // May depend on an ordered put still in flight (msg.ack).
+        msg::PeerSequencer::Admit admitted =
+            sequencer_.admit_after(std::move(message));
+        for (msg::Message& released : admitted.deliver) {
+          dispatch_admitted(released);
+        }
+      } else {
+        dist_->handle_get_request(message);
+      }
       break;
     case msg::kBlockGetReply:
       dist_->handle_get_reply(message);
       break;
     case msg::kBlockPut:
-      dist_->handle_put(message, /*accumulate=*/false);
-      break;
     case msg::kBlockPutAcc:
-      dist_->handle_put(message, /*accumulate=*/true);
+      if (channel_ && message.seq != 0) {
+        const int src = message.src;
+        const std::uint64_t seq = message.seq;
+        msg::PeerSequencer::Admit admitted =
+            sequencer_.admit_ordered(std::move(message));
+        if (admitted.duplicate) {
+          // Retransmit of an applied put whose ack was lost: re-ack so
+          // the sender stops retrying (the apply itself must not repeat —
+          // accumulate twice is silent corruption).
+          msg::Message ack;
+          ack.tag = msg::kProtoAck;
+          ack.ack = seq;
+          shared_.fabric->send(my_rank_, src, std::move(ack));
+        }
+        for (msg::Message& released : admitted.deliver) {
+          dispatch_admitted(released);
+        }
+      } else {
+        dist_->handle_put(message, message.tag == msg::kBlockPutAcc);
+      }
       break;
     case msg::kBlockDelete:
       dist_->handle_delete(message);
@@ -75,6 +141,18 @@ void Interpreter::handle_message(msg::Message& message) {
     case msg::kServedReply:
       served_->handle_reply(message);
       break;
+    case msg::kProtoAck:
+      if (channel_) channel_->on_ack(message.src, message.ack);
+      break;
+    case msg::kHeartbeatPing: {
+      msg::Message pong;
+      pong.tag = msg::kHeartbeatAck;
+      pong.header = {message.header.empty() ? 0 : message.header[0],
+                     my_rank_};
+      shared_.fabric->send(my_rank_, shared_.master_rank(),
+                           std::move(pong));
+      break;
+    }
     case msg::kChunkReply:
       chunk_replies_[{static_cast<int>(message.header[0]),
                       message.header[1]}] = {message.header[2],
@@ -100,6 +178,7 @@ void Interpreter::handle_message(msg::Message& message) {
 }
 
 void Interpreter::service_messages() {
+  if (channel_) channel_->poll();  // retransmit overdue tracked sends
   while (auto message = shared_.fabric->try_recv(my_rank_)) {
     handle_message(*message);
   }
@@ -110,17 +189,56 @@ void Interpreter::wait_until(const std::function<bool()>& ready,
   service_messages();
   if (ready()) return;
   const double start = wall_seconds();
+  // Publish what this rank is blocked on so the master's watchdog can
+  // name it in a diagnosed abort if the run wedges.
+  shared_.set_rank_status(my_rank_, static_cast<int>(kind));
   while (!ready()) {
     shared_.check_abort();
+    if (channel_) channel_->poll();
     auto message = shared_.fabric->recv_for(my_rank_, 10);
     if (message.has_value()) {
       handle_message(*message);
       service_messages();
     }
   }
+  shared_.set_rank_status(my_rank_, -1);
   const double waited = wall_seconds() - start;
   profiler_.record_wait(current_pardo_id(), waited, kind);
   SIA_DEBUG(my_rank_) << "waited " << waited * 1e3 << " ms for " << what;
+}
+
+void Interpreter::drain_channel() {
+  if (!channel_ || channel_->idle()) return;
+  const double start = wall_seconds();
+  shared_.set_rank_status(my_rank_, static_cast<int>(WaitKind::kBarrier));
+  auto last_hint = std::chrono::steady_clock::time_point{};
+  while (!channel_->idle()) {
+    shared_.check_abort();
+    channel_->poll();
+    // Unacked ordered sends to an I/O server are prepares whose
+    // durability ack only goes out when the block hits disk — which may
+    // be never if it just sits in the server's cache. Nudge the server
+    // to flush. (Worker-to-worker puts ack on apply; no nudge needed.)
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_hint > std::chrono::milliseconds(50)) {
+      for (int dst : channel_->unacked_ordered_dsts()) {
+        if (shared_.is_server(dst)) {
+          msg::Message hint;
+          hint.tag = msg::kServerFlushHint;
+          shared_.fabric->send(my_rank_, dst, std::move(hint));
+        }
+      }
+      last_hint = now;
+    }
+    auto message = shared_.fabric->recv_for(my_rank_, 10);
+    if (message.has_value()) {
+      handle_message(*message);
+      service_messages();
+    }
+  }
+  shared_.set_rank_status(my_rank_, -1);
+  profiler_.record_wait(current_pardo_id(), wall_seconds() - start,
+                        WaitKind::kBarrier);
 }
 
 int Interpreter::current_pardo_id() const {
@@ -713,6 +831,10 @@ void Interpreter::exec_barrier(bool server) {
   // master's release (which is only sent after every worker entered).
   dist_->flush_coalesced();
   served_->flush_coalesced();
+  // Under the reliable protocol the guarantee must be stronger: every
+  // tracked send *acked*, not merely enqueued — a dropped put that is
+  // retransmitted after the release would land in the wrong epoch.
+  drain_channel();
   const std::int64_t seq = ++barrier_seq_;
   pending_barrier_server_ = server;
   msg::Message enter;
@@ -1057,6 +1179,7 @@ void Interpreter::execute_program() {
   // Nothing may stay write-combined past the end of the program.
   dist_->flush_coalesced();
   served_->flush_coalesced();
+  drain_channel();
 
   // Tell the master this worker is done; keep servicing messages until
   // the fabric stops or all peers finish (other workers may still need

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "block/block_pool.hpp"
+#include "msg/reliable.hpp"
 #include "sip/data_manager.hpp"
 #include "sip/dist_array.hpp"
 #include "sip/prefetch.hpp"
@@ -44,6 +45,9 @@ class Interpreter {
   BlockPool& pool() { return *pool_; }
   Profiler& profiler() { return profiler_; }
   int worker_index() const { return worker_index_; }
+  // Null when the reliable protocol is off.
+  const msg::ReliableChannel* channel() const { return channel_.get(); }
+  const msg::PeerSequencer& sequencer() const { return sequencer_; }
 
  private:
   struct Frame {
@@ -134,6 +138,14 @@ class Interpreter {
   void service_messages();
   // Mutable reference: block payloads are adopted out of the message.
   void handle_message(msg::Message& message);
+  // Reliable protocol: route an admitted data-plane message (put or get
+  // request released by the sequencer) to its handler, acking puts.
+  void dispatch_admitted(msg::Message& message);
+  // Blocks until every tracked send is acked. Ordered sends to I/O
+  // servers are nudged with flush hints (their durability acks only go
+  // out when the dirty block hits disk). Must run before any barrier
+  // enter: the barrier protocol assumes all data-plane traffic landed.
+  void drain_channel();
   // Services messages until `ready` returns true; accounts wait time
   // against the enclosing pardo, bucketed by what was awaited.
   void wait_until(const std::function<bool()>& ready, const char* what,
@@ -155,6 +167,10 @@ class Interpreter {
   std::unique_ptr<DataManager> data_;
   std::unique_ptr<DistArrayManager> dist_;
   std::unique_ptr<ServedArrayClient> served_;
+  // Reliable delivery (fault tolerance): tracked sends with retransmit,
+  // and exactly-once admission of incoming puts. Null/idle when off.
+  std::unique_ptr<msg::ReliableChannel> channel_;
+  msg::PeerSequencer sequencer_;
 
   int pc_ = 0;
   bool exiting_loop_ = false;

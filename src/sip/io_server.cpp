@@ -25,8 +25,10 @@ constexpr std::size_t kMaxWriteBatch = 64;
 
 DiskStore::DiskStore(const std::string& dir, const std::string& array_name,
                      std::size_t slot_doubles, std::int64_t num_blocks,
-                     bool cold_io)
+                     bool cold_io, msg::DiskFaultInjector* injector)
     : cold_io_(cold_io),
+      array_name_(array_name),
+      injector_(injector),
       slot_doubles_(slot_doubles),
       present_(static_cast<std::size_t>(num_blocks), 0) {
   const std::string data_path = dir + "/" + array_name + ".srv";
@@ -54,13 +56,23 @@ DiskStore::DiskStore(const std::string& dir, const std::string& array_name,
 }
 
 DiskStore::~DiskStore() {
-  try {
-    flush_map();
-  } catch (...) {
-    // Destructor: nothing sensible to do with a failed final flush.
+  if (!abandoned_) {
+    try {
+      flush_map();
+    } catch (...) {
+      // Destructor: nothing sensible to do with a failed final flush.
+    }
   }
   if (fd_ >= 0) ::close(fd_);
   if (map_fd_ >= 0) ::close(map_fd_);
+}
+
+void DiskStore::abandon() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The incarnation died: its un-flushed in-memory presence bytes must
+  // not overwrite the durable map the respawned server will reload.
+  abandoned_ = true;
+  map_dirty_lo_ = map_dirty_hi_ = -1;
 }
 
 bool DiskStore::has(std::int64_t linear) const {
@@ -75,6 +87,10 @@ void DiskStore::read(std::int64_t linear, double* out,
     if (present_[static_cast<std::size_t>(linear)] == 0) {
       throw RuntimeError("disk read of absent served block");
     }
+  }
+  if (injector_ != nullptr) {
+    injector_->check("read of '" + array_name_ + "' block " +
+                     std::to_string(linear));
   }
   const off_t offset =
       static_cast<off_t>(linear) *
@@ -93,6 +109,10 @@ void DiskStore::read(std::int64_t linear, double* out,
 void DiskStore::write_deferred(std::int64_t linear, const double* data,
                                std::size_t count) {
   SIA_CHECK(count <= slot_doubles_, "served block exceeds disk slot");
+  if (injector_ != nullptr) {
+    injector_->check("write of '" + array_name_ + "' block " +
+                     std::to_string(linear));
+  }
   const off_t offset =
       static_cast<off_t>(linear) *
       static_cast<off_t>(slot_doubles_ * sizeof(double));
@@ -164,9 +184,11 @@ std::int64_t DiskStore::map_flushes() const {
 // ---------------------------------------------------------------------
 // WriteBehind.
 
-WriteBehind::WriteBehind(int lanes, bool batched, ErrorHandler on_error)
+WriteBehind::WriteBehind(int lanes, bool batched, ErrorHandler on_error,
+                         RetireHandler on_retire)
     : max_batch_(batched ? kMaxWriteBatch : 1),
-      on_error_(std::move(on_error)) {
+      on_error_(std::move(on_error)),
+      on_retire_(std::move(on_retire)) {
   const int count = std::max(1, lanes);
   threads_.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
@@ -187,14 +209,21 @@ WriteBehind::~WriteBehind() {
 }
 
 void WriteBehind::enqueue(DiskStore* store, int array_id,
-                          std::int64_t linear, BlockPtr block) {
+                          std::int64_t linear, BlockPtr block,
+                          AckList acks) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const Key key{array_id, linear};
     pending_[key] = block;
-    queue_.push_back(Item{store, key, std::move(block)});
+    queue_.push_back(Item{store, key, std::move(block), std::move(acks)});
   }
   cv_.notify_all();
+}
+
+void WriteBehind::abandon() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.clear();
+  pending_.clear();
 }
 
 BlockPtr WriteBehind::lookup(int array_id, std::int64_t linear) const {
@@ -203,10 +232,16 @@ BlockPtr WriteBehind::lookup(int array_id, std::int64_t linear) const {
   return it == pending_.end() ? nullptr : it->second;
 }
 
-void WriteBehind::cancel_array(int array_id) {
+WriteBehind::AckList WriteBehind::cancel_array(int array_id) {
   std::unique_lock<std::mutex> lock(mutex_);
+  AckList dropped;
   for (auto it = queue_.begin(); it != queue_.end();) {
-    it = it->key.first == array_id ? queue_.erase(it) : std::next(it);
+    if (it->key.first == array_id) {
+      dropped.insert(dropped.end(), it->acks.begin(), it->acks.end());
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
   }
   for (auto it = pending_.begin(); it != pending_.end();) {
     it = it->first.first == array_id ? pending_.erase(it) : std::next(it);
@@ -215,6 +250,7 @@ void WriteBehind::cancel_array(int array_id) {
     return std::none_of(in_flight_keys_.begin(), in_flight_keys_.end(),
                         [&](const Key& key) { return key.first == array_id; });
   });
+  return dropped;
 }
 
 void WriteBehind::drain() {
@@ -323,6 +359,15 @@ void WriteBehind::run() {
       error = e.what();
     }
     if (!error.empty() && on_error_) on_error_(error);
+    if (error.empty() && on_retire_) {
+      // The batch is durably retired: hand its prepare durability acks
+      // to the server (journal + kProtoAck to the preparing workers).
+      AckList retired;
+      for (const Item& item : batch) {
+        retired.insert(retired.end(), item.acks.begin(), item.acks.end());
+      }
+      if (!retired.empty()) on_retire_(retired);
+    }
     lock.lock();
     if (error.empty()) {
       writes_ += static_cast<std::int64_t>(batch.size());
@@ -448,23 +493,49 @@ IoServer::IoServer(SipShared& shared, int my_rank)
                if (!dirty) return;
                const sial::ResolvedArray& array =
                    shared_.program->array(id.array_id);
+               const std::int64_t linear =
+                   id.linearize(array.num_segments);
                write_behind_.enqueue(&store_for(id.array_id), id.array_id,
-                                     id.linearize(array.num_segments),
-                                     block);
+                                     linear, block,
+                                     take_pending_acks(id.array_id, linear));
              }),
       write_behind_(std::max(1, shared.config.server_disk_threads),
                     /*batched=*/shared.config.server_disk_threads > 0,
                     [this](const std::string& error) {
                       shared_.raise_abort("write-behind disk failure: " +
                                           error);
+                    },
+                    [this](const WriteBehind::AckList& acks) {
+                      ack_durable(acks);
                     }) {
+  ft_ = shared.config.fault_tolerance_enabled();
+  if (ft_) load_ack_journal();
   if (shared.config.server_disk_threads > 0) {
     disk_pool_ =
         std::make_unique<DiskPool>(shared.config.server_disk_threads);
   }
 }
 
-IoServer::~IoServer() = default;
+IoServer::~IoServer() {
+  // Quiesce the worker threads before retiring the journal fd: a lane
+  // retiring one last batch must still be able to journal its acks —
+  // an ack that was journaled but never delivered is recovered from (the
+  // retransmit is re-acked), an ack sent without a journal entry is not
+  // (the retransmit would double-apply).
+  disk_pool_.reset();
+  try {
+    write_behind_.drain();
+  } catch (...) {
+    // Lane disk error was already surfaced via the error handler.
+  }
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(acked_mutex_);
+    fd = journal_fd_;
+    journal_fd_ = -1;
+  }
+  if (fd >= 0) ::close(fd);
+}
 
 DiskStore& IoServer::store_for(int array_id) {
   auto it = stores_.find(array_id);
@@ -475,7 +546,8 @@ DiskStore& IoServer::store_for(int array_id) {
                                     shared_.scratch_dir, array.name,
                                     array.max_block_elements,
                                     array.total_blocks,
-                                    shared_.config.server_cold_io))
+                                    shared_.config.server_cold_io,
+                                    shared_.disk_injector))
              .first;
   }
   return *it->second;
@@ -553,6 +625,16 @@ void IoServer::handle_prepare(msg::Message& message, bool accumulate) {
   record.writer = writer;
   record.accumulate = accumulate;
 
+  // Under the reliable protocol this prepare is owed a *durability* ack:
+  // it is acked (and journaled) only once the carrying block is retired
+  // to disk. An immediate ack would let the worker drop its retransmit
+  // copy while the only instance of the data is a dirty cache block — a
+  // server crash would then lose it with no one left to replay it.
+  if (ft_ && message.seq != 0) {
+    pending_acks_[{array_id, message.header[1]}].push_back(
+        {message.src, message.seq});
+  }
+
   // This prepare supersedes any disk read of the same block still in
   // flight: bump the version so the read's completion is discarded
   // instead of clobbering the fresh dirty block with a stale clean one,
@@ -573,7 +655,7 @@ void IoServer::handle_prepare(msg::Message& message, bool accumulate) {
   const auto reply_to_stolen = [&](const BlockPtr& fresh) {
     for (const Waiter& waiter : stolen) {
       send_reply(waiter.reply_rank, array_id, linear, fresh,
-                 waiter.lookahead);
+                 waiter.lookahead, waiter.req_seq);
     }
   };
 
@@ -639,27 +721,33 @@ void IoServer::handle_prepare(msg::Message& message, bool accumulate) {
 }
 
 void IoServer::send_reply(int reply_rank, int array_id, std::int64_t linear,
-                          BlockPtr block, bool lookahead) {
+                          BlockPtr block, bool lookahead,
+                          std::uint64_t ack) {
   // Zero-copy reply: share the cached block. Later prepares copy-on-write
   // before mutating, so the requester's snapshot stays stable. The
   // look-ahead flag is echoed so the client can discard a speculative
   // reply made stale by its own intervening prepare without also
-  // discarding the demand reply that supersedes it.
+  // discarding the demand reply that supersedes it. Under the reliable
+  // protocol the reply doubles as the request's ack (`ack` echoes its
+  // sequence number): requests are idempotent, so a retransmitted request
+  // is simply answered again rather than deduplicated.
   msg::Message reply;
   reply.tag = msg::kServedReply;
   reply.header = {array_id, linear, /*miss=*/0, lookahead ? 1 : 0};
+  reply.ack = ack;
   reply.block = std::move(block);
   shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
 }
 
 void IoServer::send_miss_reply(int reply_rank, int array_id,
-                               std::int64_t linear) {
+                               std::int64_t linear, std::uint64_t ack) {
   // Look-ahead of a block that does not exist (yet): tell the client to
   // forget the speculative request instead of failing the run — the
   // demand request will follow if the program really reads the block.
   msg::Message reply;
   reply.tag = msg::kServedReply;
   reply.header = {array_id, linear, /*miss=*/1, /*lookahead=*/1};
+  reply.ack = ack;
   shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
 }
 
@@ -712,9 +800,10 @@ void IoServer::read_job(BlockId id, DiskStore* store, std::int64_t linear,
     for (const Waiter& waiter : waiters) {
       if (done.block) {
         send_reply(waiter.reply_rank, id.array_id, linear, done.block,
-                   waiter.lookahead);
+                   waiter.lookahead, waiter.req_seq);
       } else if (waiter.lookahead) {
-        send_miss_reply(waiter.reply_rank, id.array_id, linear);
+        send_miss_reply(waiter.reply_rank, id.array_id, linear,
+                        waiter.req_seq);
       } else {
         shared_.raise_abort("request of served block " + id.to_string() +
                             " of '" + array_name +
@@ -776,7 +865,8 @@ void IoServer::handle_request(const msg::Message& message) {
 
   if (BlockPtr block = cache_.get(id)) {
     ++stats_.cache_hits;
-    send_reply(reply_rank, array_id, linear, std::move(block), lookahead);
+    send_reply(reply_rank, array_id, linear, std::move(block), lookahead,
+               message.seq);
     return;
   }
 
@@ -788,7 +878,8 @@ void IoServer::handle_request(const msg::Message& message) {
       std::lock_guard<std::mutex> lock(inflight_mutex_);
       auto it = inflight_.find(id);
       if (it != inflight_.end()) {
-        it->second.waiters.push_back(Waiter{reply_rank, lookahead});
+        it->second.waiters.push_back(
+            Waiter{reply_rank, lookahead, message.seq});
         ++stats_.reads_coalesced;
         if (!lookahead && it->second.low_priority) {
           // A demand request caught up with a queued read-ahead: bump it.
@@ -798,7 +889,7 @@ void IoServer::handle_request(const msg::Message& message) {
         return;
       }
       InflightRead read;
-      read.waiters.push_back(Waiter{reply_rank, lookahead});
+      read.waiters.push_back(Waiter{reply_rank, lookahead, message.seq});
       read.low_priority = lookahead;
       inflight_.emplace(id, std::move(read));
     }
@@ -849,7 +940,7 @@ void IoServer::handle_request(const msg::Message& message) {
                   {first.data(), static_cast<std::size_t>(id.rank)});
       ++stats_.computed;
     } else if (lookahead) {
-      send_miss_reply(reply_rank, array_id, linear);
+      send_miss_reply(reply_rank, array_id, linear, message.seq);
       return;
     } else {
       throw RuntimeError("request of served block " + id.to_string() +
@@ -858,7 +949,8 @@ void IoServer::handle_request(const msg::Message& message) {
     }
   }
   cache_.put(id, block, /*dirty=*/false);
-  send_reply(reply_rank, array_id, linear, std::move(block), lookahead);
+  send_reply(reply_rank, array_id, linear, std::move(block), lookahead,
+             message.seq);
 }
 
 void IoServer::handle_delete(const msg::Message& message) {
@@ -871,8 +963,20 @@ void IoServer::handle_delete(const msg::Message& message) {
   cache_.erase_array(array_id);
   // A late queued write must not resurrect the deleted array on disk:
   // drop its write-behind entries and its on-disk presence, and forget
-  // its prepare conflict records.
-  write_behind_.cancel_array(array_id);
+  // its prepare conflict records. The delete supersedes any prepare of
+  // this array still owed a durability ack (queued or in the cache), so
+  // ack those directly — the workers' retransmit copies are moot now.
+  WriteBehind::AckList superseded = write_behind_.cancel_array(array_id);
+  for (auto it = pending_acks_.begin(); it != pending_acks_.end();) {
+    if (it->first.first == array_id) {
+      superseded.insert(superseded.end(), it->second.begin(),
+                        it->second.end());
+      it = pending_acks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ack_durable(superseded);
   auto store = stores_.find(array_id);
   if (store != stores_.end()) store->second->erase_all();
   for (auto it = write_records_.begin(); it != write_records_.end();) {
@@ -894,6 +998,17 @@ void IoServer::flush() {
   // Presence maps hit disk at least once per barrier even if the lanes
   // deferred them.
   for (auto& [array_id, store] : stores_) store->flush_map();
+  // Everything is durable now; any durability ack that was not carried
+  // out by a retiring batch (it should not happen, but a cheap safety
+  // net keeps a worker from retrying forever) goes out here.
+  if (ft_ && !pending_acks_.empty()) {
+    WriteBehind::AckList leftovers;
+    for (auto& [key, acks] : pending_acks_) {
+      leftovers.insert(leftovers.end(), acks.begin(), acks.end());
+    }
+    pending_acks_.clear();
+    ack_durable(leftovers);
+  }
 }
 
 void IoServer::handle_barrier(const msg::Message& message) {
@@ -909,10 +1024,133 @@ void IoServer::handle_barrier(const msg::Message& message) {
   shared_.fabric->send(my_rank_, shared_.master_rank(), std::move(ack));
 }
 
+// ---------------------------------------------------------------------
+// Reliable protocol (fault tolerance).
+
+WriteBehind::AckList IoServer::take_pending_acks(int array_id,
+                                                 std::int64_t linear) {
+  if (!ft_) return {};
+  auto it = pending_acks_.find({array_id, linear});
+  if (it == pending_acks_.end()) return {};
+  WriteBehind::AckList acks = std::move(it->second);
+  pending_acks_.erase(it);
+  return acks;
+}
+
+void IoServer::send_ack(int dst, std::uint64_t seq) {
+  msg::Message ack;
+  ack.tag = msg::kProtoAck;
+  ack.ack = seq;
+  shared_.fabric->send(my_rank_, dst, std::move(ack));
+}
+
+void IoServer::ack_durable(const WriteBehind::AckList& acks) {
+  if (acks.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(acked_mutex_);
+    // Journal BEFORE acking: if the server dies between the two, the
+    // worker retransmits, and the respawned incarnation finds the seq in
+    // the journal and re-acks instead of double-applying an accumulate.
+    // The reverse order would ack, crash, forget — and the retransmit
+    // would accumulate a second time into the durable image.
+    if (journal_fd_ >= 0) {
+      std::vector<std::uint64_t> entries;
+      entries.reserve(acks.size() * 2);
+      for (const auto& [src, seq] : acks) {
+        entries.push_back(static_cast<std::uint64_t>(src));
+        entries.push_back(seq);
+      }
+      const std::size_t bytes = entries.size() * sizeof(std::uint64_t);
+      if (::write(journal_fd_, entries.data(), bytes) !=
+          static_cast<ssize_t>(bytes)) {
+        shared_.raise_abort("cannot append to server ack journal");
+        return;
+      }
+    }
+    for (const auto& pair : acks) acked_.insert(pair);
+  }
+  for (const auto& [src, seq] : acks) send_ack(src, seq);
+}
+
+void IoServer::load_ack_journal() {
+  const std::string path = shared_.scratch_dir + "/server_" +
+                           std::to_string(my_rank_) + ".ackjournal";
+  journal_fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (journal_fd_ < 0) {
+    throw RuntimeError("cannot open server ack journal " + path + ": " +
+                       std::strerror(errno));
+  }
+  // Replay: every journaled (src, seq) is a prepare that is durably on
+  // disk AND was acked (or was about to be). Marking it applied punches
+  // the matching hole into the per-peer sequencer so the stream does not
+  // stall waiting for a seq that will only ever arrive as a retransmit —
+  // which must be re-acked, not re-applied.
+  std::uint64_t pair[2];
+  off_t offset = 0;
+  for (;;) {
+    const ssize_t got =
+        ::pread(journal_fd_, pair, sizeof(pair), offset);
+    if (got < static_cast<ssize_t>(sizeof(pair))) break;
+    offset += got;
+    const int src = static_cast<int>(pair[0]);
+    acked_.insert({src, pair[1]});
+    sequencer_.mark_applied(src, pair[1]);
+  }
+}
+
+void IoServer::dispatch_data(msg::Message& message) {
+  switch (message.tag) {
+    case msg::kServedPrepare:
+      handle_prepare(message, /*accumulate=*/false);
+      break;
+    case msg::kServedPrepareAcc:
+      handle_prepare(message, /*accumulate=*/true);
+      break;
+    case msg::kServedRequest:
+      handle_request(message);
+      break;
+    default:
+      throw InternalError("sequencer released unexpected tag " +
+                          std::to_string(message.tag));
+  }
+}
+
+void IoServer::admit_prepare(msg::Message& message) {
+  const int src = message.src;
+  const std::uint64_t seq = message.seq;
+  msg::PeerSequencer::Admit admitted =
+      sequencer_.admit_ordered(std::move(message));
+  if (admitted.duplicate) {
+    // Retransmit. If the original is already durable (journaled), its ack
+    // was lost in flight — re-ack so the worker stops retrying. If it is
+    // still pending (in the cache or the write queue), stay silent: the
+    // durability ack will go out when it retires.
+    bool durable;
+    {
+      std::lock_guard<std::mutex> lock(acked_mutex_);
+      durable = acked_.count({src, seq}) != 0;
+    }
+    if (durable) send_ack(src, seq);
+    return;
+  }
+  for (msg::Message& released : admitted.deliver) dispatch_data(released);
+}
+
+void IoServer::crash_abandon() {
+  // The rank "died": drop all dirty state without letting it reach disk,
+  // so the durable files the respawned incarnation rebuilds from reflect
+  // the moment of death, not a tidy shutdown. In-flight write batches on
+  // the lanes may still land (a real crash can also land mid-write);
+  // their acks are journaled but the sends are swallowed by the fabric.
+  write_behind_.abandon();
+  for (auto& [array_id, store] : stores_) store->abandon();
+}
+
 IoServer::Stats IoServer::stats() const {
   Stats merged = stats_;
   merged.disk_writes = write_behind_.writes();
   merged.write_batches = write_behind_.batches();
+  merged.dup_msgs_dropped += sequencer_.duplicates_dropped();
   for (const auto& [array_id, store] : stores_) {
     merged.map_flushes += store->map_flushes();
   }
@@ -922,19 +1160,40 @@ IoServer::Stats IoServer::stats() const {
 void IoServer::run() {
   try {
     while (true) {
+      if (shared_.fabric->killed(my_rank_)) {
+        // Simulated crash (chaos fabric): die without flushing. The
+        // master's watchdog notices the missing heartbeats and respawns
+        // this rank from its durable files.
+        crash_abandon();
+        return;
+      }
       shared_.check_abort();
       drain_completions();
       auto message = shared_.fabric->recv_for(my_rank_, 50);
       if (!message.has_value()) continue;
       switch (message->tag) {
         case msg::kServedPrepare:
-          handle_prepare(*message, /*accumulate=*/false);
-          break;
         case msg::kServedPrepareAcc:
-          handle_prepare(*message, /*accumulate=*/true);
+          if (ft_ && message->seq != 0) {
+            admit_prepare(*message);
+          } else {
+            handle_prepare(*message,
+                           message->tag == msg::kServedPrepareAcc);
+          }
           break;
         case msg::kServedRequest:
-          handle_request(*message);
+          if (ft_ && message->seq != 0) {
+            // Requests are idempotent but may depend on an ordered
+            // prepare still in flight (msg.ack): hold them until the
+            // dependency is applied, then service.
+            msg::PeerSequencer::Admit admitted =
+                sequencer_.admit_after(std::move(*message));
+            for (msg::Message& released : admitted.deliver) {
+              dispatch_data(released);
+            }
+          } else {
+            handle_request(*message);
+          }
           break;
         case msg::kServerBarrierEnter:
           handle_barrier(*message);
@@ -942,6 +1201,21 @@ void IoServer::run() {
         case msg::kServedDelete:
           handle_delete(*message);
           break;
+        case msg::kServerFlushHint:
+          // A worker is parked on unacked prepares (e.g. at a barrier):
+          // force the dirty blocks to disk so their durability acks go
+          // out now instead of at the next LRU eviction.
+          flush();
+          break;
+        case msg::kHeartbeatPing: {
+          msg::Message pong;
+          pong.tag = msg::kHeartbeatAck;
+          pong.header = {message->header.empty() ? 0 : message->header[0],
+                         my_rank_};
+          shared_.fabric->send(my_rank_, shared_.master_rank(),
+                               std::move(pong));
+          break;
+        }
         case msg::kShutdown:
           flush();
           return;

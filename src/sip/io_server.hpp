@@ -31,6 +31,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -42,7 +43,9 @@
 #include "block/block.hpp"
 #include "block/block_cache.hpp"
 #include "block/block_id.hpp"
+#include "msg/chaos.hpp"
 #include "msg/message.hpp"
+#include "msg/reliable.hpp"
 #include "sip/shared.hpp"
 
 namespace sia::sip {
@@ -73,10 +76,13 @@ class DiskStore {
   // Creates/opens `<dir>/<array_name>.srv` (+ `.map`) with the given slot
   // capacity in doubles and block count. With `cold_io` the store keeps
   // its data file out of the OS page cache (fdatasync + fadvise DONTNEED
-  // per batch/read) — see SipConfig::server_cold_io.
+  // per batch/read) — see SipConfig::server_cold_io. `injector`, when
+  // non-null, may fail any tracked read/write with an injected disk
+  // fault (chaos testing).
   DiskStore(const std::string& dir, const std::string& array_name,
             std::size_t slot_doubles, std::int64_t num_blocks,
-            bool cold_io = false);
+            bool cold_io = false,
+            msg::DiskFaultInjector* injector = nullptr);
   // Flushes any deferred presence-map updates.
   ~DiskStore();
   DiskStore(const DiskStore&) = delete;
@@ -103,10 +109,19 @@ class DiskStore {
   std::int64_t blocks_written() const;
   std::int64_t map_flushes() const;
 
+  // Crash simulation: the server rank "died", so the destructor must not
+  // flush the in-memory presence map over the on-disk one — the on-disk
+  // state at the moment of death is what the respawned incarnation
+  // rebuilds from.
+  void abandon();
+
  private:
   int fd_ = -1;
   int map_fd_ = -1;
   bool cold_io_ = false;
+  bool abandoned_ = false;
+  std::string array_name_;
+  msg::DiskFaultInjector* injector_ = nullptr;
   std::size_t slot_doubles_;
   std::vector<char> present_;  // in-memory presence map
   std::int64_t blocks_written_ = 0;
@@ -124,26 +139,40 @@ class DiskStore {
 class WriteBehind {
  public:
   using Key = std::pair<int, std::int64_t>;  // (array_id, linear)
+  // (sender rank, sequence number) pairs owed a durability ack once the
+  // carrying block is retired to disk.
+  using AckList = std::vector<std::pair<int, std::uint64_t>>;
   // Called (off the caller's thread) with the first disk failure seen by
   // any lane, e.g. to abort the run promptly. drain() also rethrows it.
   using ErrorHandler = std::function<void(const std::string&)>;
+  // Called (on a lane thread) after a batch is durably on disk with the
+  // concatenated AckLists of its items: the I/O server journals and sends
+  // the prepare durability acks from here.
+  using RetireHandler = std::function<void(const AckList&)>;
 
   // `batched == false` reproduces the legacy retirement policy (the
   // pre-pipeline engine): one block and one presence-map pwrite per
   // write. It is selected when server_disk_threads == 0 so the serial
   // configuration stays an honest baseline for the pipelined one.
   explicit WriteBehind(int lanes = 1, bool batched = true,
-                       ErrorHandler on_error = nullptr);
+                       ErrorHandler on_error = nullptr,
+                       RetireHandler on_retire = nullptr);
   ~WriteBehind();
 
   void enqueue(DiskStore* store, int array_id, std::int64_t linear,
-               BlockPtr block);
+               BlockPtr block, AckList acks = {});
+
+  // Crash simulation: drop the queue (and queued acks) without writing.
+  // In-flight batches on other lanes still complete — a real crash can
+  // also land mid-write — but nothing new starts.
+  void abandon();
   // Block still waiting to be written, if any.
   BlockPtr lookup(int array_id, std::int64_t linear) const;
   // Drops every queued write of `array_id` and waits until none of its
   // blocks is mid-write, so a deleted array cannot be resurrected on disk
-  // by a late queued write.
-  void cancel_array(int array_id);
+  // by a late queued write. Returns the dropped items' ack lists: the
+  // delete supersedes those prepares, so the server acks them directly.
+  AckList cancel_array(int array_id);
   // Blocks until the queue is empty and all in-flight writes finished.
   // Throws RuntimeError if any lane hit a disk error (short write, full
   // filesystem): an exception escaping a lane thread would terminate the
@@ -165,6 +194,7 @@ class WriteBehind {
     DiskStore* store;
     Key key;
     BlockPtr block;
+    AckList acks;
   };
 
   mutable std::mutex mutex_;
@@ -174,6 +204,7 @@ class WriteBehind {
   std::vector<Key> in_flight_keys_;
   std::size_t max_batch_;
   ErrorHandler on_error_;
+  RetireHandler on_retire_;
   std::string error_;  // first disk failure from any lane
   bool paused_ = false;
   bool stop_ = false;
@@ -232,6 +263,9 @@ class IoServer {
     std::int64_t map_flushes = 0;
     std::int64_t computed = 0;  // blocks generated on demand (§V-B)
     std::int64_t cow_copies = 0;  // copy-on-write before accumulate
+    // Retransmitted prepares dropped by the per-peer dedup window
+    // (exactly-once apply under the reliable protocol).
+    std::int64_t dup_msgs_dropped = 0;
   };
 
   IoServer(SipShared& shared, int my_rank);
@@ -252,6 +286,23 @@ class IoServer {
   void handle_barrier(const msg::Message& message);
   void flush();
 
+  // Reliable-protocol plumbing (active iff fault tolerance is enabled).
+  // Routes an admitted data-plane message to its handler.
+  void dispatch_data(msg::Message& message);
+  // Feeds a prepare through the per-peer sequencer (exactly-once,
+  // in-order) before dispatch; re-acks duplicates already durable.
+  void admit_prepare(msg::Message& message);
+  // Journal + send the durability acks for retired prepares. Runs on
+  // write-behind lane threads and on the server thread (flush paths).
+  void ack_durable(const WriteBehind::AckList& acks);
+  // Pull the pending (not yet durable) acks attached to a block.
+  WriteBehind::AckList take_pending_acks(int array_id, std::int64_t linear);
+  void send_ack(int dst, std::uint64_t seq);
+  // Simulated crash: drop dirty state without letting destructors flush
+  // it over the durable image the respawned incarnation rebuilds from.
+  void crash_abandon();
+  void load_ack_journal();
+
   DiskStore& store_for(int array_id);
   BlockPtr load_block(const BlockId& id, bool* found);
   BlockShape shape_of(const BlockId& id) const;
@@ -261,9 +312,12 @@ class IoServer {
 
   // `lookahead` is echoed in the reply header so the client can tell
   // which of its requests (speculative or demand) is being answered.
+  // `ack` echoes the request's sequence number (the reply is the ack
+  // under the reliable protocol; 0 when the protocol is off).
   void send_reply(int reply_rank, int array_id, std::int64_t linear,
-                  BlockPtr block, bool lookahead);
-  void send_miss_reply(int reply_rank, int array_id, std::int64_t linear);
+                  BlockPtr block, bool lookahead, std::uint64_t ack);
+  void send_miss_reply(int reply_rank, int array_id, std::int64_t linear,
+                       std::uint64_t ack);
   // Runs on a DiskPool thread: read (or generate) the block, reply to
   // every waiter, queue a completion for the cache warm. `version` is the
   // prepare version observed when the job was submitted; a completion
@@ -291,6 +345,7 @@ class IoServer {
   struct Waiter {
     int reply_rank = -1;
     bool lookahead = false;
+    std::uint64_t req_seq = 0;  // echoed as the reply's ack
   };
 
   struct InflightRead {
@@ -326,6 +381,19 @@ class IoServer {
   std::unordered_map<BlockId, InflightRead, BlockIdHash> inflight_;
   std::mutex completion_mutex_;
   std::deque<Completion> completions_;
+
+  // ---- Fault tolerance (PR 4) ----
+  bool ft_ = false;  // reliable protocol active for this launch
+  msg::PeerSequencer sequencer_;
+  // Prepares applied into the cache but not yet durable, keyed by block;
+  // moved into the write-behind Item (or acked at flush) when the block
+  // retires. Server thread only.
+  std::map<WriteBehind::Key, WriteBehind::AckList> pending_acks_;
+  // Durably applied + acked (journaled) prepare seqs, for re-acking
+  // retransmits whose ack was lost. Shared with the lane threads.
+  std::mutex acked_mutex_;
+  std::set<std::pair<int, std::uint64_t>> acked_;
+  int journal_fd_ = -1;  // append-only ack journal (crash recovery)
 
   WriteBehind write_behind_;
   std::unique_ptr<DiskPool> disk_pool_;  // null when server_disk_threads==0

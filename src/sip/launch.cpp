@@ -58,6 +58,12 @@ DryRunReport Sip::analyze(const sial::CompiledProgram& program) const {
 }
 
 RunResult Sip::run(const sial::CompiledProgram& program) {
+  // Fault-plan pickup: an explicit plan in the config wins; otherwise
+  // SIA_FAULT_PLAN lets a harness inject faults without touching code.
+  if (!config_.fault_plan.active()) {
+    config_.fault_plan = FaultPlan::from_env();
+    config_.fault_plan.validate();
+  }
   const sial::ResolvedProgram resolved(program, config_);
 
   // "The master inspects the SIAL program in dry-run mode" before any
@@ -75,13 +81,42 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
         result.dry_run.workers_needed);
   }
 
-  msg::Fabric fabric(config_.total_ranks());
+  const bool fault_tolerant = config_.fault_tolerance_enabled();
+  std::unique_ptr<msg::Fabric> fabric;
+  if (config_.fault_plan.active()) {
+    fabric = std::make_unique<msg::ChaosFabric>(config_.total_ranks(),
+                                                config_.fault_plan);
+  } else {
+    fabric = std::make_unique<msg::Fabric>(config_.total_ranks());
+  }
+  std::unique_ptr<msg::DiskFaultInjector> disk_injector;
+  if (config_.fault_plan.disk_fault != 0) {
+    disk_injector = std::make_unique<msg::DiskFaultInjector>(config_.fault_plan);
+  }
+
   SipShared shared;
   shared.program = &resolved;
-  shared.fabric = &fabric;
+  shared.fabric = fabric.get();
   shared.config = config_;
   shared.scratch_dir = scratch_dir_;
   shared.pool_plan = result.dry_run.pool_plan;
+  shared.disk_injector = disk_injector.get();
+  shared.init_rank_status(config_.total_ranks());
+
+  if (fault_tolerant) {
+    // A respawned server replays its ack journal to rebuild its dedup
+    // window. A journal left over from an earlier run in the same scratch
+    // dir would poison that replay, so each run starts clean; only
+    // respawns within the run append.
+    for (int s = 0; s < config_.io_servers; ++s) {
+      const int rank = 1 + config_.workers + s;
+      std::error_code ec;
+      std::filesystem::remove(
+          std::filesystem::path(scratch_dir_) /
+              ("server_" + std::to_string(rank) + ".ackjournal"),
+          ec);
+    }
+  }
 
   Master master(shared);
   std::vector<std::unique_ptr<Interpreter>> workers;
@@ -97,6 +132,39 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
   }
 
   std::vector<std::thread> threads;
+  // The respawn closure indexes `threads` by rank while other threads are
+  // live; reserve so emplace_back never reallocates out from under it.
+  threads.reserve(static_cast<std::size_t>(config_.total_ranks()));
+  if (fault_tolerant && config_.server_recovery) {
+    shared.respawn_server = [&](int rank) -> bool {
+      const int s = rank - 1 - config_.workers;
+      if (s < 0 || s >= static_cast<int>(servers.size())) return false;
+      const std::size_t t = static_cast<std::size_t>(rank);
+      if (t >= threads.size()) return false;
+      if (threads[t].joinable()) threads[t].join();
+      // Harvest the dead incarnation's counters before destroying it; the
+      // end-of-run aggregation only sees the live incarnation.
+      const IoServer::Stats old = servers[s]->stats();
+      shared.retired_server_dups += old.dup_msgs_dropped;
+      shared.retired_server_requests += old.requests;
+      shared.retired_server_lookahead_requests += old.lookahead_requests;
+      shared.retired_server_cache_hits += old.cache_hits;
+      shared.retired_server_disk_reads += old.disk_reads;
+      shared.retired_server_disk_writes += old.disk_writes;
+      shared.retired_server_reads_coalesced += old.reads_coalesced;
+      shared.retired_server_write_batches += old.write_batches;
+      shared.retired_server_map_flushes += old.map_flushes;
+      shared.retired_server_computed += old.computed;
+      // The dead incarnation abandoned its stores, so destroying it cannot
+      // clobber the durable files. The fresh server rebuilds from those
+      // files and the ack journal; clients' retransmits refill the rest.
+      servers[s].reset();
+      servers[s] = std::make_unique<IoServer>(shared, rank);
+      fabric->revive(rank);
+      threads[t] = std::thread([srv = servers[s].get()] { srv->run(); });
+      return true;
+    };
+  }
   threads.emplace_back([&master] { master.run(); });
   for (auto& worker : workers) {
     threads.emplace_back([&worker] { worker->run(); });
@@ -118,7 +186,7 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
     result.scalars[program.scalars[s].name] =
         workers.front()->data().scalar(static_cast<int>(s));
   }
-  result.traffic = fabric.total_stats();
+  result.traffic = fabric->total_stats();
 
   // Aggregate profiles: per-pc costs summed over workers, elapsed is the
   // slowest worker, waits summed.
@@ -199,6 +267,13 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
     result.workers.peak_local_doubles =
         std::max(result.workers.peak_local_doubles,
                  worker->data().peak_doubles());
+    if (const msg::ReliableChannel* channel = worker->channel()) {
+      result.profile.robustness.retries_sent += channel->stats().retries_sent;
+      result.profile.robustness.acks_timed_out +=
+          channel->stats().acks_timed_out;
+    }
+    result.profile.robustness.dup_msgs_dropped +=
+        worker->sequencer().duplicates_dropped();
   }
   for (const auto& server : servers) {
     const IoServer::Stats stats = server->stats();
@@ -212,6 +287,39 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
     served.write_batches += stats.write_batches;
     served.map_flushes += stats.map_flushes;
     served.computed += stats.computed;
+    result.profile.robustness.dup_msgs_dropped += stats.dup_msgs_dropped;
+  }
+  {
+    // Counters harvested from server incarnations retired by a respawn.
+    ProfileReport::ServedPipeline& served = result.profile.served;
+    served.server_requests += shared.retired_server_requests.load();
+    served.server_lookahead_requests +=
+        shared.retired_server_lookahead_requests.load();
+    served.server_cache_hits += shared.retired_server_cache_hits.load();
+    served.server_disk_reads += shared.retired_server_disk_reads.load();
+    served.server_disk_writes += shared.retired_server_disk_writes.load();
+    served.reads_coalesced += shared.retired_server_reads_coalesced.load();
+    served.write_batches += shared.retired_server_write_batches.load();
+    served.map_flushes += shared.retired_server_map_flushes.load();
+    served.computed += shared.retired_server_computed.load();
+    result.profile.robustness.dup_msgs_dropped +=
+        shared.retired_server_dups.load();
+  }
+  ProfileReport::Robustness& robustness = result.profile.robustness;
+  robustness.heartbeats_missed = master.stats().heartbeats_missed;
+  robustness.server_recoveries = master.stats().server_recoveries;
+  robustness.sends_after_stop = result.traffic.sends_after_stop;
+  if (const auto* chaos =
+          dynamic_cast<const msg::ChaosFabric*>(fabric.get())) {
+    const msg::ChaosStats faults = chaos->chaos_stats();
+    robustness.faults_dropped = faults.drops;
+    robustness.faults_duplicated = faults.dups;
+    robustness.faults_delayed = faults.delays;
+    robustness.faults_reordered = faults.reorders;
+    robustness.faults_kill_swallowed = faults.kill_swallowed;
+  }
+  if (disk_injector) {
+    robustness.faults_disk = disk_injector->faults_injected();
   }
   return result;
 }

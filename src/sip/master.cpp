@@ -253,7 +253,12 @@ void Master::handle_server_ack(const msg::Message& message) {
   if (it == barriers_.end()) {
     throw InternalError("server ack for unknown barrier");
   }
-  if (++it->second.server_acks == shared_.num_servers()) {
+  // Keyed by rank, not counted: after an I/O-server respawn the flush
+  // request is re-sent, and the (rare) second ack from a server that
+  // flushed just before dying must not release the barrier early.
+  it->second.acked_servers.insert(message.src);
+  if (static_cast<int>(it->second.acked_servers.size()) ==
+      shared_.num_servers()) {
     release_barrier(seq);
   }
 }
@@ -276,11 +281,116 @@ void Master::handle_scalar_reduce(const msg::Message& message) {
   collectives_.erase(seq);
 }
 
+// ---------------------------------------------------------------------
+// Heartbeat watchdog.
+
+namespace {
+
+const char* wait_kind_name(int status) {
+  switch (status) {
+    case -1: return "running";
+    case 0: return "waiting for a distributed block";
+    case 1: return "waiting for a served block";
+    case 2: return "waiting for a pardo chunk";
+    case 3: return "waiting at a barrier";
+    case 4: return "waiting for a collective";
+    default: return "unknown";
+  }
+}
+
+}  // namespace
+
+void Master::handle_dead_rank(int rank) {
+  if (shared_.is_server(rank) && shared_.config.server_recovery &&
+      shared_.respawn_server) {
+    SIA_INFO(shared_.master_rank())
+        << "I/O server rank " << rank << " unresponsive after "
+        << heartbeat_miss_streak_[static_cast<std::size_t>(rank)]
+        << " missed heartbeats; respawning";
+    if (shared_.respawn_server(rank)) {
+      ++stats_.server_recoveries;
+      heartbeat_miss_streak_[static_cast<std::size_t>(rank)] = 0;
+      last_heartbeat_ack_[static_cast<std::size_t>(rank)] = heartbeat_tick_;
+      // The dead incarnation may have swallowed a pending flush request;
+      // re-ask the fresh one for every barrier still waiting on it.
+      for (auto& [seq, state] : barriers_) {
+        if (state.waiting_servers && state.acked_servers.count(rank) == 0) {
+          msg::Message flush;
+          flush.tag = msg::kServerBarrierEnter;
+          flush.header = {seq};
+          shared_.fabric->send(shared_.master_rank(), rank,
+                               std::move(flush));
+        }
+      }
+      return;
+    }
+  }
+  // Unrecoverable: diagnose instead of hanging. Name the dead rank, when
+  // it was last seen, and what every other rank is blocked on.
+  std::ostringstream out;
+  out << (shared_.is_server(rank) ? "I/O server" : "worker") << " rank "
+      << rank << " unresponsive: missed "
+      << heartbeat_miss_streak_[static_cast<std::size_t>(rank)]
+      << " consecutive heartbeats (last answered tick "
+      << last_heartbeat_ack_[static_cast<std::size_t>(rank)] << " of "
+      << heartbeat_tick_ << ")";
+  bool any_blocked = false;
+  for (int r = 1; r < shared_.fabric->ranks(); ++r) {
+    const int status = shared_.get_rank_status(r);
+    if (r == rank || status == -1) continue;
+    out << (any_blocked ? ", " : "; blocked ranks: ") << "rank " << r
+        << " " << wait_kind_name(status);
+    any_blocked = true;
+  }
+  throw RuntimeError(out.str());
+}
+
+void Master::heartbeat_tick() {
+  const int ranks = shared_.fabric->ranks();
+  if (last_heartbeat_ack_.empty()) {
+    last_heartbeat_ack_.assign(static_cast<std::size_t>(ranks), 0);
+    heartbeat_miss_streak_.assign(static_cast<std::size_t>(ranks), 0);
+  }
+  // Evaluate the round that just elapsed before starting the next one.
+  if (heartbeat_tick_ > 0) {
+    for (int r = 1; r < ranks; ++r) {
+      const std::size_t ur = static_cast<std::size_t>(r);
+      if (last_heartbeat_ack_[ur] >= heartbeat_tick_) {
+        heartbeat_miss_streak_[ur] = 0;
+        continue;
+      }
+      ++heartbeat_miss_streak_[ur];
+      ++stats_.heartbeats_missed;
+      if (heartbeat_miss_streak_[ur] >= shared_.config.heartbeat_misses) {
+        handle_dead_rank(r);
+      }
+    }
+  }
+  ++heartbeat_tick_;
+  for (int r = 1; r < ranks; ++r) {
+    msg::Message ping;
+    ping.tag = msg::kHeartbeatPing;
+    ping.header = {heartbeat_tick_};
+    shared_.fabric->send(shared_.master_rank(), r, std::move(ping));
+  }
+}
+
 void Master::run() {
+  const int heartbeat_ms = shared_.config.effective_heartbeat_ms();
+  const bool watchdog =
+      shared_.config.fault_tolerance_enabled() && heartbeat_ms > 0;
+  auto next_beat = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(heartbeat_ms);
   try {
     while (workers_done_ < shared_.num_workers()) {
       shared_.check_abort();
-      auto message = shared_.fabric->recv_for(shared_.master_rank(), 50);
+      if (watchdog && std::chrono::steady_clock::now() >= next_beat) {
+        heartbeat_tick();
+        next_beat = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(heartbeat_ms);
+      }
+      auto message = shared_.fabric->recv_for(shared_.master_rank(),
+                                              watchdog ? 10 : 50);
       if (!message.has_value()) continue;
       switch (message->tag) {
         case msg::kChunkRequest:
@@ -294,6 +404,17 @@ void Master::run() {
           break;
         case msg::kScalarReduce:
           handle_scalar_reduce(*message);
+          break;
+        case msg::kHeartbeatAck:
+          if (message->header.size() > 1) {
+            const int rank = static_cast<int>(message->header[1]);
+            if (rank >= 0 && rank < shared_.fabric->ranks() &&
+                !last_heartbeat_ack_.empty()) {
+              std::int64_t& last =
+                  last_heartbeat_ack_[static_cast<std::size_t>(rank)];
+              last = std::max(last, message->header[0]);
+            }
+          }
           break;
         default:
           throw InternalError("master received unexpected tag " +

@@ -13,9 +13,12 @@
 // collective scalars.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "sip/scheduler.hpp"
 #include "sip/shared.hpp"
@@ -57,13 +60,19 @@ DryRunReport dry_run(const sial::ResolvedProgram& program);
 // on abort). Sends kShutdown to the I/O servers on the way out.
 class Master {
  public:
+  struct Stats {
+    std::int64_t heartbeats_missed = 0;   // individual missed beats
+    std::int64_t server_recoveries = 0;   // successful I/O-server respawns
+  };
+
   explicit Master(SipShared& shared);
   void run();
+  const Stats& stats() const { return stats_; }
 
  private:
   struct BarrierState {
     int entered = 0;
-    int server_acks = 0;
+    std::set<int> acked_servers;  // ranks whose flush-ack arrived
     bool waiting_servers = false;
   };
   struct CollectiveState {
@@ -77,11 +86,25 @@ class Master {
   void handle_scalar_reduce(const msg::Message& message);
   void release_barrier(std::int64_t seq);
 
+  // Heartbeat watchdog (fault tolerance): evaluate last round's acks,
+  // escalate unresponsive ranks, broadcast the next ping.
+  void heartbeat_tick();
+  // A rank missed `heartbeat_misses` consecutive beats: respawn a dead
+  // I/O server, or abort the run with a diagnosis naming the rank and
+  // what every other rank is currently blocked on.
+  void handle_dead_rank(int rank);
+
   SipShared& shared_;
   ScheduleTable schedules_;
   std::map<std::int64_t, BarrierState> barriers_;       // by sequence
   std::map<std::int64_t, CollectiveState> collectives_; // by sequence
   int workers_done_ = 0;
+
+  // Watchdog state, indexed by fabric rank.
+  std::int64_t heartbeat_tick_ = 0;
+  std::vector<std::int64_t> last_heartbeat_ack_;
+  std::vector<int> heartbeat_miss_streak_;
+  Stats stats_;
 };
 
 }  // namespace sia::sip

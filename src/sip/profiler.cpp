@@ -47,6 +47,22 @@ std::string ProfileReport::to_string() const {
     }
     out << "\n";
   }
+  if (robustness.any()) {
+    out << "robustness: " << robustness.retries_sent << " retries sent, "
+        << robustness.dup_msgs_dropped << " duplicate msgs dropped, "
+        << robustness.acks_timed_out << " acks timed out, "
+        << robustness.heartbeats_missed << " heartbeats missed, "
+        << robustness.server_recoveries << " server recoveries, "
+        << robustness.sends_after_stop << " sends after stop\n";
+    if (robustness.faults_injected() != 0) {
+      out << "  faults injected: " << robustness.faults_dropped
+          << " dropped, " << robustness.faults_duplicated << " duplicated, "
+          << robustness.faults_delayed << " delayed, "
+          << robustness.faults_reordered << " reordered, "
+          << robustness.faults_kill_swallowed << " kill-swallowed, "
+          << robustness.faults_disk << " disk\n";
+    }
+  }
   if (!pardos.empty()) {
     out << "pardo loops:\n";
     for (const PardoCost& pardo : pardos) {

@@ -161,6 +161,38 @@ struct ProfileReport {
   };
   ServedPipeline served;
 
+  // Fault-tolerance counters, aggregated over workers (reliable-channel
+  // retransmit state), receivers (dedup windows), the master (watchdog),
+  // and the chaos fabric / disk injector (faults actually injected). All
+  // zero in a fault-free run with the reliable protocol off.
+  struct Robustness {
+    std::int64_t retries_sent = 0;       // tracked sends retransmitted
+    std::int64_t dup_msgs_dropped = 0;   // exactly-once dedup hits
+    std::int64_t acks_timed_out = 0;     // sends that exhausted retry_max
+    std::int64_t heartbeats_missed = 0;  // individual missed beats
+    std::int64_t server_recoveries = 0;  // I/O-server respawns
+    std::int64_t sends_after_stop = 0;   // counted no-op sends (shutdown)
+    // Faults injected, by kind.
+    std::int64_t faults_dropped = 0;
+    std::int64_t faults_duplicated = 0;
+    std::int64_t faults_delayed = 0;
+    std::int64_t faults_reordered = 0;
+    std::int64_t faults_kill_swallowed = 0;  // sends/recvs of a dead rank
+    std::int64_t faults_disk = 0;
+
+    std::int64_t faults_injected() const {
+      return faults_dropped + faults_duplicated + faults_delayed +
+             faults_reordered + faults_kill_swallowed + faults_disk;
+    }
+    bool any() const {
+      return retries_sent != 0 || dup_msgs_dropped != 0 ||
+             acks_timed_out != 0 || heartbeats_missed != 0 ||
+             server_recoveries != 0 || sends_after_stop != 0 ||
+             faults_injected() != 0;
+    }
+  };
+  Robustness robustness;
+
   // Percentage of elapsed time spent waiting (the paper's bottom line in
   // Fig. 2), averaged over workers.
   double wait_percent() const;

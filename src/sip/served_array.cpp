@@ -61,8 +61,12 @@ void ServedArrayClient::issue_request(const BlockId& id) {
   msg::Message request;
   request.tag = msg::kServedRequest;
   request.header = {id.array_id, linear_of(id), my_rank_};
-  shared_.fabric->send(my_rank_, shared_.server_rank(id),
-                       std::move(request));
+  const int server = shared_.server_rank(id);
+  if (channel_ != nullptr) {
+    channel_->send_request(server, std::move(request));
+  } else {
+    shared_.fabric->send(my_rank_, server, std::move(request));
+  }
 }
 
 void ServedArrayClient::issue_lookahead(const BlockId& id) {
@@ -79,8 +83,12 @@ void ServedArrayClient::issue_lookahead(const BlockId& id) {
   msg::Message request;
   request.tag = msg::kServedRequest;
   request.header = {id.array_id, linear_of(id), my_rank_, /*lookahead=*/1};
-  shared_.fabric->send(my_rank_, shared_.server_rank(id),
-                       std::move(request));
+  const int server = shared_.server_rank(id);
+  if (channel_ != nullptr) {
+    channel_->send_request(server, std::move(request));
+  } else {
+    shared_.fabric->send(my_rank_, server, std::move(request));
+  }
 }
 
 BlockPtr ServedArrayClient::try_read(const BlockId& id) {
@@ -111,8 +119,15 @@ void ServedArrayClient::send_prepare_message(const BlockId& id,
   message.tag = accumulate ? msg::kServedPrepareAcc : msg::kServedPrepare;
   message.header = {id.array_id, linear_of(id), my_rank_};
   message.block = std::move(exclusive_data);
-  shared_.fabric->send(my_rank_, shared_.server_rank(id),
-                       std::move(message));
+  const int server = shared_.server_rank(id);
+  if (channel_ != nullptr) {
+    // Tracked ordered send: retransmitted until the server acks that the
+    // block is durably on disk, exactly-once applied via the server's
+    // per-peer sequencer.
+    channel_->send_ordered(server, std::move(message));
+  } else {
+    shared_.fabric->send(my_rank_, server, std::move(message));
+  }
 }
 
 void ServedArrayClient::prepare(const BlockId& id, BlockPtr data,

@@ -16,6 +16,7 @@
 #include "block/block_id.hpp"
 #include "block/block_pool.hpp"
 #include "msg/message.hpp"
+#include "msg/reliable.hpp"
 #include "sip/shared.hpp"
 
 namespace sia::sip {
@@ -70,6 +71,11 @@ class ServedArrayClient {
   // Takes the message by mutable reference to adopt its block payload.
   void handle_reply(msg::Message& message);
 
+  // Reliable protocol: when set, prepares go out as tracked ordered sends
+  // (retransmitted until the server acks durability) and requests as
+  // tracked idempotent sends (the reply is the ack). Null = plain sends.
+  void set_channel(msg::ReliableChannel* channel) { channel_ = channel; }
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -96,6 +102,7 @@ class ServedArrayClient {
   SipShared& shared_;
   int my_rank_;
   BlockPool& pool_;
+  msg::ReliableChannel* channel_ = nullptr;
   BlockCache cache_;
   std::unordered_map<BlockId, Pending, BlockIdHash> pending_;
   // Write-combining shadow table of exclusively owned prepare+= payloads.

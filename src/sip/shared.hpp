@@ -8,13 +8,17 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "block/block_id.hpp"
 #include "common/config.hpp"
 #include "common/error.hpp"
+#include "msg/chaos.hpp"
 #include "msg/fabric.hpp"
 #include "sial/program.hpp"
 
@@ -38,6 +42,53 @@ struct SipShared {
   std::atomic<bool> abort_flag{false};
   std::mutex error_mutex;
   std::string first_error;
+
+  // ---- Fault tolerance (PR 4) ----
+
+  // Shared disk-fault injector (null when no disk fault is planned);
+  // every DiskStore on every server increments the same operation counter
+  // so `disk=eio@op:N` names one global operation.
+  msg::DiskFaultInjector* disk_injector = nullptr;
+
+  // Installed by the launch when server recovery is enabled: joins the
+  // dead server rank's thread, rebuilds the IoServer from its durable
+  // files, revives the rank, and spawns a fresh thread. Called from the
+  // master's watchdog. Returns false if the rank cannot be recovered.
+  std::function<bool(int rank)> respawn_server;
+
+  // What each rank is blocked on, for the watchdog's diagnosed abort:
+  // -1 = running, otherwise a sip::WaitKind value. Sized by the launch.
+  std::unique_ptr<std::atomic<int>[]> rank_status;
+  int rank_status_size = 0;
+
+  void init_rank_status(int ranks) {
+    rank_status = std::make_unique<std::atomic<int>[]>(
+        static_cast<std::size_t>(ranks));
+    rank_status_size = ranks;
+    for (int r = 0; r < ranks; ++r) rank_status[r].store(-1);
+  }
+  void set_rank_status(int rank, int status) {
+    if (rank >= 0 && rank < rank_status_size) {
+      rank_status[rank].store(status, std::memory_order_relaxed);
+    }
+  }
+  int get_rank_status(int rank) const {
+    if (rank < 0 || rank >= rank_status_size) return -1;
+    return rank_status[rank].load(std::memory_order_relaxed);
+  }
+
+  // Stats accumulated from I/O-server incarnations retired by a respawn
+  // (the live servers are harvested directly at the end of the run).
+  std::atomic<std::int64_t> retired_server_dups{0};
+  std::atomic<std::int64_t> retired_server_requests{0};
+  std::atomic<std::int64_t> retired_server_lookahead_requests{0};
+  std::atomic<std::int64_t> retired_server_cache_hits{0};
+  std::atomic<std::int64_t> retired_server_disk_reads{0};
+  std::atomic<std::int64_t> retired_server_disk_writes{0};
+  std::atomic<std::int64_t> retired_server_reads_coalesced{0};
+  std::atomic<std::int64_t> retired_server_write_batches{0};
+  std::atomic<std::int64_t> retired_server_map_flushes{0};
+  std::atomic<std::int64_t> retired_server_computed{0};
 
   // Records the first error and wakes every blocked rank.
   void raise_abort(const std::string& what) {

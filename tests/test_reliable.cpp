@@ -1,0 +1,260 @@
+// Unit tests for the reliable delivery protocol (PR 4): the sender-side
+// ReliableChannel (seq stamping, retransmit, backoff, give-up), the
+// receiver-side PeerSequencer (in-order exactly-once delivery, holes,
+// duplicates, after-dependencies, journal replay), and the FaultPlan
+// parser that drives the chaos fabric.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "msg/fabric.hpp"
+#include "msg/reliable.hpp"
+#include "msg/tags.hpp"
+
+namespace sia::msg {
+namespace {
+
+Message make(int tag, std::vector<std::int64_t> header = {}) {
+  Message message;
+  message.tag = tag;
+  message.header = std::move(header);
+  return message;
+}
+
+TEST(ReliableChannelTest, OrderedSeqsAreMonotonicPerDst) {
+  Fabric fabric(3);
+  ReliableChannel channel(&fabric, 0, 1000, 3);
+  EXPECT_EQ(channel.send_ordered(1, make(kBlockPut)), 1u);
+  EXPECT_EQ(channel.send_ordered(1, make(kBlockPut)), 2u);
+  EXPECT_EQ(channel.send_ordered(2, make(kBlockPut)), 1u);
+  EXPECT_EQ(fabric.try_recv(1)->seq, 1u);
+  EXPECT_EQ(fabric.try_recv(1)->seq, 2u);
+  EXPECT_EQ(fabric.try_recv(2)->seq, 1u);
+  EXPECT_EQ(channel.unacked_count(), 3u);
+}
+
+TEST(ReliableChannelTest, RequestIdsCarryTopBitAndAfterDependency) {
+  Fabric fabric(2);
+  ReliableChannel channel(&fabric, 0, 1000, 3);
+  const std::uint64_t ordered = channel.send_ordered(1, make(kBlockPutAcc));
+  const std::uint64_t request =
+      channel.send_request(1, make(kBlockGetRequest));
+  EXPECT_NE(request & kRequestIdBit, 0u);
+  (void)fabric.try_recv(1);
+  auto got = fabric.try_recv(1);
+  ASSERT_TRUE(got.has_value());
+  // The request names the last ordered seq so the receiver applies the
+  // accumulate before serving the (otherwise reorderable) read.
+  EXPECT_EQ(got->ack, ordered);
+}
+
+TEST(ReliableChannelTest, AckClearsEntry) {
+  Fabric fabric(2);
+  ReliableChannel channel(&fabric, 0, 1000, 3);
+  const std::uint64_t seq = channel.send_ordered(1, make(kBlockPut));
+  EXPECT_FALSE(channel.idle());
+  channel.on_ack(1, seq);
+  EXPECT_TRUE(channel.idle());
+  // A stale duplicate ack is harmless.
+  channel.on_ack(1, seq);
+  EXPECT_TRUE(channel.idle());
+}
+
+TEST(ReliableChannelTest, PollRetransmitsOverdueSends) {
+  Fabric fabric(2);
+  ReliableChannel channel(&fabric, 0, 10, 5);
+  channel.send_ordered(1, make(kBlockPut, {42}));
+  (void)fabric.try_recv(1);  // original delivery, never acked
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  channel.poll();
+  auto again = fabric.try_recv(1);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->seq, 1u);
+  EXPECT_EQ(again->header[0], 42);
+  EXPECT_GE(channel.stats().retries_sent, 1);
+}
+
+TEST(ReliableChannelTest, ExhaustedRetriesThrowNamingTheRank) {
+  Fabric fabric(2);
+  ReliableChannel channel(&fabric, 0, 1, 2);
+  channel.send_ordered(1, make(kBlockPut));
+  bool threw = false;
+  for (int i = 0; i < 50 && !threw; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    try {
+      channel.poll();
+    } catch (const RuntimeError& error) {
+      threw = true;
+      EXPECT_NE(std::string(error.what()).find("rank 1"), std::string::npos);
+      EXPECT_NE(std::string(error.what()).find("unresponsive"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(channel.stats().acks_timed_out, 1);
+}
+
+TEST(ReliableChannelTest, UnackedOrderedDstsExcludesRequests) {
+  Fabric fabric(4);
+  ReliableChannel channel(&fabric, 0, 1000, 3);
+  channel.send_ordered(1, make(kServedPrepare));
+  channel.send_request(2, make(kServedRequest));
+  const std::vector<int> dsts = channel.unacked_ordered_dsts();
+  ASSERT_EQ(dsts.size(), 1u);
+  EXPECT_EQ(dsts[0], 1);
+}
+
+TEST(PeerSequencerTest, InOrderStreamDeliversImmediately) {
+  PeerSequencer sequencer;
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    Message msg = make(kBlockPut);
+    msg.src = 1;
+    msg.seq = seq;
+    const auto admit = sequencer.admit_ordered(std::move(msg));
+    ASSERT_EQ(admit.deliver.size(), 1u);
+    EXPECT_EQ(admit.deliver[0].seq, seq);
+    EXPECT_FALSE(admit.duplicate);
+  }
+}
+
+TEST(PeerSequencerTest, HoleHoldsEarlyArrivalsUntilFilled) {
+  PeerSequencer sequencer;
+  Message late = make(kBlockPut);
+  late.src = 1;
+  late.seq = 2;  // seq 1 still missing (in flight or dropped)
+  EXPECT_TRUE(sequencer.admit_ordered(std::move(late)).deliver.empty());
+  Message first = make(kBlockPut);
+  first.src = 1;
+  first.seq = 1;
+  const auto admit = sequencer.admit_ordered(std::move(first));
+  ASSERT_EQ(admit.deliver.size(), 2u);
+  EXPECT_EQ(admit.deliver[0].seq, 1u);
+  EXPECT_EQ(admit.deliver[1].seq, 2u);
+}
+
+TEST(PeerSequencerTest, DuplicatesAreDroppedAndFlagged) {
+  PeerSequencer sequencer;
+  Message msg = make(kBlockPutAcc);
+  msg.src = 2;
+  msg.seq = 1;
+  EXPECT_EQ(sequencer.admit_ordered(Message(msg)).deliver.size(), 1u);
+  // The retransmitted accumulate must not apply twice.
+  const auto again = sequencer.admit_ordered(Message(msg));
+  EXPECT_TRUE(again.deliver.empty());
+  EXPECT_TRUE(again.duplicate);
+  EXPECT_EQ(sequencer.duplicates_dropped(), 1);
+  // A held (not yet applied) seq re-arriving is also a duplicate.
+  Message early = make(kBlockPutAcc);
+  early.src = 2;
+  early.seq = 5;
+  EXPECT_FALSE(sequencer.admit_ordered(Message(early)).duplicate);
+  EXPECT_TRUE(sequencer.admit_ordered(Message(early)).duplicate);
+}
+
+TEST(PeerSequencerTest, RequestsWaitForTheirOrderedDependency) {
+  PeerSequencer sequencer;
+  Message request = make(kBlockGetRequest);
+  request.src = 1;
+  request.seq = kRequestIdBit | 1;
+  request.ack = 2;  // must follow ordered seq 2
+  EXPECT_TRUE(sequencer.admit_after(Message(request)).deliver.empty());
+  Message p1 = make(kBlockPut);
+  p1.src = 1;
+  p1.seq = 1;
+  EXPECT_EQ(sequencer.admit_ordered(std::move(p1)).deliver.size(), 1u);
+  Message p2 = make(kBlockPut);
+  p2.src = 1;
+  p2.seq = 2;
+  const auto admit = sequencer.admit_ordered(std::move(p2));
+  // Applying seq 2 releases both the put and the dependent request.
+  ASSERT_EQ(admit.deliver.size(), 2u);
+  EXPECT_EQ(admit.deliver[0].tag, kBlockPut);
+  EXPECT_EQ(admit.deliver[1].tag, kBlockGetRequest);
+  // No dependency -> immediate.
+  Message free_req = make(kBlockGetRequest);
+  free_req.src = 1;
+  free_req.seq = kRequestIdBit | 2;
+  free_req.ack = 0;
+  EXPECT_EQ(sequencer.admit_after(std::move(free_req)).deliver.size(), 1u);
+}
+
+TEST(PeerSequencerTest, MarkAppliedReplaysJournalHoles) {
+  // An I/O-server respawn replays its ack journal: seqs 1 and 3 were
+  // durable, 2 was lost with the cache. The retransmitted 2 must deliver,
+  // retransmits of 1 and 3 must dedup (and re-ack).
+  PeerSequencer sequencer;
+  sequencer.mark_applied(1, 1);
+  sequencer.mark_applied(1, 3);
+  EXPECT_TRUE(sequencer.is_applied(1, 1));
+  EXPECT_FALSE(sequencer.is_applied(1, 2));
+  Message dup = make(kServedPrepare);
+  dup.src = 1;
+  dup.seq = 1;
+  EXPECT_TRUE(sequencer.admit_ordered(std::move(dup)).duplicate);
+  Message lost = make(kServedPrepare);
+  lost.src = 1;
+  lost.seq = 2;
+  const auto admit = sequencer.admit_ordered(std::move(lost));
+  ASSERT_EQ(admit.deliver.size(), 1u);
+  EXPECT_EQ(admit.deliver[0].seq, 2u);
+  // The journaled hole at 3 is skipped, so 4 is next.
+  Message next = make(kServedPrepare);
+  next.src = 1;
+  next.seq = 4;
+  EXPECT_EQ(sequencer.admit_ordered(std::move(next)).deliver.size(), 1u);
+}
+
+TEST(FaultPlanTest, ParsesTheDocumentedExample) {
+  const FaultPlan plan =
+      FaultPlan::parse("drop=0.01,delay_ms=5,kill_rank=5@msg:200,seed=42");
+  EXPECT_DOUBLE_EQ(plan.drop, 0.01);
+  EXPECT_EQ(plan.delay_ms, 5);
+  EXPECT_EQ(plan.kill_rank, 5);
+  EXPECT_EQ(plan.kill_at_msg, 200);
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_TRUE(plan.active());
+}
+
+TEST(FaultPlanTest, ParsesDiskFaults) {
+  const FaultPlan plan = FaultPlan::parse("disk=eio@op:17");
+  EXPECT_EQ(plan.disk_fault, 1);
+  EXPECT_EQ(plan.disk_fault_at_op, 17);
+  EXPECT_TRUE(plan.active());
+  EXPECT_EQ(FaultPlan::parse("disk=enospc@op:3").disk_fault, 2);
+  EXPECT_EQ(FaultPlan::parse("disk=short@op:3").disk_fault, 3);
+}
+
+TEST(FaultPlanTest, EmptyStringIsInactive) {
+  const FaultPlan plan = FaultPlan::parse("");
+  EXPECT_FALSE(plan.active());
+}
+
+TEST(FaultPlanTest, RejectsMalformedInput) {
+  EXPECT_THROW(FaultPlan::parse("bogus_key=1"), Error);
+  EXPECT_THROW(FaultPlan::parse("drop=notanumber"), Error);
+  EXPECT_THROW(FaultPlan::parse("drop"), Error);
+  EXPECT_THROW(FaultPlan::parse("kill_rank=2@op:3"), Error);  // wrong marker
+  EXPECT_THROW(FaultPlan::parse("disk=eio@msg:3"), Error);
+  EXPECT_THROW(FaultPlan::parse("disk=maybe@op:1"), Error);
+  // A bare kill_rank / disk fault defaults its trigger to 1.
+  EXPECT_EQ(FaultPlan::parse("kill_rank=2").kill_at_msg, 1);
+  EXPECT_EQ(FaultPlan::parse("disk=eio").disk_fault_at_op, 1);
+}
+
+TEST(FaultPlanTest, RejectsOutOfRangeValues) {
+  EXPECT_THROW(FaultPlan::parse("drop=1.5"), Error);
+  EXPECT_THROW(FaultPlan::parse("dup=-0.1"), Error);
+  EXPECT_THROW(FaultPlan::parse("delay_ms=-3"), Error);
+  FaultPlan plan;
+  plan.kill_rank = 2;  // a kill with no @msg:N trigger is meaningless
+  EXPECT_THROW(plan.validate(), Error);
+  plan.kill_at_msg = 5;
+  EXPECT_NO_THROW(plan.validate());
+}
+
+}  // namespace
+}  // namespace sia::msg
