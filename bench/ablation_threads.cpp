@@ -1,0 +1,119 @@
+// Ablation: intra-worker dataflow executor (pool threads and window
+// depth).
+//
+// Two sweeps over the contraction-dense comm_storm workload, single
+// worker so the chunk schedule — and therefore the checksum — is
+// deterministic across every row:
+//   1. worker_threads 0..8 at the default window: how far out-of-order
+//      issue scales once temp renaming breaks the per-iteration WAW
+//      chain (host dependent: one core time-slices the pool at ~1x);
+//   2. window_limit at fixed threads: how much scan-ahead the scoreboard
+//      needs before the pool saturates — a window of 2 barely covers one
+//      contraction + its put, so stalls dominate.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "chem/integrals.hpp"
+#include "chem/programs.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "sip/launch.hpp"
+
+namespace {
+
+using namespace sia;
+
+SipConfig storm_config(int worker_threads, int window_limit) {
+  SipConfig config;
+  config.workers = 1;
+  config.io_servers = 0;
+  config.default_segment = 48;
+  config.worker_threads = worker_threads;
+  config.window_limit = window_limit;
+  config.constants = {{"norb", 384}};
+  return config;
+}
+
+struct Row {
+  double seconds = 0.0;
+  double cnorm2 = 0.0;
+  sip::ProfileReport::Executor executor;
+};
+
+Row best_of(const SipConfig& config, const std::string& source, int reps) {
+  Row row;
+  for (int rep = 0; rep < reps; ++rep) {
+    sip::Sip sip(config);
+    const double t0 = wall_seconds();
+    const sip::RunResult result = sip.run_source(source);
+    const double dt = wall_seconds() - t0;
+    if (rep == 0 || dt < row.seconds) {
+      row.seconds = dt;
+      row.cnorm2 = result.scalar("cnorm2");
+      row.executor = result.profile.executor;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: dataflow executor (threads and window) ===\n");
+  chem::register_chem_superinstructions();
+  const std::string source = chem::comm_storm_source();
+
+  std::printf("\n--- pool-thread sweep (window_limit 64, comm_storm "
+              "n=384 seg=48, best of 3) ---\n");
+  TablePrinter threads_table(
+      std::cout,
+      {"threads", "wall[s]", "speedup", "retired", "hzstall", "occup"},
+      {8, 9, 8, 9, 8, 7});
+  threads_table.print_header();
+  double serial_seconds = 0.0;
+  double serial_cnorm2 = 0.0;
+  for (const int threads : {0, 1, 2, 4, 8}) {
+    const Row row = best_of(storm_config(threads, 64), source, 3);
+    if (threads == 0) {
+      serial_seconds = row.seconds;
+      serial_cnorm2 = row.cnorm2;
+    } else if (row.cnorm2 != serial_cnorm2) {
+      std::printf("FAIL: cnorm2 diverged at %d threads (%.17g vs %.17g)\n",
+                  threads, row.cnorm2, serial_cnorm2);
+      return 1;
+    }
+    threads_table.print_row(
+        {std::to_string(threads), TablePrinter::num(row.seconds, 3),
+         TablePrinter::num(serial_seconds / row.seconds, 2),
+         std::to_string(row.executor.entries_retired),
+         std::to_string(row.executor.hazard_stalls),
+         TablePrinter::num(row.executor.avg_occupancy(), 1)});
+  }
+
+  std::printf("\n--- window-depth sweep (4 pool threads, same workload) "
+              "---\n");
+  TablePrinter window_table(
+      std::cout,
+      {"window", "wall[s]", "speedup", "hzstall", "drainms", "occup"},
+      {7, 9, 8, 8, 9, 7});
+  window_table.print_header();
+  for (const int window : {2, 4, 8, 16, 64}) {
+    const Row row = best_of(storm_config(4, window), source, 3);
+    if (row.cnorm2 != serial_cnorm2) {
+      std::printf("FAIL: cnorm2 diverged at window %d (%.17g vs %.17g)\n",
+                  window, row.cnorm2, serial_cnorm2);
+      return 1;
+    }
+    window_table.print_row(
+        {std::to_string(window), TablePrinter::num(row.seconds, 3),
+         TablePrinter::num(serial_seconds / row.seconds, 2),
+         std::to_string(row.executor.hazard_stalls),
+         TablePrinter::num(row.executor.drain_wait_seconds * 1e3, 1),
+         TablePrinter::num(row.executor.avg_occupancy(), 1)});
+  }
+
+  std::printf("\ncnorm2 bit-identical across all rows: %.6e\n",
+              serial_cnorm2);
+  return 0;
+}

@@ -7,6 +7,7 @@
 //                                           performance (paper sec. VIII)
 //
 // Options: -w N (workers), -s N (io servers), -g N (segment size),
+//          -t N (compute threads per worker; 0 = serial interpreter),
 //          -D name=value (symbolic constant; repeatable)
 //
 // This is the developer-facing workflow the paper describes: compile the
@@ -41,7 +42,8 @@ std::string read_file(const std::string& path) {
 int usage() {
   std::fprintf(stderr,
                "usage: sial_tool {compile|dryrun|run|model} <file.sial> "
-               "[-w workers] [-s servers] [-g segment] [-D name=value]...\n");
+               "[-w workers] [-s servers] [-g segment] [-t threads] "
+               "[-D name=value]...\n");
   return 2;
 }
 
@@ -61,6 +63,8 @@ int main(int argc, char** argv) {
       config.io_servers = std::atoi(argv[++arg]);
     } else if (std::strcmp(argv[arg], "-g") == 0 && arg + 1 < argc) {
       config.default_segment = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "-t") == 0 && arg + 1 < argc) {
+      config.worker_threads = std::atoi(argv[++arg]);
     } else if (std::strcmp(argv[arg], "-D") == 0 && arg + 1 < argc) {
       const std::string def = argv[++arg];
       const std::size_t eq = def.find('=');

@@ -12,7 +12,9 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "block/block.hpp"
 #include "block/block_id.hpp"
@@ -29,8 +31,9 @@ class BlockCache {
   };
 
   // Called with each evicted entry; `dirty` is the flag set by put(...,
-  // dirty=true). The handler runs inside insert(), before the entry is
-  // destroyed.
+  // dirty=true). The handler runs after the cache's internal lock is
+  // released, so it may block on I/O or call back into the cache without
+  // stalling concurrent readers.
   using VictimHandler =
       std::function<void(const BlockId&, const BlockPtr&, bool dirty)>;
 
@@ -55,6 +58,10 @@ class BlockCache {
   // Marks an existing entry dirty (e.g. accumulated into).
   void mark_dirty(const BlockId& id);
 
+  // Drops every entry and zeroes the stats (no victim callbacks) —
+  // epoch-advance resets. Accumulate stats() first if you need them.
+  void clear();
+
   // Removes one entry (no victim callback).
   void erase(const BlockId& id);
   // Removes every entry of an array (no victim callback); returns count.
@@ -64,10 +71,10 @@ class BlockCache {
   // them (server_barrier path).
   void flush_dirty();
 
-  std::size_t size_doubles() const { return used_; }
-  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t size_doubles() const;
+  std::size_t entry_count() const;
   std::size_t capacity_doubles() const { return capacity_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
   struct Entry {
@@ -75,10 +82,21 @@ class BlockCache {
     BlockPtr block;
     bool dirty = false;
   };
+  struct Victim {
+    BlockId id;
+    BlockPtr block;
+    bool dirty = false;
+  };
   using LruList = std::list<Entry>;
 
-  void evict_to_fit(std::size_t incoming);
+  void evict_to_fit_locked(std::size_t incoming,
+                           std::vector<Victim>& victims);
 
+  // Guards every container below; victim handlers run outside it. The
+  // executor's pool threads hold BlockPtrs obtained from the interpreter
+  // thread, so the cache itself is only mutated on one thread today —
+  // the lock makes the pin/evict contract explicit and TSAN-provable.
+  mutable std::mutex mutex_;
   std::size_t capacity_;
   std::size_t used_ = 0;
   VictimHandler on_evict_;

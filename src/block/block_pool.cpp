@@ -1,6 +1,8 @@
 #include "block/block_pool.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 
 #include "common/error.hpp"
 
@@ -8,12 +10,34 @@ namespace sia {
 
 namespace detail {
 
+namespace {
+
+// Stable small shard index per thread: threads get round-robin shard
+// homes process-wide, so an interpreter thread and its pool workers land
+// on different shards and the fast path never contends.
+std::size_t this_thread_shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+}  // namespace
+
 // Shared slot storage. Referenced by the owning BlockPool and by every
 // outstanding PoolBuffer, so buffers stay valid after the BlockPool
 // object is gone (zero-copy messaging hands pool-backed blocks across
 // rank boundaries and destruction order between ranks is arbitrary).
+//
+// Free lists are sharded: each size class splits its slots over
+// kShards independently locked stacks, and a thread allocates from its
+// home shard, stealing from the others only when the home stack is
+// empty. With the dataflow executor several threads allocate scratch
+// concurrently; sharding keeps them off one global mutex.
 class PoolCore {
  public:
+  static constexpr std::size_t kShards = 8;
+
   PoolCore() = default;
   PoolCore(std::map<std::size_t, std::size_t> size_classes,
            bool allow_heap_fallback)
@@ -26,13 +50,15 @@ class PoolCore {
     arena_.resize(total);
     std::size_t offset = 0;
     for (const auto& [capacity, slots] : size_classes) {  // map: ascending
-      SizeClass cls;
-      cls.capacity = capacity;
-      cls.free_slots.reserve(slots);
+      auto cls = std::make_unique<SizeClass>();
+      cls->capacity = capacity;
+      // Deal slots round-robin so every shard starts with its share.
       for (std::size_t s = 0; s < slots; ++s) {
-        cls.free_slots.push_back(arena_.data() + offset);
+        cls->shards[s % kShards].free_slots.push_back(arena_.data() +
+                                                      offset);
         offset += capacity;
       }
+      cls->free_count.store(slots, std::memory_order_relaxed);
       classes_.push_back(std::move(cls));
     }
   }
@@ -40,43 +66,51 @@ class PoolCore {
   PoolBuffer allocate(const std::shared_ptr<PoolCore>& self,
                       std::size_t count) {
     SIA_CHECK(count > 0, "BlockPool: zero-size allocation");
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      for (auto& cls : classes_) {
-        if (cls.capacity >= count && !cls.free_slots.empty()) {
-          double* slot = cls.free_slots.back();
-          cls.free_slots.pop_back();
-          ++stats_.pool_allocs;
-          stats_.in_use_doubles += cls.capacity;
-          stats_.peak_in_use_doubles =
-              std::max(stats_.peak_in_use_doubles, stats_.in_use_doubles);
-          return PoolBuffer(self, slot, cls.capacity, cls.capacity, false);
-        }
+    const std::size_t home = this_thread_shard();
+    for (auto& cls : classes_) {
+      if (cls->capacity < count) continue;
+      // Cheap skip of drained classes; the per-shard locks make the
+      // count advisory, so a miss here just means one wasted scan.
+      if (cls->free_count.load(std::memory_order_relaxed) == 0) continue;
+      for (std::size_t probe = 0; probe < kShards; ++probe) {
+        Shard& shard = cls->shards[(home + probe) % kShards];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.free_slots.empty()) continue;
+        double* slot = shard.free_slots.back();
+        shard.free_slots.pop_back();
+        cls->free_count.fetch_sub(1, std::memory_order_relaxed);
+        pool_allocs_.fetch_add(1, std::memory_order_relaxed);
+        add_in_use(cls->capacity);
+        return PoolBuffer(self, slot, cls->capacity, cls->capacity, false);
       }
-      if (!allow_heap_fallback_) {
-        throw RuntimeError("block pool exhausted for request of " +
-                           std::to_string(count) +
-                           " doubles; dry-run sizing was violated");
-      }
-      ++stats_.heap_fallbacks;
-      stats_.in_use_doubles += count;
-      stats_.peak_in_use_doubles =
-          std::max(stats_.peak_in_use_doubles, stats_.in_use_doubles);
     }
+    if (!allow_heap_fallback_) {
+      // Every shard of every fitting class was scanned under its lock
+      // above, so this really is exhaustion, not an unlucky race.
+      throw RuntimeError("block pool exhausted for request of " +
+                         std::to_string(count) +
+                         " doubles; dry-run sizing was violated");
+    }
+    heap_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    add_in_use(count);
     return PoolBuffer(self, new double[count], count, count, true);
   }
 
   void release_slot(double* data, std::size_t size_class, bool heap,
                     std::size_t capacity) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats_.in_use_doubles -= capacity;
+    in_use_doubles_.fetch_sub(capacity, std::memory_order_relaxed);
     if (heap) {
       delete[] data;
       return;
     }
     for (auto& cls : classes_) {
-      if (cls.capacity == size_class) {
-        cls.free_slots.push_back(data);
+      if (cls->capacity == size_class) {
+        Shard& shard = cls->shards[this_thread_shard() % kShards];
+        {
+          std::lock_guard<std::mutex> lock(shard.mutex);
+          shard.free_slots.push_back(data);
+        }
+        cls->free_count.fetch_add(1, std::memory_order_relaxed);
         return;
       }
     }
@@ -85,31 +119,55 @@ class PoolCore {
   }
 
   BlockPool::Stats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    BlockPool::Stats stats;
+    stats.pool_allocs = pool_allocs_.load(std::memory_order_relaxed);
+    stats.heap_fallbacks = heap_fallbacks_.load(std::memory_order_relaxed);
+    stats.in_use_doubles = in_use_doubles_.load(std::memory_order_relaxed);
+    stats.peak_in_use_doubles =
+        peak_in_use_doubles_.load(std::memory_order_relaxed);
+    return stats;
   }
 
   std::size_t total_pool_doubles() const { return arena_.size(); }
 
   std::size_t free_slots_for(std::size_t count) const {
-    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto& cls : classes_) {
-      if (cls.capacity >= count) return cls.free_slots.size();
+      if (cls->capacity >= count) {
+        return cls->free_count.load(std::memory_order_relaxed);
+      }
     }
     return 0;
   }
 
  private:
-  struct SizeClass {
-    std::size_t capacity = 0;         // doubles per slot
+  struct Shard {
+    std::mutex mutex;
     std::vector<double*> free_slots;  // stack of available slots
   };
+  struct SizeClass {
+    std::size_t capacity = 0;  // doubles per slot
+    std::array<Shard, kShards> shards;
+    std::atomic<std::size_t> free_count{0};  // advisory sum over shards
+  };
 
-  mutable std::mutex mutex_;
+  void add_in_use(std::size_t doubles) {
+    const std::size_t now =
+        in_use_doubles_.fetch_add(doubles, std::memory_order_relaxed) +
+        doubles;
+    std::size_t peak = peak_in_use_doubles_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_in_use_doubles_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
   std::vector<double> arena_;
-  std::vector<SizeClass> classes_;  // sorted by capacity ascending
+  // unique_ptr: SizeClass holds mutexes and atomics, so it must not move.
+  std::vector<std::unique_ptr<SizeClass>> classes_;  // capacity ascending
   bool allow_heap_fallback_ = true;
-  BlockPool::Stats stats_;
+  std::atomic<std::size_t> pool_allocs_{0};
+  std::atomic<std::size_t> heap_fallbacks_{0};
+  std::atomic<std::size_t> in_use_doubles_{0};
+  std::atomic<std::size_t> peak_in_use_doubles_{0};
 };
 
 }  // namespace detail

@@ -14,6 +14,10 @@
 // the BlockPool object that allocated it. The zero-copy message path
 // relies on this — a block allocated from worker A's pool can sit in
 // worker B's cache past the point where A's rank object is destroyed.
+//
+// Free lists are sharded per thread (home shard + steal) so the dataflow
+// executor's pool threads and the interpreter thread allocate scratch
+// concurrently without serializing on one mutex.
 #pragma once
 
 #include <cstddef>

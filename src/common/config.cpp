@@ -153,6 +153,10 @@ void SipConfig::validate() const {
     throw Error("SipConfig: subsegments_per_segment must be >= 1");
   }
   if (prefetch_depth < 0) throw Error("SipConfig: prefetch_depth must be >= 0");
+  if (worker_threads < -1) {
+    throw Error("SipConfig: worker_threads must be -1 (auto), 0, or > 0");
+  }
+  if (window_limit < 1) throw Error("SipConfig: window_limit must be >= 1");
   if (server_disk_threads < 0) {
     throw Error("SipConfig: server_disk_threads must be >= 0");
   }

@@ -6,10 +6,12 @@
 // of runtime parameters.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <thread>
 
 namespace sia {
 
@@ -84,6 +86,26 @@ struct SipConfig {
   // at the I/O server flagged as look-ahead and become low-priority
   // read-ahead jobs).
   int prefetch_depth = 2;
+
+  // Compute threads per worker for the intra-worker dataflow executor
+  // (the instruction window). 0 = legacy serial interpreter: no window,
+  // every super instruction runs inline on the interpreter thread,
+  // bit- and message-identical to the pre-executor runtime. >= 1 turns
+  // the window on with that many pool threads (1 still overlaps compute
+  // with fabric service). -1 = auto: hardware concurrency divided by the
+  // launch's rank count — the window only turns on when the host has
+  // spare cores per rank, so an oversubscribed laptop run stays serial.
+  int worker_threads = -1;
+  // Instruction-window depth: how many decoded super instructions may be
+  // in flight per worker (the scan-ahead distance). Only meaningful with
+  // worker_threads >= 1.
+  int window_limit = 64;
+
+  int effective_worker_threads() const {
+    if (worker_threads >= 0) return worker_threads;
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    return std::max(0, hw / std::max(1, total_ranks()));
+  }
 
   // Disk service threads per I/O server. Cache-miss reads (and on-demand
   // block generation) become jobs on this pool so the server's message

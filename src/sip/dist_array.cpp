@@ -272,7 +272,7 @@ void DistArrayManager::advance_epoch() {
   cache_stats_accum_.misses += stats.misses;
   cache_stats_accum_.evictions += stats.evictions;
   cache_stats_accum_.insertions += stats.insertions;
-  cache_ = BlockCache(cache_.capacity_doubles());
+  cache_.clear();
   pending_.clear();
   misses_.clear();
 }

@@ -225,6 +225,23 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
     result.profile.worker_block_wait.push_back(profiler.block_wait());
     result.profile.total_elapsed =
         std::max(result.profile.total_elapsed, profiler.total_elapsed());
+    if (const DataflowExecutor* executor = worker->executor()) {
+      ProfileReport::Executor& agg = result.profile.executor;
+      const DataflowExecutor::Stats& stats = executor->stats();
+      agg.threads = std::max(agg.threads, executor->threads());
+      agg.tasks_executed += stats.tasks_executed;
+      agg.entries_retired += stats.entries_retired;
+      agg.hazard_stalls += stats.hazard_stalls;
+      agg.operand_stalls += stats.operand_stalls;
+      agg.drains += stats.drains;
+      agg.window_peak = std::max(agg.window_peak, stats.window_peak);
+      agg.occupancy_sum += stats.occupancy_sum;
+      agg.occupancy_samples += stats.occupancy_samples;
+      agg.drain_wait_seconds += stats.drain_wait_seconds;
+      for (const double busy : stats.thread_busy_seconds) {
+        agg.thread_busy_seconds += busy;
+      }
+    }
   }
   // total_busy currently includes wait time spent inside instructions;
   // report busy as compute-only.

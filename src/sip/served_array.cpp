@@ -175,7 +175,7 @@ void ServedArrayClient::advance_epoch() {
             "advance_epoch with unflushed coalesced prepares (interpreter "
             "must flush before entering the barrier)");
   ++epoch_;
-  cache_ = BlockCache(cache_.capacity_doubles());
+  cache_.clear();
   pending_.clear();
 }
 

@@ -1,0 +1,653 @@
+// Tests for the intra-worker dataflow executor: hazard ordering
+// (RAW/WAR/WAW), deterministic program-order retirement, pending-operand
+// parking, error attribution, cancellation, and — end to end — the
+// bit-identity guarantee: any worker_threads setting must reproduce the
+// serial interpreter's results exactly, not just approximately.
+//
+// The unit tests deliberately use *plain* (non-atomic) shared variables
+// guarded only by the executor's hazard edges: under ThreadSanitizer
+// (cmake -DSIA_TSAN=ON; ctest -L tsan) that proves the executor
+// establishes real happens-before ordering, not just lucky timing.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "block/block.hpp"
+#include "block/block_pool.hpp"
+#include "chem/integrals.hpp"
+#include "chem/programs.hpp"
+#include "chem/reference.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "sip/executor.hpp"
+#include "sip/launch.hpp"
+
+namespace sia::sip {
+namespace {
+
+BlockId bid(int array, int seg) {
+  const std::array<int, 1> segs{seg};
+  return BlockId(array, std::span<const int>(segs));
+}
+
+void nap(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// Interpreter-thread service loop: pump until the window drains.
+void drive(DataflowExecutor& executor, int timeout_ms = 20000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!executor.idle()) {
+    executor.pump();
+    if (executor.idle()) break;
+    executor.wait_progress(5);
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "executor did not drain in time";
+  }
+}
+
+TEST(DataflowExecutorTest, RawHazardOrdersReadBehindWrite) {
+  DataflowExecutor executor(4, 64);
+  int value = 0;       // written by the producer, read by the consumer
+  int observed = -1;
+
+  DataflowExecutor::Entry writer;
+  writer.writes = {bid(0, 1)};
+  writer.execute = [&] {
+    nap(30);  // give a broken executor every chance to run the reader early
+    value = 42;
+  };
+  executor.enqueue(std::move(writer));
+
+  DataflowExecutor::Entry reader;
+  reader.reads = {bid(0, 1)};
+  reader.execute = [&] { observed = value; };
+  executor.enqueue(std::move(reader));
+
+  drive(executor);
+  EXPECT_EQ(observed, 42);
+  EXPECT_EQ(executor.stats().entries_retired, 2);
+  EXPECT_GE(executor.stats().hazard_stalls, 1);
+}
+
+TEST(DataflowExecutorTest, WarHazardHoldsWriterForEarlierReader) {
+  DataflowExecutor executor(4, 64);
+  int value = 1;
+  int observed = -1;
+
+  DataflowExecutor::Entry reader;
+  reader.reads = {bid(0, 2)};
+  reader.execute = [&] {
+    nap(30);
+    observed = value;  // must see the pre-write value
+  };
+  executor.enqueue(std::move(reader));
+
+  DataflowExecutor::Entry writer;
+  writer.writes = {bid(0, 2)};
+  writer.execute = [&] { value = 2; };
+  executor.enqueue(std::move(writer));
+
+  drive(executor);
+  EXPECT_EQ(observed, 1);
+  EXPECT_EQ(value, 2);
+}
+
+TEST(DataflowExecutorTest, WawHazardSerializesWriters) {
+  DataflowExecutor executor(4, 64);
+  int value = 0;
+
+  DataflowExecutor::Entry first;
+  first.writes = {bid(0, 3)};
+  first.execute = [&] {
+    nap(30);
+    value = 10;
+  };
+  executor.enqueue(std::move(first));
+
+  DataflowExecutor::Entry second;
+  second.writes = {bid(0, 3)};
+  second.execute = [&] { value = 20; };
+  executor.enqueue(std::move(second));
+
+  drive(executor);
+  EXPECT_EQ(value, 20);  // program order wins, not completion luck
+}
+
+TEST(DataflowExecutorTest, IndependentEntriesRunConcurrently) {
+  DataflowExecutor executor(2, 64);
+  // Each entry waits (bounded) for the other: only true out-of-order
+  // issue to two pool threads lets both finish.
+  std::atomic<int> arrived{0};
+  bool saw_peer[2] = {false, false};
+
+  for (int i = 0; i < 2; ++i) {
+    DataflowExecutor::Entry entry;
+    entry.writes = {bid(0, 10 + i)};  // disjoint: no hazard between them
+    entry.execute = [&, i] {
+      arrived.fetch_add(1);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(10);
+      while (arrived.load() < 2 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+      saw_peer[i] = arrived.load() == 2;
+    };
+    executor.enqueue(std::move(entry));
+  }
+
+  drive(executor, 30000);
+  EXPECT_TRUE(saw_peer[0]);
+  EXPECT_TRUE(saw_peer[1]);
+}
+
+TEST(DataflowExecutorTest, RenamedWriteSkipsFalseWawButKeepsRaw) {
+  DataflowExecutor executor(2, 64);
+  const BlockId key = bid(0, 7);
+  // A plain-writes `key`; B renamed-writes it (fresh storage). Without
+  // renaming B would WAW-chain behind A; with it they run concurrently —
+  // each waits (bounded) for the other, so serialization would fail the
+  // saw_peer checks. C reads `key` and must still RAW-chain onto B: the
+  // plain int it copies is only published if the executor establishes
+  // the ordering (TSAN-checked).
+  std::atomic<int> arrived{0};
+  bool saw_peer[2] = {false, false};
+  int renamed_value = 0;  // plain on purpose
+  int seen_by_reader = 0;
+
+  for (int i = 0; i < 2; ++i) {
+    DataflowExecutor::Entry entry;
+    if (i == 0) {
+      entry.writes = {key};
+    } else {
+      entry.renamed_writes = {key};
+    }
+    entry.execute = [&, i] {
+      arrived.fetch_add(1);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (arrived.load() < 2 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+      saw_peer[i] = arrived.load() == 2;
+      if (i == 1) renamed_value = 42;
+    };
+    executor.enqueue(std::move(entry));
+  }
+  DataflowExecutor::Entry reader;
+  reader.reads = {key};
+  reader.execute = [&] { seen_by_reader = renamed_value; };
+  executor.enqueue(std::move(reader));
+
+  drive(executor, 30000);
+  EXPECT_TRUE(saw_peer[0]);
+  EXPECT_TRUE(saw_peer[1]);
+  EXPECT_EQ(seen_by_reader, 42);
+}
+
+TEST(DataflowExecutorTest, RetirementFollowsProgramOrder) {
+  DataflowExecutor executor(4, 64);
+  constexpr int kEntries = 16;
+  std::vector<int> retire_order;  // retire runs on this thread: no lock
+
+  for (int i = 0; i < kEntries; ++i) {
+    DataflowExecutor::Entry entry;
+    entry.writes = {bid(0, 100 + i)};  // all independent
+    entry.execute = [i] { nap((kEntries - i) % 5); };  // finish out of order
+    entry.retire = [&retire_order, i] { retire_order.push_back(i); };
+    executor.enqueue(std::move(entry));
+  }
+
+  drive(executor);
+  ASSERT_EQ(retire_order.size(), static_cast<std::size_t>(kEntries));
+  for (int i = 0; i < kEntries; ++i) EXPECT_EQ(retire_order[i], i);
+}
+
+TEST(DataflowExecutorTest, RetireOnlyEntryWaitsForProgramOrder) {
+  DataflowExecutor executor(2, 64);
+  std::vector<int> retire_order;
+
+  DataflowExecutor::Entry compute;
+  compute.writes = {bid(0, 1)};
+  compute.execute = [] { nap(30); };
+  compute.retire = [&] { retire_order.push_back(0); };
+  executor.enqueue(std::move(compute));
+
+  // No execute closure: models a deferred get/put send. It is "done"
+  // immediately but must still retire behind the slow compute entry.
+  DataflowExecutor::Entry send;
+  send.retire = [&] { retire_order.push_back(1); };
+  executor.enqueue(std::move(send));
+
+  drive(executor);
+  ASSERT_EQ(retire_order.size(), 2u);
+  EXPECT_EQ(retire_order[0], 0);
+  EXPECT_EQ(retire_order[1], 1);
+}
+
+TEST(DataflowExecutorTest, PendingOperandParksEntryUntilResolved) {
+  DataflowExecutor executor(2, 64);
+  BlockPool pool;
+  const std::array<int, 1> extents{4};
+  auto block = std::make_shared<Block>(BlockShape(std::span<const int>(extents)),
+                                       pool.allocate(4));
+  block->data()[0] = 3.5;
+
+  bool released = false;  // touched only on this (interpreter) thread
+  int resolve_calls = 0;
+  auto op = std::make_shared<BlockPtr>();
+  double seen = 0.0;
+
+  DataflowExecutor::Entry entry;
+  entry.reads = {bid(0, 7)};
+  DataflowExecutor::PendingOperand pending;
+  pending.id = bid(0, 7);
+  pending.resolve = [&, block]() -> BlockPtr {
+    ++resolve_calls;
+    return released ? block : nullptr;
+  };
+  pending.deposit = [op](BlockPtr b) { *op = std::move(b); };
+  entry.pending_operands.push_back(std::move(pending));
+  entry.execute = [&, op] { seen = (*op)->data()[0]; };
+  executor.enqueue(std::move(entry));
+
+  // The fetch has not "arrived": pumping must re-poll, not execute.
+  executor.pump();
+  executor.pump();
+  EXPECT_FALSE(executor.idle());
+  EXPECT_EQ(seen, 0.0);
+  EXPECT_GE(resolve_calls, 2);
+
+  released = true;
+  drive(executor);
+  EXPECT_EQ(seen, 3.5);
+  EXPECT_GE(executor.stats().operand_stalls, 1);
+}
+
+TEST(DataflowExecutorTest, ExecuteErrorRethrownAtRetireInProgramOrder) {
+  DataflowExecutor executor(2, 64);
+  bool first_retired = false;
+
+  DataflowExecutor::Entry ok;
+  ok.writes = {bid(0, 1)};
+  ok.execute = [] { nap(10); };
+  ok.retire = [&] { first_retired = true; };
+  executor.enqueue(std::move(ok));
+
+  DataflowExecutor::Entry bad;
+  bad.writes = {bid(0, 2)};
+  bad.pc = 7;
+  bad.execute = [] { throw RuntimeError("injected executor failure"); };
+  executor.enqueue(std::move(bad));
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(20);
+  bool threw = false;
+  while (!threw) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    try {
+      executor.pump();
+      if (executor.idle()) break;
+      executor.wait_progress(5);
+    } catch (const RuntimeError& error) {
+      threw = true;
+      EXPECT_NE(std::string(error.what()).find("injected executor failure"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(threw);
+  EXPECT_TRUE(first_retired);  // the healthy entry retired first
+  EXPECT_EQ(executor.last_error_pc(), 7);
+  executor.cancel();
+}
+
+TEST(DataflowExecutorTest, OperandResolutionErrorIsAttributed) {
+  DataflowExecutor executor(1, 64);
+  DataflowExecutor::Entry entry;
+  entry.reads = {bid(0, 9)};
+  entry.pc = 12;
+  DataflowExecutor::PendingOperand pending;
+  pending.id = bid(0, 9);
+  pending.resolve = []() -> BlockPtr {
+    throw RuntimeError("get: no such block");
+  };
+  pending.deposit = [](BlockPtr) {};
+  entry.pending_operands.push_back(std::move(pending));
+  entry.execute = [] { FAIL() << "must not execute"; };
+  executor.enqueue(std::move(entry));
+
+  EXPECT_THROW(executor.pump(), RuntimeError);
+  EXPECT_EQ(executor.last_error_pc(), 12);
+  executor.cancel();
+}
+
+TEST(DataflowExecutorTest, CancelDropsUnstartedEntries) {
+  DataflowExecutor executor(1, 64);
+  bool tail_executed = false;
+  bool tail_retired = false;
+
+  DataflowExecutor::Entry slow;
+  slow.writes = {bid(0, 1)};
+  slow.execute = [] { nap(40); };
+  executor.enqueue(std::move(slow));
+
+  DataflowExecutor::Entry tail;  // single thread: cannot have started
+  tail.writes = {bid(0, 1)};     // and WAW-blocked behind `slow` anyway
+  tail.execute = [&] { tail_executed = true; };
+  tail.retire = [&] { tail_retired = true; };
+  executor.enqueue(std::move(tail));
+
+  executor.cancel();
+  EXPECT_TRUE(executor.idle());
+  EXPECT_FALSE(tail_executed);
+  EXPECT_FALSE(tail_retired);
+  EXPECT_FALSE(executor.writes_block(bid(0, 1)));
+}
+
+TEST(DataflowExecutorTest, WindowLimitAndLiveWriteTracking) {
+  DataflowExecutor executor(2, 2);
+  EXPECT_FALSE(executor.window_full());
+  EXPECT_FALSE(executor.writes_block(bid(0, 1)));
+
+  for (int i = 0; i < 2; ++i) {
+    DataflowExecutor::Entry entry;
+    entry.writes = {bid(0, 1)};
+    entry.execute = [] { nap(20); };
+    executor.enqueue(std::move(entry));
+  }
+  EXPECT_TRUE(executor.window_full());
+  EXPECT_TRUE(executor.writes_block(bid(0, 1)));
+  EXPECT_EQ(executor.window_size(), 2u);
+
+  drive(executor);
+  EXPECT_FALSE(executor.window_full());
+  EXPECT_FALSE(executor.writes_block(bid(0, 1)));
+  EXPECT_EQ(executor.stats().window_peak, 2);
+  EXPECT_EQ(executor.stats().tasks_executed, 2);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end bit-identity: the acceptance criterion for the whole
+// feature. Results must be *exactly* equal (EXPECT_EQ on doubles, not
+// EXPECT_NEAR): program-order retirement plus hazard-serialized
+// accumulates make the threaded schedule arithmetic-identical to the
+// serial interpreter *for the same pardo chunk assignment*. Guided
+// self-scheduling hands chunks out in request-arrival order, so with
+// several workers the assignment (and hence the grouping of the
+// floating-point collective sums) is timing-dependent with or without
+// the executor. The strict tests therefore run one worker — where the
+// whole schedule is deterministic — and a separate multi-worker test
+// checks the threaded runtime against the chemistry references at the
+// integration suite's tolerances.
+
+SipConfig chem_config() {
+  chem::register_chem_superinstructions();
+  SipConfig config;
+  config.workers = 3;
+  config.io_servers = 1;
+  config.default_segment = 4;
+  config.constants = {{"norb", 8}, {"nocc", 4}, {"maxiter", 3}};
+  return config;
+}
+
+SipConfig single_worker_config() {
+  SipConfig config = chem_config();
+  config.workers = 1;
+  return config;
+}
+
+std::map<std::string, double> run_scalars(const SipConfig& config,
+                                          const std::string& source) {
+  Sip sip(config);
+  return sip.run_source(source).scalars;
+}
+
+// Compares the programs' collective output scalars for *exact* equality.
+// Worker-local partials (esum, rlocal, ...) are excluded: which pardo
+// chunks worker 0 happens to execute is demand-scheduled and therefore
+// timing-dependent even without the executor; only the collective sums
+// are defined program results — and those must not change by one ulp.
+void expect_bit_identical(const std::map<std::string, double>& base,
+                          const std::map<std::string, double>& got,
+                          const std::vector<std::string>& outputs,
+                          const std::string& label) {
+  for (const std::string& name : outputs) {
+    const auto expected = base.find(name);
+    const auto it = got.find(name);
+    ASSERT_NE(expected, base.end()) << label << ": missing scalar " << name;
+    ASSERT_NE(it, got.end()) << label << ": missing scalar " << name;
+    EXPECT_EQ(it->second, expected->second) << label << ": scalar " << name;
+  }
+}
+
+TEST(ExecutorIntegrationTest, Mp2BitIdenticalAcrossThreadCounts) {
+  SipConfig config = single_worker_config();
+  config.worker_threads = 0;
+  const auto base = run_scalars(config, chem::mp2_energy_source());
+  for (const int threads : {1, 2, 4}) {
+    config.worker_threads = threads;
+    expect_bit_identical(base,
+                         run_scalars(config, chem::mp2_energy_source()),
+                         {"e2"},
+                         "mp2 worker_threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ExecutorIntegrationTest, CcdBitIdenticalThreadedVsSerial) {
+  SipConfig config = single_worker_config();
+  config.worker_threads = 0;
+  const auto base = run_scalars(config, chem::ccd_energy_source());
+  config.worker_threads = 3;
+  expect_bit_identical(base, run_scalars(config, chem::ccd_energy_source()),
+                       {"energy", "rnorm2"}, "ccd worker_threads=3");
+}
+
+TEST(ExecutorIntegrationTest, ServedMp2BitIdenticalThreadedVsSerial) {
+  SipConfig config = single_worker_config();
+  config.worker_threads = 0;
+  const auto base = run_scalars(config, chem::mp2_served_source());
+  config.worker_threads = 2;
+  expect_bit_identical(base, run_scalars(config, chem::mp2_served_source()),
+                       {"e2", "tnorm2"}, "served mp2 worker_threads=2");
+}
+
+TEST(ExecutorIntegrationTest, CommStormBitIdenticalWithCoalescing) {
+  SipConfig config = single_worker_config();
+  config.coalesce_puts = true;
+  config.worker_threads = 0;
+  const auto base = run_scalars(config, chem::comm_storm_source());
+  config.worker_threads = 2;
+  expect_bit_identical(base, run_scalars(config, chem::comm_storm_source()),
+                       {"cnorm2"}, "comm_storm worker_threads=2 coalescing");
+}
+
+TEST(ExecutorIntegrationTest, TinyWindowStillBitIdentical) {
+  // ccd keeps real get/contract/accumulate/put traffic in the window;
+  // window_limit=2 puts constant back-pressure on the scan-ahead.
+  SipConfig config = single_worker_config();
+  config.worker_threads = 0;
+  const auto base = run_scalars(config, chem::ccd_energy_source());
+  config.worker_threads = 2;
+  config.window_limit = 2;
+  expect_bit_identical(base, run_scalars(config, chem::ccd_energy_source()),
+                       {"energy", "rnorm2"}, "ccd window_limit=2");
+}
+
+TEST(ExecutorIntegrationTest, RandomizedSegmentSweepBitIdentical) {
+  // Vary the block grid so hazard patterns (partial tail segments,
+  // accumulate-chain lengths, get/contract overlap) differ per run.
+  // comm_storm's do-k loop over get/contract/put+= is the densest
+  // window traffic of the chem suite; segment 3 leaves a tail segment
+  // of 2 against norb=8.
+  for (const int segment : {2, 3, 4}) {
+    SipConfig config = single_worker_config();
+    config.default_segment = segment;
+    config.worker_threads = 0;
+    const auto base = run_scalars(config, chem::comm_storm_source());
+    for (const int threads : {2, 4}) {
+      config.worker_threads = threads;
+      expect_bit_identical(
+          base, run_scalars(config, chem::comm_storm_source()), {"cnorm2"},
+          "segment=" + std::to_string(segment) +
+              " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ExecutorIntegrationTest, MultiWorkerThreadedMatchesReference) {
+  // Three workers, each with a two-thread window: the distributed puts,
+  // gets, and coalesced accumulates must still reproduce the dense
+  // references at the integration suite's tolerances (exactness across
+  // worker counts is not defined — see the note above).
+  SipConfig config = chem_config();
+  config.worker_threads = 2;
+  {
+    Sip sip(config);
+    const RunResult result = sip.run_source(chem::mp2_energy_source());
+    EXPECT_NEAR(result.scalar("e2"), chem::ref_mp2_energy(8, 4), 1e-12);
+  }
+  {
+    Sip sip(config);
+    const RunResult result = sip.run_source(chem::ccd_energy_source());
+    double norm2 = 0.0;
+    const double energy = chem::ref_ccd_energy(8, 4, 3, &norm2);
+    EXPECT_NEAR(result.scalar("energy"), energy, 1e-11);
+    EXPECT_NEAR(result.scalar("rnorm2"), norm2, 1e-11);
+  }
+}
+
+TEST(ExecutorIntegrationTest, ProfileReportsExecutorCounters) {
+  // comm_storm, not mp2: mp2's body is pure `execute` super instructions
+  // (which drain the window), so only block-op traffic proves the
+  // counters flow from the executor through launch aggregation.
+  SipConfig config = single_worker_config();
+  config.worker_threads = 2;
+  Sip sip(config);
+  const RunResult result = sip.run_source(chem::comm_storm_source());
+  const ProfileReport::Executor& agg = result.profile.executor;
+  EXPECT_EQ(agg.threads, 2);
+  EXPECT_GT(agg.entries_retired, 0);
+  EXPECT_GT(agg.tasks_executed, 0);
+  EXPECT_GT(agg.drains, 0);  // pardo boundaries and barriers drain
+  EXPECT_GE(agg.window_peak, 1);
+  EXPECT_NE(result.profile.to_string().find("dataflow executor"),
+            std::string::npos);
+
+  config.worker_threads = 0;
+  Sip serial(config);
+  const RunResult base = serial.run_source(chem::comm_storm_source());
+  EXPECT_FALSE(base.profile.executor.any());
+  EXPECT_EQ(base.profile.to_string().find("dataflow executor"),
+            std::string::npos);
+}
+
+TEST(ExecutorIntegrationTest, RuntimeErrorKeepsLineAttributionThreaded) {
+  SipConfig config = chem_config();
+  config.worker_threads = 2;
+  Sip sip(config);
+  try {
+    sip.run_source(R"(sial bad_get
+moindex i = 1, norb
+distributed d(i)
+temp u(i)
+scalar x
+pardo i
+  get d(i)
+  u(i) = d(i)
+  x += u(i) * u(i)
+endpardo i
+endsial
+)");
+    FAIL() << "expected a runtime error for get of a never-written block";
+  } catch (const Error& error) {
+    const std::string what = error.what();
+    // The deferred failure must still name the faulting SIAL source
+    // line, not wherever the window happened to drain.
+    EXPECT_NE(what.find("never been put"), std::string::npos) << what;
+    EXPECT_NE(what.find("line"), std::string::npos) << what;
+  }
+}
+
+TEST(ExecutorConfigTest, WorkerThreadKnobValidation) {
+  SipConfig config;
+  config.worker_threads = -2;
+  EXPECT_THROW(config.validate(), Error);
+  config.worker_threads = -1;
+  EXPECT_GE(config.effective_worker_threads(), 0);
+  config.worker_threads = 3;
+  EXPECT_EQ(config.effective_worker_threads(), 3);
+  config.window_limit = 0;
+  EXPECT_THROW(config.validate(), Error);
+}
+
+// ---------------------------------------------------------------------
+// Sharded block pool under the executor's allocation pattern.
+
+TEST(ShardedPoolTest, StealDrainsWholeClassFromOneThread) {
+  // 20 slots are dealt round-robin over 8 shards; one thread's home
+  // shard holds at most 3, so draining all 20 exercises stealing.
+  BlockPool pool({{16, 20}}, /*allow_heap_fallback=*/false);
+  std::vector<PoolBuffer> held;
+  for (int i = 0; i < 20; ++i) {
+    held.push_back(pool.allocate(16));
+    ASSERT_TRUE(held.back().valid());
+  }
+  EXPECT_EQ(pool.stats().pool_allocs, 20u);
+  EXPECT_EQ(pool.free_slots_for(16), 0u);
+  EXPECT_THROW(pool.allocate(16), RuntimeError);  // true exhaustion
+  held.clear();
+  EXPECT_EQ(pool.free_slots_for(16), 20u);
+}
+
+TEST(ShardedPoolTest, HeapFallbackCountsWhenExhausted) {
+  BlockPool pool({{8, 2}}, /*allow_heap_fallback=*/true);
+  const PoolBuffer a = pool.allocate(8);
+  const PoolBuffer b = pool.allocate(8);
+  const PoolBuffer c = pool.allocate(8);  // class drained: heap
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(pool.stats().heap_fallbacks, 1u);
+  EXPECT_EQ(pool.stats().pool_allocs, 2u);
+}
+
+TEST(ShardedPoolTest, CrossThreadReleaseReturnsSlot) {
+  BlockPool pool({{4, 1}}, /*allow_heap_fallback=*/false);
+  PoolBuffer buffer = pool.allocate(4);
+  std::thread releaser([&] { PoolBuffer moved = std::move(buffer); });
+  releaser.join();
+  EXPECT_EQ(pool.free_slots_for(4), 1u);
+  EXPECT_TRUE(pool.allocate(4).valid());  // slot usable from any shard
+}
+
+TEST(ShardedPoolTest, ConcurrentChurnBalances) {
+  BlockPool pool({{32, 64}}, /*allow_heap_fallback=*/true);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      std::vector<PoolBuffer> live;
+      for (int i = 0; i < kIters; ++i) {
+        live.push_back(pool.allocate(1 + (i * 7 + t * 13) % 32));
+        if (live.size() > 8) live.erase(live.begin());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const BlockPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.in_use_doubles, 0u);
+  EXPECT_GT(stats.pool_allocs, 0u);
+  EXPECT_GT(stats.peak_in_use_doubles, 0u);
+}
+
+}  // namespace
+}  // namespace sia::sip

@@ -65,6 +65,58 @@ TEST(PrefetchTest, DoLoopLookaheadAdvancesTheLoopIndex) {
   EXPECT_EQ(ids[1], BlockId(0, std::vector<int>{2, 3}));
 }
 
+TEST(PrefetchTest, PredictionMatchesActualFutureReads) {
+  // Identity property behind both consumers of the look-ahead: the
+  // predicted stream must equal the ids the interpreter will really
+  // resolve when it advances the loop.
+  Fixture fx(kDoLoopGet);
+  fx.values[0] = 3;  // i
+  fx.values[1] = 1;  // j
+  LoopContext loop;
+  loop.is_pardo = false;
+  loop.index_id = fx.program->code().index_id("j");
+  loop.current = 1;
+  loop.last = 4;
+  const auto predicted = prefetch_candidates(*fx.program, fx.get_operand(),
+                                             fx.values, {&loop, 1}, 3);
+  ASSERT_EQ(predicted.size(), 3u);
+  for (long j = 2; j <= 4; ++j) {
+    std::vector<long> values(fx.values.begin(), fx.values.end());
+    values[1] = j;  // what the loop body will actually see at iteration j
+    EXPECT_EQ(predicted[static_cast<std::size_t>(j - 2)],
+              fx.program->resolve_operand(fx.get_operand(), values).id());
+  }
+}
+
+TEST(PrefetchTest, LookaheadReadSetIsPrefetchCandidatesFiltered) {
+  // lookahead_read_set is the shared source of truth for the serial
+  // prefetcher and the dataflow window: unfiltered it must be identical
+  // to prefetch_candidates, and the filter must remove exactly the
+  // excluded ids (the interpreter excludes un-retired window puts).
+  Fixture fx(kDoLoopGet);
+  fx.values[0] = 2;
+  fx.values[1] = 1;
+  LoopContext loop;
+  loop.is_pardo = false;
+  loop.index_id = fx.program->code().index_id("j");
+  loop.current = 1;
+  loop.last = 4;
+  const auto raw = prefetch_candidates(*fx.program, fx.get_operand(),
+                                       fx.values, {&loop, 1}, 3);
+  const auto unfiltered =
+      lookahead_read_set(*fx.program, fx.get_operand(), fx.values,
+                         {&loop, 1}, 3, nullptr);
+  EXPECT_EQ(unfiltered, raw);
+
+  ASSERT_GE(raw.size(), 2u);
+  const BlockId blocked = raw[1];
+  const auto filtered = lookahead_read_set(
+      *fx.program, fx.get_operand(), fx.values, {&loop, 1}, 3,
+      [&blocked](const BlockId& id) { return id == blocked; });
+  EXPECT_EQ(filtered.size(), raw.size() - 1);
+  for (const BlockId& id : filtered) EXPECT_NE(id, blocked);
+}
+
 TEST(PrefetchTest, LookaheadStopsAtLoopEnd) {
   Fixture fx(kDoLoopGet);
   fx.values[0] = 1;
