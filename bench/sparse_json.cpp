@@ -1,0 +1,234 @@
+// Machine-readable block-sparsity benchmark: a threshold sweep (0,
+// 1e-12, 1e-8) over the banded sparse_fock contraction and the
+// sparse_mp2 served workload, writing wall time plus the screening
+// counters as JSON so each PR can diff screening behavior against the
+// committed baseline (`cmake --build build --target bench_json`).
+//
+// Acceptance gates enforced here: at threshold 1e-8 sparse_fock must
+// screen at least half of the sparse arrays' blocks and run at least 2x
+// faster than the exact threshold-0 run, and at threshold 0 the sparse
+// build must be bit-identical to the same program with the `sparse`
+// attributes stripped (single worker, so the float accumulation order
+// is reproducible between the two runs).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "chem/integrals.hpp"
+#include "chem/programs.hpp"
+#include "common/timer.hpp"
+#include "sip/launch.hpp"
+
+namespace {
+
+using namespace sia;
+
+struct Sample {
+  double seconds = 0.0;
+  double checksum = 0.0;
+  std::int64_t blocks_screened = 0;  // fabric payload transfers elided
+  std::int64_t bytes_elided = 0;
+  sip::ProfileReport::Screening screening;
+};
+
+Sample run_once(const std::string& source, const char* result_scalar,
+                SipConfig config) {
+  sip::Sip sip(std::move(config));
+  const double t0 = wall_seconds();
+  const sip::RunResult result = sip.run_source(source);
+  Sample sample;
+  sample.seconds = wall_seconds() - t0;
+  sample.checksum = result.scalar(result_scalar);
+  sample.blocks_screened = result.traffic.blocks_screened;
+  sample.bytes_elided = result.traffic.bytes_elided;
+  sample.screening = result.profile.screening;
+  return sample;
+}
+
+// Median by wall time (counters come from the median run); runs for the
+// different thresholds are alternated so host-load drift hits every
+// threshold equally.
+Sample median_of(std::vector<Sample> samples) {
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) {
+              return a.seconds < b.seconds;
+            });
+  return samples[samples.size() / 2];
+}
+
+// Fraction of the sparse arrays' blocks that never materialized.
+double screened_fraction(const Sample& sample) {
+  std::int64_t screened = 0, total = 0;
+  for (const auto& census : sample.screening.arrays) {
+    screened += census.screened;
+    total += census.total;
+  }
+  return total > 0 ? static_cast<double>(screened) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+void emit(std::FILE* out, const char* name, double threshold,
+          const Sample& sample, bool last) {
+  const auto& s = sample.screening;
+  std::fprintf(
+      out,
+      "    {\n"
+      "      \"name\": \"%s\",\n"
+      "      \"sparse_threshold\": %g,\n"
+      "      \"wall_seconds\": %.6f,\n"
+      "      \"checksum\": %.17g,\n"
+      "      \"blocks_screened\": %lld,\n"
+      "      \"bytes_elided\": %lld,\n"
+      "      \"kernels_screened\": %lld,\n"
+      "      \"puts_screened\": %lld,\n"
+      "      \"gets_screened\": %lld,\n"
+      "      \"prepares_screened\": %lld,\n"
+      "      \"requests_screened\": %lld,\n"
+      "      \"zero_reads\": %lld,\n"
+      "      \"evictions_screened\": %lld,\n"
+      "      \"array_blocks_screened_pct\": %.1f\n"
+      "    }%s\n",
+      name, threshold, sample.seconds, sample.checksum,
+      static_cast<long long>(sample.blocks_screened),
+      static_cast<long long>(sample.bytes_elided),
+      static_cast<long long>(s.kernels_screened),
+      static_cast<long long>(s.puts_screened),
+      static_cast<long long>(s.gets_screened),
+      static_cast<long long>(s.prepares_screened),
+      static_cast<long long>(s.requests_screened),
+      static_cast<long long>(s.zero_reads),
+      static_cast<long long>(s.evictions_screened),
+      100.0 * screened_fraction(sample), last ? "" : ",");
+}
+
+// norb=768 elements at segment 32 is a 24x24 block grid; with decay
+// rate 0.75 the band that survives 1e-8 is tridiagonal-plus-one, so
+// ~80% of the operand blocks and ~95% of the block triples screen out.
+SipConfig fock_config(double threshold, int workers = 4) {
+  SipConfig config;
+  config.workers = workers;
+  config.io_servers = 1;
+  config.default_segment = 32;
+  config.sparse_threshold = threshold;
+  config.constants = {{"norb", 768}};
+  return config;
+}
+
+// nocc=32, 64 virtuals at segment 8: a 4x8x4x8 block grid of 4096-
+// element amplitude blocks; decay rate 3.0 in |i - j| screens the
+// (i,j)-off-band 37% of blocks at 1e-8 but not at 1e-12.
+SipConfig mp2_config(double threshold, int workers = 4) {
+  SipConfig config;
+  config.workers = workers;
+  config.io_servers = 1;
+  config.default_segment = 8;
+  config.sparse_threshold = threshold;
+  config.constants = {{"norb", 96}, {"nocc", 32}};
+  return config;
+}
+
+// The same program with the `sparse` attributes stripped: the dense
+// reference for the threshold-0 bit-identity check.
+std::string strip_sparse(std::string source) {
+  for (std::size_t pos; (pos = source.find("sparse ")) != std::string::npos;)
+    source.erase(pos, 7);
+  return source;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  chem::register_chem_superinstructions();
+  const std::string path = argc > 1 ? argv[1] : "BENCH_sparse.json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  constexpr double kThresholds[] = {0.0, 1e-12, 1e-8};
+  constexpr int kReps = 5;
+
+  const std::string fock = chem::sparse_fock_source();
+  const std::string mp2 = chem::sparse_mp2_source();
+
+  std::vector<Sample> fock_runs[3], mp2_runs[3];
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int t = 0; t < 3; ++t) {
+      fock_runs[t].push_back(
+          run_once(fock, "fnorm2", fock_config(kThresholds[t])));
+      mp2_runs[t].push_back(
+          run_once(mp2, "e2", mp2_config(kThresholds[t])));
+    }
+  }
+  Sample fock_med[3], mp2_med[3];
+  for (int t = 0; t < 3; ++t) {
+    fock_med[t] = median_of(std::move(fock_runs[t]));
+    mp2_med[t] = median_of(std::move(mp2_runs[t]));
+  }
+
+  // Dense check: with one worker the accumulation order is reproducible,
+  // so threshold 0 on the sparse build must match the stripped program
+  // bit for bit.
+  const double fock_sparse0 =
+      run_once(fock, "fnorm2", fock_config(0.0, 1)).checksum;
+  const double fock_dense =
+      run_once(strip_sparse(fock), "fnorm2", fock_config(0.0, 1)).checksum;
+  const double mp2_sparse0 =
+      run_once(mp2, "e2", mp2_config(0.0, 1)).checksum;
+  const double mp2_dense =
+      run_once(strip_sparse(mp2), "e2", mp2_config(0.0, 1)).checksum;
+
+  std::fprintf(out, "{\n  \"benchmarks\": [\n");
+  for (int t = 0; t < 3; ++t)
+    emit(out, "sparse_fock_n768_g32", kThresholds[t], fock_med[t], false);
+  for (int t = 0; t < 3; ++t)
+    emit(out, "sparse_mp2_o32_v64_g8", kThresholds[t], mp2_med[t], t == 2);
+  std::fprintf(out,
+               "  ],\n"
+               "  \"dense_check\": {\n"
+               "    \"fock_sparse_t0\": %.17g,\n"
+               "    \"fock_dense\": %.17g,\n"
+               "    \"mp2_sparse_t0\": %.17g,\n"
+               "    \"mp2_dense\": %.17g\n"
+               "  }\n}\n",
+               fock_sparse0, fock_dense, mp2_sparse0, mp2_dense);
+  std::fclose(out);
+
+  const double speedup = fock_med[0].seconds / fock_med[2].seconds;
+  const double pct = 100.0 * screened_fraction(fock_med[2]);
+  std::printf(
+      "sparse_fock n=768 g=32: exact %.3f s, 1e-12 %.3f s, 1e-8 %.3f s "
+      "(speedup %.2fx, %.1f%% blocks screened, %lld kernels skipped)\n",
+      fock_med[0].seconds, fock_med[1].seconds, fock_med[2].seconds, speedup,
+      pct, static_cast<long long>(fock_med[2].screening.kernels_screened));
+  std::printf(
+      "sparse_mp2 o=32 v=64 g=8: exact %.3f s, 1e-12 %.3f s, 1e-8 %.3f s "
+      "(%lld prepares + %lld requests screened)\n",
+      mp2_med[0].seconds, mp2_med[1].seconds, mp2_med[2].seconds,
+      static_cast<long long>(mp2_med[2].screening.prepares_screened),
+      static_cast<long long>(mp2_med[2].screening.requests_screened));
+
+  bool ok = true;
+  if (fock_sparse0 != fock_dense || mp2_sparse0 != mp2_dense) {
+    std::fprintf(stderr,
+                 "FAIL: threshold 0 is not bit-identical to dense "
+                 "(fock %.17g vs %.17g, mp2 %.17g vs %.17g)\n",
+                 fock_sparse0, fock_dense, mp2_sparse0, mp2_dense);
+    ok = false;
+  }
+  if (speedup < 2.0) {
+    std::fprintf(stderr, "FAIL: sparse_fock speedup %.2fx < 2x\n", speedup);
+    ok = false;
+  }
+  if (pct < 50.0) {
+    std::fprintf(stderr, "FAIL: only %.1f%% of blocks screened\n", pct);
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -8,7 +8,9 @@
 //
 // Options: -w N (workers), -s N (io servers), -g N (segment size),
 //          -t N (compute threads per worker; 0 = serial interpreter),
-//          -D name=value (symbolic constant; repeatable)
+//          -D name=value (symbolic constant; repeatable),
+//          --sparse-threshold X (screen sparse-array blocks with
+//          Frobenius norm below X; 0 = exact dense execution)
 //
 // This is the developer-facing workflow the paper describes: compile the
 // SIAL program once, dry-run it to check feasibility, then run it with
@@ -43,7 +45,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: sial_tool {compile|dryrun|run|model} <file.sial> "
                "[-w workers] [-s servers] [-g segment] [-t threads] "
-               "[-D name=value]...\n");
+               "[--sparse-threshold X] [-D name=value]...\n");
   return 2;
 }
 
@@ -65,6 +67,9 @@ int main(int argc, char** argv) {
       config.default_segment = std::atoi(argv[++arg]);
     } else if (std::strcmp(argv[arg], "-t") == 0 && arg + 1 < argc) {
       config.worker_threads = std::atoi(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--sparse-threshold") == 0 &&
+               arg + 1 < argc) {
+      config.sparse_threshold = std::atof(argv[++arg]);
     } else if (std::strcmp(argv[arg], "-D") == 0 && arg + 1 < argc) {
       const std::string def = argv[++arg];
       const std::size_t eq = def.find('=');

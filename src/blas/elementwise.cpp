@@ -70,11 +70,13 @@ double asum(std::span<const double> x) {
   return sum;
 }
 
-double nrm2(std::span<const double> x) {
+double sumsq(std::span<const double> x) {
   double sum = 0.0;
   for (double v : x) sum += v * v;
-  return std::sqrt(sum);
+  return sum;
 }
+
+double nrm2(std::span<const double> x) { return std::sqrt(sumsq(x)); }
 
 double max_abs(std::span<const double> x) {
   double best = 0.0;

@@ -28,6 +28,7 @@ double dot(std::span<const double> x, std::span<const double> y);
 double dot_gather(std::span<const double> x, const double* y,
                   const std::size_t* off);
 double asum(std::span<const double> x);
+double sumsq(std::span<const double> x);  // sum of squares (nrm2 squared)
 double nrm2(std::span<const double> x);
 double max_abs(std::span<const double> x);
 

@@ -1,7 +1,11 @@
 #include "block/block.hpp"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
+#include <vector>
 
+#include "blas/elementwise.hpp"
 #include "common/error.hpp"
 
 namespace sia {
@@ -55,6 +59,32 @@ Block::Block(const BlockShape& shape, PoolBuffer buffer)
   std::fill_n(buffer_.data(), shape_.element_count(), 0.0);
 }
 
+Block::Block(Block&& other) noexcept
+    : shape_(other.shape_),
+      buffer_(std::move(other.buffer_)),
+      norm_(other.norm_.load(std::memory_order_relaxed)),
+      norm_valid_(other.norm_valid_.load(std::memory_order_relaxed)) {}
+
+Block& Block::operator=(Block&& other) noexcept {
+  shape_ = other.shape_;
+  buffer_ = std::move(other.buffer_);
+  norm_.store(other.norm_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  norm_valid_.store(other.norm_valid_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  return *this;
+}
+
+double Block::norm() const {
+  if (norm_valid_.load(std::memory_order_acquire)) {
+    return norm_.load(std::memory_order_relaxed);
+  }
+  const double value = blas::nrm2(data());
+  norm_.store(value, std::memory_order_relaxed);
+  norm_valid_.store(true, std::memory_order_release);
+  return value;
+}
+
 std::size_t Block::offset_of(std::span<const int> index) const {
   SIA_CHECK(static_cast<int>(index.size()) == shape_.rank(),
             "Block::at: wrong index rank");
@@ -69,6 +99,7 @@ std::size_t Block::offset_of(std::span<const int> index) const {
 }
 
 double& Block::at(std::span<const int> index) {
+  invalidate_norm();
   return buffer_.data()[offset_of(index)];
 }
 
@@ -79,7 +110,23 @@ double Block::at(std::span<const int> index) const {
 Block Block::clone() const {
   Block copy(shape_);
   std::copy_n(buffer_.data(), shape_.element_count(), copy.buffer_.data());
+  copy.norm_.store(norm_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  copy.norm_valid_.store(norm_valid_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
   return copy;
+}
+
+BlockPtr zero_block(const BlockShape& shape) {
+  static std::mutex mutex;
+  static std::map<std::vector<int>, BlockPtr> registry;
+  const std::vector<int> key(shape.extents().begin(), shape.extents().end());
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = registry.find(key);
+  if (it == registry.end()) {
+    it = registry.emplace(key, std::make_shared<Block>(shape)).first;
+  }
+  return it->second;
 }
 
 Block slice(const Block& src, std::span<const int> origin,

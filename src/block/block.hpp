@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <span>
 #include <string>
@@ -46,8 +47,8 @@ class Block {
   // zeroed (pool slots are recycled and carry stale data).
   Block(const BlockShape& shape, PoolBuffer buffer);
 
-  Block(Block&&) noexcept = default;
-  Block& operator=(Block&&) noexcept = default;
+  Block(Block&& other) noexcept;
+  Block& operator=(Block&& other) noexcept;
   Block(const Block&) = delete;
   Block& operator=(const Block&) = delete;
 
@@ -55,6 +56,7 @@ class Block {
   std::size_t size() const { return shape_.element_count(); }
 
   std::span<double> data() {
+    invalidate_norm();
     return {buffer_.data(), shape_.element_count()};
   }
   std::span<const double> data() const {
@@ -66,6 +68,16 @@ class Block {
   double& at(std::span<const int> index);
   double at(std::span<const int> index) const;
 
+  // Cached Frobenius norm. Computed lazily on first use after a mutation
+  // and remembered until the next mutable access; concurrent readers may
+  // race to fill the cache but compute the same value (the runtime's
+  // hazard tracking never lets readers overlap a writer). A freshly
+  // constructed block is all zeros, so its norm starts valid at 0.
+  double norm() const;
+  void invalidate_norm() {
+    norm_valid_.store(false, std::memory_order_relaxed);
+  }
+
   // Deep copy into a new heap-backed block.
   Block clone() const;
 
@@ -74,9 +86,18 @@ class Block {
 
   BlockShape shape_;
   PoolBuffer buffer_;
+  mutable std::atomic<double> norm_{0.0};
+  mutable std::atomic<bool> norm_valid_{true};
 };
 
 using BlockPtr = std::shared_ptr<Block>;
+
+// Canonical all-zero block of the given shape. One immutable block per
+// shape is shared process-wide so screened (below-threshold) reads cost a
+// shared_ptr copy instead of an allocation; callers must never write
+// through it (the copy-on-write guards treat any shared block as
+// immutable, which covers this one).
+BlockPtr zero_block(const BlockShape& shape);
 
 // Copies the subblock of `src` starting at `origin` (0-based) with
 // `shape` extents into a new block (SIAL slice assignment, §IV-E.2).

@@ -411,4 +411,112 @@ endsial
 )SIAL";
 }
 
+std::string sparse_fock_source() {
+  return R"SIAL(
+sial sparse_fock
+# Banded Fock-like build F = D * G with sparse operands. fill_decay
+# writes blocks whose elements decay as exp(-rate * |mu - la|), so block
+# norms fall off exponentially with the distance from the diagonal: the
+# tridiagonal blocks stay dense while everything further out drops below
+# any practical screening threshold. With sparse_threshold > 0 the
+# runtime never stores, moves, or multiplies the far blocks.
+aoindex mu = 1, norb
+aoindex nu = 1, norb
+aoindex la = 1, norb
+
+sparse distributed D(mu,la)
+sparse distributed G(la,nu)
+distributed F(mu,nu)
+temp d(mu,la)
+temp g(la,nu)
+temp f(mu,nu)
+temp t(mu,nu)
+scalar fsum
+scalar fnorm2
+
+# Phase 1: banded fills. Screened blocks are dropped at the sender.
+pardo mu, la
+  execute fill_decay d(mu,la) 0.75 13
+  put D(mu,la) = d(mu,la)
+endpardo mu, la
+pardo la, nu
+  execute fill_decay g(la,nu) 0.75 29
+  put G(la,nu) = g(la,nu)
+endpardo la, nu
+sip_barrier
+
+# Phase 2: F(mu,nu) = sum_la D(mu,la) * G(la,nu). The fused accumulate
+# form lets the dataflow executor retire screened contractions at decode
+# time without occupying a pool thread.
+pardo mu, nu
+  f(mu,nu) = 0.0
+  do la
+    get D(mu,la)
+    get G(la,nu)
+    f(mu,nu) += D(mu,la) * G(la,nu)
+  enddo la
+  put F(mu,nu) = f(mu,nu)
+endpardo mu, nu
+sip_barrier
+
+# Validation checksum ||F||^2.
+fsum = 0.0
+pardo mu, nu
+  get F(mu,nu)
+  t(mu,nu) = F(mu,nu)
+  fsum += t(mu,nu) * t(mu,nu)
+endpardo mu, nu
+fnorm2 = 0.0
+collective fnorm2 += fsum
+endsial
+)SIAL";
+}
+
+std::string sparse_mp2_source() {
+  return R"SIAL(
+sial sparse_mp2
+# Served-array screening workload: amplitudes T(i,a,j,b) decay in
+# |i - j| (localized-orbital style), so most (i,j)-off-diagonal blocks
+# screen out. Phase 1 prepares them to the I/O servers — screened
+# prepares send a norm marker instead of the payload and the servers
+# record them in the presence map without a disk write. Phase 2 requests
+# every block back — screened requests get norm-only replies satisfied
+# by the canonical zero block — and reduces e2 = sum T.T.
+moindex i = 1, nocc
+moindex j = 1, nocc
+moindex a = nocc+1, norb
+moindex b = nocc+1, norb
+
+sparse served T(i,a,j,b)
+temp t(i,a,j,b)
+temp u(i,a,j,b)
+scalar esum
+scalar e2
+
+pardo i, j
+  do a
+    do b
+      execute fill_decay t(i,a,j,b) 3.0 17
+      prepare T(i,a,j,b) = t(i,a,j,b)
+    enddo b
+  enddo a
+endpardo i, j
+server_barrier
+
+esum = 0.0
+pardo i, j
+  do a
+    do b
+      request T(i,a,j,b)
+      u(i,a,j,b) = T(i,a,j,b)
+      esum += u(i,a,j,b) * u(i,a,j,b)
+    enddo b
+  enddo a
+endpardo i, j
+e2 = 0.0
+collective e2 += esum
+endsial
+)SIAL";
+}
+
 }  // namespace sia::chem

@@ -160,6 +160,9 @@ void SipConfig::validate() const {
   if (server_disk_threads < 0) {
     throw Error("SipConfig: server_disk_threads must be >= 0");
   }
+  if (!(sparse_threshold >= 0.0)) {
+    throw Error("SipConfig: sparse_threshold must be >= 0");
+  }
   if (chunk_divisor < 1) throw Error("SipConfig: chunk_divisor must be >= 1");
   if (min_chunk < 1) throw Error("SipConfig: min_chunk must be >= 1");
   fault_plan.validate();

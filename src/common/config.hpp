@@ -124,6 +124,17 @@ struct SipConfig {
   // genuine blocking device I/O the disk pool can overlap.
   bool server_cold_io = false;
 
+  // Norm-based block screening threshold for arrays declared `sparse` in
+  // SIAL. A block whose Frobenius norm is below the threshold is treated
+  // as zero end to end: it is never allocated, sent, computed with, or
+  // written to disk, and reads of it return a canonical shared zero
+  // block. Contractions additionally skip the GEMM when the operand norm
+  // product is below the threshold. 0 (the default) disables screening
+  // entirely and is bit-identical to the dense engine; the result error
+  // of a run is bounded by threshold * (number of screened
+  // contributions).
+  double sparse_threshold = 0.0;
+
   // Write-combine repeated `put ... +=` to the same block in a per-worker
   // shadow table, flushing at pardo-iteration boundaries and barriers.
   // Cuts put message count on accumulate-heavy inner loops.

@@ -164,6 +164,9 @@ TrafficStats Fabric::stats(int rank) const {
       box.zero_copy_doubles.load(std::memory_order_relaxed);
   stats.sends_after_stop =
       box.sends_after_stop.load(std::memory_order_relaxed);
+  stats.blocks_screened =
+      box.blocks_screened.load(std::memory_order_relaxed);
+  stats.bytes_elided = box.bytes_elided.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -177,8 +180,18 @@ TrafficStats Fabric::total_stats() const {
     total.zero_copy_messages += s.zero_copy_messages;
     total.zero_copy_doubles += s.zero_copy_doubles;
     total.sends_after_stop += s.sends_after_stop;
+    total.blocks_screened += s.blocks_screened;
+    total.bytes_elided += s.bytes_elided;
   }
   return total;
+}
+
+void Fabric::record_screened(int rank, std::int64_t doubles_elided) {
+  Mailbox& box = *boxes_[static_cast<std::size_t>(rank)];
+  box.blocks_screened.fetch_add(1, std::memory_order_relaxed);
+  box.bytes_elided.fetch_add(
+      doubles_elided * static_cast<std::int64_t>(sizeof(double)),
+      std::memory_order_relaxed);
 }
 
 }  // namespace sia::msg

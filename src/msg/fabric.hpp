@@ -52,6 +52,11 @@ struct TrafficStats {
   // firing; turning each into an exception would make shutdown an
   // exception storm.
   std::int64_t sends_after_stop = 0;
+  // Norm-based screening: block transfers answered (or elided outright)
+  // with a tiny screened marker instead of a payload, and the data words
+  // that therefore never crossed the fabric.
+  std::int64_t blocks_screened = 0;
+  std::int64_t bytes_elided = 0;
 };
 
 class Fabric {
@@ -105,6 +110,11 @@ class Fabric {
   TrafficStats stats(int rank) const;
   TrafficStats total_stats() const;
 
+  // Records one screened block transfer charged to `rank`: a payload of
+  // `doubles_elided` words that was answered with a marker (or dropped at
+  // the sender) instead of moving across the fabric.
+  void record_screened(int rank, std::int64_t doubles_elided);
+
  protected:
   // Enqueue into dst's mailbox without fault interposition; used by send()
   // and by ChaosFabric's delayed-delivery thread.
@@ -138,6 +148,8 @@ class Fabric {
     std::atomic<std::int64_t> zero_copy_messages{0};
     std::atomic<std::int64_t> zero_copy_doubles{0};
     std::atomic<std::int64_t> sends_after_stop{0};
+    std::atomic<std::int64_t> blocks_screened{0};
+    std::atomic<std::int64_t> bytes_elided{0};
 
     // Pops the globally oldest live message. Caller holds `mutex` and
     // guarantees pending > 0.

@@ -63,6 +63,7 @@ const char* array_kind_name(ArrayKind kind);
 struct ArrayDecl {
   std::string name;
   ArrayKind kind = ArrayKind::kTemp;
+  bool sparse = false;  // screenable under the runtime sparse threshold
   std::vector<std::string> indices;  // index names per dimension
   int line = 0;
 };

@@ -120,6 +120,7 @@ struct IndexInfo {
 struct ArrayInfo {
   std::string name;
   ArrayKind kind = ArrayKind::kTemp;
+  bool sparse = false;  // screenable under the runtime sparse threshold
   std::vector<int> index_ids;  // declared index per dimension
   int rank() const { return static_cast<int>(index_ids.size()); }
 };

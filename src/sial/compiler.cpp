@@ -50,6 +50,7 @@ class Compiler {
       ArrayInfo info;
       info.name = decl.name;
       info.kind = decl.kind;
+      info.sparse = decl.sparse;
       for (const std::string& index : decl.indices) {
         const int id = program_.index_id(index);
         SIA_CHECK(id >= 0, "sema admitted unknown array index");

@@ -134,8 +134,8 @@ std::string disassemble(const CompiledProgram& program) {
   }
   out << "\n  arrays:";
   for (const ArrayInfo& array : program.arrays) {
-    out << " " << array.name << ":" << array_kind_name(array.kind) << "/"
-        << array.rank();
+    out << " " << array.name << ":" << (array.sparse ? "sparse " : "")
+        << array_kind_name(array.kind) << "/" << array.rank();
   }
   out << "\n  scalars:";
   for (const ScalarInfo& scalar : program.scalars) out << " " << scalar.name;

@@ -14,7 +14,8 @@ namespace {
 constexpr std::array kReserved = {
     "sial", "endsial", "index", "aoindex", "moindex", "moaindex", "mobindex",
     "subindex", "of", "scalar", "static", "temp", "local", "distributed",
-    "served", "proc", "endproc", "call", "pardo", "endpardo", "do", "enddo",
+    "served", "sparse", "proc", "endproc", "call", "pardo", "endpardo",
+    "do", "enddo",
     "in", "where", "if", "else", "endif", "get", "put", "request", "prepare",
     "allocate", "deallocate", "create", "delete", "execute", "sip_barrier",
     "server_barrier", "collective", "print", "println", "exit",

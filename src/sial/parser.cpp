@@ -201,9 +201,10 @@ void Parser::parse_scalar_decl() {
   program_.scalars.push_back(std::move(decl));
 }
 
-void Parser::parse_array_decl(ArrayKind kind) {
+void Parser::parse_array_decl(ArrayKind kind, bool sparse) {
   ArrayDecl decl;
   decl.kind = kind;
+  decl.sparse = sparse;
   decl.line = peek().line;
   decl.name = expect_identifier("as array name");
   expect(TokenKind::kLParen, "in array declaration");
@@ -302,6 +303,24 @@ Body Parser::parse_body(const std::vector<std::string>& terminators,
         if (token.text == "distributed") kind = ArrayKind::kDistributed;
         if (token.text == "served") kind = ArrayKind::kServed;
         parse_array_decl(kind);
+        continue;
+      }
+      if (token.text == "sparse") {
+        // `sparse distributed A(i,j)` / `sparse served B(i,j)`: marks the
+        // array as screenable under SipConfig::sparse_threshold.
+        decl_only_at_top("array");
+        advance();
+        const Token& kind_token = peek();
+        if (kind_token.kind != TokenKind::kKeyword ||
+            (kind_token.text != "distributed" &&
+             kind_token.text != "served")) {
+          fail("'sparse' must be followed by 'distributed' or 'served'");
+        }
+        const ArrayKind kind = kind_token.text == "served"
+                                   ? ArrayKind::kServed
+                                   : ArrayKind::kDistributed;
+        advance();
+        parse_array_decl(kind, /*sparse=*/true);
         continue;
       }
       if (token.text == "proc") {

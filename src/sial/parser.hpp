@@ -48,7 +48,7 @@ class Parser {
   void parse_index_decl(IndexType type);
   void parse_subindex_decl();
   void parse_scalar_decl();
-  void parse_array_decl(ArrayKind kind);
+  void parse_array_decl(ArrayKind kind, bool sparse = false);
   void parse_proc_decl();
 
   // Statements.

@@ -134,6 +134,7 @@ void ResolvedProgram::resolve_arrays() {
     ResolvedArray& array = arrays_[i];
     array.name = info.name;
     array.kind = info.kind;
+    array.sparse = info.sparse;
     array.index_ids = info.index_ids;
     array.total_blocks = 1;
     array.max_block_elements = 1;

@@ -54,6 +54,7 @@ struct ResolvedIndex {
 struct ResolvedArray {
   std::string name;
   ArrayKind kind = ArrayKind::kTemp;
+  bool sparse = false;  // screenable under the runtime sparse threshold
   std::vector<int> index_ids;
   std::vector<int> num_segments;  // per dimension (array grid)
   std::vector<int> seg_lo;        // per dimension: first absolute segment

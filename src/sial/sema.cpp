@@ -42,6 +42,15 @@ void Sema::check_declarations() {
       throw CompileError("array '" + decl.name + "' has no dimensions",
                          decl.line);
     }
+    // The parser only attaches `sparse` to distributed/served
+    // declarations; re-check here for programmatically built ASTs.
+    if (decl.sparse && decl.kind != ArrayKind::kDistributed &&
+        decl.kind != ArrayKind::kServed) {
+      throw CompileError("array '" + decl.name +
+                             "' may not be sparse: only distributed and "
+                             "served arrays are screened",
+                         decl.line);
+    }
     if (decl.indices.size() > 6) {
       throw CompileError("array '" + decl.name + "' exceeds rank 6",
                          decl.line);

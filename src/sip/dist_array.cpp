@@ -25,6 +25,15 @@ BlockPtr DistArrayManager::make_block(const BlockShape& shape) {
                                  pool_.allocate(shape.element_count()));
 }
 
+bool DistArrayManager::screenable(int array_id) const {
+  return shared_.config.sparse_threshold > 0.0 &&
+         shared_.program->array(array_id).sparse;
+}
+
+double DistArrayManager::threshold() const {
+  return shared_.config.sparse_threshold;
+}
+
 BlockShape DistArrayManager::shape_of(const BlockId& id) const {
   const sial::ResolvedArray& array = shared_.program->array(id.array_id);
   return shared_.program->grid_block_shape(
@@ -86,6 +95,13 @@ BlockPtr DistArrayManager::try_read(const BlockId& id) {
   if (owner == my_rank_) {
     auto it = home_.find(id);
     if (it == home_.end()) {
+      // Sparse semantics: an absent block of a screenable array reads as
+      // zero (it was either screened at put time or never received an
+      // above-threshold contribution).
+      if (screenable(id.array_id)) {
+        ++stats_.zero_reads;
+        return zero_block(shape_of(id));
+      }
       throw RuntimeError(
           "get of distributed block " + id.to_string() + " of '" +
           shared_.program->array(id.array_id).name +
@@ -153,8 +169,45 @@ void DistArrayManager::put(const BlockId& id, BlockPtr data,
                            bool accumulate) {
   SIA_CHECK(data != nullptr, "DistArrayManager::put: null block");
   const int owner = shared_.owner_rank(id);
+  if (screenable(id.array_id) && data->norm() < threshold()) {
+    // Below-threshold payload: never moves. An accumulate contribution is
+    // dropped outright (error bounded by the threshold); a replace is
+    // recorded in the owner's norm table so reads answer "screened".
+    const double norm = data->norm();
+    ++stats_.puts_screened;
+    if (owner == my_rank_) {
+      check_write_conflict(id, my_rank_, accumulate);
+      if (!accumulate) {
+        auto it = home_.find(id);
+        if (it != home_.end()) {
+          home_doubles_ -= it->second->size();
+          home_.erase(it);
+        }
+        screened_norms_[id] = norm;
+      }
+      return;
+    }
+    shared_.fabric->record_screened(
+        my_rank_, static_cast<std::int64_t>(data->size()));
+    if (accumulate) return;
+    // A replace conflicts with shadowed accumulates; push them out first
+    // so the home-side conflict detector sees both writes.
+    if (coalesce_.count(id) > 0) flush_coalesced_block(id);
+    ++stats_.puts_remote;
+    msg::Message message;
+    message.tag = msg::kBlockPut;
+    message.header = {id.array_id, linear_of(id), my_rank_, /*screened=*/1};
+    message.data = {norm};
+    if (channel_ != nullptr) {
+      channel_->send_ordered(owner, std::move(message));
+    } else {
+      shared_.fabric->send(my_rank_, owner, std::move(message));
+    }
+    return;
+  }
   if (owner == my_rank_) {
     ++stats_.puts_local;
+    screened_norms_.erase(id);
     check_write_conflict(id, my_rank_, accumulate);
     if (data->size() != shape_of(id).element_count()) {
       throw RuntimeError("put: shape mismatch for block " + id.to_string());
@@ -241,6 +294,13 @@ void DistArrayManager::delete_array(int array_id) {
       ++it;
     }
   }
+  for (auto it = screened_norms_.begin(); it != screened_norms_.end();) {
+    if (it->first.array_id == array_id) {
+      it = screened_norms_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   cache_.erase_array(array_id);
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->first.array_id == array_id) {
@@ -295,6 +355,24 @@ void DistArrayManager::handle_get_request(const msg::Message& message) {
 
   auto it = home_.find(id);
   if (it == home_.end()) {
+    if (screenable(array_id)) {
+      // Screened (or never-contributed) block of a sparse array: answer
+      // with a tiny norm-only marker instead of a payload. The client
+      // caches the canonical zero block, so the payload never moves.
+      ++stats_.gets_screened;
+      auto norm_it = screened_norms_.find(id);
+      shared_.fabric->record_screened(
+          my_rank_,
+          static_cast<std::int64_t>(shape_of(id).element_count()));
+      msg::Message reply;
+      reply.tag = msg::kBlockGetReply;
+      reply.header = {array_id, linear, /*found=*/0, /*screened=*/1};
+      reply.data = {norm_it != screened_norms_.end() ? norm_it->second
+                                                     : 0.0};
+      reply.ack = message.seq;  // the reply is the request's ack
+      shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
+      return;
+    }
     // Not an error here: a look-ahead prefetch may run past what has been
     // put. The miss is reported back and only the *use* of the block
     // raises an error (try_read).
@@ -338,6 +416,14 @@ void DistArrayManager::handle_get_reply(msg::Message& message) {
   }
   pending_.erase(it);
   if (message.header.size() > 2 && message.header[2] == 0) {
+    if (message.header.size() > 3 && message.header[3] != 0) {
+      // Screened marker: cache the canonical zero block so the demand
+      // read is satisfied locally and no further get (demand or
+      // look-ahead) is issued for this block this epoch.
+      ++stats_.zero_reads;
+      cache_.put(id, zero_block(shape_of(id)));
+      return;
+    }
     misses_.insert(id);
     return;
   }
@@ -354,6 +440,19 @@ void DistArrayManager::handle_put(msg::Message& message, bool accumulate) {
   const BlockId id = id_from_linear(array_id, message.header[1]);
   const int writer = static_cast<int>(message.header[2]);
   check_write_conflict(id, writer, accumulate);
+
+  if (message.header.size() > 3 && message.header[3] != 0) {
+    // Screened replace marker: the sender's payload was below the
+    // threshold, so the block becomes a norm-table entry with no storage.
+    auto it = home_.find(id);
+    if (it != home_.end()) {
+      home_doubles_ -= it->second->size();
+      home_.erase(it);
+    }
+    screened_norms_[id] = message.data.empty() ? 0.0 : message.data[0];
+    return;
+  }
+  screened_norms_.erase(id);
 
   BlockPtr incoming = std::move(message.block);
   const std::size_t incoming_size =

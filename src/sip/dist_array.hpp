@@ -49,6 +49,10 @@ class DistArrayManager {
     std::int64_t coalesce_flushes = 0; // shadow entries sent out
     std::int64_t replies_dropped = 0;  // stale (pre-barrier) replies
     std::int64_t home_cow_copies = 0;  // copy-on-write before home mutation
+    // Norm-based screening (sparse arrays, sparse_threshold > 0).
+    std::int64_t puts_screened = 0;  // put/put+= payloads dropped at sender
+    std::int64_t gets_screened = 0;  // get requests answered with a marker
+    std::int64_t zero_reads = 0;     // reads satisfied by the zero block
   };
 
   DistArrayManager(SipShared& shared, int my_rank, BlockPool& pool,
@@ -113,6 +117,12 @@ class DistArrayManager {
     return home_;
   }
   void store_home_block(const BlockId& id, BlockPtr block);
+  // Norm table of home blocks screened out at put time (block id ->
+  // recorded norm); these have no backing store and read as zero.
+  const std::unordered_map<BlockId, double, BlockIdHash>& screened_norms()
+      const {
+    return screened_norms_;
+  }
   const Stats& stats() const { return stats_; }
   const BlockCache& cache() const { return cache_; }
   // Cache statistics accumulated across barrier-induced cache resets.
@@ -145,6 +155,11 @@ class DistArrayManager {
   void send_put_message(const BlockId& id, BlockPtr exclusive_data,
                         bool accumulate, int owner);
 
+  // True when blocks of this array are screened: the array is declared
+  // sparse and the runtime threshold is on.
+  bool screenable(int array_id) const;
+  double threshold() const;
+
   BlockPtr make_block(const BlockShape& shape);
   BlockShape shape_of(const BlockId& id) const;
   std::int64_t linear_of(const BlockId& id) const;
@@ -157,6 +172,10 @@ class DistArrayManager {
 
   std::unordered_map<BlockId, BlockPtr, BlockIdHash> home_;
   std::unordered_map<BlockId, WriteRecord, BlockIdHash> write_records_;
+  // Home-side norm table: blocks screened out at put time. An entry means
+  // "this block was replaced by a value below the threshold"; reads of it
+  // are answered with the canonical zero block and no storage is held.
+  std::unordered_map<BlockId, double, BlockIdHash> screened_norms_;
   BlockCache cache_;
   // In-flight gets with the epoch they were issued in.
   std::unordered_map<BlockId, std::int64_t, BlockIdHash> pending_;

@@ -511,7 +511,8 @@ void Interpreter::run_window_block_op(const Instruction& instr,
                                                     : CopyMode::kSubtract;
       with_dst(mode != CopyMode::kAssign, [&](Block& dst_block) {
         block_copy_permute(dst_block, ids_of(instr.blocks[0]), *src,
-                           ids_of(instr.blocks[1]), mode);
+                           ids_of(instr.blocks[1]), mode,
+                           shared_.config.sparse_threshold);
       });
       return;
     }
@@ -524,7 +525,8 @@ void Interpreter::run_window_block_op(const Instruction& instr,
         if (bin_op == sial::BinOp::kMul) {
           block_contract(dst_block, ids_of(instr.blocks[0]), *a,
                          ids_of(instr.blocks[1]), *b,
-                         ids_of(instr.blocks[2]), accumulate);
+                         ids_of(instr.blocks[2]), accumulate,
+                         shared_.config.sparse_threshold);
         } else {
           block_add(dst_block, ids_of(instr.blocks[0]), *a,
                     ids_of(instr.blocks[1]), *b, ids_of(instr.blocks[2]),
@@ -620,10 +622,30 @@ void Interpreter::window_block_op(const Instruction& instr, double scalar0) {
   // same-target updates in program order.
   if (needs_existing || dst.sliced) entry.reads.push_back(dst.id());
 
-  const Instruction* ip = &instr;  // program code is stable for the run
-  entry.execute = [this, ip, op, scalar0] {
-    run_window_block_op(*ip, *op, scalar0);
-  };
+  // Decode-time screening: an accumulate-mode contraction whose operands
+  // are both bound already (local/cached, no fetch pending) and whose
+  // norm product is below the threshold contributes nothing — leave the
+  // entry retire-only, so it flows straight through the window without
+  // ever occupying a pool thread. Sliced operands screen on the base
+  // block's norm, which bounds every slice's norm from above. Operands
+  // still in flight fall through to the execute-time screen inside
+  // block_contract.
+  const double screen = shared_.config.sparse_threshold;
+  const bool screened_contract =
+      screen > 0.0 && instr.op == Opcode::kBlockBinary &&
+      instr.a0 == kModeAcc &&
+      static_cast<sial::BinOp>(instr.a1) == sial::BinOp::kMul &&
+      entry.pending_operands.empty() && op->src[0] != nullptr &&
+      op->src[1] != nullptr &&
+      op->src[0]->norm() * op->src[1]->norm() < screen;
+  if (screened_contract) {
+    note_kernel_screened();
+  } else {
+    const Instruction* ip = &instr;  // program code is stable for the run
+    entry.execute = [this, ip, op, scalar0] {
+      run_window_block_op(*ip, *op, scalar0);
+    };
+  }
   enqueue_entry(std::move(entry));
 }
 
@@ -910,7 +932,8 @@ void Interpreter::exec_block_copy(const Instruction& instr) {
                                                   : CopyMode::kSubtract;
   with_write_block(dst, mode != CopyMode::kAssign, [&](Block& dst_block) {
     block_copy_permute(dst_block, ids_of(instr.blocks[0]), *src,
-                       ids_of(instr.blocks[1]), mode);
+                       ids_of(instr.blocks[1]), mode,
+                       shared_.config.sparse_threshold);
   });
 }
 
@@ -925,7 +948,7 @@ void Interpreter::exec_block_binary(const Instruction& instr) {
     if (op == sial::BinOp::kMul) {
       block_contract(dst_block, ids_of(instr.blocks[0]), *a,
                      ids_of(instr.blocks[1]), *b, ids_of(instr.blocks[2]),
-                     accumulate);
+                     accumulate, shared_.config.sparse_threshold);
     } else {
       block_add(dst_block, ids_of(instr.blocks[0]), *a,
                 ids_of(instr.blocks[1]), *b, ids_of(instr.blocks[2]),
@@ -1440,7 +1463,8 @@ void Interpreter::step() {
       BlockPtr a = read_operand(instr.blocks[0]);
       BlockPtr b = read_operand(instr.blocks[1]);
       push(block_dot(*a, ids_of(instr.blocks[0]), *b,
-                     ids_of(instr.blocks[1])));
+                     ids_of(instr.blocks[1]),
+                     shared_.config.sparse_threshold));
       ++pc_;
       return;
     }

@@ -80,12 +80,31 @@ bool DiskStore::has(std::int64_t linear) const {
   return present_[static_cast<std::size_t>(linear)] != 0;
 }
 
+bool DiskStore::is_screened(std::int64_t linear) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return present_[static_cast<std::size_t>(linear)] == 2;
+}
+
+void DiskStore::record_screened(std::int64_t linear) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  present_[static_cast<std::size_t>(linear)] = 2;
+  if (map_dirty_lo_ < 0 || linear < map_dirty_lo_) map_dirty_lo_ = linear;
+  if (linear > map_dirty_hi_) map_dirty_hi_ = linear;
+}
+
 void DiskStore::read(std::int64_t linear, double* out,
                      std::size_t count) const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (present_[static_cast<std::size_t>(linear)] == 0) {
+    const char state = present_[static_cast<std::size_t>(linear)];
+    if (state == 0) {
       throw RuntimeError("disk read of absent served block");
+    }
+    if (state == 2) {
+      // Screened block: present, but its data never hit the file (the
+      // slot may not even exist). It reads as zeros by definition.
+      std::fill(out, out + count, 0.0);
+      return;
     }
   }
   if (injector_ != nullptr) {
@@ -179,6 +198,17 @@ std::int64_t DiskStore::blocks_written() const {
 std::int64_t DiskStore::map_flushes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return map_flushes_;
+}
+
+std::int64_t DiskStore::screened_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::count(present_.begin(), present_.end(), char{2});
+}
+
+std::int64_t DiskStore::present_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::int64_t>(present_.size()) -
+         std::count(present_.begin(), present_.end(), char{0});
 }
 
 // ---------------------------------------------------------------------
@@ -495,6 +525,24 @@ IoServer::IoServer(SipShared& shared, int my_rank)
                    shared_.program->array(id.array_id);
                const std::int64_t linear =
                    id.linearize(array.num_segments);
+               // Re-screen at eviction: an accumulated block that decayed
+               // below the threshold needs no disk write — a presence-map
+               // marker suffices. Skipped when an older version of the
+               // same block is queued/in flight on the lanes: a marker
+               // cannot outrank those writes (same-slot FIFO is what keeps
+               // replays exactly-once), so the data takes the normal path.
+               if (screenable(id.array_id) &&
+                   block->norm() < shared_.config.sparse_threshold &&
+                   write_behind_.lookup(id.array_id, linear) == nullptr) {
+                 ++stats_.evictions_screened;
+                 shared_.fabric->record_screened(
+                     my_rank_, static_cast<std::int64_t>(block->size()));
+                 store_for(id.array_id).record_screened(linear);
+                 // Any durability acks stay pending: the marker becomes
+                 // durable at the next presence-map flush (barrier or
+                 // flush hint), where flush() acks the leftovers.
+                 return;
+               }
                write_behind_.enqueue(&store_for(id.array_id), id.array_id,
                                      linear, block,
                                      take_pending_acks(id.array_id, linear));
@@ -579,6 +627,11 @@ BlockShape IoServer::shape_of(const BlockId& id) const {
       array, {id.segments.data(), static_cast<std::size_t>(id.rank)});
 }
 
+bool IoServer::screenable(int array_id) const {
+  return shared_.config.sparse_threshold > 0.0 &&
+         shared_.program->array(array_id).sparse;
+}
+
 BlockPtr IoServer::load_block(const BlockId& id, bool* found) {
   const sial::ResolvedArray& array = shared_.program->array(id.array_id);
   const std::int64_t linear = id.linearize(array.num_segments);
@@ -624,6 +677,13 @@ void IoServer::handle_prepare(msg::Message& message, bool accumulate) {
   record.epoch = epoch_;
   record.writer = writer;
   record.accumulate = accumulate;
+
+  // Header-only screened replace: the payload stayed below the screening
+  // threshold at the sender, so only a presence-map marker travels.
+  if (message.header.size() > 3 && message.header[3] != 0) {
+    apply_screened_prepare(message, id, message.header[1]);
+    return;
+  }
 
   // Under the reliable protocol this prepare is owed a *durability* ack:
   // it is acked (and journaled) only once the carrying block is retired
@@ -720,6 +780,56 @@ void IoServer::handle_prepare(msg::Message& message, bool accumulate) {
   reply_to_stolen(block);
 }
 
+void IoServer::apply_screened_prepare(msg::Message& message,
+                                      const BlockId& id,
+                                      std::int64_t linear) {
+  ++stats_.prepares_screened;
+  // Like a full replace prepare, the marker supersedes any disk read of
+  // the block still in flight: bump the version so the read's completion
+  // is discarded, and answer its waiters with the fresh (screened) state.
+  ++prepare_versions_[id];
+  std::vector<Waiter> stolen;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto inflight = inflight_.find(id);
+    if (inflight != inflight_.end()) {
+      stolen = std::move(inflight->second.waiters);
+      inflight_.erase(inflight);
+    }
+  }
+  for (const Waiter& waiter : stolen) {
+    send_screened_reply(waiter.reply_rank, id.array_id, linear,
+                        waiter.lookahead, waiter.req_seq);
+  }
+  // Drop the cached pre-marker version; reads now answer from the map.
+  // The marker also supersedes earlier prepares of this block still owed
+  // a durability ack (their data will never retire now) — ack them along
+  // with the marker itself, like handle_delete does for a deleted array.
+  cache_.erase(id);
+  WriteBehind::AckList acks = take_pending_acks(id.array_id, linear);
+  if (ft_ && message.seq != 0) acks.push_back({message.src, message.seq});
+  DiskStore& store = store_for(id.array_id);
+  if (write_behind_.lookup(id.array_id, linear) != nullptr) {
+    // An older version of the slot is queued (or mid-write) on the lanes.
+    // A bare presence byte cannot be ordered against those writes, so the
+    // replace ships as a real zero block through the same-slot FIFO: it
+    // lands last and the slot ends up correct, merely un-elided for this
+    // rare race.
+    write_behind_.enqueue(&store, id.array_id, linear,
+                          zero_block(shape_of(id)), std::move(acks));
+    return;
+  }
+  store.record_screened(linear);
+  if (!acks.empty()) {
+    // Journal-before-ack needs the marker durable first: one presence
+    // byte, one small pwrite. A screened block must never be "durable by
+    // absence" — the respawned incarnation has to distinguish it from a
+    // block that was never prepared.
+    store.flush_map();
+    ack_durable(acks);
+  }
+}
+
 void IoServer::send_reply(int reply_rank, int array_id, std::int64_t linear,
                           BlockPtr block, bool lookahead,
                           std::uint64_t ack) {
@@ -747,6 +857,20 @@ void IoServer::send_miss_reply(int reply_rank, int array_id,
   msg::Message reply;
   reply.tag = msg::kServedReply;
   reply.header = {array_id, linear, /*miss=*/1, /*lookahead=*/1};
+  reply.ack = ack;
+  shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
+}
+
+void IoServer::send_screened_reply(int reply_rank, int array_id,
+                                   std::int64_t linear, bool lookahead,
+                                   std::uint64_t ack) {
+  // Screened (or sparse-and-never-prepared) block: the client adopts the
+  // canonical zero block, so no payload moves — a five-word header
+  // replaces a full block reply.
+  msg::Message reply;
+  reply.tag = msg::kServedReply;
+  reply.header = {array_id, linear, /*miss=*/1, lookahead ? 1 : 0,
+                  /*screened=*/1};
   reply.ack = ack;
   shared_.fabric->send(my_rank_, reply_rank, std::move(reply));
 }
@@ -868,6 +992,27 @@ void IoServer::handle_request(const msg::Message& message) {
     send_reply(reply_rank, array_id, linear, std::move(block), lookahead,
                message.seq);
     return;
+  }
+
+  // Screening happens before any disk work: a block recorded screened —
+  // or one of a sparse array that was never prepared at all, because
+  // every contribution was dropped below threshold at its sender — is
+  // answered with a norm-only reply. Prepares and the queue-feeding
+  // eviction paths all run on this thread, so the presence/queue check
+  // here cannot race a concurrent state change.
+  if (screenable(array_id) &&
+      write_behind_.lookup(array_id, linear) == nullptr) {
+    DiskStore& store = store_for(array_id);
+    if (store.is_screened(linear) ||
+        (!store.has(linear) && generator_for(array_id) == nullptr)) {
+      ++stats_.requests_screened;
+      shared_.fabric->record_screened(
+          my_rank_,
+          static_cast<std::int64_t>(shape_of(id).element_count()));
+      send_screened_reply(reply_rank, array_id, linear, lookahead,
+                          message.seq);
+      return;
+    }
   }
 
   if (disk_pool_) {
@@ -998,9 +1143,9 @@ void IoServer::flush() {
   // Presence maps hit disk at least once per barrier even if the lanes
   // deferred them.
   for (auto& [array_id, store] : stores_) store->flush_map();
-  // Everything is durable now; any durability ack that was not carried
-  // out by a retiring batch (it should not happen, but a cheap safety
-  // net keeps a worker from retrying forever) goes out here.
+  // Everything is durable now — including presence-map markers from
+  // screened evictions, whose acks deliberately wait for this flush. Any
+  // other ack not carried out by a retiring batch goes out here too.
   if (ft_ && !pending_acks_.empty()) {
     WriteBehind::AckList leftovers;
     for (auto& [key, acks] : pending_acks_) {
@@ -1155,6 +1300,16 @@ IoServer::Stats IoServer::stats() const {
     merged.map_flushes += store->map_flushes();
   }
   return merged;
+}
+
+std::unordered_map<int, std::pair<std::int64_t, std::int64_t>>
+IoServer::presence() const {
+  std::unordered_map<int, std::pair<std::int64_t, std::int64_t>> census;
+  for (const auto& [array_id, store] : stores_) {
+    census.emplace(array_id, std::make_pair(store->screened_count(),
+                                            store->present_count()));
+  }
+  return census;
 }
 
 void IoServer::run() {

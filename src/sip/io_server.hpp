@@ -89,7 +89,16 @@ class DiskStore {
   DiskStore& operator=(const DiskStore&) = delete;
 
   bool has(std::int64_t linear) const;
+  // True if the block is recorded as screened (present, but all content
+  // below the screening threshold — no bytes in the data file).
+  bool is_screened(std::int64_t linear) const;
+  // Marks the block present-but-screened in the presence map (byte 2)
+  // without touching the data file. flush_map() persists the byte, so a
+  // screened block is never "durable by absence": the respawned server
+  // can tell it apart from a block that was never prepared.
+  void record_screened(std::int64_t linear);
   // Reads `count` doubles of block `linear` into `out`. Throws if absent.
+  // A screened block reads as zeros without touching the data file.
   void read(std::int64_t linear, double* out, std::size_t count) const;
   // Writes block data and immediately persists the presence-map byte
   // (write_deferred + flush_map).
@@ -108,6 +117,9 @@ class DiskStore {
 
   std::int64_t blocks_written() const;
   std::int64_t map_flushes() const;
+  // Presence-map census: blocks recorded screened / recorded at all.
+  std::int64_t screened_count() const;
+  std::int64_t present_count() const;
 
   // Crash simulation: the server rank "died", so the destructor must not
   // flush the in-memory presence map over the on-disk one — the on-disk
@@ -266,6 +278,10 @@ class IoServer {
     // Retransmitted prepares dropped by the per-peer dedup window
     // (exactly-once apply under the reliable protocol).
     std::int64_t dup_msgs_dropped = 0;
+    // Norm-based screening (sparse arrays, sparse_threshold > 0).
+    std::int64_t prepares_screened = 0;   // marker prepares (no payload)
+    std::int64_t requests_screened = 0;   // answered with a norm-only reply
+    std::int64_t evictions_screened = 0;  // dirty victims re-screened
   };
 
   IoServer(SipShared& shared, int my_rank);
@@ -277,6 +293,11 @@ class IoServer {
   // Counters merged from the message loop, the disk pool, the write-behind
   // lanes, and the disk stores. Safe to call once run() returned.
   Stats stats() const;
+
+  // Presence-map census per array: array_id -> (screened blocks, blocks
+  // recorded present at all). Safe to call once run() returned.
+  std::unordered_map<int, std::pair<std::int64_t, std::int64_t>> presence()
+      const;
 
  private:
   // Mutable reference: prepare adopts the message's block payload.
@@ -318,6 +339,18 @@ class IoServer {
                   BlockPtr block, bool lookahead, std::uint64_t ack);
   void send_miss_reply(int reply_rank, int array_id, std::int64_t linear,
                        std::uint64_t ack);
+  // Norm-only reply for a screened (or sparse-and-absent) block: the
+  // client adopts the canonical zero block instead of moving a payload.
+  void send_screened_reply(int reply_rank, int array_id,
+                           std::int64_t linear, bool lookahead,
+                           std::uint64_t ack);
+  bool screenable(int array_id) const;
+  // Applies a header-only screened replace prepare (no block payload):
+  // records the block in the presence map instead of storing data.
+  // Conflict detection and version bookkeeping happen in handle_prepare
+  // before this is called.
+  void apply_screened_prepare(msg::Message& message, const BlockId& id,
+                              std::int64_t linear);
   // Runs on a DiskPool thread: read (or generate) the block, reply to
   // every waiter, queue a completion for the cache warm. `version` is the
   // prepare version observed when the job was submitted; a completion

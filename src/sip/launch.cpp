@@ -81,6 +81,9 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
         result.dry_run.workers_needed);
   }
 
+  // Screened-kernel counter is process-global; delta it across the run.
+  const std::uint64_t kernels_screened_before = kernels_screened_count();
+
   const bool fault_tolerant = config_.fault_tolerance_enabled();
   std::unique_ptr<msg::Fabric> fabric;
   if (config_.fault_plan.active()) {
@@ -132,9 +135,12 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
   }
 
   std::vector<std::thread> threads;
-  // The respawn closure indexes `threads` by rank while other threads are
-  // live; reserve so emplace_back never reallocates out from under it.
-  threads.reserve(static_cast<std::size_t>(config_.total_ranks()));
+  // The respawn closure indexes `threads` by rank from the master's
+  // heartbeat thread. Size the vector once and fill it by rank with the
+  // master started last, so every write happens-before the master thread
+  // exists; after launch only the master mutates it, and the join loop
+  // reads the other slots only after the master (joined first) exits.
+  threads.resize(static_cast<std::size_t>(config_.total_ranks()));
   if (fault_tolerant && config_.server_recovery) {
     shared.respawn_server = [&](int rank) -> bool {
       const int s = rank - 1 - config_.workers;
@@ -165,13 +171,17 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
       return true;
     };
   }
-  threads.emplace_back([&master] { master.run(); });
-  for (auto& worker : workers) {
-    threads.emplace_back([&worker] { worker->run(); });
+  for (int w = 0; w < config_.workers; ++w) {
+    Interpreter* interp = workers[static_cast<std::size_t>(w)].get();
+    threads[static_cast<std::size_t>(1 + w)] =
+        std::thread([interp] { interp->run(); });
   }
-  for (auto& server : servers) {
-    threads.emplace_back([&server] { server->run(); });
+  for (int s = 0; s < config_.io_servers; ++s) {
+    IoServer* srv = servers[static_cast<std::size_t>(s)].get();
+    threads[static_cast<std::size_t>(1 + config_.workers + s)] =
+        std::thread([srv] { srv->run(); });
   }
+  threads[0] = std::thread([&master] { master.run(); });
   for (std::thread& thread : threads) thread.join();
 
   {
@@ -337,6 +347,62 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
   }
   if (disk_injector) {
     robustness.faults_disk = disk_injector->faults_injected();
+  }
+
+  // Norm-based screening: fabric elisions, worker/server counters, and a
+  // per-array census of blocks that never materialized.
+  ProfileReport::Screening& screening = result.profile.screening;
+  screening.threshold = config_.sparse_threshold;
+  screening.blocks_screened = result.traffic.blocks_screened;
+  screening.bytes_elided = result.traffic.bytes_elided;
+  screening.kernels_screened = static_cast<std::int64_t>(
+      kernels_screened_count() - kernels_screened_before);
+  std::map<int, std::int64_t> dist_resident;   // array_id -> home blocks
+  std::map<int, std::int64_t> served_present;  // array_id -> data blocks
+  for (const auto& worker : workers) {
+    const DistArrayManager::Stats& dist = worker->dist().stats();
+    screening.puts_screened += dist.puts_screened;
+    screening.gets_screened += dist.gets_screened;
+    screening.zero_reads += dist.zero_reads;
+    const ServedArrayClient::Stats& served = worker->served().stats();
+    screening.prepares_screened += served.prepares_screened;
+    screening.zero_reads += served.zero_reads;
+    for (const auto& [id, block] : worker->dist().home_blocks()) {
+      ++dist_resident[id.array_id];
+    }
+  }
+  for (const auto& server : servers) {
+    const IoServer::Stats stats = server->stats();
+    screening.requests_screened += stats.requests_screened;
+    screening.evictions_screened += stats.evictions_screened;
+    for (const auto& [array_id, census] : server->presence()) {
+      // Blocks with real bytes on disk; screened markers read as zero.
+      served_present[array_id] += census.second - census.first;
+    }
+  }
+  if (config_.sparse_threshold > 0.0) {
+    const auto& arrays = resolved.arrays();
+    for (std::size_t a = 0; a < arrays.size(); ++a) {
+      const sial::ResolvedArray& array = arrays[a];
+      if (!array.sparse) continue;
+      ProfileReport::Screening::ArrayCensus census;
+      census.name = array.name;
+      census.total = array.total_blocks;
+      const int id = static_cast<int>(a);
+      // A sparse array's screened population is everything that never
+      // materialized: blocks replaced by norm markers plus blocks whose
+      // every contribution was dropped at the sender.
+      if (array.kind == sial::ArrayKind::kDistributed) {
+        auto it = dist_resident.find(id);
+        census.screened =
+            census.total - (it == dist_resident.end() ? 0 : it->second);
+      } else {
+        auto it = served_present.find(id);
+        census.screened =
+            census.total - (it == served_present.end() ? 0 : it->second);
+      }
+      screening.arrays.push_back(std::move(census));
+    }
   }
   return result;
 }

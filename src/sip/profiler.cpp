@@ -78,6 +78,30 @@ std::string ProfileReport::to_string() const {
         << TablePrinter::num(executor.thread_busy_seconds * 1e3, 2)
         << " ms\n";
   }
+  if (screening.any()) {
+    out << "screening: threshold " << screening.threshold << ", "
+        << screening.blocks_screened << " transfers elided ("
+        << TablePrinter::num(
+               static_cast<double>(screening.bytes_elided) / (1024.0 * 1024.0),
+               2)
+        << " MiB), " << screening.kernels_screened << " kernels skipped\n";
+    out << "  puts " << screening.puts_screened << " dropped, gets "
+        << screening.gets_screened << " norm-only; prepares "
+        << screening.prepares_screened << " dropped, requests "
+        << screening.requests_screened << " norm-only; "
+        << screening.zero_reads << " zero-block reads, "
+        << screening.evictions_screened << " victims re-screened\n";
+    for (const Screening::ArrayCensus& array : screening.arrays) {
+      out << "  array " << array.name << ": " << array.screened << "/"
+          << array.total << " blocks screened ("
+          << TablePrinter::num(
+                 array.total > 0 ? 100.0 * static_cast<double>(array.screened) /
+                                       static_cast<double>(array.total)
+                                 : 0.0,
+                 1)
+          << "%)\n";
+    }
+  }
   if (!pardos.empty()) {
     out << "pardo loops:\n";
     for (const PardoCost& pardo : pardos) {

@@ -220,6 +220,38 @@ struct ProfileReport {
   };
   Executor executor;
 
+  // Norm-based screening counters (sparse arrays, sparse_threshold > 0),
+  // aggregated over workers, servers, and the fabric. All zero when
+  // screening is off.
+  struct Screening {
+    double threshold = 0.0;            // config.sparse_threshold
+    std::int64_t blocks_screened = 0;  // payload transfers elided (fabric)
+    std::int64_t bytes_elided = 0;     // bytes those payloads would move
+    std::int64_t kernels_screened = 0; // GEMMs/dots/permutes skipped
+    std::int64_t puts_screened = 0;      // dist put payloads dropped
+    std::int64_t gets_screened = 0;      // dist gets answered norm-only
+    std::int64_t prepares_screened = 0;  // served prepares dropped/markers
+    std::int64_t requests_screened = 0;  // served requests norm-only
+    std::int64_t zero_reads = 0;         // reads satisfied by the zero block
+    std::int64_t evictions_screened = 0; // dirty victims re-screened
+    // Per sparse array: blocks absent-or-screened vs total blocks.
+    struct ArrayCensus {
+      std::string name;
+      std::int64_t screened = 0;
+      std::int64_t total = 0;
+    };
+    std::vector<ArrayCensus> arrays;
+
+    bool any() const {
+      return threshold > 0.0 &&
+             (blocks_screened != 0 || kernels_screened != 0 ||
+              puts_screened != 0 || gets_screened != 0 ||
+              prepares_screened != 0 || requests_screened != 0 ||
+              zero_reads != 0 || !arrays.empty());
+    }
+  };
+  Screening screening;
+
   // Percentage of elapsed time spent waiting (the paper's bottom line in
   // Fig. 2), averaged over workers.
   double wait_percent() const;

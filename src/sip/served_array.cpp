@@ -29,6 +29,15 @@ std::int64_t ServedArrayClient::linear_of(const BlockId& id) const {
   return id.linearize(array.num_segments);
 }
 
+bool ServedArrayClient::screenable(int array_id) const {
+  return shared_.config.sparse_threshold > 0.0 &&
+         shared_.program->array(array_id).sparse;
+}
+
+double ServedArrayClient::threshold() const {
+  return shared_.config.sparse_threshold;
+}
+
 BlockPtr ServedArrayClient::make_exclusive(BlockPtr data) {
   if (data.use_count() == 1) return data;
   auto copy = std::make_shared<Block>(data->shape(),
@@ -130,9 +139,44 @@ void ServedArrayClient::send_prepare_message(const BlockId& id,
   }
 }
 
+void ServedArrayClient::send_screened_prepare(const BlockId& id,
+                                              double norm) {
+  ++stats_.prepares;
+  // Same pre-write invalidation as a full prepare: the cached copy and
+  // any speculative reply in flight pre-date this write.
+  cache_.erase(id);
+  auto it = pending_.find(id);
+  if (it != pending_.end() && it->second.lookahead_inflight) {
+    it->second.lookahead_stale = true;
+  }
+  msg::Message message;
+  message.tag = msg::kServedPrepare;
+  message.header = {id.array_id, linear_of(id), my_rank_, /*screened=*/1};
+  message.data = {norm};
+  const int server = shared_.server_rank(id);
+  if (channel_ != nullptr) {
+    channel_->send_ordered(server, std::move(message));
+  } else {
+    shared_.fabric->send(my_rank_, server, std::move(message));
+  }
+}
+
 void ServedArrayClient::prepare(const BlockId& id, BlockPtr data,
                                 bool accumulate) {
   SIA_CHECK(data != nullptr, "ServedArrayClient::prepare: null block");
+  if (screenable(id.array_id) && data->norm() < threshold()) {
+    // Below-threshold payload never moves: an accumulate contribution is
+    // dropped at the sender, a replace becomes a tiny presence-map
+    // marker on the server.
+    const double norm = data->norm();
+    ++stats_.prepares_screened;
+    shared_.fabric->record_screened(
+        my_rank_, static_cast<std::int64_t>(data->size()));
+    if (accumulate) return;
+    if (coalesce_.count(id) > 0) flush_coalesced_block(id);
+    send_screened_prepare(id, norm);
+    return;
+  }
   if (!accumulate) {
     if (coalesce_.count(id) > 0) flush_coalesced_block(id);
     send_prepare_message(id, make_exclusive(std::move(data)), false);
@@ -196,6 +240,8 @@ void ServedArrayClient::handle_reply(msg::Message& message) {
     return;
   }
   Pending& entry = it->second;
+  const bool screened =
+      message.header.size() > 4 && message.header[4] != 0;
   if (lookahead) {
     entry.lookahead_inflight = false;
     if (entry.lookahead_stale) {
@@ -207,7 +253,7 @@ void ServedArrayClient::handle_reply(msg::Message& message) {
       if (!entry.demand_inflight) pending_.erase(it);
       return;
     }
-    if (miss) {
+    if (miss && !screened) {
       // Look-ahead miss: the block does not exist on the server (yet).
       // Forget the speculative request; a demand request re-asks and
       // fails the run only if the program really reads an absent block.
@@ -215,6 +261,15 @@ void ServedArrayClient::handle_reply(msg::Message& message) {
       if (!entry.demand_inflight) pending_.erase(it);
       return;
     }
+  }
+  if (miss && screened) {
+    // Screened block: adopt the canonical zero block. This satisfies a
+    // demand read outright and suppresses any future fetch (demand or
+    // look-ahead) of the block this epoch via the cache.
+    ++stats_.zero_reads;
+    cache_.put(id, zero_block(shape_of(id)));
+    pending_.erase(it);
+    return;
   }
   SIA_CHECK(message.block != nullptr, "served reply without block payload");
   if (message.block->size() != shape_of(id).element_count()) {

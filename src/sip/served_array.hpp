@@ -33,6 +33,9 @@ class ServedArrayClient {
     std::int64_t prepares_coalesced = 0; // merged into the shadow table
     std::int64_t coalesce_flushes = 0;   // shadow entries sent out
     std::int64_t replies_dropped = 0;
+    // Norm-based screening (sparse arrays, sparse_threshold > 0).
+    std::int64_t prepares_screened = 0;  // payloads dropped at the sender
+    std::int64_t zero_reads = 0;         // replies answered "screened"
   };
 
   ServedArrayClient(SipShared& shared, int my_rank, BlockPool& pool,
@@ -81,10 +84,15 @@ class ServedArrayClient {
  private:
   BlockShape shape_of(const BlockId& id) const;
   std::int64_t linear_of(const BlockId& id) const;
+  bool screenable(int array_id) const;
+  double threshold() const;
   BlockPtr make_exclusive(BlockPtr data);
   void flush_coalesced_block(const BlockId& id);
   void send_prepare_message(const BlockId& id, BlockPtr exclusive_data,
                             bool accumulate);
+  // Header-only replace prepare for a below-threshold payload: the server
+  // records the block as screened in its presence map without a write.
+  void send_screened_prepare(const BlockId& id, double norm);
 
   // One in-flight fetch of a block. A look-ahead and a demand request
   // may be outstanding at once (look-ahead promotion); `lookahead_stale`

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 
@@ -30,15 +31,37 @@ int find_id(std::span<const int> ids, int id) {
 // it so tests catch the regression.
 std::atomic<std::uint64_t> g_operand_permutes{0};
 
+// Block kernels skipped by norm screening (contractions, dots, permuted
+// accumulates). Pool threads bump this concurrently.
+std::atomic<std::uint64_t> g_kernels_screened{0};
+
 }  // namespace
 
 std::uint64_t contract_operand_permute_count() {
   return g_operand_permutes.load(std::memory_order_relaxed);
 }
 
+std::uint64_t kernels_screened_count() {
+  return g_kernels_screened.load(std::memory_order_relaxed);
+}
+
+void note_kernel_screened() {
+  g_kernels_screened.fetch_add(1, std::memory_order_relaxed);
+}
+
 void block_contract(Block& dst, std::span<const int> dst_ids, const Block& a,
                     std::span<const int> a_ids, const Block& b,
-                    std::span<const int> b_ids, bool accumulate) {
+                    std::span<const int> b_ids, bool accumulate,
+                    double screen_threshold) {
+  if (screen_threshold > 0.0 && a.norm() * b.norm() < screen_threshold) {
+    // ||A x B||_F <= ||A||_F * ||B||_F < threshold: the whole product is
+    // screened out without reading either operand's data.
+    g_kernels_screened.fetch_add(1, std::memory_order_relaxed);
+    if (!accumulate) {
+      std::fill(dst.data().begin(), dst.data().end(), 0.0);
+    }
+    return;
+  }
   // All symbolic analysis (axis partition, gather tables, output
   // permutation) is memoized per worker; inside a pardo the same shaped
   // contraction repeats thousands of times and hits the cache.
@@ -74,9 +97,14 @@ void block_contract(Block& dst, std::span<const int> dst_ids, const Block& a,
 }
 
 double block_dot(const Block& a, std::span<const int> a_ids, const Block& b,
-                 std::span<const int> b_ids) {
+                 std::span<const int> b_ids, double screen_threshold) {
   if (a_ids.size() != b_ids.size()) {
     throw RuntimeError("block_dot: rank mismatch");
+  }
+  if (screen_threshold > 0.0 && a.norm() * b.norm() < screen_threshold) {
+    // |<a, b>| <= ||a|| * ||b|| < threshold (Cauchy–Schwarz).
+    g_kernels_screened.fetch_add(1, std::memory_order_relaxed);
+    return 0.0;
   }
   // A full contraction is a contraction plan with an empty destination:
   // every id must be shared, m == n == 1, and b_row_off gathers b in a's
@@ -113,7 +141,14 @@ std::vector<int> perm_to_dst(std::span<const int> dst_ids,
 
 void block_copy_permute(Block& dst, std::span<const int> dst_ids,
                         const Block& src, std::span<const int> src_ids,
-                        CopyMode mode) {
+                        CopyMode mode, double screen_threshold) {
+  if (screen_threshold > 0.0 && mode != CopyMode::kAssign &&
+      src.norm() < screen_threshold) {
+    // Accumulating a below-threshold source is screened out; assign mode
+    // still copies because dst must be defined afterwards.
+    g_kernels_screened.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const std::vector<int> perm = perm_to_dst(dst_ids, src_ids);
   const std::vector<int> src_dims(src.shape().extents().begin(),
                                   src.shape().extents().end());
@@ -297,6 +332,31 @@ void builtin_random_block(SuperInstructionContext& ctx) {
                    });
 }
 
+void builtin_fill_decay(SuperInstructionContext& ctx) {
+  // Deterministic pseudo-random fill with banded block-norm decay:
+  // element = random(coords) * exp(-rate * |c0 - c_mid|), where c_mid is
+  // the coordinate of dimension rank/2. Off-band blocks fall off
+  // exponentially in norm, which is the block-sparsity structure of
+  // screened-Fock / local-correlation workloads: screening with any
+  // threshold keeps a diagonal band and drops the rest.
+  const double rate = ctx.number_arg(1);
+  const auto seed = static_cast<std::uint64_t>(ctx.number_arg(2));
+  const std::size_t mid =
+      static_cast<std::size_t>(ctx.selector(0).rank) / 2;
+  for_each_element(
+      ctx, 0, [rate, seed, mid](double& value, std::span<const long> coords) {
+        std::uint64_t key = seed;
+        for (const long c : coords) {
+          key = hash_combine(key, static_cast<std::uint64_t>(c));
+        }
+        // Rank 1 has no second band coordinate; decay from the range
+        // start instead so 1-D sparse arrays still screen.
+        const long band = mid == 0 ? coords[0] - 1 : coords[0] - coords[mid];
+        const double off = static_cast<double>(band < 0 ? -band : band);
+        value = (2.0 * unit_double(key) - 1.0) * std::exp(-rate * off);
+      });
+}
+
 void builtin_block_nrm2(SuperInstructionContext& ctx) {
   ctx.scalar_arg(1) = blas::nrm2(ctx.block_arg(0).data());
 }
@@ -324,6 +384,7 @@ void register_builtin_superinstructions() {
     registry.register_instruction("fill_value", builtin_fill_value);
     registry.register_instruction("fill_coords", builtin_fill_coords);
     registry.register_instruction("random_block", builtin_random_block);
+    registry.register_instruction("fill_decay", builtin_fill_decay);
     registry.register_instruction("block_nrm2", builtin_block_nrm2);
     registry.register_instruction("block_asum", builtin_block_asum);
     registry.register_instruction("block_max_abs", builtin_block_max_abs);

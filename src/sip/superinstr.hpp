@@ -38,13 +38,22 @@ enum class CopyMode { kAssign = 0, kAccumulate = 1, kSubtract = 2 };
 // dst(dst_ids) = / += contraction of a(a_ids) with b(b_ids) over the index
 // ids common to a and b. dst_ids must be exactly the non-common ids (any
 // order). An empty common set is an outer product.
+//
+// With screen_threshold > 0 the GEMM is skipped outright when
+// ||A||_F * ||B||_F < threshold (submultiplicativity bounds the dropped
+// contribution's Frobenius norm by that product): accumulate mode is a
+// no-op, assign mode zero-fills dst. The cached block norms make the test
+// O(1) per call.
 void block_contract(Block& dst, std::span<const int> dst_ids, const Block& a,
                     std::span<const int> a_ids, const Block& b,
-                    std::span<const int> b_ids, bool accumulate);
+                    std::span<const int> b_ids, bool accumulate,
+                    double screen_threshold = 0.0);
 
 // Full contraction of two blocks over identical id sets -> scalar.
+// With screen_threshold > 0, returns 0 without touching the data when
+// ||a|| * ||b|| < threshold (Cauchy–Schwarz bounds the dropped value).
 double block_dot(const Block& a, std::span<const int> a_ids, const Block& b,
-                 std::span<const int> b_ids);
+                 std::span<const int> b_ids, double screen_threshold = 0.0);
 
 // Test hook: number of full-block permute copies of A/B operands that
 // block_contract has materialized since process start. The gather-packing
@@ -52,10 +61,20 @@ double block_dot(const Block& a, std::span<const int> a_ids, const Block& b,
 // stays zero; tests assert on it to catch regressions.
 std::uint64_t contract_operand_permute_count();
 
+// Number of block kernels (contractions, dots, permuted accumulates)
+// skipped by norm screening since process start.
+std::uint64_t kernels_screened_count();
+// Bumps that counter for a kernel elided before it ever reached a pool
+// thread (decode-time screening in the executor window).
+void note_kernel_screened();
+
 // dst(dst_ids) op= src(src_ids) with permutation derived from the ids.
+// With screen_threshold > 0, accumulate/subtract of a source block with
+// ||src|| < threshold is skipped (assign still copies: dst must be
+// defined afterwards).
 void block_copy_permute(Block& dst, std::span<const int> dst_ids,
                         const Block& src, std::span<const int> src_ids,
-                        CopyMode mode);
+                        CopyMode mode, double screen_threshold = 0.0);
 
 // dst(dst_ids) =/+= a(a_ids) +/- b(b_ids), all over the same id set.
 void block_add(Block& dst, std::span<const int> dst_ids, const Block& a,
@@ -137,6 +156,9 @@ class SuperInstructionRegistry {
 //   fill_value <block> <number>         every element := number
 //   fill_coords <block>                 element := base-100 coordinate code
 //   random_block <block> <number seed>  deterministic pseudo-random fill
+//   fill_decay <block> <rate> <seed>    random fill damped by
+//                                       exp(-rate*|c0 - c_mid|): banded
+//                                       block-norm decay for sparsity
 //   block_nrm2 <block> <scalar>         scalar := ||block||_2
 //   block_asum <block> <scalar>         scalar := sum |elements|
 //   block_max_abs <block> <scalar>      scalar := max |element|

@@ -349,6 +349,99 @@ TEST(ChaosExecutorTest, ThreadedWorkerKillAbortsWithCleanDrain) {
   EXPECT_LT(seconds, 20.0);
 }
 
+// ---------------------------------------------------------------------
+// Screening under chaos: served sparse traffic at a real threshold.
+// Phase 1 prepares a tridiagonal block band — the exactly-zero blocks
+// outside it travel as norm-only markers. Phase 2 accumulates a wider
+// (pentadiagonal) band on top: the contributions outside it are dropped
+// at the sender, and the |a-k| = 2 ones land on blocks that only ever
+// saw a marker, exercising absent-reads-as-zero accumulate. The blocks
+// are integer-valued (fill_coords), so snorm2 is a sum of integer
+// squares: bit-identical under any message schedule, while a replayed
+// marker, a lost prepare, or a double-applied accumulate shifts it by a
+// whole integer. The fault-free screened run is the baseline.
+
+std::string sparse_storm_source() {
+  return R"SIAL(
+sial sparse_storm
+aoindex a = 1, norb
+aoindex k = 1, norb
+
+sparse served S(a,k)
+temp t(a,k)
+temp u(a,k)
+scalar lsum
+scalar snorm2
+
+pardo a, k
+  execute fill_coords t(a,k)
+  if a - k > 1
+    t(a,k) = 0.0
+  endif
+  if k - a > 1
+    t(a,k) = 0.0
+  endif
+  prepare S(a,k) = t(a,k)
+endpardo a, k
+server_barrier
+
+pardo a, k
+  execute fill_coords u(a,k)
+  if a - k > 2
+    u(a,k) = 0.0
+  endif
+  if k - a > 2
+    u(a,k) = 0.0
+  endif
+  prepare S(a,k) += u(a,k)
+endpardo a, k
+server_barrier
+
+lsum = 0.0
+pardo a, k
+  request S(a,k)
+  t(a,k) = S(a,k)
+  lsum += t(a,k) * t(a,k)
+endpardo a, k
+snorm2 = 0.0
+collective snorm2 += lsum
+endsial
+)SIAL";
+}
+
+SipConfig sparse_storm_config() {
+  chem::register_chem_superinstructions();
+  SipConfig config;
+  config.workers = 2;
+  config.io_servers = 1;
+  config.default_segment = 8;
+  config.retry_timeout_ms = 50;
+  config.sparse_threshold = 1e-8;
+  config.constants = {{"norb", 64}};
+  return config;
+}
+
+TEST(ChaosScreeningTest, ScreenedPreparesStayExactlyOnce) {
+  const RunResult base =
+      run_with_deadline(sparse_storm_config(), sparse_storm_source());
+  // The baseline itself must exercise the screened protocol surface.
+  ASSERT_GT(base.profile.screening.prepares_screened, 0);
+  ASSERT_GT(base.profile.screening.requests_screened, 0);
+  const double baseline = base.scalar("snorm2");
+  std::int64_t injected = 0;
+  std::int64_t screened = 0;
+  for (int seed = 1; seed <= 10; ++seed) {
+    const RunResult result =
+        run_with_plan(sparse_storm_config(), sparse_storm_source(),
+                      "drop=0.02,dup=0.02,seed=" + std::to_string(seed));
+    EXPECT_EQ(result.scalar("snorm2"), baseline) << "seed " << seed;
+    injected += result.profile.robustness.faults_injected();
+    screened += result.profile.screening.prepares_screened;
+  }
+  EXPECT_GT(injected, 0);
+  EXPECT_GT(screened, 0);
+}
+
 TEST(ChaosExecutorTest, EnvironmentPlanAppliesToThreadedRun) {
   const double baseline = dist_baseline();
   EnvGuard guard("dup=0.02,seed=7");
