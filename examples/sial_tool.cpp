@@ -8,13 +8,18 @@
 //
 // Options: -w N (workers), -s N (io servers), -g N (segment size),
 //          -t N (compute threads per worker; 0 = serial interpreter),
+//          -O0 / -O1 / -O2 (bytecode optimization level; default -O2),
+//          --dump-bytecode[=opt|raw] (annotated listing of the optimized
+//          bytecode, or the raw compiler output),
 //          -D name=value (symbolic constant; repeatable),
 //          --sparse-threshold X (screen sparse-array blocks with
 //          Frobenius norm below X; 0 = exact dense execution)
 //
 // This is the developer-facing workflow the paper describes: compile the
 // SIAL program once, dry-run it to check feasibility, then run it with
-// runtime-chosen tuning parameters.
+// runtime-chosen tuning parameters. Optimizer diagnostics (what was
+// hoisted, which barriers were dropped, which temps defeat renaming) are
+// rendered to stderr with caret snippets against the source.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,7 +29,9 @@
 #include "chem/integrals.hpp"
 #include "common/error.hpp"
 #include "sial/compiler.hpp"
+#include "sial/diag.hpp"
 #include "sial/disasm.hpp"
+#include "sial/opt/optimizer.hpp"
 #include "sim/machine.hpp"
 #include "sim/program_model.hpp"
 #include "sim/report.hpp"
@@ -45,6 +52,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: sial_tool {compile|dryrun|run|model} <file.sial> "
                "[-w workers] [-s servers] [-g segment] [-t threads] "
+               "[-O0|-O1|-O2] [--dump-bytecode[=opt|raw]] "
                "[--sparse-threshold X] [-D name=value]...\n");
   return 2;
 }
@@ -58,6 +66,8 @@ int main(int argc, char** argv) {
 
   sia::SipConfig config;
   config.constants = {{"norb", 8}, {"nocc", 4}, {"maxiter", 2}, {"n", 8}};
+  bool dump_bytecode = false;
+  bool dump_raw = false;
   for (int arg = 3; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "-w") == 0 && arg + 1 < argc) {
       config.workers = std::atoi(argv[++arg]);
@@ -67,6 +77,16 @@ int main(int argc, char** argv) {
       config.default_segment = std::atoi(argv[++arg]);
     } else if (std::strcmp(argv[arg], "-t") == 0 && arg + 1 < argc) {
       config.worker_threads = std::atoi(argv[++arg]);
+    } else if (std::strncmp(argv[arg], "-O", 2) == 0 &&
+               std::strlen(argv[arg]) == 3 && argv[arg][2] >= '0' &&
+               argv[arg][2] <= '2') {
+      config.opt_level = argv[arg][2] - '0';
+    } else if (std::strcmp(argv[arg], "--dump-bytecode") == 0 ||
+               std::strcmp(argv[arg], "--dump-bytecode=opt") == 0) {
+      dump_bytecode = true;
+    } else if (std::strcmp(argv[arg], "--dump-bytecode=raw") == 0) {
+      dump_bytecode = true;
+      dump_raw = true;
     } else if (std::strcmp(argv[arg], "--sparse-threshold") == 0 &&
                arg + 1 < argc) {
       config.sparse_threshold = std::atof(argv[++arg]);
@@ -86,6 +106,23 @@ int main(int argc, char** argv) {
     const sia::sial::CompiledProgram program =
         sia::sial::compile_sial(source);
 
+    // The mid-end runs here too so the tool can show its diagnostics and
+    // the optimized listing; the launch re-runs it from the same raw
+    // program (optimize is deterministic).
+    const sia::sial::opt::OptResult opt =
+        sia::sial::opt::optimize(program, config.opt_level);
+    std::fputs(
+        sia::sial::render_diags(opt.diagnostics, source, path).c_str(),
+        stderr);
+
+    if (dump_bytecode) {
+      std::fputs(dump_raw
+                     ? sia::sial::disassemble(program).c_str()
+                     : sia::sial::disassemble_annotated(opt.program).c_str(),
+                 stdout);
+      if (command == "compile") return 0;
+    }
+
     if (command == "compile") {
       std::fputs(sia::sial::disassemble(program).c_str(), stdout);
       return 0;
@@ -96,7 +133,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "model") {
-      const sia::sial::ResolvedProgram resolved(program, config);
+      const sia::sial::ResolvedProgram resolved(opt.program, config);
       const sia::sim::WorkloadModel workload =
           sia::sim::model_program(resolved);
       std::printf("derived workload '%s': %.3g total flops, %zu phases\n",

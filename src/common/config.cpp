@@ -153,6 +153,9 @@ void SipConfig::validate() const {
     throw Error("SipConfig: subsegments_per_segment must be >= 1");
   }
   if (prefetch_depth < 0) throw Error("SipConfig: prefetch_depth must be >= 0");
+  if (opt_level < 0 || opt_level > 2) {
+    throw Error("SipConfig: opt_level must be 0, 1, or 2");
+  }
   if (worker_threads < -1) {
     throw Error("SipConfig: worker_threads must be -1 (auto), 0, or > 0");
   }

@@ -80,6 +80,14 @@ struct SipConfig {
   // Per-I/O-server in-memory cache budget in bytes (LRU, write-behind).
   std::size_t server_cache_bytes = 32ull << 20;
 
+  // Bytecode optimization level applied between the SIAL compiler and
+  // program finalization (src/sial/opt/). 0 = none (bytecode runs
+  // exactly as compiled), 1 = bit-exact transforms (static prefetch
+  // hoisting, redundant-barrier and dead-store elimination, static
+  // dataflow sets), 2 = additionally reassociate contraction chains
+  // when a compile-time flop model proves it strictly cheaper.
+  int opt_level = 2;
+
   // Number of future loop iterations for which the interpreter issues
   // block requests ahead of use. 0 disables prefetching. Applies to both
   // distributed-array gets and served-array requests (the latter arrive

@@ -17,18 +17,24 @@ class Error : public std::runtime_error {
 };
 
 // Error in SIAL source code (lexing, parsing, or semantic analysis).
-// `line` is 1-based; 0 means "no specific location".
+// `line` is 1-based; 0 means "no specific location". `col` (1-based) is
+// optional; when present the location prints as line:col.
 class CompileError : public Error {
  public:
-  CompileError(const std::string& what, int line)
-      : Error(line > 0 ? "SIAL compile error at line " + std::to_string(line) +
-                             ": " + what
-                       : "SIAL compile error: " + what),
-        line_(line) {}
+  CompileError(const std::string& what, int line, int col = 0)
+      : Error(line > 0
+                  ? "SIAL compile error at line " + std::to_string(line) +
+                        (col > 0 ? ":" + std::to_string(col) : "") + ": " +
+                        what
+                  : "SIAL compile error: " + what),
+        line_(line),
+        col_(col) {}
   int line() const noexcept { return line_; }
+  int col() const noexcept { return col_; }
 
  private:
   int line_ = 0;
+  int col_ = 0;
 };
 
 // Error raised while the SIP executes a program (bad barrier usage,

@@ -12,6 +12,8 @@
 #include <variant>
 #include <vector>
 
+#include "sial/source.hpp"
+
 namespace sia::sial {
 
 // ---------------------------------------------------------------------
@@ -82,6 +84,7 @@ struct BlockRef {
   std::string array;
   std::vector<std::string> indices;
   int line = 0;
+  SrcRange range;  // array name through closing paren
 };
 
 // Scalar-valued runtime expression. `kBlockDot` is a full contraction of
@@ -223,6 +226,7 @@ struct ExitStmt {};  // exits the innermost do loop
 
 struct Stmt {
   int line = 0;
+  SrcRange range;  // first token of the statement through its last
   std::variant<PardoStmt, DoStmt, IfStmt, CallStmt, GetStmt, PutStmt,
                RequestStmt, PrepareStmt, AllocateStmt, DeallocateStmt,
                CreateStmt, DeleteStmt, AssignStmt, ExecuteStmt, BarrierStmt,

@@ -111,6 +111,9 @@ class Compiler {
     Instruction instr;
     instr.op = op;
     instr.line = line;
+    // Every instruction a statement lowers to carries the statement's
+    // source span (compile_statement keeps current_range_ in sync).
+    instr.range = current_range_;
     program_.code.push_back(std::move(instr));
     return program_.code.back();
   }
@@ -212,6 +215,8 @@ class Compiler {
 
   void compile_statement(const Stmt& stmt) {
     const int line = stmt.line;
+    const SrcRange saved_range = current_range_;
+    current_range_ = stmt.range;
     std::visit(
         [&](const auto& node) {
           using T = std::decay_t<decltype(node)>;
@@ -316,6 +321,7 @@ class Compiler {
           }
         },
         stmt.node);
+    current_range_ = saved_range;
   }
 
   void compile_pardo(const PardoStmt& node, int line) {
@@ -465,6 +471,7 @@ class Compiler {
   const ProgramAst& ast_;
   CompiledProgram program_;
   std::vector<LoopFrame> loops_;
+  SrcRange current_range_;  // range of the statement being compiled
 };
 
 }  // namespace
@@ -477,7 +484,9 @@ CompiledProgram compile(const ProgramAst& program) {
 CompiledProgram compile_sial(const std::string& source) {
   ProgramAst ast = parse_sial(source);
   check_sial(ast);
-  return compile(ast);
+  CompiledProgram program = compile(ast);
+  program.source = source;
+  return program;
 }
 
 }  // namespace sia::sial

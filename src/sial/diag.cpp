@@ -1,0 +1,90 @@
+#include "sial/diag.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sia::sial {
+
+namespace {
+
+const char* severity_name(Diag::Severity severity) {
+  switch (severity) {
+    case Diag::Severity::kNote: return "note";
+    case Diag::Severity::kWarning: return "warning";
+    case Diag::Severity::kError: return "error";
+  }
+  return "?";
+}
+
+// The 1-based line `line` of `source` (without its newline); empty when
+// out of range.
+std::string source_line(const std::string& source, int line) {
+  int current = 1;
+  std::size_t begin = 0;
+  while (current < line) {
+    const std::size_t nl = source.find('\n', begin);
+    if (nl == std::string::npos) return {};
+    begin = nl + 1;
+    ++current;
+  }
+  std::size_t end = source.find('\n', begin);
+  if (end == std::string::npos) end = source.size();
+  std::string text = source.substr(begin, end - begin);
+  if (!text.empty() && text.back() == '\r') text.pop_back();
+  return text;
+}
+
+// One location + message + caret snippet. A multi-line range carets the
+// start line from its column to the end of that line's text.
+void render_one(std::ostream& out, const std::string& file,
+                const std::string& source, Diag::Severity severity,
+                const SrcRange& range, const std::string& message,
+                const std::string& code) {
+  out << file << ":";
+  if (range.valid()) {
+    out << range.line << ":" << range.col << ": ";
+  } else {
+    out << " ";
+  }
+  out << severity_name(severity) << ": " << message;
+  if (!code.empty()) out << " [" << code << "]";
+  out << "\n";
+  if (!range.valid() || source.empty()) return;
+
+  const std::string text = source_line(source, range.line);
+  if (text.empty()) return;
+  out << "    " << text << "\n";
+
+  const int len = static_cast<int>(text.size());
+  const int start = std::clamp(range.col, 1, len);
+  int end = range.end_line == range.line ? range.end_col : len + 1;
+  end = std::clamp(end, start + 1, len + 1);
+  std::string caret(static_cast<std::size_t>(start - 1), ' ');
+  caret += '^';
+  caret.append(static_cast<std::size_t>(end - start - 1), '~');
+  out << "    " << caret << "\n";
+}
+
+}  // namespace
+
+std::string render_diag(const Diag& diag, const std::string& source,
+                        const std::string& file) {
+  std::ostringstream out;
+  render_one(out, file, source, diag.severity, diag.range, diag.message,
+             diag.code);
+  for (const Diag::Note& note : diag.notes) {
+    render_one(out, file, source, Diag::Severity::kNote, note.range,
+               note.message, "");
+  }
+  return out.str();
+}
+
+std::string render_diags(const std::vector<Diag>& diags,
+                         const std::string& source,
+                         const std::string& file) {
+  std::string out;
+  for (const Diag& diag : diags) out += render_diag(diag, source, file);
+  return out;
+}
+
+}  // namespace sia::sial

@@ -90,6 +90,14 @@ std::string disassemble_instruction(const CompiledProgram& program, int pc) {
     case Opcode::kCompare:
       out << " " << cmp_op_name(static_cast<CmpOp>(instr.a0));
       break;
+    case Opcode::kPrefetch:
+      out << " guard="
+          << program.indices[static_cast<std::size_t>(instr.a0)].name;
+      if (instr.a1 >= 0) {
+        out << " in "
+            << program.indices[static_cast<std::size_t>(instr.a1)].name;
+      }
+      break;
     default:
       if (instr.a0 >= 0 &&
           (instr.op == Opcode::kBlockScalarOp ||
@@ -125,6 +133,38 @@ std::string disassemble_instruction(const CompiledProgram& program, int pc) {
   return out.str();
 }
 
+namespace {
+
+// Trailing annotation for one instruction from the optimizer's static
+// facts; empty when there is nothing to say.
+std::string annotate_instruction(const CompiledProgram& program, int pc) {
+  const Instruction& instr = program.code[static_cast<std::size_t>(pc)];
+  std::ostringstream out;
+  if (!instr.access.empty()) {
+    std::string reads, writes;
+    for (const StaticAccess& access : instr.access) {
+      std::string& side = access.write ? writes : reads;
+      if (!side.empty()) side += ",";
+      side += operand_string(program, access.operand);
+      if (access.write && access.full_overwrite) side += "!";
+    }
+    out << "  ; R={" << reads << "} W={" << writes << "}";
+    if (instr.renames_dst) out << " renames";
+  }
+  if (instr.op == Opcode::kPardoStart &&
+      program.pardos[static_cast<std::size_t>(instr.a0)].window_safe) {
+    out << (instr.access.empty() ? "  ;" : "") << " window-safe";
+  }
+  for (const auto& [note_pc, text] : program.opt_notes) {
+    if (note_pc == pc) {
+      out << "  ; " << text;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
 std::string disassemble(const CompiledProgram& program) {
   std::ostringstream out;
   out << "program " << program.name << "\n";
@@ -148,6 +188,18 @@ std::string disassemble(const CompiledProgram& program) {
   out << "\n";
   for (int pc = 0; pc < static_cast<int>(program.code.size()); ++pc) {
     out << "  " << disassemble_instruction(program, pc) << "\n";
+  }
+  return out.str();
+}
+
+std::string disassemble_annotated(const CompiledProgram& program) {
+  std::ostringstream out;
+  out << "program " << program.name << " ; opt level "
+      << program.opt_level_applied
+      << (program.analyzed ? " (analyzed)" : "") << "\n";
+  for (int pc = 0; pc < static_cast<int>(program.code.size()); ++pc) {
+    out << "  " << disassemble_instruction(program, pc)
+        << annotate_instruction(program, pc) << "\n";
   }
   return out.str();
 }

@@ -13,4 +13,12 @@ std::string disassemble_instruction(const CompiledProgram& program, int pc);
 // Full listing: tables summary followed by the instruction stream.
 std::string disassemble(const CompiledProgram& program);
 
+// Like disassemble(), but each instruction line is annotated with the
+// optimizer's static facts when present: per-instruction read/write
+// sets (`R={...} W={...}`, a `!` marking full overwrites), a `renames`
+// marker on proven-renamable destinations, and the optimizer note for
+// hoisted kPrefetch / eliminated kNop slots. Window-safe pardos are
+// flagged on their kPardoStart line.
+std::string disassemble_annotated(const CompiledProgram& program);
+
 }  // namespace sia::sial

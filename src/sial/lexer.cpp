@@ -74,8 +74,15 @@ char Lexer::peek(int ahead) const {
 
 char Lexer::advance() {
   const char c = source_[pos_++];
-  if (c == '\n') ++line_;
+  if (c == '\n') {
+    ++line_;
+    line_start_ = pos_;
+  }
   return c;
+}
+
+int Lexer::column() const {
+  return static_cast<int>(pos_ - line_start_) + 1;
 }
 
 bool Lexer::at_end() const { return pos_ >= source_.size(); }
@@ -95,6 +102,7 @@ void Lexer::skip_spaces_and_comments() {
 
 Token Lexer::lex_number() {
   const int line = line_;
+  const int col = column();
   std::string text;
   bool is_float = false;
   while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
@@ -123,6 +131,8 @@ Token Lexer::lex_number() {
   }
   Token token;
   token.line = line;
+  token.col = col;
+  token.end_col = column();
   if (is_float) {
     token.kind = TokenKind::kFloat;
     token.float_value = std::strtod(text.c_str(), nullptr);
@@ -135,6 +145,7 @@ Token Lexer::lex_number() {
 
 Token Lexer::lex_word() {
   const int line = line_;
+  const int col = column();
   std::string text;
   while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
                        peek() == '_')) {
@@ -142,6 +153,8 @@ Token Lexer::lex_word() {
   }
   Token token;
   token.line = line;
+  token.col = col;
+  token.end_col = column();
   const std::string lower = to_lower(text);
   if (is_reserved_word(lower)) {
     token.kind = TokenKind::kKeyword;
@@ -155,29 +168,40 @@ Token Lexer::lex_word() {
 
 Token Lexer::lex_string() {
   const int line = line_;
+  const int col = column();
   advance();  // opening quote
   std::string text;
   while (!at_end() && peek() != '"' && peek() != '\n') {
     text += advance();
   }
   if (at_end() || peek() != '"') {
-    throw CompileError("unterminated string literal", line);
+    throw CompileError("unterminated string literal", line, col);
   }
   advance();  // closing quote
   Token token;
   token.kind = TokenKind::kString;
   token.text = std::move(text);
   token.line = line;
+  token.col = col;
+  token.end_col = column();
   return token;
 }
 
 std::vector<Token> Lexer::tokenize() {
   std::vector<Token> tokens;
-  auto push_simple = [&](TokenKind kind) {
+  // Punctuation tokens are pushed after their characters were consumed,
+  // so the start position is captured by the caller; the end column is
+  // wherever the cursor is now.
+  auto push_at = [&](TokenKind kind, int line, int col) {
     Token token;
     token.kind = kind;
-    token.line = line_;
+    token.line = line;
+    token.col = col;
+    token.end_col = column() > col ? column() : col + 1;
     tokens.push_back(token);
+  };
+  auto push_simple = [&](TokenKind kind) {
+    push_at(kind, line_, column());
   };
   auto maybe_newline = [&] {
     if (!tokens.empty() && tokens.back().kind != TokenKind::kNewline) {
@@ -207,50 +231,53 @@ std::vector<Token> Lexer::tokenize() {
       continue;
     }
     const int line = line_;
+    const int col = column();
     advance();
     const char next = peek();
     switch (c) {
-      case '(': push_simple(TokenKind::kLParen); break;
-      case ')': push_simple(TokenKind::kRParen); break;
-      case ',': push_simple(TokenKind::kComma); break;
-      case '/': push_simple(TokenKind::kSlash); break;
+      case '(': push_at(TokenKind::kLParen, line, col); break;
+      case ')': push_at(TokenKind::kRParen, line, col); break;
+      case ',': push_at(TokenKind::kComma, line, col); break;
+      case '/': push_at(TokenKind::kSlash, line, col); break;
       case '*':
-        if (next == '=') { advance(); push_simple(TokenKind::kStarAssign); }
-        else push_simple(TokenKind::kStar);
+        if (next == '=') { advance(); push_at(TokenKind::kStarAssign, line, col); }
+        else push_at(TokenKind::kStar, line, col);
         break;
       case '+':
-        if (next == '=') { advance(); push_simple(TokenKind::kPlusAssign); }
-        else push_simple(TokenKind::kPlus);
+        if (next == '=') { advance(); push_at(TokenKind::kPlusAssign, line, col); }
+        else push_at(TokenKind::kPlus, line, col);
         break;
       case '-':
-        if (next == '=') { advance(); push_simple(TokenKind::kMinusAssign); }
-        else push_simple(TokenKind::kMinus);
+        if (next == '=') { advance(); push_at(TokenKind::kMinusAssign, line, col); }
+        else push_at(TokenKind::kMinus, line, col);
         break;
       case '=':
-        if (next == '=') { advance(); push_simple(TokenKind::kEqEq); }
-        else push_simple(TokenKind::kAssign);
+        if (next == '=') { advance(); push_at(TokenKind::kEqEq, line, col); }
+        else push_at(TokenKind::kAssign, line, col);
         break;
       case '<':
-        if (next == '=') { advance(); push_simple(TokenKind::kLessEq); }
-        else push_simple(TokenKind::kLess);
+        if (next == '=') { advance(); push_at(TokenKind::kLessEq, line, col); }
+        else push_at(TokenKind::kLess, line, col);
         break;
       case '>':
-        if (next == '=') { advance(); push_simple(TokenKind::kGreaterEq); }
-        else push_simple(TokenKind::kGreater);
+        if (next == '=') { advance(); push_at(TokenKind::kGreaterEq, line, col); }
+        else push_at(TokenKind::kGreater, line, col);
         break;
       case '!':
-        if (next == '=') { advance(); push_simple(TokenKind::kNotEq); }
-        else throw CompileError("unexpected character '!'", line);
+        if (next == '=') { advance(); push_at(TokenKind::kNotEq, line, col); }
+        else throw CompileError("unexpected character '!'", line, col);
         break;
       default:
         throw CompileError(std::string("unexpected character '") + c + "'",
-                           line);
+                           line, col);
     }
   }
   maybe_newline();
   Token eof;
   eof.kind = TokenKind::kEof;
   eof.line = line_;
+  eof.col = column();
+  eof.end_col = column() + 1;
   tokens.push_back(eof);
   return tokens;
 }

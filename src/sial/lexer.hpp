@@ -25,6 +25,8 @@ class Lexer {
   char peek(int ahead = 0) const;
   char advance();
   bool at_end() const;
+  // 1-based column of the next unread character.
+  int column() const;
   void skip_spaces_and_comments();
   Token lex_number();
   Token lex_word();
@@ -33,6 +35,7 @@ class Lexer {
   std::string source_;
   std::size_t pos_ = 0;
   int line_ = 1;
+  std::size_t line_start_ = 0;  // byte offset where line_ begins
 };
 
 }  // namespace sia::sial

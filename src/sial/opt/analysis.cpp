@@ -1,0 +1,446 @@
+#include "sial/opt/analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace sia::sial::opt {
+
+namespace {
+
+constexpr int kModeAssign = static_cast<int>(AssignStmt::Op::kAssign);
+constexpr int kModeAcc = static_cast<int>(AssignStmt::Op::kPlusAssign);
+
+ArrayKind kind_of(const CompiledProgram& program, int array_id) {
+  return program.arrays[static_cast<std::size_t>(array_id)].kind;
+}
+
+StaticAccess read_of(const BlockOperand& operand) {
+  StaticAccess access;
+  access.operand = operand;
+  access.write = false;
+  return access;
+}
+
+StaticAccess write_of(const CompiledProgram& program,
+                      const BlockOperand& operand, bool full) {
+  StaticAccess access;
+  access.operand = operand;
+  access.write = true;
+  access.full_overwrite = full && !maybe_sliced(program, operand);
+  return access;
+}
+
+StaticAccess whole_array_write(int array_id) {
+  StaticAccess access;
+  access.operand.array_id = array_id;
+  access.operand.rank = 0;
+  access.write = true;
+  return access;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Regions.
+
+std::vector<Region> find_regions(const CompiledProgram& program) {
+  std::vector<Region> regions;
+  std::vector<int> stack;  // open region indices
+  for (int pc = 0; pc < static_cast<int>(program.code.size()); ++pc) {
+    const Instruction& instr = program.code[static_cast<std::size_t>(pc)];
+    switch (instr.op) {
+      case Opcode::kDoStart: {
+        Region region;
+        region.start_pc = pc;
+        region.end_pc = instr.a1;
+        region.index_id = instr.a0;
+        region.super_id = instr.a2;
+        region.index_ids.push_back(instr.a0);
+        region.parent = stack.empty() ? -1 : stack.back();
+        stack.push_back(static_cast<int>(regions.size()));
+        regions.push_back(std::move(region));
+        break;
+      }
+      case Opcode::kPardoStart: {
+        Region region;
+        region.start_pc = pc;
+        region.end_pc = instr.a1;
+        region.is_pardo = true;
+        region.pardo_id = instr.a0;
+        region.index_ids =
+            program.pardos[static_cast<std::size_t>(instr.a0)].index_ids;
+        region.parent = stack.empty() ? -1 : stack.back();
+        stack.push_back(static_cast<int>(regions.size()));
+        regions.push_back(std::move(region));
+        break;
+      }
+      case Opcode::kDoEnd:
+      case Opcode::kPardoEnd:
+        SIA_CHECK(!stack.empty(), "unmatched loop end at pc " +
+                                      std::to_string(pc));
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  SIA_CHECK(stack.empty(), "unclosed loop region");
+  return regions;
+}
+
+int innermost_region(const std::vector<Region>& regions, int pc) {
+  int best = -1;
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const Region& region = regions[r];
+    if (region.start_pc < pc && pc < region.end_pc &&
+        (best < 0 ||
+         region.start_pc > regions[static_cast<std::size_t>(best)].start_pc)) {
+      best = static_cast<int>(r);
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------
+// Control flow.
+
+std::vector<int> successors(const CompiledProgram& program, int pc) {
+  const Instruction& instr = program.code[static_cast<std::size_t>(pc)];
+  switch (instr.op) {
+    case Opcode::kJump:
+    case Opcode::kExitLoop:
+      return {instr.a0};
+    case Opcode::kJumpIfFalse:
+      return {pc + 1, instr.a0};
+    case Opcode::kDoStart:
+    case Opcode::kPardoStart:
+      // Body, or straight past the end when the loop runs zero times.
+      return {pc + 1, instr.a1 + 1};
+    case Opcode::kDoEnd:
+    case Opcode::kPardoEnd:
+      // Back to the body for the next iteration, or fall out.
+      return {instr.a0 + 1, pc + 1};
+    case Opcode::kReturn:
+    case Opcode::kHalt:
+      return {};
+    default:
+      return {pc + 1};
+  }
+}
+
+// ---------------------------------------------------------------------
+// Operand shape facts.
+
+bool maybe_sliced(const CompiledProgram& program,
+                  const BlockOperand& operand) {
+  const ArrayInfo& array =
+      program.arrays[static_cast<std::size_t>(operand.array_id)];
+  for (int d = 0; d < operand.rank; ++d) {
+    const std::size_t ud = static_cast<std::size_t>(d);
+    const int ref_id = operand.index_ids[ud];
+    if (ref_id == kWildcardIndex) return true;
+    const IndexType ref = program.indices[static_cast<std::size_t>(ref_id)].type;
+    const IndexType decl =
+        program.indices[static_cast<std::size_t>(array.index_ids[ud])].type;
+    if (ref == IndexType::kSub && decl != IndexType::kSub) return true;
+  }
+  return false;
+}
+
+std::vector<StaticAccess> instruction_accesses(const CompiledProgram& program,
+                                               const Instruction& instr) {
+  std::vector<StaticAccess> access;
+  switch (instr.op) {
+    case Opcode::kBlockScalarOp: {
+      // blocks[0] op= scalar.
+      if (instr.a0 != kModeAssign) access.push_back(read_of(instr.blocks[0]));
+      access.push_back(
+          write_of(program, instr.blocks[0], instr.a0 == kModeAssign));
+      break;
+    }
+    case Opcode::kBlockCopy:
+    case Opcode::kBlockScaledCopy: {
+      access.push_back(read_of(instr.blocks[1]));
+      if (instr.a0 != kModeAssign) access.push_back(read_of(instr.blocks[0]));
+      access.push_back(
+          write_of(program, instr.blocks[0], instr.a0 == kModeAssign));
+      break;
+    }
+    case Opcode::kBlockBinary: {
+      access.push_back(read_of(instr.blocks[1]));
+      access.push_back(read_of(instr.blocks[2]));
+      if (instr.a0 != kModeAssign) access.push_back(read_of(instr.blocks[0]));
+      access.push_back(
+          write_of(program, instr.blocks[0], instr.a0 == kModeAssign));
+      break;
+    }
+    case Opcode::kBlockDot:
+      access.push_back(read_of(instr.blocks[0]));
+      access.push_back(read_of(instr.blocks[1]));
+      break;
+    case Opcode::kGet:
+    case Opcode::kRequest:
+    case Opcode::kPrefetch:
+      access.push_back(read_of(instr.blocks[0]));
+      break;
+    case Opcode::kPut:
+    case Opcode::kPrepare:
+      // Write-only destination, even when accumulating: the local
+      // shadow accumulates without reading the remote block.
+      access.push_back(read_of(instr.blocks[1]));
+      access.push_back(
+          write_of(program, instr.blocks[0], instr.a0 == 0));
+      break;
+    case Opcode::kAllocate:
+    case Opcode::kDeallocate:
+      access.push_back(write_of(program, instr.blocks[0], false));
+      break;
+    case Opcode::kExecute:
+      for (const ExecOperand& earg : instr.eargs) {
+        if (earg.kind == ExecOperand::Kind::kBlock) {
+          access.push_back(read_of(earg.block));
+        }
+      }
+      for (const ExecOperand& earg : instr.eargs) {
+        if (earg.kind == ExecOperand::Kind::kBlock) {
+          access.push_back(write_of(program, earg.block, false));
+        }
+      }
+      break;
+    case Opcode::kCreate:
+    case Opcode::kDeleteArr:
+    case Opcode::kCheckpoint:
+    case Opcode::kRestoreArr:
+      access.push_back(whole_array_write(instr.a0));
+      break;
+    default:
+      break;
+  }
+  return access;
+}
+
+void compute_access_sets(CompiledProgram& program) {
+  for (Instruction& instr : program.code) {
+    instr.access = instruction_accesses(program, instr);
+    instr.renames_dst = false;
+    // Mirrors the dynamic rule in Interpreter::window_block_op exactly:
+    // the destination is renamable when the op never reads it
+    // (kBlockBinary reads its target only when accumulating) and it is a
+    // never-sliced temp.
+    bool reads_dst = true;
+    switch (instr.op) {
+      case Opcode::kBlockScalarOp:
+      case Opcode::kBlockCopy:
+      case Opcode::kBlockScaledCopy:
+        reads_dst = instr.a0 != kModeAssign;
+        break;
+      case Opcode::kBlockBinary:
+        reads_dst = instr.a0 == kModeAcc;
+        break;
+      default:
+        continue;
+    }
+    instr.renames_dst =
+        !reads_dst &&
+        kind_of(program, instr.blocks[0].array_id) == ArrayKind::kTemp &&
+        !maybe_sliced(program, instr.blocks[0]);
+  }
+  program.analyzed = true;
+}
+
+// ---------------------------------------------------------------------
+// Nominal cost model.
+
+long nominal_eval(const IntExpr& expr) {
+  switch (expr.kind) {
+    case IntExpr::Kind::kLiteral: return expr.literal;
+    case IntExpr::Kind::kConstant: return kNominalConstant;
+    case IntExpr::Kind::kAdd:
+      return nominal_eval(*expr.lhs) + nominal_eval(*expr.rhs);
+    case IntExpr::Kind::kSub:
+      return nominal_eval(*expr.lhs) - nominal_eval(*expr.rhs);
+    case IntExpr::Kind::kMul:
+      return nominal_eval(*expr.lhs) * nominal_eval(*expr.rhs);
+    case IntExpr::Kind::kDiv: {
+      const long rhs = nominal_eval(*expr.rhs);
+      return rhs == 0 ? nominal_eval(*expr.lhs) : nominal_eval(*expr.lhs) / rhs;
+    }
+  }
+  return 1;
+}
+
+long nominal_extent(const CompiledProgram& program, int index_id) {
+  const IndexInfo& index = program.indices[static_cast<std::size_t>(index_id)];
+  if (index.type == IndexType::kSub && index.super_id >= 0) {
+    return nominal_extent(program, index.super_id);
+  }
+  return std::max<long>(1, nominal_eval(index.high) - nominal_eval(index.low) +
+                               1);
+}
+
+// ---------------------------------------------------------------------
+// Window safety.
+
+namespace {
+
+// Ops the dataflow window can decode into entries (or that touch only
+// the scalar stack, which stays on the scan thread). Anything else
+// forces the window to drain and disqualifies the pardo.
+bool window_decodable(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kPushNumber:
+    case Opcode::kPushScalar:
+    case Opcode::kPushIndex:
+    case Opcode::kPushConst:
+    case Opcode::kNeg:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kSqrt:
+    case Opcode::kAbs:
+    case Opcode::kExpFn:
+    case Opcode::kCompare:
+    case Opcode::kStoreScalar:
+    case Opcode::kPrintTop:
+    case Opcode::kPrintString:
+    case Opcode::kBlockScalarOp:
+    case Opcode::kBlockCopy:
+    case Opcode::kBlockBinary:
+    case Opcode::kBlockScaledCopy:
+    case Opcode::kGet:
+    case Opcode::kRequest:
+    case Opcode::kPrefetch:
+    case Opcode::kPut:
+    case Opcode::kPrepare:
+    case Opcode::kDoStart:
+    case Opcode::kDoEnd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void analyze_window_safety(CompiledProgram& program,
+                           std::vector<Diag>& diags) {
+  SIA_CHECK(program.analyzed,
+            "analyze_window_safety requires access sets");
+  const std::vector<Region> regions = find_regions(program);
+
+  for (std::size_t p = 0; p < program.pardos.size(); ++p) {
+    PardoInfo& pardo = program.pardos[p];
+    pardo.window_safe = false;
+    if (pardo.start_pc < 0 || pardo.end_pc < 0) continue;
+
+    // The region of this pardo instance. A pardo body may be emitted
+    // more than once (procedures are not — kCall is not decodable — so
+    // pardo table ids map 1:1 to regions here).
+    int region_id = -1;
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      if (regions[r].is_pardo && regions[r].pardo_id == static_cast<int>(p)) {
+        region_id = static_cast<int>(r);
+        break;
+      }
+    }
+    if (region_id < 0) continue;
+
+    bool safe = true;
+    std::unordered_set<int> fetched_arrays;  // dist/served reads
+    std::unordered_set<int> put_arrays;      // put/prepare targets
+
+    for (int pc = pardo.start_pc + 1; pc < pardo.end_pc && safe; ++pc) {
+      const Instruction& instr = program.code[static_cast<std::size_t>(pc)];
+      if (!window_decodable(instr.op)) {
+        safe = false;
+        break;
+      }
+      for (const StaticAccess& access : instr.access) {
+        const ArrayKind kind = kind_of(program, access.operand.array_id);
+        if (kind != ArrayKind::kDistributed && kind != ArrayKind::kServed) {
+          continue;
+        }
+        if (instr.op == Opcode::kPut || instr.op == Opcode::kPrepare) {
+          if (access.write) {
+            put_arrays.insert(access.operand.array_id);
+          }
+        } else if (!access.write) {
+          fetched_arrays.insert(access.operand.array_id);
+        } else {
+          safe = false;  // a write to a remote array outside put/prepare
+        }
+      }
+    }
+    if (!safe) continue;
+
+    // Scan-time gets of a later iteration must not race puts of an
+    // earlier one still in the window: fetched and put arrays disjoint.
+    for (const int array_id : fetched_arrays) {
+      if (put_arrays.count(array_id) > 0) {
+        safe = false;
+        break;
+      }
+    }
+    if (!safe) continue;
+
+    // Per-temp renaming proof: in linear body order the first access
+    // must be a full overwrite, created either directly at pardo depth
+    // (renamed every iteration) or entirely within one inner do region.
+    struct TempFacts {
+      std::vector<int> pcs;           // accessing pcs, in order
+      std::vector<int> region_ids;    // innermost region per access
+      bool first_is_full_write = false;
+      bool first_seen = false;
+      int first_pc = -1;
+    };
+    std::unordered_map<int, TempFacts> temps;
+    for (int pc = pardo.start_pc + 1; pc < pardo.end_pc; ++pc) {
+      const Instruction& instr = program.code[static_cast<std::size_t>(pc)];
+      for (const StaticAccess& access : instr.access) {
+        if (kind_of(program, access.operand.array_id) != ArrayKind::kTemp) {
+          continue;
+        }
+        TempFacts& facts = temps[access.operand.array_id];
+        if (!facts.first_seen) {
+          facts.first_seen = true;
+          facts.first_pc = pc;
+          facts.first_is_full_write = access.write && access.full_overwrite;
+        }
+        facts.pcs.push_back(pc);
+        facts.region_ids.push_back(innermost_region(regions, pc));
+      }
+    }
+    for (const auto& [array_id, facts] : temps) {
+      const bool at_pardo_depth =
+          !facts.region_ids.empty() && facts.region_ids.front() == region_id;
+      const bool one_inner_region =
+          !facts.region_ids.empty() && facts.region_ids.front() != region_id &&
+          std::all_of(facts.region_ids.begin(), facts.region_ids.end(),
+                      [&](int r) { return r == facts.region_ids.front(); });
+      if (facts.first_is_full_write && (at_pardo_depth || one_inner_region)) {
+        continue;
+      }
+      safe = false;
+      Diag diag;
+      diag.code = kDiagTempDefeatsRenaming;
+      diag.message =
+          "this pardo temp defeats renaming: '" +
+          program.arrays[static_cast<std::size_t>(array_id)].name +
+          "' is not fully overwritten before its first use each iteration";
+      diag.range =
+          program.code[static_cast<std::size_t>(facts.first_pc)].range;
+      diag.notes.push_back(
+          {program.code[static_cast<std::size_t>(pardo.start_pc)].range,
+           "the dataflow window cannot span iterations of this pardo"});
+      diags.push_back(std::move(diag));
+    }
+    pardo.window_safe = safe;
+  }
+}
+
+}  // namespace sia::sial::opt

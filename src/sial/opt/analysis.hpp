@@ -1,0 +1,99 @@
+// Static analyses over SIAL bytecode shared by the optimizer passes
+// (src/sial/opt/optimizer.cpp): region (loop) structure, control-flow
+// successors, symbolic per-instruction read/write sets, a nominal cost
+// model for compile-time flop estimates, and the window-safety proof the
+// threaded dataflow executor consumes.
+//
+// Everything here is conservative: analyses may say "don't know" (no
+// access sets, not window-safe, maybe sliced) but must never claim a
+// fact the runtime could contradict.
+#pragma once
+
+#include <vector>
+
+#include "sial/bytecode.hpp"
+#include "sial/diag.hpp"
+
+namespace sia::sial::opt {
+
+// ---------------------------------------------------------------------
+// Region (loop) tree.
+
+// One do/pardo nest in the instruction stream: [start_pc, end_pc] spans
+// the kDoStart/kPardoStart through its matching end instruction.
+struct Region {
+  int start_pc = -1;
+  int end_pc = -1;
+  bool is_pardo = false;
+  int pardo_id = -1;            // pardos table id (is_pardo only)
+  int index_id = -1;            // loop index (do only)
+  int super_id = -1;            // `do ii in i` super index (do only)
+  std::vector<int> index_ids;   // every index this region binds
+  int parent = -1;              // enclosing region, -1 at top level
+};
+
+// All regions in pre-order (outer before inner).
+std::vector<Region> find_regions(const CompiledProgram& program);
+
+// Index of the innermost region whose *body* contains pc
+// (start_pc < pc < end_pc); -1 when pc is at top level.
+int innermost_region(const std::vector<Region>& regions, int pc);
+
+// ---------------------------------------------------------------------
+// Control flow.
+
+// Successor pcs of the instruction at pc. kCall is treated as falling
+// through (the callee is analyzed separately and passes treat kCall as
+// a clobber); kReturn/kHalt have no successors.
+std::vector<int> successors(const CompiledProgram& program, int pc);
+
+// ---------------------------------------------------------------------
+// Operand shape facts.
+
+// Static mirror of ResolvedProgram::resolve_operand's slicing rule: a
+// dimension addressed by a kSub index whose declared dimension is not
+// kSub selects a slice of the stored block. Wildcard dimensions are
+// conservatively "maybe sliced" too (they never reach resolve_operand,
+// but no pass should treat them as full blocks).
+bool maybe_sliced(const CompiledProgram& program, const BlockOperand& operand);
+
+// Symbolic read/write set of a single instruction, reads before writes.
+// Mirrors the interpreter's data accesses: block operands of compute
+// ops, fetch targets, put/prepare destinations (write-only, even when
+// accumulating: the local shadow never reads the remote block), kExecute
+// eargs (read and write each), and whole-array ops (create/delete/
+// checkpoint/restore) as rank-0 writes.
+std::vector<StaticAccess> instruction_accesses(const CompiledProgram& program,
+                                               const Instruction& instr);
+
+// Fills Instruction::access and Instruction::renames_dst for every
+// instruction and sets program.analyzed.
+void compute_access_sets(CompiledProgram& program);
+
+// ---------------------------------------------------------------------
+// Nominal cost model.
+
+// Value bound to every symbolic constant when sizing index extents at
+// compile time. The *relative* cost of two contraction orders is what
+// matters; 32 keeps products comfortably inside long.
+inline constexpr long kNominalConstant = 32;
+
+// Evaluates a symbolic integer expression under the nominal binding.
+long nominal_eval(const IntExpr& expr);
+
+// Nominal element extent of an index (>= 1). Subindices inherit the
+// extent of their super index.
+long nominal_extent(const CompiledProgram& program, int index_id);
+
+// ---------------------------------------------------------------------
+// Window safety.
+
+// Proves, per pardo, that the threaded engine's dataflow window may span
+// iteration boundaries (PardoInfo::window_safe): the body contains only
+// window-decodable ops, its fetched arrays are disjoint from its
+// put/prepare targets, and every temp is fully overwritten before it is
+// read. Temps that defeat renaming get a W002 diagnostic. Requires
+// compute_access_sets to have run.
+void analyze_window_safety(CompiledProgram& program, std::vector<Diag>& diags);
+
+}  // namespace sia::sial::opt

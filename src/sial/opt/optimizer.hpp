@@ -1,0 +1,34 @@
+// The SIAL mid-end: an optimizing pass pipeline over compiled bytecode,
+// run between the compiler and program finalization (sip::launch).
+//
+// Levels:
+//   -O0  untouched copy of the compiler's output (runtime behaves as if
+//        no mid-end existed).
+//   -O1  loop-invariant get/request hoisting to kPrefetch, redundant
+//        barrier elimination, dead-store elimination, static read/write
+//        sets + renaming proofs + pardo window-safety. All transforms
+//        are bit-exact: -O1 results are identical to -O0.
+//   -O2  everything in -O1 plus contraction-chain reassociation when a
+//        nominal flop model proves the reassociated order strictly
+//        cheaper (floating-point sums re-associate, so -O2 is bit-exact
+//        only when the pattern does not fire; see docs/COMPILER.md).
+//
+// Every transform records an opt_note (pc -> text) for annotated
+// disassembly and a source-ranged diagnostic explaining what it did.
+#pragma once
+
+#include <vector>
+
+#include "sial/bytecode.hpp"
+#include "sial/diag.hpp"
+
+namespace sia::sial::opt {
+
+struct OptResult {
+  CompiledProgram program;
+  std::vector<Diag> diagnostics;
+};
+
+OptResult optimize(const CompiledProgram& input, int level);
+
+}  // namespace sia::sial::opt

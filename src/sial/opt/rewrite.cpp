@@ -1,0 +1,85 @@
+#include "sial/opt/rewrite.hpp"
+
+#include <algorithm>
+
+namespace sia::sial::opt {
+
+RewriteResult insert_instructions(CompiledProgram& program,
+                                  std::vector<Insertion> insertions) {
+  // Sort an index permutation so inserted_pc can be reported in the
+  // caller's original order.
+  std::vector<std::size_t> order(insertions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return insertions[a].pos < insertions[b].pos;
+                   });
+
+  const int old_size = static_cast<int>(program.code.size());
+  RewriteResult result;
+  result.new_pc.resize(static_cast<std::size_t>(old_size) + 1);
+  result.inserted_pc.resize(insertions.size());
+
+  std::vector<Instruction> code;
+  code.reserve(program.code.size() + insertions.size());
+  std::size_t next = 0;
+  for (int pc = 0; pc <= old_size; ++pc) {
+    while (next < order.size() && insertions[order[next]].pos == pc) {
+      result.inserted_pc[order[next]] = static_cast<int>(code.size());
+      code.push_back(std::move(insertions[order[next]].instr));
+      ++next;
+    }
+    result.new_pc[static_cast<std::size_t>(pc)] =
+        static_cast<int>(code.size());
+    if (pc < old_size) {
+      code.push_back(std::move(program.code[static_cast<std::size_t>(pc)]));
+    }
+  }
+  program.code = std::move(code);
+
+  const auto remap = [&](int pc) {
+    return pc >= 0 && pc <= old_size ? result.new_pc[static_cast<std::size_t>(
+                                           pc)]
+                                     : pc;
+  };
+
+  // Skip the freshly inserted instructions: their operands are already
+  // expressed in final coordinates (and kPrefetch's a0/a1 are index
+  // ids, not pcs).
+  std::vector<bool> inserted(program.code.size(), false);
+  for (const int pc : result.inserted_pc) {
+    inserted[static_cast<std::size_t>(pc)] = true;
+  }
+  for (std::size_t pc = 0; pc < program.code.size(); ++pc) {
+    if (inserted[pc]) continue;
+    Instruction& instr = program.code[pc];
+    switch (instr.op) {
+      case Opcode::kPardoStart:
+      case Opcode::kDoStart:
+        instr.a1 = remap(instr.a1);
+        break;
+      case Opcode::kPardoEnd:
+      case Opcode::kDoEnd:
+      case Opcode::kJump:
+      case Opcode::kJumpIfFalse:
+      case Opcode::kExitLoop:
+        instr.a0 = remap(instr.a0);
+        break;
+      default:
+        break;
+    }
+  }
+  for (PardoInfo& pardo : program.pardos) {
+    pardo.start_pc = remap(pardo.start_pc);
+    pardo.end_pc = remap(pardo.end_pc);
+  }
+  for (ProcInfo& proc : program.procs) {
+    proc.entry_pc = remap(proc.entry_pc);
+  }
+  for (auto& [pc, text] : program.opt_notes) {
+    pc = remap(pc);
+  }
+  return result;
+}
+
+}  // namespace sia::sial::opt

@@ -1,0 +1,35 @@
+// Bytecode rewriting: instruction insertion with pc remapping.
+//
+// Elimination passes replace instructions with kNop in place (no pcs
+// move); only insertion (hoisted kPrefetch before a loop) shifts pcs,
+// and every absolute pc stored in the program — jump targets, loop
+// back-edges, pardo/proc table entries, opt_notes — must be remapped.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sial/bytecode.hpp"
+
+namespace sia::sial::opt {
+
+struct Insertion {
+  int pos = 0;  // the new instruction goes immediately BEFORE old pc `pos`
+  Instruction instr;
+};
+
+struct RewriteResult {
+  // new_pc[old_pc] for every old pc (plus one entry for the end-of-code
+  // position, so end-exclusive ranges remap too).
+  std::vector<int> new_pc;
+  // Final pc of each inserted instruction, in `insertions` order.
+  std::vector<int> inserted_pc;
+};
+
+// Inserts `insertions` (any order; stable for equal pos) and remaps
+// every absolute pc in the program. kCall.a0 is a proc table id, not a
+// pc, and is left alone; inserted instructions are not remapped.
+RewriteResult insert_instructions(CompiledProgram& program,
+                                  std::vector<Insertion> insertions);
+
+}  // namespace sia::sial::opt

@@ -118,7 +118,14 @@ void Parser::skip_newlines() {
 }
 
 void Parser::fail(const std::string& message) const {
-  throw CompileError(message, peek().line);
+  throw CompileError(message, peek().line, peek().col);
+}
+
+SrcRange Parser::range_since(const Token& start) const {
+  std::size_t p = pos_;
+  while (p > 0 && tokens_[p - 1].kind == TokenKind::kNewline) --p;
+  const Token& last = p > 0 ? tokens_[p - 1] : start;
+  return SrcRange::merge(start.range(), last.range());
 }
 
 void Parser::declare(const std::string& name, NameKind kind, int line) {
@@ -336,9 +343,11 @@ Body Parser::parse_body(const std::vector<std::string>& terminators,
 
 StmtPtr Parser::parse_statement() {
   const int line = peek().line;
+  const Token start = peek();
   auto make = [&](auto node) {
     auto stmt = std::make_unique<Stmt>();
     stmt->line = line;
+    stmt->range = range_since(start);
     stmt->node = std::move(node);
     return stmt;
   };
@@ -466,6 +475,7 @@ StmtPtr Parser::parse_statement() {
 
 StmtPtr Parser::parse_pardo() {
   const int line = peek().line;
+  const Token start = peek();
   expect_keyword("pardo");
   PardoStmt node;
 
@@ -484,6 +494,7 @@ StmtPtr Parser::parse_pardo() {
     expect_statement_end();
     auto stmt = std::make_unique<Stmt>();
     stmt->line = line;
+    stmt->range = range_since(start);
     stmt->node = std::move(sub);
     return stmt;
   }
@@ -505,12 +516,14 @@ StmtPtr Parser::parse_pardo() {
 
   auto stmt = std::make_unique<Stmt>();
   stmt->line = line;
+  stmt->range = range_since(start);
   stmt->node = std::move(node);
   return stmt;
 }
 
 StmtPtr Parser::parse_do() {
   const int line = peek().line;
+  const Token start = peek();
   expect_keyword("do");
   DoStmt node;
   node.index = expect_identifier("after do");
@@ -525,12 +538,14 @@ StmtPtr Parser::parse_do() {
 
   auto stmt = std::make_unique<Stmt>();
   stmt->line = line;
+  stmt->range = range_since(start);
   stmt->node = std::move(node);
   return stmt;
 }
 
 StmtPtr Parser::parse_if() {
   const int line = peek().line;
+  const Token start = peek();
   expect_keyword("if");
   IfStmt node;
   node.cond = parse_expr();
@@ -545,12 +560,14 @@ StmtPtr Parser::parse_if() {
 
   auto stmt = std::make_unique<Stmt>();
   stmt->line = line;
+  stmt->range = range_since(start);
   stmt->node = std::move(node);
   return stmt;
 }
 
 BlockRef Parser::parse_block_ref(bool allow_wildcard) {
   BlockRef ref;
+  const Token start = peek();
   ref.line = peek().line;
   ref.array = expect_identifier("as array name");
   if (!is_declared(ref.array, NameKind::kArray)) {
@@ -566,6 +583,7 @@ BlockRef Parser::parse_block_ref(bool allow_wildcard) {
     }
   } while (match(TokenKind::kComma));
   expect(TokenKind::kRParen, "after block indices");
+  ref.range = range_since(start);
   return ref;
 }
 
@@ -596,6 +614,7 @@ WhereClause Parser::parse_where_clause() {
 
 StmtPtr Parser::parse_assignment() {
   const int line = peek().line;
+  const Token start = peek();
   AssignStmt node;
 
   const std::string target = peek().text;
@@ -629,6 +648,7 @@ StmtPtr Parser::parse_assignment() {
     expect_statement_end();
     auto stmt = std::make_unique<Stmt>();
     stmt->line = line;
+    stmt->range = range_since(start);
     stmt->node = std::move(node);
     return stmt;
   }
@@ -675,12 +695,14 @@ StmtPtr Parser::parse_assignment() {
 
   auto stmt = std::make_unique<Stmt>();
   stmt->line = line;
+  stmt->range = range_since(start);
   stmt->node = std::move(node);
   return stmt;
 }
 
 StmtPtr Parser::parse_execute() {
   const int line = peek().line;
+  const Token start = peek();
   expect_keyword("execute");
   ExecuteStmt node;
   node.name = expect_identifier("as super instruction name");
@@ -719,6 +741,7 @@ StmtPtr Parser::parse_execute() {
 
   auto stmt = std::make_unique<Stmt>();
   stmt->line = line;
+  stmt->range = range_since(start);
   stmt->node = std::move(node);
   return stmt;
 }

@@ -39,6 +39,9 @@ class Parser {
   void expect_statement_end();
   void skip_newlines();
   [[noreturn]] void fail(const std::string& message) const;
+  // The source span from `start` through the last non-newline token the
+  // cursor has consumed (statement and block-reference ranges).
+  SrcRange range_since(const Token& start) const;
 
   // Declarations.
   void declare(const std::string& name, NameKind kind, int line);

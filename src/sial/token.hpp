@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "sial/source.hpp"
+
 namespace sia::sial {
 
 enum class TokenKind {
@@ -39,10 +41,14 @@ struct Token {
   long int_value = 0;   // kInteger
   double float_value = 0.0;  // kFloat
   int line = 0;         // 1-based source line
+  int col = 0;          // 1-based start column
+  int end_col = 0;      // column one past the token's last character
 
   bool is_keyword(const char* word) const {
     return kind == TokenKind::kKeyword && text == word;
   }
+
+  SrcRange range() const { return SrcRange{line, col, line, end_col}; }
 };
 
 // Keyword list; SIAL is case-insensitive for keywords (we lower-case

@@ -265,7 +265,8 @@ class Analyzer {
         break;
       }
       case Opcode::kGet:
-      case Opcode::kRequest: {
+      case Opcode::kRequest:
+      case Opcode::kPrefetch: {
         cost.fetches = 1.0;
         cost.fetch_bytes =
             static_cast<double>(

@@ -45,22 +45,32 @@ void DataflowExecutor::enqueue(Entry entry) {
   // reader since) — gathering into a dedup'd set because an accumulate
   // both reads and writes its target.
   std::vector<Node*> deps;
+  // Classified edge counters see every live edge (before cross-kind
+  // dedup); `deps` itself stays dedup'd for the scheduling bookkeeping.
+  const auto live = [&](Node* dep) {
+    return dep != nullptr && dep != node && dep->state != State::kDone &&
+           dep->state != State::kRetired;
+  };
   const auto add_dep = [&](Node* dep) {
-    if (dep == nullptr || dep == node) return;
-    if (dep->state == State::kDone || dep->state == State::kRetired) return;
+    if (!live(dep)) return;
     if (std::find(deps.begin(), deps.end(), dep) == deps.end()) {
       deps.push_back(dep);
     }
   };
   for (const BlockId& id : node->entry.reads) {
     KeyState& ks = keys_[id];
+    if (live(ks.last_writer)) ++stats_.raw_deps;
     add_dep(ks.last_writer);
     ks.readers_since_write.push_back(node);
   }
   for (const BlockId& id : node->entry.writes) {
     KeyState& ks = keys_[id];
+    if (live(ks.last_writer)) ++stats_.waw_deps;
     add_dep(ks.last_writer);
-    for (Node* reader : ks.readers_since_write) add_dep(reader);
+    for (Node* reader : ks.readers_since_write) {
+      if (live(reader)) ++stats_.war_deps;
+      add_dep(reader);
+    }
     ks.last_writer = node;
     ks.readers_since_write.clear();
     ++live_writes_[id];

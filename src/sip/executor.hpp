@@ -87,6 +87,12 @@ class DataflowExecutor {
     std::int64_t tasks_executed = 0;    // entries run on the pool
     std::int64_t entries_retired = 0;
     std::int64_t hazard_stalls = 0;     // entries enqueued with live deps
+    // Dependency edges observed at enqueue, classified by hazard kind
+    // (an entry may contribute several edges; edges are counted before
+    // dedup against other kinds, so their sum can exceed hazard_stalls).
+    std::int64_t raw_deps = 0;          // read waits on an earlier write
+    std::int64_t war_deps = 0;          // write waits on an earlier read
+    std::int64_t waw_deps = 0;          // write waits on an earlier write
     std::int64_t operand_stalls = 0;    // entries that parked on a fetch
     std::int64_t drains = 0;            // full-window drains
     std::int64_t window_peak = 0;       // max simultaneous entries

@@ -602,9 +602,14 @@ void Interpreter::window_block_op(const Instruction& instr, double scalar0) {
   // storage: without this, the single physical block behind a loop-reused
   // temp (do k { tmp = A*B; put C += tmp }) WAW-chains every iteration
   // and the pool runs one contraction at a time.
+  // With static dataflow sets (-O1 and above) the compile-time proof
+  // decides; otherwise fall back to the dynamic discovery. Both rules
+  // agree wherever the static analysis claims renamability.
   const bool renamed =
-      !needs_existing && !dst.sliced &&
-      program_.array(dst.array_id).kind == sial::ArrayKind::kTemp;
+      program_.code().analyzed
+          ? instr.renames_dst && !dst.sliced
+          : !needs_existing && !dst.sliced &&
+                program_.array(dst.array_id).kind == sial::ArrayKind::kTemp;
   if (!dst.sliced) {
     op->dst = needs_existing ? data_->read_local_kind(dst)
               : renamed      ? data_->rename_local(dst)
@@ -774,14 +779,39 @@ bool Interpreter::pardo_request_chunk(Frame& frame) {
 }
 
 bool Interpreter::pardo_advance(Frame& frame) {
-  // Iteration boundary: the window must drain first (retires feed the
-  // coalescing shadow tables, and clear_temps below frees blocks that
-  // in-flight entries may still touch), then write-combined put/prepare
-  // accumulates push out before starting the next iteration (or blocking
-  // on the master for a chunk).
-  drain_window();
-  dist_->flush_coalesced();
-  served_->flush_coalesced();
+  // Iteration boundary: by default the window must drain first (retires
+  // feed the coalescing shadow tables, and clear_temps below frees
+  // blocks that in-flight entries may still touch), then write-combined
+  // put/prepare accumulates push out before starting the next iteration
+  // (or blocking on the master for a chunk).
+  //
+  // A pardo the optimizer proved window-safe (PardoInfo::window_safe)
+  // skips the drain: the flush still has to happen after every earlier
+  // put retired, so it rides an in-order retire-only entry instead.
+  // clear_temps stays at scan time — in-flight entries keep shared_ptrs
+  // to the blocks they touch, and the proof guarantees every temp is
+  // fully overwritten (hence renamed to fresh storage) before its next
+  // use. Per-worker retire order equals program order, so the flushed
+  // message sequence — and with it every accumulation order — is
+  // unchanged and results stay bit-identical to the drained path.
+  const bool span_window =
+      executor_ != nullptr &&
+      program_.code()
+          .pardos[static_cast<std::size_t>(frame.pardo_id)]
+          .window_safe;
+  if (span_window) {
+    DataflowExecutor::Entry entry;
+    entry.pc = pc_;
+    entry.retire = [this] {
+      dist_->flush_coalesced();
+      served_->flush_coalesced();
+    };
+    enqueue_entry(std::move(entry));
+  } else {
+    drain_window();
+    dist_->flush_coalesced();
+    served_->flush_coalesced();
+  }
   while (true) {
     if (frame.pos < frame.chunk_end) {
       data_->clear_temps();
@@ -791,7 +821,16 @@ bool Interpreter::pardo_advance(Frame& frame) {
       profiler_.record_pardo_iteration(frame.pardo_id);
       return true;
     }
-    if (!pardo_request_chunk(frame)) return false;
+    if (!pardo_request_chunk(frame)) {
+      if (span_window) {
+        // Loop exhausted: the caller is about to tear the frame down
+        // (clear_pardo_indices), so everything in flight must land now.
+        drain_window();
+        dist_->flush_coalesced();
+        served_->flush_coalesced();
+      }
+      return false;
+    }
   }
 }
 
@@ -1064,6 +1103,47 @@ void Interpreter::exec_request(const Instruction& instr) {
   // server, warming its cache (and this worker's) behind demand traffic.
   for (const BlockId& candidate : lookahead_candidates(instr.blocks[0])) {
     served_->issue_lookahead(candidate);
+  }
+}
+
+void Interpreter::exec_prefetch(const Instruction& instr) {
+  // Optimizer-hoisted fetch of a loop-invariant block (src/sial/opt/).
+  // Zero-trip guard first, replicating exec_do_start's bounds: if the
+  // loop this fetch was hoisted from will not run, the unoptimized
+  // program never issued it — the block may legitimately not exist.
+  const sial::ResolvedIndex& index = program_.index(instr.a0);
+  long first = 0, last = 0;
+  if (instr.a1 >= 0) {
+    const long super_value = data_->index_value(instr.a1);
+    if (super_value == sial::kUndefinedIndexValue) {
+      return;  // the kDoStart right behind us reports the error
+    }
+    first = (super_value - 1) * index.subs_per_segment + 1;
+    last = std::min<long>(super_value * index.subs_per_segment,
+                          index.seg_hi);
+  } else {
+    first = index.seg_lo;
+    last = index.seg_hi;
+  }
+  if (first > last) return;
+
+  const BlockId id = resolve(instr.blocks[0]).id();
+  const bool served = program_.array(instr.blocks[0].array_id).kind ==
+                      sial::ArrayKind::kServed;
+  if (executor_ != nullptr && window_put_targets_.count(id) > 0) {
+    // Same read-your-own-write deferral as exec_get/exec_request.
+    DataflowExecutor::Entry entry;
+    entry.pc = pc_;
+    if (served) {
+      entry.retire = [this, id] { served_->issue_request(id); };
+    } else {
+      entry.retire = [this, id] { dist_->issue_get(id); };
+    }
+    enqueue_entry(std::move(entry));
+  } else if (served) {
+    served_->issue_request(id);
+  } else {
+    dist_->issue_get(id);
   }
 }
 
@@ -1528,6 +1608,10 @@ void Interpreter::step() {
       return;
     case Opcode::kRequest:
       exec_request(instr);
+      ++pc_;
+      return;
+    case Opcode::kPrefetch:
+      exec_prefetch(instr);
       ++pc_;
       return;
     case Opcode::kPut:

@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "sial/compiler.hpp"
+#include "sial/opt/optimizer.hpp"
 #include "sip/interpreter.hpp"
 #include "sip/io_server.hpp"
 #include "sip/shared.hpp"
@@ -53,7 +54,8 @@ RunResult Sip::run_source(const std::string& source) {
 }
 
 DryRunReport Sip::analyze(const sial::CompiledProgram& program) const {
-  const sial::ResolvedProgram resolved(program, config_);
+  const sial::ResolvedProgram resolved(
+      sial::opt::optimize(program, config_.opt_level).program, config_);
   return dry_run(resolved);
 }
 
@@ -64,7 +66,10 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
     config_.fault_plan = FaultPlan::from_env();
     config_.fault_plan.validate();
   }
-  const sial::ResolvedProgram resolved(program, config_);
+  // The mid-end runs between the compiler and program finalization; at
+  // -O0 `optimize` returns an untouched copy.
+  const sial::ResolvedProgram resolved(
+      sial::opt::optimize(program, config_.opt_level).program, config_);
 
   // "The master inspects the SIAL program in dry-run mode" before any
   // resources are committed (paper §V-B).
@@ -192,8 +197,8 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
   }
 
   // Collect results.
-  for (std::size_t s = 0; s < program.scalars.size(); ++s) {
-    result.scalars[program.scalars[s].name] =
+  for (std::size_t s = 0; s < resolved.code().scalars.size(); ++s) {
+    result.scalars[resolved.code().scalars[s].name] =
         workers.front()->data().scalar(static_cast<int>(s));
   }
   result.traffic = fabric->total_stats();
@@ -216,11 +221,13 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
       ProfileReport::PardoCost& cost = pardo_costs[pardo_id];
       cost.pardo_id = pardo_id;
       const auto& info =
-          program.pardos[static_cast<std::size_t>(pardo_id)];
-      cost.line = info.start_pc >= 0
-                      ? program.code[static_cast<std::size_t>(info.start_pc)]
-                            .line
-                      : 0;
+          resolved.code().pardos[static_cast<std::size_t>(pardo_id)];
+      cost.line =
+          info.start_pc >= 0
+              ? resolved.code()
+                    .code[static_cast<std::size_t>(info.start_pc)]
+                    .line
+              : 0;
       cost.iterations += entry.iterations;
       cost.elapsed += entry.elapsed;
       cost.wait += entry.wait;
@@ -242,6 +249,9 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
       agg.tasks_executed += stats.tasks_executed;
       agg.entries_retired += stats.entries_retired;
       agg.hazard_stalls += stats.hazard_stalls;
+      agg.raw_deps += stats.raw_deps;
+      agg.war_deps += stats.war_deps;
+      agg.waw_deps += stats.waw_deps;
       agg.operand_stalls += stats.operand_stalls;
       agg.drains += stats.drains;
       agg.window_peak = std::max(agg.window_peak, stats.window_peak);

@@ -70,7 +70,9 @@ std::string ProfileReport::to_string() const {
         << " pool tasks), window peak " << executor.window_peak
         << ", avg occupancy "
         << TablePrinter::num(executor.avg_occupancy(), 1) << "\n";
-    out << "  stalls: " << executor.hazard_stalls << " hazard, "
+    out << "  stalls: " << executor.hazard_stalls << " hazard ("
+        << executor.raw_deps << " RAW / " << executor.war_deps << " WAR / "
+        << executor.waw_deps << " WAW edges), "
         << executor.operand_stalls << " operand; " << executor.drains
         << " drains ("
         << TablePrinter::num(executor.drain_wait_seconds * 1e3, 2)

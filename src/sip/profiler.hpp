@@ -200,6 +200,11 @@ struct ProfileReport {
     std::int64_t tasks_executed = 0;  // entries run on pool threads
     std::int64_t entries_retired = 0;
     std::int64_t hazard_stalls = 0;   // enqueued behind a RAW/WAR/WAW dep
+    // Dependency edges observed at enqueue, split by hazard kind (may
+    // sum past hazard_stalls: one stalled entry can carry many edges).
+    std::int64_t raw_deps = 0;
+    std::int64_t war_deps = 0;
+    std::int64_t waw_deps = 0;
     std::int64_t operand_stalls = 0;  // parked on an in-flight fetch
     std::int64_t drains = 0;          // full-window drains at boundaries
     std::int64_t window_peak = 0;     // max in-flight entries (over workers)
