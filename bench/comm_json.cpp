@@ -10,6 +10,11 @@
 //     headline ablation (expects a wall-clock win with overlap on);
 //   * mp2  — on-demand integrals, modest traffic;
 //   * ccd  — iterated doubles ladders, get-heavy.
+//
+// A transport column runs comm_storm once per fabric — thread (shared
+// memory), loopback (every cross-rank message framed over a socketpair),
+// spawn (real processes over UNIX sockets) — so the fault-free socket
+// overhead is a committed number, not folklore.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -19,6 +24,7 @@
 #include "chem/programs.hpp"
 #include "common/timer.hpp"
 #include "sip/launch.hpp"
+#include "sip/spawn.hpp"
 
 namespace {
 
@@ -67,7 +73,9 @@ void emit(std::FILE* out, const char* name, const char* engine,
                "      \"zero_copy_messages\": %lld,\n"
                "      \"zero_copy_doubles\": %lld,\n"
                "      \"puts_coalesced\": %lld,\n"
-               "      \"coalesce_flushes\": %lld\n"
+               "      \"coalesce_flushes\": %lld,\n"
+               "      \"serialized_messages\": %lld,\n"
+               "      \"serialized_doubles\": %lld\n"
                "    }%s\n",
                name, engine, sample.seconds,
                static_cast<long long>(sample.traffic.messages_sent),
@@ -76,6 +84,8 @@ void emit(std::FILE* out, const char* name, const char* engine,
                static_cast<long long>(sample.traffic.zero_copy_doubles),
                static_cast<long long>(sample.puts_coalesced),
                static_cast<long long>(sample.coalesce_flushes),
+               static_cast<long long>(sample.traffic.serialized_messages),
+               static_cast<long long>(sample.traffic.serialized_doubles),
                last ? "" : ",");
 }
 
@@ -92,6 +102,11 @@ SipConfig overlap_config(bool overlap) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // This binary is its own spawn helper for the transport column.
+  if (sia::sip::is_spawn_child(argc, argv)) {
+    chem::register_chem_superinstructions();
+    return sia::sip::run_spawn_child(argc, argv);
+  }
   chem::register_chem_superinstructions();
   const std::string path = argc > 1 ? argv[1] : "BENCH_comm.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -123,6 +138,32 @@ int main(int argc, char** argv) {
                 sample_off.seconds,
                 static_cast<long long>(sample_off.traffic.messages_sent),
                 sample_off.seconds / sample_on.seconds);
+  }
+
+  // Transport column: the same comm_storm over each fabric. thread is
+  // the shared-memory baseline; loopback pays serialization + socketpair
+  // on every cross-rank message in one process; spawn adds real process
+  // isolation over UNIX sockets. The gap between thread and the socket
+  // rows is the fault-free cost of out-of-process ranks.
+  {
+    const char* transports[] = {"thread", "loopback", "spawn"};
+    Sample samples[3];
+    for (int i = 0; i < 3; ++i) {
+      SipConfig config = overlap_config(true);
+      config.transport = transports[i];
+      config.constants = {{"norb", 64}};
+      samples[i] = best_of(chem::comm_storm_source(), config, kReps);
+      emit(out, "comm_storm_n64_transport", transports[i], samples[i],
+           false);
+    }
+    std::printf("comm_storm n=64 transports: thread %.3f s, "
+                "loopback %.3f s (%.2fx), spawn %.3f s (%.2fx, "
+                "%lld msgs serialized)\n",
+                samples[0].seconds, samples[1].seconds,
+                samples[1].seconds / samples[0].seconds, samples[2].seconds,
+                samples[2].seconds / samples[0].seconds,
+                static_cast<long long>(
+                    samples[2].traffic.serialized_messages));
   }
 
   // mp2 / ccd: message and byte counts for the chemistry workloads.

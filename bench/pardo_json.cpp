@@ -23,6 +23,7 @@
 #include "chem/programs.hpp"
 #include "common/timer.hpp"
 #include "sip/launch.hpp"
+#include "sip/spawn.hpp"
 
 namespace {
 
@@ -109,6 +110,11 @@ void emit(std::FILE* out, const char* name, const char* engine,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // This binary is its own spawn helper for the process column.
+  if (sia::sip::is_spawn_child(argc, argv)) {
+    chem::register_chem_superinstructions();
+    return sia::sip::run_spawn_child(argc, argv);
+  }
   chem::register_chem_superinstructions();
   const std::string path = argc > 1 ? argv[1] : "BENCH_pardo.json";
   std::FILE* out = std::fopen(path.c_str(), "w");
@@ -121,20 +127,30 @@ int main(int argc, char** argv) {
   const std::string source = chem::comm_storm_source();
   // Alternate engines run-by-run so slow drift in host load hits all
   // sides equally.
-  std::vector<Sample> serial_runs, t2_runs, t4_runs;
+  std::vector<Sample> serial_runs, t2_runs, t4_runs, spawn_runs;
   for (int rep = 0; rep < kReps; ++rep) {
     serial_runs.push_back(run_once(source, pardo_config(0)));
     t2_runs.push_back(run_once(source, pardo_config(2)));
     t4_runs.push_back(run_once(source, pardo_config(4)));
+    // The multi-process column: same serial engine, but the worker is a
+    // real OS process over the socket fabric. workers=1 keeps the chunk
+    // schedule deterministic, so cnorm2 must stay bit-identical; the gap
+    // to "serial" is pure transport (spawn-mode runs do not ship the
+    // per-instruction executor profile, so those counters read zero).
+    SipConfig spawn_config = pardo_config(0);
+    spawn_config.transport = "spawn";
+    spawn_runs.push_back(run_once(source, spawn_config));
   }
   const Sample serial = median_of(std::move(serial_runs));
   const Sample t2 = median_of(std::move(t2_runs));
   const Sample t4 = median_of(std::move(t4_runs));
+  const Sample spawned = median_of(std::move(spawn_runs));
 
   std::fprintf(out, "{\n  \"benchmarks\": [\n");
   emit(out, "comm_storm_n1536_s128", "serial", 0, serial, false);
   emit(out, "comm_storm_n1536_s128", "threads2", 2, t2, false);
-  emit(out, "comm_storm_n1536_s128", "threads4", 4, t4, true);
+  emit(out, "comm_storm_n1536_s128", "threads4", 4, t4, false);
+  emit(out, "comm_storm_n1536_s128", "spawn_serial", 0, spawned, true);
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
 
@@ -147,11 +163,14 @@ int main(int argc, char** argv) {
       serial.seconds / t2.seconds, t4.seconds, serial.seconds / t4.seconds,
       static_cast<long long>(t4.executor.window_peak),
       t4.executor.avg_occupancy());
-  if (t2.cnorm2 != serial.cnorm2 || t4.cnorm2 != serial.cnorm2) {
+  std::printf("spawn (1 worker process): %.3f s (%.2fx of serial)\n",
+              spawned.seconds, spawned.seconds / serial.seconds);
+  if (t2.cnorm2 != serial.cnorm2 || t4.cnorm2 != serial.cnorm2 ||
+      spawned.cnorm2 != serial.cnorm2) {
     std::fprintf(stderr,
                  "FAIL: cnorm2 differs between engines "
-                 "(%.17g vs %.17g vs %.17g)\n",
-                 serial.cnorm2, t2.cnorm2, t4.cnorm2);
+                 "(%.17g vs %.17g vs %.17g vs spawn %.17g)\n",
+                 serial.cnorm2, t2.cnorm2, t4.cnorm2, spawned.cnorm2);
     return 1;
   }
   std::printf("wrote %s (cnorm2 bit-identical: %.6e)\n", path.c_str(),

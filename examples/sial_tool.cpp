@@ -37,6 +37,7 @@
 #include "sim/report.hpp"
 #include "sim/sip_model.hpp"
 #include "sip/launch.hpp"
+#include "sip/spawn.hpp"
 
 namespace {
 
@@ -53,13 +54,20 @@ int usage() {
                "usage: sial_tool {compile|dryrun|run|model} <file.sial> "
                "[-w workers] [-s servers] [-g segment] [-t threads] "
                "[-O0|-O1|-O2] [--dump-bytecode[=opt|raw]] "
-               "[--sparse-threshold X] [-D name=value]...\n");
+               "[--sparse-threshold X] [-D name=value]... "
+               "[--transport thread|loopback|spawn]\n");
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Spawned rank re-exec: this process is a worker or I/O server of a
+  // `--transport spawn` run, not a fresh tool invocation.
+  if (sia::sip::is_spawn_child(argc, argv)) {
+    sia::chem::register_chem_superinstructions();
+    return sia::sip::run_spawn_child(argc, argv);
+  }
   if (argc < 3) return usage();
   const std::string command = argv[1];
   const std::string path = argv[2];
@@ -90,6 +98,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[arg], "--sparse-threshold") == 0 &&
                arg + 1 < argc) {
       config.sparse_threshold = std::atof(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--transport") == 0 && arg + 1 < argc) {
+      config.transport = argv[++arg];
     } else if (std::strcmp(argv[arg], "-D") == 0 && arg + 1 < argc) {
       const std::string def = argv[++arg];
       const std::size_t eq = def.find('=');
@@ -160,7 +170,8 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       sia::sip::Sip sip(config);
-      const sia::sip::RunResult result = sip.run(program);
+      // run_source (not run): spawn mode ships the source to children.
+      const sia::sip::RunResult result = sip.run_source(source);
       std::printf("final scalars:\n");
       for (const auto& [name, value] : result.scalars) {
         std::printf("  %-16s = %.12g\n", name.c_str(), value);

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Full verification: the tier-1 suite, the ThreadSanitizer subset, and
+# the chaos/process matrix, in that order (fastest signal first).
+#
+#   scripts/verify.sh [build-dir]     default build dir: ./build
+#
+# The tsan pass needs a tree configured with -DSIA_TSAN=ON to actually
+# instrument; on a plain tree it still runs the same tests uninstrumented
+# (which is the tier-1 superset, so it is cheap). Likewise `ctest -L asan`
+# in a -DSIA_ASAN=ON tree; that subset is not run here by default because
+# the sanitizers cannot share one tree.
+set -e
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$root/build"}
+
+cmake -B "$build" -S "$root"
+cmake --build "$build" -j "$(nproc)"
+
+cd "$build"
+echo "== tier-1 =="
+ctest --output-on-failure
+echo "== tsan subset =="
+ctest --output-on-failure -L tsan
+echo "== chaos matrix =="
+ctest --output-on-failure -L chaos
+echo "verify: all suites passed"

@@ -176,6 +176,14 @@ void SipConfig::validate() const {
   if (heartbeat_misses < 1) {
     throw Error("SipConfig: heartbeat_misses must be >= 1");
   }
+  if (transport != "thread" && transport != "loopback" &&
+      transport != "spawn") {
+    throw Error("SipConfig: transport must be thread, loopback, or spawn, "
+                "got '" + transport + "'");
+  }
+  if (connect_timeout_ms < 1) {
+    throw Error("SipConfig: connect_timeout_ms must be >= 1");
+  }
   if (fault_plan.kill_rank >= total_ranks()) {
     throw Error("FaultPlan: kill_rank out of range for this launch");
   }

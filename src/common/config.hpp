@@ -212,6 +212,38 @@ struct SipConfig {
   // from the durable DiskStore files instead of aborting the run.
   bool server_recovery = true;
 
+  // ---- Transport (PR 9) ----
+
+  // How ranks talk to each other:
+  //   "thread"   — every rank is a thread in this process sharing the
+  //                in-process mailbox fabric (the default; zero-copy).
+  //   "loopback" — ranks are still threads, but every cross-rank message
+  //                is framed and carried over a real socketpair through
+  //                msg::SocketFabric. Same results, real wire path:
+  //                the transport-parity test mode and the socket-overhead
+  //                bench column.
+  //   "spawn"    — every worker and I/O-server rank runs in its own OS
+  //                process (fork/exec), connected to the master's hub
+  //                socket. The paper's one-rank-per-MPI-process shape.
+  std::string transport = "thread";
+
+  // Socket address for spawn mode ("unix:<path>" or "tcp:<host>:<port>",
+  // port 0 = ephemeral). Empty: a unix socket in the scratch directory,
+  // falling back to loopback TCP when the path would exceed sun_path.
+  std::string socket_address;
+
+  // Binary to exec for spawned ranks; it must call
+  // sip::run_spawn_child() from main when sip::is_spawn_child() (see
+  // sip/spawn.hpp). Empty: re-exec this executable via /proc/self/exe.
+  std::string spawn_helper;
+
+  // How long a spoke keeps retrying its initial connect / a reconnect
+  // (exponential backoff) before declaring the hub unreachable.
+  int connect_timeout_ms = 10000;
+
+  bool socket_transport() const { return transport != "thread"; }
+  bool spawn_processes() const { return transport == "spawn"; }
+
   // Effective switch for the seq/ack/dedup machinery.
   bool fault_tolerance_enabled() const {
     return reliable_protocol || fault_plan.active();

@@ -18,19 +18,23 @@ constexpr std::uint64_t kSaltJitter = 0x6a69u;
 constexpr int kReorderDelayMs = 2;
 }  // namespace
 
-ChaosFabric::ChaosFabric(int ranks, const FaultPlan& plan)
-    : Fabric(ranks),
+ChaosFabric::ChaosFabric(std::unique_ptr<Fabric> base, const FaultPlan& plan)
+    : Fabric(base->ranks()),
+      base_(std::move(base)),
       plan_(plan),
-      sent_counter_(static_cast<std::size_t>(ranks)),
-      kill_counter_(static_cast<std::size_t>(ranks)),
-      killed_(static_cast<std::size_t>(ranks)) {
-  for (int r = 0; r < ranks; ++r) {
+      sent_counter_(static_cast<std::size_t>(ranks())),
+      kill_counter_(static_cast<std::size_t>(ranks())),
+      killed_(static_cast<std::size_t>(ranks())) {
+  for (int r = 0; r < ranks(); ++r) {
     sent_counter_[static_cast<std::size_t>(r)].store(0);
     kill_counter_[static_cast<std::size_t>(r)].store(0);
     killed_[static_cast<std::size_t>(r)].store(false);
   }
   delay_thread_ = std::thread([this] { pump_delayed(); });
 }
+
+ChaosFabric::ChaosFabric(int ranks, const FaultPlan& plan)
+    : ChaosFabric(std::make_unique<Fabric>(ranks), plan) {}
 
 ChaosFabric::~ChaosFabric() {
   {
@@ -87,6 +91,9 @@ void ChaosFabric::send(int src, int dst, Message message) {
         !kill_fired_.exchange(true, std::memory_order_acq_rel)) {
       killed_[static_cast<std::size_t>(src)].store(
           true, std::memory_order_release);
+      // In a spawned rank the hook turns the simulated death into a real
+      // one (raise SIGKILL); it does not return in that case.
+      if (kill_hook_) kill_hook_(src);
     }
   }
   if (killed(src) || killed(dst)) {
@@ -95,7 +102,7 @@ void ChaosFabric::send(int src, int dst, Message message) {
   }
 
   if (!protected_tag(message.tag)) {
-    Fabric::send(src, dst, std::move(message));
+    base_->send(src, dst, std::move(message));
     return;
   }
 
@@ -130,36 +137,36 @@ void ChaosFabric::send(int src, int dst, Message message) {
     delays_.fetch_add(1, std::memory_order_relaxed);
     enqueue_delayed(src, dst, std::move(message), delay_ms);
   } else {
-    Fabric::send(src, dst, std::move(message));
+    base_->send(src, dst, std::move(message));
   }
   if (duplicate) {
     dups_.fetch_add(1, std::memory_order_relaxed);
     if (delay_ms > 0) {
       enqueue_delayed(src, dst, std::move(copy), delay_ms);
     } else {
-      Fabric::send(src, dst, std::move(copy));
+      base_->send(src, dst, std::move(copy));
     }
   }
 }
 
 std::optional<Message> ChaosFabric::try_recv(int rank) {
   if (killed(rank)) return std::nullopt;
-  return Fabric::try_recv(rank);
+  return base_->try_recv(rank);
 }
 
 std::optional<Message> ChaosFabric::try_recv_tag(int rank, int tag) {
   if (killed(rank)) return std::nullopt;
-  return Fabric::try_recv_tag(rank, tag);
+  return base_->try_recv_tag(rank, tag);
 }
 
 bool ChaosFabric::has_message(int rank) const {
   if (killed(rank)) return false;
-  return Fabric::has_message(rank);
+  return base_->has_message(rank);
 }
 
 std::optional<Message> ChaosFabric::recv(int rank) {
   if (killed(rank)) return std::nullopt;
-  return Fabric::recv(rank);
+  return base_->recv(rank);
 }
 
 std::optional<Message> ChaosFabric::recv_for(int rank, int timeout_ms) {
@@ -169,16 +176,36 @@ std::optional<Message> ChaosFabric::recv_for(int rank, int timeout_ms) {
     std::this_thread::sleep_for(std::chrono::milliseconds(timeout_ms));
     return std::nullopt;
   }
-  return Fabric::recv_for(rank, timeout_ms);
+  return base_->recv_for(rank, timeout_ms);
+}
+
+void ChaosFabric::barrier(int rank) { base_->barrier(rank); }
+
+void ChaosFabric::deliver(int src, int dst, Message message) {
+  base_->deliver(src, dst, std::move(message));
+}
+
+TrafficStats ChaosFabric::stats(int rank) const { return base_->stats(rank); }
+
+TrafficStats ChaosFabric::total_stats() const {
+  return base_->total_stats();
+}
+
+void ChaosFabric::record_screened(int rank, std::int64_t doubles_elided) {
+  base_->record_screened(rank, doubles_elided);
 }
 
 void ChaosFabric::revive(int rank) {
   killed_[static_cast<std::size_t>(rank)].store(false,
                                                 std::memory_order_release);
+  base_->revive(rank);
 }
 
 void ChaosFabric::stop() {
+  // Set this decorator's own stop flag first (killed ranks' recv paths
+  // consult it), then stop the transport underneath, then wake the pump.
   Fabric::stop();
+  base_->stop();
   delay_cv_.notify_all();
 }
 

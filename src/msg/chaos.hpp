@@ -1,12 +1,16 @@
 // Deterministic fault injection over the message fabric.
 //
-// ChaosFabric decorates Fabric: every send of a protected data-plane
-// message consults a FaultPlan and a seeded counter-keyed RNG to decide
-// whether to drop, delay, duplicate, or reorder it, and a scheduled rank
-// kill makes one rank's sends and receives go dark at its Nth message.
-// Every decision is a pure function of {plan.seed, sending rank, that
-// rank's send counter}, so a chaos run replays bit-identically from its
-// plan string — no wall-clock or global state enters the draw.
+// ChaosFabric is a true decorator: it owns any base Fabric — the plain
+// thread fabric or a SocketFabric — and interposes on sends. Every send
+// of a protected data-plane message consults a FaultPlan and a seeded
+// counter-keyed RNG to decide whether to drop, delay, duplicate, or
+// reorder it, and a scheduled rank kill makes one rank's sends and
+// receives go dark at its Nth message. Every decision is a pure function
+// of {plan.seed, sending rank, that rank's send counter}, so a chaos run
+// replays bit-identically from its plan string — no wall-clock or global
+// state enters the draw — and the draws are identical whether the ranks
+// share a process or not: each rank's sends enter the chaos layer of the
+// process that hosts it, keyed by its own counter.
 //
 // Faults only touch the retryable data-plane tags (gets/puts/prepares/
 // requests/replies/acks): the SIP's control plane (barriers, chunk
@@ -25,6 +29,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <string>
@@ -51,6 +57,9 @@ struct ChaosStats {
 
 class ChaosFabric : public Fabric {
  public:
+  // Decorates `base` (which must outlive nothing — ownership transfers).
+  ChaosFabric(std::unique_ptr<Fabric> base, const FaultPlan& plan);
+  // Convenience: wraps a fresh in-process thread fabric of `ranks`.
   ChaosFabric(int ranks, const FaultPlan& plan);
   ~ChaosFabric() override;
 
@@ -60,7 +69,14 @@ class ChaosFabric : public Fabric {
   bool has_message(int rank) const override;
   std::optional<Message> recv(int rank) override;
   std::optional<Message> recv_for(int rank, int timeout_ms) override;
+  void barrier(int rank) override;
   void stop() override;
+  TrafficStats stats(int rank) const override;
+  TrafficStats total_stats() const override;
+  void record_screened(int rank, std::int64_t doubles_elided) override;
+  // Injection past the fault layer (used by the internal delay pump):
+  // goes straight to the base fabric.
+  void deliver(int src, int dst, Message message) override;
 
   bool killed(int rank) const override {
     return killed_[static_cast<std::size_t>(rank)].load(
@@ -72,6 +88,18 @@ class ChaosFabric : public Fabric {
 
   ChaosStats chaos_stats() const;
 
+  // The decorated transport (e.g. to reach SocketFabric accessors).
+  Fabric& base() { return *base_; }
+  const Fabric& base() const { return *base_; }
+
+  // Called (once) when the scheduled kill fires, with the dying rank.
+  // Spawned child processes install `raise(SIGKILL)` here so a chaos kill
+  // is a real process death instead of simulated darkness; in thread mode
+  // it stays empty and darkness does the simulating.
+  void set_kill_hook(std::function<void(int)> hook) {
+    kill_hook_ = std::move(hook);
+  }
+
  private:
   // True for tags the reliable protocol covers; only these are eligible
   // for random drop/delay/dup/reorder.
@@ -82,7 +110,9 @@ class ChaosFabric : public Fabric {
   void enqueue_delayed(int src, int dst, Message message, int delay_ms);
   void pump_delayed();  // timer-thread body
 
+  std::unique_ptr<Fabric> base_;
   FaultPlan plan_;
+  std::function<void(int)> kill_hook_;
   // Per-rank counter of protected sends (keys the RNG) and of all sends
   // (triggers the scheduled kill).
   std::vector<std::atomic<std::uint64_t>> sent_counter_;

@@ -48,7 +48,11 @@ void Fabric::send(int src, int dst, Message message) {
 
 void Fabric::deliver(int src, int dst, Message message) {
   message.src = src;
+  count_send(src, message);
+  enqueue_local(dst, std::move(message));
+}
 
+void Fabric::count_send(int src, const Message& message) {
   Mailbox& sender = *boxes_[static_cast<std::size_t>(src)];
   sender.messages_sent.fetch_add(1, std::memory_order_relaxed);
   sender.payload_doubles_sent.fetch_add(
@@ -63,7 +67,25 @@ void Fabric::deliver(int src, int dst, Message message) {
         static_cast<std::int64_t>(message.block->size()),
         std::memory_order_relaxed);
   }
+}
 
+void Fabric::count_serialized(int src, const Message& message) {
+  Mailbox& sender = *boxes_[static_cast<std::size_t>(src)];
+  sender.serialized_messages.fetch_add(1, std::memory_order_relaxed);
+  if (message.block) {
+    sender.serialized_doubles.fetch_add(
+        static_cast<std::int64_t>(message.block->size()),
+        std::memory_order_relaxed);
+    // The block moved as bytes, not as a shared pointer: take back the
+    // zero-copy credit count_send granted.
+    sender.zero_copy_messages.fetch_sub(1, std::memory_order_relaxed);
+    sender.zero_copy_doubles.fetch_sub(
+        static_cast<std::int64_t>(message.block->size()),
+        std::memory_order_relaxed);
+  }
+}
+
+void Fabric::enqueue_local(int dst, Message message) {
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
@@ -167,6 +189,10 @@ TrafficStats Fabric::stats(int rank) const {
   stats.blocks_screened =
       box.blocks_screened.load(std::memory_order_relaxed);
   stats.bytes_elided = box.bytes_elided.load(std::memory_order_relaxed);
+  stats.serialized_messages =
+      box.serialized_messages.load(std::memory_order_relaxed);
+  stats.serialized_doubles =
+      box.serialized_doubles.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -182,6 +208,11 @@ TrafficStats Fabric::total_stats() const {
     total.sends_after_stop += s.sends_after_stop;
     total.blocks_screened += s.blocks_screened;
     total.bytes_elided += s.bytes_elided;
+    total.serialized_messages += s.serialized_messages;
+    total.serialized_doubles += s.serialized_doubles;
+    total.reconnects += s.reconnects;
+    total.frames_rejected += s.frames_rejected;
+    total.peer_down_drops += s.peer_down_drops;
   }
   return total;
 }

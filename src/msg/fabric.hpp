@@ -57,6 +57,19 @@ struct TrafficStats {
   // that therefore never crossed the fabric.
   std::int64_t blocks_screened = 0;
   std::int64_t bytes_elided = 0;
+  // Socket transport: messages whose payload had to be serialized into a
+  // wire frame because the destination rank lives in another process —
+  // the zero-copy downgrade — and the doubles copied for them. For
+  // in-process destinations the BlockPtr fast path still applies and
+  // these stay zero.
+  std::int64_t serialized_messages = 0;
+  std::int64_t serialized_doubles = 0;
+  // Socket transport robustness: connections re-established after a
+  // reset, malformed frames rejected (peer quarantined), and messages
+  // dropped because the destination's process/connection was down.
+  std::int64_t reconnects = 0;
+  std::int64_t frames_rejected = 0;
+  std::int64_t peer_down_drops = 0;
 };
 
 class Fabric {
@@ -90,8 +103,9 @@ class Fabric {
   virtual std::optional<Message> recv_for(int rank, int timeout_ms);
 
   // Fabric-wide barrier across all ranks (sense-reversing). Every rank
-  // must call it; used by the GA baseline and by tests.
-  void barrier(int rank);
+  // must call it; used by the GA baseline and by tests. Only meaningful
+  // when all participating ranks live in this process.
+  virtual void barrier(int rank);
 
   // Wakes all blocked receivers and makes further recv calls return
   // nullopt. Sends after stop() become counted no-ops.
@@ -107,18 +121,31 @@ class Fabric {
   }
   virtual void revive(int rank) { (void)rank; }
 
-  TrafficStats stats(int rank) const;
-  TrafficStats total_stats() const;
+  virtual TrafficStats stats(int rank) const;
+  virtual TrafficStats total_stats() const;
 
   // Records one screened block transfer charged to `rank`: a payload of
   // `doubles_elided` words that was answered with a marker (or dropped at
   // the sender) instead of moving across the fabric.
-  void record_screened(int rank, std::int64_t doubles_elided);
+  virtual void record_screened(int rank, std::int64_t doubles_elided);
+
+  // Enqueue toward dst's mailbox without fault interposition: stamps the
+  // source, bumps the sender's traffic counters, and delivers. The raw
+  // hook under send(). Public and virtual so decorators (ChaosFabric's
+  // delayed-delivery thread) can inject into their base fabric, and so
+  // transports (SocketFabric) can route the delivery across a socket
+  // when dst lives in another process.
+  virtual void deliver(int src, int dst, Message message);
 
  protected:
-  // Enqueue into dst's mailbox without fault interposition; used by send()
-  // and by ChaosFabric's delayed-delivery thread.
-  void deliver(int src, int dst, Message message);
+  // Bumps src's send counters for `message` (charged even when the
+  // delivery is then routed over a socket).
+  void count_send(int src, const Message& message);
+  // Mailbox-only enqueue into this instance's queues; what deliver()
+  // does for an in-process destination.
+  void enqueue_local(int dst, Message message);
+  // Charges a serialized (single-copy framed) transfer to src.
+  void count_serialized(int src, const Message& message);
 
  private:
   struct TaggedMessage {
@@ -150,6 +177,8 @@ class Fabric {
     std::atomic<std::int64_t> sends_after_stop{0};
     std::atomic<std::int64_t> blocks_screened{0};
     std::atomic<std::int64_t> bytes_elided{0};
+    std::atomic<std::int64_t> serialized_messages{0};
+    std::atomic<std::int64_t> serialized_doubles{0};
 
     // Pops the globally oldest live message. Caller holds `mutex` and
     // guarantees pending > 0.

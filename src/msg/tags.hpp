@@ -43,12 +43,18 @@ enum Tag : int {
 
   // Housekeeping.
   kShutdown = 901,
-  kAbort = 902,  // fatal error broadcast: header = error code, data unused
+  kAbort = 902,  // fatal error: header = [byte_count], data = error text
+                 // packed 8 bytes per double (sip/spawn.hpp pack helpers)
 
   // Fault-tolerance protocol (PR 4).
   kHeartbeatPing = 903,  // master -> rank: [tick]
   kHeartbeatAck = 904,   // rank -> master: [tick, rank]
   kProtoAck = 905,       // standalone ack: msg.ack = applied seq
+
+  // Process ranks (PR 9): a spawned rank ships its end-of-run counters
+  // and (for the first worker) final scalar values back to the launch.
+  // header = [kind, scalar_count], data = packed counters + scalars.
+  kResultReport = 906,
 };
 
 }  // namespace sia::msg

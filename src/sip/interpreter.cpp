@@ -10,6 +10,7 @@
 #include "msg/tags.hpp"
 #include "sip/checkpoint.hpp"
 #include "sip/prefetch.hpp"
+#include "sip/spawn.hpp"
 
 namespace sia::sip {
 
@@ -178,6 +179,11 @@ void Interpreter::handle_message(msg::Message& message) {
     case msg::kScalarBcast:
       collective_results_[message.header[0]] = message.data.at(0);
       break;
+    case msg::kAbort:
+      // Another rank's fatal error, relayed by the master. In spawn mode
+      // this message is the only way the news reaches this process.
+      shared_.raise_abort(abort_text(message));
+      break;  // the next check_abort unwinds via Aborted
     default:
       throw InternalError("worker received unexpected tag " +
                           std::to_string(message.tag));

@@ -9,7 +9,9 @@
 
 #include "blas/elementwise.hpp"
 #include "common/log.hpp"
+#include "common/posix_io.hpp"
 #include "msg/tags.hpp"
+#include "sip/spawn.hpp"
 
 namespace sia::sip {
 
@@ -33,19 +35,21 @@ DiskStore::DiskStore(const std::string& dir, const std::string& array_name,
       present_(static_cast<std::size_t>(num_blocks), 0) {
   const std::string data_path = dir + "/" + array_name + ".srv";
   const std::string map_path = dir + "/" + array_name + ".map";
-  fd_ = ::open(data_path.c_str(), O_RDWR | O_CREAT, 0644);
+  fd_ = retry_eintr(
+      [&] { return ::open(data_path.c_str(), O_RDWR | O_CREAT, 0644); });
   if (fd_ < 0) {
     throw RuntimeError("cannot open served array file " + data_path + ": " +
                        std::strerror(errno));
   }
-  map_fd_ = ::open(map_path.c_str(), O_RDWR | O_CREAT, 0644);
+  map_fd_ = retry_eintr(
+      [&] { return ::open(map_path.c_str(), O_RDWR | O_CREAT, 0644); });
   if (map_fd_ < 0) {
-    ::close(fd_);
+    close_quiet(fd_);
     throw RuntimeError("cannot open served array map " + map_path);
   }
   // Load existing presence map (persistence across SIP runs).
   const ssize_t got =
-      ::pread(map_fd_, present_.data(), present_.size(), 0);
+      pread_full(map_fd_, present_.data(), present_.size(), 0);
   if (got < 0) {
     throw RuntimeError("cannot read served array map " + map_path);
   }
@@ -63,8 +67,8 @@ DiskStore::~DiskStore() {
       // Destructor: nothing sensible to do with a failed final flush.
     }
   }
-  if (fd_ >= 0) ::close(fd_);
-  if (map_fd_ >= 0) ::close(map_fd_);
+  if (fd_ >= 0) close_quiet(fd_);
+  if (map_fd_ >= 0) close_quiet(map_fd_);
 }
 
 void DiskStore::abandon() {
@@ -115,7 +119,7 @@ void DiskStore::read(std::int64_t linear, double* out,
       static_cast<off_t>(linear) *
       static_cast<off_t>(slot_doubles_ * sizeof(double));
   const std::size_t bytes = count * sizeof(double);
-  const ssize_t got = ::pread(fd_, out, bytes, offset);
+  const ssize_t got = pread_full(fd_, out, bytes, offset);
   if (got != static_cast<ssize_t>(bytes)) {
     throw RuntimeError("short read from served array file");
   }
@@ -136,7 +140,8 @@ void DiskStore::write_deferred(std::int64_t linear, const double* data,
       static_cast<off_t>(linear) *
       static_cast<off_t>(slot_doubles_ * sizeof(double));
   const std::size_t bytes = count * sizeof(double);
-  if (::pwrite(fd_, data, bytes, offset) != static_cast<ssize_t>(bytes)) {
+  if (pwrite_full(fd_, data, bytes, offset) !=
+      static_cast<ssize_t>(bytes)) {
     throw RuntimeError("short write to served array file");
   }
   std::lock_guard<std::mutex> lock(mutex_);
@@ -154,8 +159,8 @@ void DiskStore::flush_map() {
   // disk are simply rewritten with their current in-memory value.
   const std::size_t lo = static_cast<std::size_t>(map_dirty_lo_);
   const std::size_t len = static_cast<std::size_t>(map_dirty_hi_) - lo + 1;
-  if (::pwrite(map_fd_, present_.data() + lo, len,
-               static_cast<off_t>(lo)) != static_cast<ssize_t>(len)) {
+  if (pwrite_full(map_fd_, present_.data() + lo, len,
+                  static_cast<off_t>(lo)) != static_cast<ssize_t>(len)) {
     throw RuntimeError("cannot update served array map");
   }
   map_dirty_lo_ = map_dirty_hi_ = -1;
@@ -167,7 +172,7 @@ void DiskStore::after_batch() {
   // One sync per batch instead of per block; dropping the pages right
   // after keeps the data file cold so the application-level cache stays
   // the only cache.
-  ::fdatasync(fd_);
+  fdatasync_eintr(fd_);
   ::posix_fadvise(fd_, 0, 0, POSIX_FADV_DONTNEED);
 }
 
@@ -182,7 +187,7 @@ void DiskStore::erase_all() {
   std::lock_guard<std::mutex> lock(mutex_);
   std::fill(present_.begin(), present_.end(), 0);
   if (!present_.empty() &&
-      ::pwrite(map_fd_, present_.data(), present_.size(), 0) !=
+      pwrite_full(map_fd_, present_.data(), present_.size(), 0) !=
           static_cast<ssize_t>(present_.size())) {
     throw RuntimeError("cannot clear served array map");
   }
@@ -582,7 +587,7 @@ IoServer::~IoServer() {
     fd = journal_fd_;
     journal_fd_ = -1;
   }
-  if (fd >= 0) ::close(fd);
+  if (fd >= 0) close_quiet(fd);
 }
 
 DiskStore& IoServer::store_for(int array_id) {
@@ -1206,7 +1211,7 @@ void IoServer::ack_durable(const WriteBehind::AckList& acks) {
         entries.push_back(seq);
       }
       const std::size_t bytes = entries.size() * sizeof(std::uint64_t);
-      if (::write(journal_fd_, entries.data(), bytes) !=
+      if (write_full(journal_fd_, entries.data(), bytes) !=
           static_cast<ssize_t>(bytes)) {
         shared_.raise_abort("cannot append to server ack journal");
         return;
@@ -1220,7 +1225,9 @@ void IoServer::ack_durable(const WriteBehind::AckList& acks) {
 void IoServer::load_ack_journal() {
   const std::string path = shared_.scratch_dir + "/server_" +
                            std::to_string(my_rank_) + ".ackjournal";
-  journal_fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  journal_fd_ = retry_eintr([&] {
+    return ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  });
   if (journal_fd_ < 0) {
     throw RuntimeError("cannot open server ack journal " + path + ": " +
                        std::strerror(errno));
@@ -1234,7 +1241,7 @@ void IoServer::load_ack_journal() {
   off_t offset = 0;
   for (;;) {
     const ssize_t got =
-        ::pread(journal_fd_, pair, sizeof(pair), offset);
+        pread_full(journal_fd_, pair, sizeof(pair), offset);
     if (got < static_cast<ssize_t>(sizeof(pair))) break;
     offset += got;
     const int src = static_cast<int>(pair[0]);
@@ -1374,6 +1381,13 @@ void IoServer::run() {
         case msg::kShutdown:
           flush();
           return;
+        case msg::kAbort:
+          // Another rank's fatal error relayed by the master (the only
+          // way the news reaches a spawned server process). Do not
+          // flush: mirror the thread-mode abort path, where stop() cuts
+          // the run short with write-behind state in flight.
+          shared_.raise_abort(abort_text(*message));
+          break;  // check_abort exits via Aborted next iteration
         default:
           throw InternalError("I/O server received unexpected tag " +
                               std::to_string(message->tag));

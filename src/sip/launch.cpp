@@ -1,6 +1,7 @@
 #include "sip/launch.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <thread>
 
@@ -9,9 +10,11 @@
 #include "common/timer.hpp"
 #include "sial/compiler.hpp"
 #include "sial/opt/optimizer.hpp"
+#include "msg/socket_fabric.hpp"
 #include "sip/interpreter.hpp"
 #include "sip/io_server.hpp"
 #include "sip/shared.hpp"
+#include "sip/spawn.hpp"
 #include "sip/superinstr.hpp"
 
 namespace sia::sip {
@@ -50,7 +53,15 @@ Sip::~Sip() {
 }
 
 RunResult Sip::run_source(const std::string& source) {
-  return run(sial::compile_sial(source));
+  pending_source_ = source;
+  try {
+    RunResult result = run(sial::compile_sial(source));
+    pending_source_.clear();
+    return result;
+  } catch (...) {
+    pending_source_.clear();
+    throw;
+  }
 }
 
 DryRunReport Sip::analyze(const sial::CompiledProgram& program) const {
@@ -65,6 +76,16 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
   if (!config_.fault_plan.active()) {
     config_.fault_plan = FaultPlan::from_env();
     config_.fault_plan.validate();
+  }
+  // Transport pickup, same precedence: SIA_TRANSPORT=loopback|spawn runs
+  // any existing suite over the socket fabric without touching code
+  // (e.g. SIA_TRANSPORT=loopback ctest -R 'test_opt|test_sparse' for the
+  // bit-identity suites over the wire codec).
+  if (config_.transport == "thread") {
+    if (const char* env = std::getenv("SIA_TRANSPORT")) {
+      config_.transport = env;
+      config_.validate();
+    }
   }
   // The mid-end runs between the compiler and program finalization; at
   // -O0 `optimize` returns an untouched copy.
@@ -86,16 +107,40 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
         result.dry_run.workers_needed);
   }
 
+  // Spawn mode: every worker and I/O-server rank is its own OS process
+  // wired to this process's socket hub. The children recompile the SIAL
+  // source, so only run_source() launches can spawn.
+  if (config_.spawn_processes()) {
+    if (pending_source_.empty()) {
+      throw Error(
+          "transport=spawn requires run_source(): spawned ranks recompile "
+          "the SIAL source, which run(CompiledProgram) does not carry");
+    }
+    return run_spawned(config_, scratch_dir_, pending_source_, resolved,
+                       std::move(result));
+  }
+
   // Screened-kernel counter is process-global; delta it across the run.
   const std::uint64_t kernels_screened_before = kernels_screened_count();
 
   const bool fault_tolerant = config_.fault_tolerance_enabled();
+  // Transport: plain in-process mailboxes, or the loopback socket fabric
+  // that frames every cross-rank message over a real socketpair (the
+  // transport-parity mode socket tests and benches use). Fault plans
+  // decorate either with the chaos layer.
   std::unique_ptr<msg::Fabric> fabric;
-  if (config_.fault_plan.active()) {
-    fabric = std::make_unique<msg::ChaosFabric>(config_.total_ranks(),
-                                                config_.fault_plan);
+  if (config_.socket_transport()) {
+    msg::SocketOptions sopts;
+    sopts.role = msg::SocketOptions::Role::kLoopback;
+    sopts.connect_timeout_ms = config_.connect_timeout_ms;
+    fabric =
+        std::make_unique<msg::SocketFabric>(config_.total_ranks(), sopts);
   } else {
     fabric = std::make_unique<msg::Fabric>(config_.total_ranks());
+  }
+  if (config_.fault_plan.active()) {
+    fabric = std::make_unique<msg::ChaosFabric>(std::move(fabric),
+                                                config_.fault_plan);
   }
   std::unique_ptr<msg::DiskFaultInjector> disk_injector;
   if (config_.fault_plan.disk_fault != 0) {

@@ -74,6 +74,9 @@ class Sip {
   SipConfig config_;
   std::string scratch_dir_;
   bool owns_scratch_ = false;
+  // SIAL source of the program currently in run_source(): spawn mode
+  // ships it to child processes, which recompile it deterministically.
+  std::string pending_source_;
 };
 
 }  // namespace sia::sip

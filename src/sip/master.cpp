@@ -6,6 +6,7 @@
 
 #include "common/log.hpp"
 #include "msg/tags.hpp"
+#include "sip/spawn.hpp"
 
 namespace sia::sip {
 
@@ -376,10 +377,25 @@ void Master::heartbeat_tick() {
   }
 }
 
+void Master::broadcast_abort() {
+  std::string what;
+  {
+    std::lock_guard<std::mutex> lock(shared_.error_mutex);
+    what = shared_.first_error;
+  }
+  if (what.empty()) what = "aborted";
+  for (int r = 1; r < shared_.fabric->ranks(); ++r) {
+    shared_.fabric->deliver(shared_.master_rank(), r,
+                            make_abort_message(what));
+  }
+}
+
 void Master::run() {
   const int heartbeat_ms = shared_.config.effective_heartbeat_ms();
-  const bool watchdog =
-      shared_.config.fault_tolerance_enabled() && heartbeat_ms > 0;
+  // The watchdog runs whenever a heartbeat period is in effect — under
+  // fault tolerance (auto) and in spawn mode, where run_spawned forces a
+  // period because real processes can die without injected faults.
+  const bool watchdog = heartbeat_ms > 0;
   auto next_beat = std::chrono::steady_clock::now() +
                    std::chrono::milliseconds(heartbeat_ms);
   try {
@@ -417,6 +433,15 @@ void Master::run() {
             }
           }
           break;
+        case msg::kAbort:
+          // A remote (spawned) rank died on an error; adopt it as the
+          // run's first error and spread the word before teardown.
+          shared_.raise_abort(abort_text(*message));
+          break;  // check_abort throws Aborted on the next iteration
+        case msg::kResultReport:
+          // End-of-run report from a spawned rank; the launch harvests
+          // these from the mailbox after run() returns.
+          break;
         default:
           throw InternalError("master received unexpected tag " +
                               std::to_string(message->tag));
@@ -430,8 +455,10 @@ void Master::run() {
       shared_.fabric->send(shared_.master_rank(), r, std::move(shutdown));
     }
   } catch (const Aborted&) {
+    broadcast_abort();
   } catch (const std::exception& error) {
     shared_.raise_abort(error.what());
+    broadcast_abort();
   }
 }
 

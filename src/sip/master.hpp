@@ -89,6 +89,11 @@ class Master {
   // Heartbeat watchdog (fault tolerance): evaluate last round's acks,
   // escalate unresponsive ranks, broadcast the next ping.
   void heartbeat_tick();
+  // Sends kAbort (carrying the first error) to every non-master rank via
+  // deliver(), bypassing the stopped-fabric send gate. Thread-mode ranks
+  // learn of an abort from the shared flag; spawned process ranks only
+  // learn from this message.
+  void broadcast_abort();
   // A rank missed `heartbeat_misses` consecutive beats: respawn a dead
   // I/O server, or abort the run with a diagnosis naming the rank and
   // what every other rank is currently blocked on.

@@ -1,0 +1,62 @@
+// Process ranks: fork/exec'd workers and I/O servers over SocketFabric.
+//
+// The paper's SIP is an MPI program — master, workers, and I/O servers
+// are separate OS processes. `transport=spawn` reproduces that shape:
+// the launching process hosts rank 0 (the master) and the socket hub,
+// and every worker and I/O-server rank is a child process started with
+//   <helper> --sia-child --rank R --bundle <path> [--incarnation K]
+// The bundle is a key=value serialization of the SipConfig plus the SIAL
+// source; the child recompiles the source deterministically (same
+// opt_level, same segment plan), connects to the hub as a spoke, and
+// runs its rank exactly as the thread-mode launch would have.
+//
+// End-of-run results travel back as kResultReport messages; a child that
+// aborts sends a kAbort carrying the error text. Both are written over a
+// one-shot connection to the hub (msg::connect_socket + raw frames)
+// rather than the child's regular fabric, because the abort path stops
+// that fabric — the report must not depend on the thing that just died.
+//
+// Binaries that want spawn mode must give this module first refusal on
+// argv before doing anything else:
+//
+//   int main(int argc, char** argv) {
+//     if (sia::sip::is_spawn_child(argc, argv))
+//       return sia::sip::run_spawn_child(argc, argv);
+//     ...
+//   }
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "msg/message.hpp"
+#include "sial/program.hpp"
+#include "sip/launch.hpp"
+
+namespace sia::sip {
+
+// kAbort payload codec: the error text packed 8 bytes per double with
+// header = [byte_count]. Needs no new wire machinery — it rides the
+// existing Message frame codec.
+msg::Message make_abort_message(const std::string& text);
+std::string abort_text(const msg::Message& message);
+
+// True when argv marks this process as a spawned rank (`--sia-child`).
+bool is_spawn_child(int argc, char** argv);
+
+// Runs the spawned rank to completion; returns the process exit code.
+// Never throws: failures become a kAbort report to the hub plus a
+// nonzero exit.
+int run_spawn_child(int argc, char** argv);
+
+// Spawn-mode launch body, called by Sip::run once the program has been
+// optimized, resolved, and dry-run-checked. `result` arrives with the
+// dry-run report filled in and is returned completed. Spawn mode fills
+// scalars, traffic, and the robustness/served counters that children
+// report back; the per-instruction profile and worker cache totals stay
+// empty — they live in the children and are deliberately not shipped.
+RunResult run_spawned(const SipConfig& config, const std::string& scratch_dir,
+                      const std::string& source,
+                      const sial::ResolvedProgram& resolved, RunResult result);
+
+}  // namespace sia::sip

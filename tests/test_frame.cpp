@@ -1,0 +1,265 @@
+// Wire-codec tests for the socket fabric framing (msg/frame.hpp) and the
+// reconnect path of the loopback SocketFabric: randomized round-trips,
+// rejection of truncated and corrupted frames, and the end-to-end
+// exactly-once guarantee (reliable layer + sequencer) across a transport
+// reset mid-stream.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "block/block.hpp"
+#include "msg/fabric.hpp"
+#include "msg/frame.hpp"
+#include "msg/reliable.hpp"
+#include "msg/socket_fabric.hpp"
+#include "msg/tags.hpp"
+
+namespace sia::msg {
+namespace {
+
+Message random_message(std::mt19937& rng) {
+  std::uniform_int_distribution<int> small(0, 6);
+  std::uniform_int_distribution<int> word(-1000000, 1000000);
+  std::uniform_real_distribution<double> real(-1e6, 1e6);
+  Message message;
+  message.src = small(rng);
+  message.tag = word(rng);
+  message.seq = static_cast<std::uint64_t>(word(rng)) << 20;
+  message.ack = static_cast<std::uint64_t>(word(rng));
+  const int headers = small(rng);
+  for (int i = 0; i < headers; ++i) message.header.push_back(word(rng));
+  const int doubles = small(rng);
+  for (int i = 0; i < doubles; ++i) message.data.push_back(real(rng));
+  if (small(rng) >= 3) {
+    std::uniform_int_distribution<int> rank_dist(1, 4);
+    std::uniform_int_distribution<int> extent_dist(1, 5);
+    const int rank = rank_dist(rng);
+    std::vector<int> extents;
+    for (int d = 0; d < rank; ++d) extents.push_back(extent_dist(rng));
+    BlockShape shape(std::span<const int>(extents.data(), extents.size()));
+    auto block = std::make_shared<Block>(shape);
+    for (double& v : block->data()) v = real(rng);
+    message.block = std::move(block);
+  }
+  return message;
+}
+
+void expect_equal(const Message& want, const DecodedFrame& got, int dst) {
+  EXPECT_EQ(got.kind, FrameKind::kMessage);
+  EXPECT_EQ(got.dst, dst);
+  EXPECT_EQ(got.message.src, want.src);
+  EXPECT_EQ(got.message.tag, want.tag);
+  EXPECT_EQ(got.message.seq, want.seq);
+  EXPECT_EQ(got.message.ack, want.ack);
+  EXPECT_EQ(got.message.header, want.header);
+  EXPECT_EQ(got.message.data, want.data);
+  ASSERT_EQ(got.message.block != nullptr, want.block != nullptr);
+  if (want.block) {
+    ASSERT_EQ(got.message.block->size(), want.block->size());
+    // The decoded block is a fresh heap block (the single-copy
+    // downgrade), never the sender's storage.
+    EXPECT_NE(got.message.block.get(), want.block.get());
+    for (std::size_t i = 0; i < want.block->size(); ++i) {
+      EXPECT_EQ(got.message.block->data()[i], want.block->data()[i]);
+    }
+  }
+}
+
+TEST(FrameCodecTest, RandomizedRoundTrip) {
+  std::mt19937 rng(20260808);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Message message = random_message(rng);
+    const int dst = trial % 7;
+    std::vector<std::uint8_t> bytes;
+    encode_message_frame(message, dst, bytes);
+    DecodedFrame decoded;
+    ASSERT_EQ(decode_frame(bytes, &decoded), DecodeStatus::kOk)
+        << "trial " << trial;
+    expect_equal(message, decoded, dst);
+  }
+}
+
+TEST(FrameCodecTest, HelloRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  encode_hello_frame(17, bytes);
+  DecodedFrame decoded;
+  ASSERT_EQ(decode_frame(bytes, &decoded), DecodeStatus::kOk);
+  EXPECT_EQ(decoded.kind, FrameKind::kHello);
+  EXPECT_EQ(decoded.hello_rank, 17);
+}
+
+TEST(FrameCodecTest, EveryTruncationRejected) {
+  std::mt19937 rng(7);
+  Message message = random_message(rng);
+  message.header = {1, 2, 3};
+  message.data = {4.0, 5.0};
+  std::vector<std::uint8_t> bytes;
+  encode_message_frame(message, 1, bytes);
+  ASSERT_GT(bytes.size(), kFramePrologBytes + kFrameChecksumBytes);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    DecodedFrame decoded;
+    EXPECT_NE(decode_frame(prefix, &decoded), DecodeStatus::kOk)
+        << "truncation at byte " << cut << " decoded";
+  }
+}
+
+TEST(FrameCodecTest, GarbageHeaderRejected) {
+  std::mt19937 rng(11);
+  Message message = random_message(rng);
+  std::vector<std::uint8_t> bytes;
+  encode_message_frame(message, 2, bytes);
+
+  auto stamp = [&](std::size_t at, std::uint32_t value) {
+    std::vector<std::uint8_t> copy = bytes;
+    std::memcpy(copy.data() + at, &value, sizeof(value));
+    return copy;
+  };
+  DecodedFrame decoded;
+  EXPECT_EQ(decode_frame(stamp(0, 0xDEADBEEF), &decoded),
+            DecodeStatus::kBadMagic);
+  // Version is a u16 at offset 8; stamping 32 bits also clears `kind`,
+  // which decode_prolog does not inspect before the version check.
+  EXPECT_EQ(decode_frame(stamp(8, 0x7FFF), &decoded),
+            DecodeStatus::kBadVersion);
+  EXPECT_EQ(decode_frame(stamp(4, kFrameMaxPayload + 1), &decoded),
+            DecodeStatus::kBadLength);
+
+  // Pure noise must never decode, whatever its length.
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::uniform_int_distribution<int> len(0, 256);
+    std::vector<std::uint8_t> noise(static_cast<std::size_t>(len(rng)));
+    for (auto& b : noise) b = static_cast<std::uint8_t>(byte(rng));
+    EXPECT_NE(decode_frame(noise, &decoded), DecodeStatus::kOk);
+  }
+}
+
+TEST(FrameCodecTest, CorruptedBytesRejected) {
+  std::mt19937 rng(13);
+  Message message = random_message(rng);
+  message.data = {1.5, -2.5, 3.5};
+  std::vector<std::uint8_t> bytes;
+  encode_message_frame(message, 3, bytes);
+  // Flip every byte in turn, except the reserved prolog word (bytes
+  // 12..15), which the codec deliberately ignores.
+  for (std::size_t at = 0; at < bytes.size(); ++at) {
+    if (at >= 12 && at < kFramePrologBytes) continue;
+    std::vector<std::uint8_t> copy = bytes;
+    copy[at] ^= 0x40;
+    DecodedFrame decoded;
+    EXPECT_NE(decode_frame(copy, &decoded), DecodeStatus::kOk)
+        << "flip at byte " << at << " went undetected";
+  }
+}
+
+TEST(FrameCodecTest, ChecksumCatchesPayloadSwap) {
+  // Two frames with swapped payloads but original checksums must both be
+  // rejected — the checksum binds payload bytes, not just length.
+  Message a, b;
+  a.tag = 1;
+  a.data = {1.0, 2.0};
+  b.tag = 2;
+  b.data = {3.0, 4.0};
+  std::vector<std::uint8_t> fa, fb;
+  encode_message_frame(a, 1, fa);
+  encode_message_frame(b, 1, fb);
+  ASSERT_EQ(fa.size(), fb.size());
+  const std::size_t payload = fa.size() - kFramePrologBytes - kFrameChecksumBytes;
+  std::vector<std::uint8_t> franken = fa;
+  std::memcpy(franken.data() + kFramePrologBytes,
+              fb.data() + kFramePrologBytes, payload);
+  DecodedFrame decoded;
+  EXPECT_EQ(decode_frame(franken, &decoded), DecodeStatus::kBadChecksum);
+}
+
+// Exactly-once accumulate across a transport reset: sender-side
+// ReliableChannel + receiver-side PeerSequencer over a loopback
+// SocketFabric whose connection is hard-reset mid-stream. Frames lost in
+// the reset are retransmitted; duplicates created by retransmit racing
+// the original are dropped by the sequencer — the applied sum must come
+// out as if the wire were perfect.
+TEST(FrameCodecTest, ReconnectMidStreamAppliesExactlyOnce) {
+  SocketOptions options;
+  options.role = SocketOptions::Role::kLoopback;
+  SocketFabric fabric(3, options);
+
+  ReliableChannel channel(&fabric, /*my_rank=*/1, /*retry_timeout_ms=*/25,
+                          /*retry_max=*/40);
+  PeerSequencer sequencer;
+
+  constexpr int kMessages = 24;
+  double applied_sum = 0.0;
+  int applied_count = 0;
+  auto pump_receiver = [&] {
+    while (auto got = fabric.try_recv(2)) {
+      PeerSequencer::Admit admit = sequencer.admit_ordered(std::move(*got));
+      const bool ack_needed = admit.duplicate || !admit.deliver.empty();
+      for (Message& m : admit.deliver) {
+        applied_sum += m.data.at(0);
+        ++applied_count;
+      }
+      if (ack_needed && applied_count > 0) {
+        // Cumulative ack of the applied prefix. The ordered stream
+        // delivers in sequence, so the applied seqs are exactly
+        // 1..applied_count; duplicates re-ack the same prefix so the
+        // sender clears entries whose first ack died in the reset.
+        Message ack;
+        ack.tag = kProtoAck;
+        ack.ack = static_cast<std::uint64_t>(applied_count);
+        fabric.send(2, 1, std::move(ack));
+      }
+    }
+  };
+  auto pump_sender_acks = [&] {
+    while (auto got = fabric.try_recv(1)) {
+      if (got->tag == kProtoAck) {
+        // Cumulative ack: clear everything at or below.
+        for (std::uint64_t s = 1; s <= got->ack; ++s) channel.on_ack(2, s);
+      }
+    }
+  };
+
+  double expected_sum = 0.0;
+  for (int i = 0; i < kMessages; ++i) {
+    Message message;
+    message.tag = kBlockPutAcc;
+    message.data = {static_cast<double>(i + 1)};
+    expected_sum += static_cast<double>(i + 1);
+    channel.send_ordered(2, std::move(message));
+    if (i == kMessages / 3 || i == 2 * kMessages / 3) {
+      // Hard-reset the transport as a peer crash would; queued frames
+      // die with the socket.
+      fabric.debug_break_connection();
+    }
+    pump_receiver();
+    pump_sender_acks();
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!channel.idle() || applied_count < kMessages) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "applied " << applied_count << "/" << kMessages << ", unacked "
+        << channel.unacked_count();
+    channel.poll();  // retransmits overdue entries
+    pump_receiver();
+    pump_sender_acks();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  EXPECT_EQ(applied_count, kMessages);
+  EXPECT_EQ(applied_sum, expected_sum);
+  fabric.stop();
+  // The reset forced at least one reconnect; any duplicate deliveries the
+  // retransmits caused were absorbed by the sequencer (duplicates_dropped
+  // counts them), never applied — applied_count above proves it.
+  EXPECT_GE(fabric.reconnects(), 1);
+}
+
+}  // namespace
+}  // namespace sia::msg
