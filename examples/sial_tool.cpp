@@ -3,6 +3,8 @@
 //   sial_tool compile  <file.sial>          parse + check + disassemble
 //   sial_tool dryrun   <file.sial> [opts]   master's memory analysis
 //   sial_tool run      <file.sial> [opts]   execute on the SIP
+//   sial_tool plan     <file.sial> [opts]   print the autotuner's plan and
+//                                           predicted time, without running
 //   sial_tool model    <file.sial> [opts]   project cluster-scale
 //                                           performance (paper sec. VIII)
 //
@@ -13,7 +15,11 @@
 //          bytecode, or the raw compiler output),
 //          -D name=value (symbolic constant; repeatable),
 //          --sparse-threshold X (screen sparse-array blocks with
-//          Frobenius norm below X; 0 = exact dense execution)
+//          Frobenius norm below X; 0 = exact dense execution),
+//          --no-autotune (run with the configuration exactly as given;
+//          `run` otherwise plans at launch — knobs set on the command
+//          line are pinned and never overridden; SIA_AUTOTUNE=0/1 wins
+//          over both)
 //
 // This is the developer-facing workflow the paper describes: compile the
 // SIAL program once, dry-run it to check feasibility, then run it with
@@ -51,10 +57,11 @@ std::string read_file(const std::string& path) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: sial_tool {compile|dryrun|run|model} <file.sial> "
+               "usage: sial_tool {compile|dryrun|run|plan|model} <file.sial> "
                "[-w workers] [-s servers] [-g segment] [-t threads] "
                "[-O0|-O1|-O2] [--dump-bytecode[=opt|raw]] "
                "[--sparse-threshold X] [-D name=value]... "
+               "[--no-autotune] "
                "[--transport thread|loopback|spawn]\n");
   return 2;
 }
@@ -76,6 +83,7 @@ int main(int argc, char** argv) {
   config.constants = {{"norb", 8}, {"nocc", 4}, {"maxiter", 2}, {"n", 8}};
   bool dump_bytecode = false;
   bool dump_raw = false;
+  bool no_autotune = false;
   for (int arg = 3; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "-w") == 0 && arg + 1 < argc) {
       config.workers = std::atoi(argv[++arg]);
@@ -98,6 +106,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[arg], "--sparse-threshold") == 0 &&
                arg + 1 < argc) {
       config.sparse_threshold = std::atof(argv[++arg]);
+    } else if (std::strcmp(argv[arg], "--no-autotune") == 0) {
+      no_autotune = true;
     } else if (std::strcmp(argv[arg], "--transport") == 0 && arg + 1 < argc) {
       config.transport = argv[++arg];
     } else if (std::strcmp(argv[arg], "-D") == 0 && arg + 1 < argc) {
@@ -142,6 +152,23 @@ int main(int argc, char** argv) {
       std::fputs(sip.analyze(program).to_string().c_str(), stdout);
       return 0;
     }
+    if (command == "plan") {
+      const sia::sip::Sip sip(config);
+      const sia::sip::PlanChoice choice = sip.plan(program);
+      std::printf("plan: %s\n", choice.summary.c_str());
+      std::printf("predicted %.3f s (serial baseline %.3f s), "
+                  "%d candidates swept, %s calibration\n",
+                  choice.predicted_seconds, choice.baseline_seconds,
+                  choice.candidates, choice.calibrated ? "host" : "cold");
+      if (!choice.pinned.empty()) {
+        std::printf("pinned by user:");
+        for (const std::string& knob : choice.pinned) {
+          std::printf(" %s", knob.c_str());
+        }
+        std::printf("\n");
+      }
+      return 0;
+    }
     if (command == "model") {
       const sia::sial::ResolvedProgram resolved(opt.program, config);
       const sia::sim::WorkloadModel workload =
@@ -169,6 +196,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "run") {
+      config.autotune = !no_autotune;
       sia::sip::Sip sip(config);
       // run_source (not run): spawn mode ships the source to children.
       const sia::sip::RunResult result = sip.run_source(source);

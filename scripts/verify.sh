@@ -24,4 +24,10 @@ echo "== tsan subset =="
 ctest --output-on-failure -L tsan
 echo "== chaos matrix =="
 ctest --output-on-failure -L chaos
+echo "== planner bench =="
+# End-to-end autotune check: plans, runs, calibrates, and exits nonzero
+# if a tuned run's checksum drifts from the hand-configured cells. The
+# JSON stays in the build tree; the committed BENCH_plan.json is only
+# refreshed by the bench_json target.
+"$build/bench/plan_json" "$build/BENCH_plan.json"
 echo "verify: all suites passed"

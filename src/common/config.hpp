@@ -158,6 +158,31 @@ struct SipConfig {
   int chunk_divisor = 2;
   long min_chunk = 1;
 
+  // Guided-schedule work stealing: when the chunk schedule is exhausted
+  // and a worker still asks for work, the master splits the tail off the
+  // largest outstanding chunk (the victim clamps the split to its scan
+  // position, so started iterations are never revoked) and hands it to
+  // the starved worker. Results stay bit-identical for assignment-
+  // independent pardos — iterations are independent by construction.
+  bool work_stealing = true;
+
+  // ---- Launch-time autotuning (the planner) ----
+
+  // Sweep the tunable knobs above (worker_threads, window_limit,
+  // prefetch_depth, chunk_divisor/min_chunk, segment size, put
+  // coalescing, server knobs) through the DES performance model at
+  // launch and apply the winning plan before resolution. Knobs the user
+  // set explicitly (any field differing from a default-constructed
+  // SipConfig) are pinned and never overridden. The SIA_AUTOTUNE
+  // environment variable ("0"/"1") wins over this field either way.
+  bool autotune = false;
+
+  // Per-host calibration constants file (measured GEMM rate, fabric
+  // latency/bandwidth, model bias) persisted after each planned run so
+  // the model self-corrects. Empty: SIA_CALIBRATION env, else
+  // ~/.cache/sia/calibration.
+  std::string calibration_file;
+
   // Directory for served-array disk files and checkpoints. Empty means a
   // fresh directory under the system temp dir, removed at shutdown.
   std::string scratch_dir;

@@ -16,6 +16,17 @@ enum Tag : int {
   kScalarReduce = 105,   // worker -> master: [scalar_slot] + data[1]
   kScalarBcast = 106,    // master -> worker: [scalar_slot] + data[1]
 
+  // Guided-schedule work stealing. When the ScheduleTable is exhausted
+  // and a worker still asks for work, the master proposes splitting the
+  // tail off a victim's outstanding chunk; the victim clamps the split to
+  // its current position (iterations already started are never revoked)
+  // and grants [max(split, pos), old_end). The grant reaches the thief as
+  // an ordinary kChunkReply. Control plane: never faulted by the chaos
+  // layer, like the chunk tags above.
+  kChunkStealRequest = 107,  // master -> victim: [pardo_id, instance, split]
+  kChunkStealReply = 108,    // victim -> master: [pardo_id, instance,
+                             //                    grant_begin, grant_end]
+
   // Worker <-> worker: distributed array traffic.
   kBlockGetRequest = 201,  // [array_id, block_linear, reply_rank]
   kBlockGetReply = 202,    // [array_id, block_linear] + data

@@ -44,6 +44,8 @@ double common_elements(const sial::ResolvedProgram& program,
 // Per-iteration cost accumulator.
 struct Cost {
   double flops = 0.0;
+  double execute_flops = 0.0;  // subset of flops from superinstructions
+  double peak_block_bytes = 0.0;
   double fetches = 0.0;
   double fetch_bytes = 0.0;
   double puts = 0.0;
@@ -51,6 +53,9 @@ struct Cost {
 
   void add(const Cost& other, double weight) {
     flops += weight * other.flops;
+    execute_flops += weight * other.execute_flops;
+    // The largest block touched does not scale with trip counts.
+    peak_block_bytes = std::max(peak_block_bytes, other.peak_block_bytes);
     fetches += weight * other.fetches;
     fetch_bytes += weight * other.fetch_bytes;
     puts += weight * other.puts;
@@ -73,6 +78,8 @@ class Analyzer {
       out.name = phase.name;
       out.tasks = std::max<std::int64_t>(1, phase.tasks);
       out.flops_per_task = phase.body.flops;
+      out.execute_flops_per_task = phase.body.execute_flops;
+      out.peak_block_bytes = phase.body.peak_block_bytes;
       out.fetches_per_task =
           static_cast<std::int64_t>(phase.body.fetches + 0.5);
       out.bytes_per_fetch =
@@ -91,6 +98,8 @@ class Analyzer {
       out.name = "sequential";
       out.tasks = 1;
       out.flops_per_task = serial_.flops;
+      out.execute_flops_per_task = serial_.execute_flops;
+      out.peak_block_bytes = serial_.peak_block_bytes;
       out.fetches_per_task =
           static_cast<std::int64_t>(serial_.fetches + 0.5);
       out.bytes_per_fetch =
@@ -233,6 +242,9 @@ class Analyzer {
   }
 
   void account(const Instruction& instr, double multiplier, bool in_pardo) {
+    const auto block_bytes = [&](const sial::BlockOperand& operand) {
+      return 8.0 * operand_elements(program_, operand);
+    };
     Cost cost;
     switch (instr.op) {
       case Opcode::kBlockBinary: {
@@ -244,21 +256,29 @@ class Analyzer {
         } else {
           cost.flops = 2.0 * dst;
         }
+        cost.peak_block_bytes =
+            std::max({block_bytes(instr.blocks[0]),
+                      block_bytes(instr.blocks[1]),
+                      block_bytes(instr.blocks[2])});
         break;
       }
       case Opcode::kBlockCopy:
       case Opcode::kBlockScaledCopy:
       case Opcode::kBlockScalarOp:
         cost.flops = operand_elements(program_, instr.blocks[0]);
+        cost.peak_block_bytes = block_bytes(instr.blocks[0]);
         break;
       case Opcode::kBlockDot:
         cost.flops = 2.0 * operand_elements(program_, instr.blocks[0]);
+        cost.peak_block_bytes = block_bytes(instr.blocks[0]);
         break;
       case Opcode::kExecute: {
         for (const sial::ExecOperand& arg : instr.eargs) {
           if (arg.kind == sial::ExecOperand::Kind::kBlock) {
             cost.flops += options_.execute_flops_per_element *
                           operand_elements(program_, arg.block);
+            cost.execute_flops = cost.flops;
+            cost.peak_block_bytes = block_bytes(arg.block);
             break;  // first block argument sets the scale
           }
         }
@@ -273,6 +293,7 @@ class Analyzer {
                 program_.array(instr.blocks[0].array_id)
                     .max_block_elements) *
             8.0;
+        cost.peak_block_bytes = cost.fetch_bytes;
         break;
       }
       case Opcode::kPut:
@@ -283,6 +304,7 @@ class Analyzer {
                 program_.array(instr.blocks[0].array_id)
                     .max_block_elements) *
             8.0;
+        cost.peak_block_bytes = cost.put_bytes;
         break;
       }
       default:

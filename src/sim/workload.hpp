@@ -21,6 +21,13 @@ struct PhaseModel {
   std::string name;
   std::int64_t tasks = 0;        // filtered pardo iterations
   double flops_per_task = 0.0;
+  // Subset of flops_per_task from `execute`d superinstructions (integral
+  // generators): per-element work whose rate does not follow the GEMM
+  // efficiency curve. Zero in the hand-built workloads.
+  double execute_flops_per_task = 0.0;
+  // Largest single block an iteration touches, in bytes — the planner's
+  // cache-spill signal for superinstruction output blocks.
+  double peak_block_bytes = 0.0;
   std::int64_t fetches_per_task = 0;  // remote block fetches per iteration
   double bytes_per_fetch = 0.0;
   std::int64_t puts_per_task = 0;

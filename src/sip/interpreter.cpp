@@ -166,6 +166,38 @@ void Interpreter::handle_message(msg::Message& message) {
                       message.header[1]}] = {message.header[2],
                                              message.header[3]};
       break;
+    case msg::kChunkStealRequest: {
+      // The master wants the tail of this worker's outstanding chunk for
+      // a starved worker. Clamp the proposed split to the current scan
+      // position — iterations already started (including ones still in
+      // the dataflow window, which are all < pos) are never revoked — and
+      // grant [max(split, pos), chunk_end). Runs on the interpreter
+      // thread like every handler, so touching the frame is safe.
+      const int pardo_id = static_cast<int>(message.header[0]);
+      const std::int64_t instance = message.header[1];
+      const std::int64_t split = message.header[2];
+      std::int64_t grant_begin = 0, grant_end = 0;
+      for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+        Frame& frame = *it;
+        if (frame.kind != Frame::Kind::kPardo ||
+            frame.pardo_id != pardo_id || frame.instance != instance) {
+          continue;
+        }
+        const std::int64_t safe = std::max(split, frame.pos);
+        if (safe < frame.chunk_end) {
+          grant_begin = safe;
+          grant_end = frame.chunk_end;
+          frame.chunk_end = safe;
+        }
+        break;
+      }
+      msg::Message reply;
+      reply.tag = msg::kChunkStealReply;
+      reply.header = {pardo_id, instance, grant_begin, grant_end};
+      shared_.fabric->send(my_rank_, shared_.master_rank(),
+                           std::move(reply));
+      break;
+    }
     case msg::kBarrierRelease:
       barrier_released_[message.header[0]] = true;
       // Advance the epoch immediately: messages behind this one in the
@@ -818,6 +850,10 @@ bool Interpreter::pardo_advance(Frame& frame) {
     dist_->flush_coalesced();
     served_->flush_coalesced();
   }
+  // Poll the mailbox once per iteration boundary: a compute-bound body
+  // may issue no blocking operation for a whole chunk, and the master's
+  // steal requests (and peers' get requests) should not wait that long.
+  service_messages();
   while (true) {
     if (frame.pos < frame.chunk_end) {
       data_->clear_temps();

@@ -70,6 +70,35 @@ DryRunReport Sip::analyze(const sial::CompiledProgram& program) const {
   return dry_run(resolved);
 }
 
+namespace {
+
+// SIA_AUTOTUNE wins over config.autotune in both directions, so test
+// suites can force planning off (or on) without touching code.
+bool autotune_enabled(const SipConfig& config) {
+  if (const char* env = std::getenv("SIA_AUTOTUNE")) {
+    if (env[0] == '0' && env[1] == '\0') return false;
+    if (env[0] == '1' && env[1] == '\0') return true;
+  }
+  return config.autotune;
+}
+
+// Mean served block size, for turning the servers' block-count disk
+// counters into an observed-bandwidth estimate.
+double avg_served_block_bytes(const sial::ResolvedProgram& resolved) {
+  std::size_t elements = 0;
+  std::int64_t blocks = 0;
+  for (const sial::ResolvedArray& array : resolved.arrays()) {
+    if (array.kind != sial::ArrayKind::kServed) continue;
+    elements += array.total_elements;
+    blocks += array.total_blocks;
+  }
+  if (blocks <= 0) return 0.0;
+  return static_cast<double>(elements) * sizeof(double) /
+         static_cast<double>(blocks);
+}
+
+}  // namespace
+
 RunResult Sip::run(const sial::CompiledProgram& program) {
   // Fault-plan pickup: an explicit plan in the config wins; otherwise
   // SIA_FAULT_PLAN lets a harness inject faults without touching code.
@@ -89,8 +118,38 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
   }
   // The mid-end runs between the compiler and program finalization; at
   // -O0 `optimize` returns an untouched copy.
-  const sial::ResolvedProgram resolved(
-      sial::opt::optimize(program, config_.opt_level).program, config_);
+  sial::CompiledProgram optimized =
+      sial::opt::optimize(program, config_.opt_level).program;
+
+  // Launch-time autotuning: sweep the knobs through the DES model and
+  // apply the winning plan to config_ *before* resolution, so segment
+  // size takes effect and spawn mode ships the tuned values in its
+  // bundle (children never re-plan: autotune is not serialized).
+  ProfileReport::Plan plan_record;
+  Calibration calibration;
+  std::string cal_path;
+  double measured_gflops = 0.0;
+  if (autotune_enabled(config_) && !config_.dry_run_only) {
+    cal_path = calibration_path(config_);
+    calibration = Calibration::load(cal_path);
+    measured_gflops = measure_gemm_gflops();
+    Calibration plan_cal = calibration;
+    plan_cal.gemm_gflops =
+        calibration.runs > 0
+            ? 0.5 * calibration.gemm_gflops + 0.5 * measured_gflops
+            : measured_gflops;
+    const PlanChoice choice =
+        plan_launch(optimized, config_, plan_cal, HostModel{});
+    config_ = choice.config;
+    plan_record.planned = true;
+    plan_record.calibrated = choice.calibrated;
+    plan_record.predicted_seconds = choice.predicted_seconds;
+    plan_record.candidates = choice.candidates;
+    plan_record.summary = choice.summary;
+    plan_record.pinned = choice.pinned;
+  }
+
+  const sial::ResolvedProgram resolved(std::move(optimized), config_);
 
   // "The master inspects the SIAL program in dry-run mode" before any
   // resources are committed (paper §V-B).
@@ -107,6 +166,26 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
         result.dry_run.workers_needed);
   }
 
+  // Closes the autotuning loop after execution: records predicted vs
+  // actual in the profile and folds the run's observed rates back into
+  // the calibration file that seeds the next plan.
+  const double block_bytes = avg_served_block_bytes(resolved);
+  auto finish_plan = [&](RunResult& r, double actual_seconds) {
+    if (!plan_record.planned) return;
+    plan_record.actual_seconds = actual_seconds;
+    r.profile.plan = plan_record;
+    const double bytes_moved =
+        static_cast<double>(r.traffic.payload_doubles_sent) * sizeof(double);
+    const double disk_bytes =
+        static_cast<double>(r.profile.served.server_disk_reads +
+                            r.profile.served.server_disk_writes) *
+        block_bytes;
+    update_calibration(&calibration, plan_record.predicted_seconds,
+                       actual_seconds, measured_gflops, bytes_moved,
+                       r.traffic.messages_sent, disk_bytes);
+    calibration.save(cal_path);  // best effort; a read-only HOME is fine
+  };
+
   // Spawn mode: every worker and I/O-server rank is its own OS process
   // wired to this process's socket hub. The children recompile the SIAL
   // source, so only run_source() launches can spawn.
@@ -116,12 +195,16 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
           "transport=spawn requires run_source(): spawned ranks recompile "
           "the SIAL source, which run(CompiledProgram) does not carry");
     }
-    return run_spawned(config_, scratch_dir_, pending_source_, resolved,
-                       std::move(result));
+    const double spawn_start = wall_seconds();
+    RunResult spawned = run_spawned(config_, scratch_dir_, pending_source_,
+                                    resolved, std::move(result));
+    finish_plan(spawned, wall_seconds() - spawn_start);
+    return spawned;
   }
 
   // Screened-kernel counter is process-global; delta it across the run.
   const std::uint64_t kernels_screened_before = kernels_screened_count();
+  const double exec_start = wall_seconds();
 
   const bool fault_tolerant = config_.fault_tolerance_enabled();
   // Transport: plain in-process mailboxes, or the loopback socket fabric
@@ -233,6 +316,7 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
   }
   threads[0] = std::thread([&master] { master.run(); });
   for (std::thread& thread : threads) thread.join();
+  const double exec_seconds = wall_seconds() - exec_start;
 
   {
     std::lock_guard<std::mutex> lock(shared.error_mutex);
@@ -390,6 +474,12 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
   ProfileReport::Robustness& robustness = result.profile.robustness;
   robustness.heartbeats_missed = master.stats().heartbeats_missed;
   robustness.server_recoveries = master.stats().server_recoveries;
+  ProfileReport::Scheduling& scheduling = result.profile.scheduling;
+  scheduling.chunks_served = master.stats().chunks_served;
+  scheduling.steal_attempts = master.stats().steal_attempts;
+  scheduling.steals_granted = master.stats().steals_granted;
+  scheduling.stolen_iterations = master.stats().stolen_iterations;
+  scheduling.worker_iterations = master.stats().worker_iterations;
   robustness.sends_after_stop = result.traffic.sends_after_stop;
   if (const auto* chaos =
           dynamic_cast<const msg::ChaosFabric*>(fabric.get())) {
@@ -459,7 +549,19 @@ RunResult Sip::run(const sial::CompiledProgram& program) {
       screening.arrays.push_back(std::move(census));
     }
   }
+  finish_plan(result, exec_seconds);
   return result;
+}
+
+PlanChoice Sip::plan(const sial::CompiledProgram& program) const {
+  Calibration calibration = Calibration::load(calibration_path(config_));
+  const double measured = measure_gemm_gflops();
+  calibration.gemm_gflops =
+      calibration.runs > 0
+          ? 0.5 * calibration.gemm_gflops + 0.5 * measured
+          : measured;
+  return plan_launch(sial::opt::optimize(program, config_.opt_level).program,
+                     config_, calibration, HostModel{});
 }
 
 }  // namespace sia::sip

@@ -14,6 +14,7 @@
 #include "msg/fabric.hpp"
 #include "sial/bytecode.hpp"
 #include "sip/master.hpp"
+#include "sip/planner.hpp"
 #include "sip/profiler.hpp"
 
 namespace sia::sip {
@@ -66,6 +67,12 @@ class Sip {
   // Dry run only: resolve, analyze, and return the report without
   // executing (does not throw on infeasibility).
   DryRunReport analyze(const sial::CompiledProgram& program) const;
+
+  // Runs the launch-time planner without executing: loads calibration,
+  // measures the GEMM rate, sweeps the knobs through the DES model, and
+  // returns the tuned configuration with its prediction record. This is
+  // exactly the plan run(...) would apply with config.autotune set.
+  PlanChoice plan(const sial::CompiledProgram& program) const;
 
   const SipConfig& config() const { return config_; }
   const std::string& scratch_dir() const { return scratch_dir_; }

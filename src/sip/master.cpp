@@ -184,12 +184,34 @@ std::string DryRunReport::to_string() const {
 Master::Master(SipShared& shared)
     : shared_(shared),
       schedules_(shared.config.workers, shared.config.chunk_divisor,
-                 shared.config.min_chunk) {}
+                 shared.config.min_chunk),
+      work_stealing_(shared.config.work_stealing &&
+                     shared.config.workers > 1),
+      outstanding_(static_cast<std::size_t>(shared.config.workers)) {
+  stats_.worker_iterations.assign(
+      static_cast<std::size_t>(shared.config.workers), 0);
+}
+
+void Master::send_chunk_reply(int rank, const ChunkKey& key,
+                              std::int64_t begin, std::int64_t end) {
+  msg::Message reply;
+  reply.tag = msg::kChunkReply;
+  reply.header = {key.pardo_id, key.instance, begin, end};
+  shared_.fabric->send(shared_.master_rank(), rank, std::move(reply));
+}
 
 void Master::handle_chunk_request(const msg::Message& message) {
   const int pardo_id = static_cast<int>(message.header[0]);
   const std::int64_t instance = message.header[1];
   const std::int64_t total = message.header[2];
+  const ChunkKey key{pardo_id, instance};
+
+  // A new request means the worker finished whatever it held.
+  const std::size_t wi = static_cast<std::size_t>(message.src - 1);
+  if (wi < outstanding_.size()) {
+    outstanding_[wi].valid = false;
+    outstanding_[wi].steal_failed = false;
+  }
 
   bool mismatch = false;
   GuidedSchedule* schedule =
@@ -200,13 +222,136 @@ void Master::handle_chunk_request(const msg::Message& message) {
         std::to_string(pardo_id) +
         " (divergent control flow between workers?)");
   }
+  // A range orphaned by a steal whose thief was already answered is
+  // served before the schedule (it came out of the schedule originally).
+  auto spare = spare_.find(key);
+  if (spare != spare_.end() && !spare->second.empty()) {
+    const auto [sb, se] = spare->second.back();
+    spare->second.pop_back();
+    if (spare->second.empty()) spare_.erase(spare);
+    if (wi < outstanding_.size()) {
+      outstanding_[wi] = {key, sb, se, true, false};
+      stats_.worker_iterations[wi] += se - sb;
+    }
+    send_chunk_reply(message.src, key, sb, se);
+    return;
+  }
   const auto [begin, end] = schedule->next_chunk();
-  if (begin >= end) schedules_.retire(pardo_id, instance);
+  if (begin < end) {
+    ++stats_.chunks_served;
+    if (wi < outstanding_.size()) {
+      outstanding_[wi] = {key, begin, end, true, false};
+      stats_.worker_iterations[wi] += end - begin;
+    }
+    send_chunk_reply(message.src, key, begin, end);
+    return;
+  }
+  if (!work_stealing_) {
+    schedules_.retire(pardo_id, instance);
+    send_chunk_reply(message.src, key, begin, end);
+    return;
+  }
+  // Schedule exhausted: before answering "done", try to reassign the
+  // tail of another worker's outstanding chunk. The reply is deferred
+  // until the steal resolves (grant or no eligible victim).
+  starved_[key].push_back(message.src);
+  resolve_starved(key);
+}
 
-  msg::Message reply;
-  reply.tag = msg::kChunkReply;
-  reply.header = {pardo_id, instance, begin, end};
-  shared_.fabric->send(shared_.master_rank(), message.src, std::move(reply));
+void Master::resolve_starved(const ChunkKey& key) {
+  auto queue = starved_.find(key);
+  if (queue == starved_.end() || queue->second.empty()) {
+    if (queue != starved_.end()) starved_.erase(queue);
+    return;
+  }
+  // One steal at a time: when the in-flight one resolves, every starved
+  // queue is revisited.
+  if (steal_.has_value()) return;
+
+  // Victim: the worker holding the largest outstanding chunk for this
+  // pardo instance (the best proxy for "slowest" the master has without
+  // asking), deterministic tie-break by rank. A chunk needs >= 2
+  // iterations so the split leaves both sides at least one.
+  int victim = -1;
+  std::int64_t victim_size = 1;
+  for (std::size_t w = 0; w < outstanding_.size(); ++w) {
+    const OutstandingChunk& chunk = outstanding_[w];
+    if (!chunk.valid || chunk.steal_failed || !(chunk.key == key)) continue;
+    const std::int64_t size = chunk.end - chunk.begin;
+    if (size > victim_size) {
+      victim_size = size;
+      victim = static_cast<int>(w) + 1;
+    }
+  }
+  if (victim < 0) {
+    // Nothing stealable: everyone still queued is done with this pardo.
+    for (const int rank : queue->second) {
+      schedules_.retire(key.pardo_id, key.instance);
+      send_chunk_reply(rank, key, 0, 0);
+    }
+    starved_.erase(queue);
+    return;
+  }
+  const OutstandingChunk& chunk =
+      outstanding_[static_cast<std::size_t>(victim - 1)];
+  // Propose the midpoint; the victim clamps to its actual position, so
+  // iterations already started are never revoked.
+  const std::int64_t split = chunk.begin + (chunk.end - chunk.begin) / 2;
+  steal_ = StealInFlight{key, victim};
+  ++stats_.steal_attempts;
+  msg::Message request;
+  request.tag = msg::kChunkStealRequest;
+  request.header = {key.pardo_id, key.instance, split};
+  shared_.fabric->send(shared_.master_rank(), victim, std::move(request));
+}
+
+void Master::handle_steal_reply(const msg::Message& message) {
+  const ChunkKey key{static_cast<int>(message.header[0]),
+                     message.header[1]};
+  const std::int64_t grant_begin = message.header[2];
+  const std::int64_t grant_end = message.header[3];
+  if (!steal_.has_value() || steal_->victim_rank != message.src ||
+      !(steal_->key == key)) {
+    throw InternalError("steal reply does not match the steal in flight");
+  }
+  steal_.reset();
+
+  const std::size_t vi = static_cast<std::size_t>(message.src - 1);
+  OutstandingChunk& victim = outstanding_[vi];
+  const bool victim_current = victim.valid && victim.key == key;
+  if (grant_begin < grant_end) {
+    if (victim_current) {
+      // The victim shrank its chunk to end at the grant.
+      stats_.worker_iterations[vi] -=
+          std::min(victim.end, grant_end) - grant_begin;
+      victim.end = grant_begin;
+    }
+    auto queue = starved_.find(key);
+    if (queue != starved_.end() && !queue->second.empty()) {
+      const int thief = queue->second.front();
+      queue->second.pop_front();
+      ++stats_.steals_granted;
+      stats_.stolen_iterations += grant_end - grant_begin;
+      const std::size_t ti = static_cast<std::size_t>(thief - 1);
+      if (ti < outstanding_.size()) {
+        outstanding_[ti] = {key, grant_begin, grant_end, true, false};
+        stats_.worker_iterations[ti] += grant_end - grant_begin;
+      }
+      send_chunk_reply(thief, key, grant_begin, grant_end);
+    } else {
+      // No thief left waiting. The victim already gave the range up, so
+      // it must not be lost: park it and serve it to the next request
+      // for this pardo instance, ahead of the (exhausted) schedule.
+      spare_[key].emplace_back(grant_begin, grant_end);
+    }
+  } else if (victim_current) {
+    victim.steal_failed = true;
+  }
+  // Revisit every queue the single-steal rule may have blocked.
+  std::vector<ChunkKey> keys;
+  keys.reserve(starved_.size());
+  for (const auto& [k, ranks] : starved_) keys.push_back(k);
+  for (const ChunkKey& k : keys) resolve_starved(k);
 }
 
 void Master::release_barrier(std::int64_t seq) {
@@ -412,6 +557,9 @@ void Master::run() {
       switch (message->tag) {
         case msg::kChunkRequest:
           handle_chunk_request(*message);
+          break;
+        case msg::kChunkStealReply:
+          handle_steal_reply(*message);
           break;
         case msg::kBarrierEnter:
           handle_barrier_enter(*message);

@@ -15,7 +15,9 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -63,6 +65,15 @@ class Master {
   struct Stats {
     std::int64_t heartbeats_missed = 0;   // individual missed beats
     std::int64_t server_recoveries = 0;   // successful I/O-server respawns
+    // Guided-schedule scheduling + work stealing (master side, so the
+    // counters survive spawn mode where worker profiles are not shipped).
+    std::int64_t chunks_served = 0;       // chunks granted from schedules
+    std::int64_t steal_attempts = 0;      // split proposals sent to victims
+    std::int64_t steals_granted = 0;      // non-empty grants forwarded
+    std::int64_t stolen_iterations = 0;   // iterations moved by stealing
+    // Iterations granted per worker (schedule chunks + stolen tails),
+    // indexed by worker: the imbalance histogram for the ProfileReport.
+    std::vector<std::int64_t> worker_iterations;
   };
 
   explicit Master(SipShared& shared);
@@ -80,7 +91,39 @@ class Master {
     double sum = 0.0;
   };
 
+  // One pardo instance's chunk bookkeeping key.
+  struct ChunkKey {
+    int pardo_id = 0;
+    std::int64_t instance = 0;
+    bool operator<(const ChunkKey& other) const {
+      return pardo_id != other.pardo_id ? pardo_id < other.pardo_id
+                                        : instance < other.instance;
+    }
+    bool operator==(const ChunkKey& other) const {
+      return pardo_id == other.pardo_id && instance == other.instance;
+    }
+  };
+  // The chunk most recently granted to a worker and not yet finished
+  // (the worker finishes it exactly when its next request arrives).
+  struct OutstandingChunk {
+    ChunkKey key;
+    std::int64_t begin = 0, end = 0;
+    bool valid = false;
+    bool steal_failed = false;  // victim answered an empty grant for it
+  };
+  struct StealInFlight {
+    ChunkKey key;
+    int victim_rank = 0;
+  };
+
   void handle_chunk_request(const msg::Message& message);
+  void handle_steal_reply(const msg::Message& message);
+  // Schedule exhausted but `key` still has starved requesters: start a
+  // steal against the worker with the largest outstanding chunk, or —
+  // when nothing is stealable — answer everyone "done".
+  void resolve_starved(const ChunkKey& key);
+  void send_chunk_reply(int rank, const ChunkKey& key, std::int64_t begin,
+                        std::int64_t end);
   void handle_barrier_enter(const msg::Message& message);
   void handle_server_ack(const msg::Message& message);
   void handle_scalar_reduce(const msg::Message& message);
@@ -104,6 +147,19 @@ class Master {
   std::map<std::int64_t, BarrierState> barriers_;       // by sequence
   std::map<std::int64_t, CollectiveState> collectives_; // by sequence
   int workers_done_ = 0;
+
+  // Work-stealing state. outstanding_ is indexed by worker (rank - 1);
+  // starved_ queues requesters whose reply waits on a steal resolution;
+  // at most one steal is in flight at a time (the victim answers exactly
+  // once, so resolution is a simple state machine).
+  bool work_stealing_ = false;
+  std::vector<OutstandingChunk> outstanding_;
+  std::map<ChunkKey, std::deque<int>> starved_;
+  std::optional<StealInFlight> steal_;
+  // Granted-but-unassigned ranges (steal resolved after its thief was
+  // answered by another path); served ahead of the schedule.
+  std::map<ChunkKey, std::vector<std::pair<std::int64_t, std::int64_t>>>
+      spare_;
 
   // Watchdog state, indexed by fabric rank.
   std::int64_t heartbeat_tick_ = 0;

@@ -7,6 +7,22 @@
 
 namespace sia::sip {
 
+double ProfileReport::Scheduling::imbalance_percent() const {
+  if (worker_iterations.empty()) return 0.0;
+  std::int64_t lo = worker_iterations.front();
+  std::int64_t hi = worker_iterations.front();
+  std::int64_t sum = 0;
+  for (const std::int64_t n : worker_iterations) {
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+    sum += n;
+  }
+  if (sum <= 0) return 0.0;
+  const double mean =
+      static_cast<double>(sum) / static_cast<double>(worker_iterations.size());
+  return 100.0 * static_cast<double>(hi - lo) / mean;
+}
+
 double ProfileReport::wait_percent() const {
   if (total_busy + total_wait <= 0.0) return 0.0;
   return 100.0 * total_wait / (total_busy + total_wait);
@@ -102,6 +118,37 @@ std::string ProfileReport::to_string() const {
                                  : 0.0,
                  1)
           << "%)\n";
+    }
+  }
+  if (plan.any()) {
+    out << "plan: " << plan.summary << "\n";
+    out << "  predicted " << TablePrinter::num(plan.predicted_seconds, 3)
+        << " s";
+    if (plan.actual_seconds > 0.0) {
+      out << ", actual " << TablePrinter::num(plan.actual_seconds, 3)
+          << " s (model error "
+          << TablePrinter::num(plan.error_percent(), 1) << "%)";
+    }
+    out << "; " << plan.candidates << " candidates swept, "
+        << (plan.calibrated ? "calibrated" : "cold calibration") << "\n";
+    if (!plan.pinned.empty()) {
+      out << "  pinned by user:";
+      for (const std::string& knob : plan.pinned) out << " " << knob;
+      out << "\n";
+    }
+  }
+  if (scheduling.any()) {
+    out << "scheduling: " << scheduling.chunks_served << " chunks, "
+        << scheduling.steal_attempts << " steal attempts, "
+        << scheduling.steals_granted << " granted ("
+        << scheduling.stolen_iterations << " iterations moved), imbalance "
+        << TablePrinter::num(scheduling.imbalance_percent(), 1) << "%\n";
+    if (!scheduling.worker_iterations.empty()) {
+      out << "  iterations by worker:";
+      for (const std::int64_t n : scheduling.worker_iterations) {
+        out << " " << n;
+      }
+      out << "\n";
     }
   }
   if (!pardos.empty()) {

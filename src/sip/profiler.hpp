@@ -257,6 +257,42 @@ struct ProfileReport {
   };
   Screening screening;
 
+  // Launch-time planner record (config.autotune): what the DES model
+  // predicted, what actually happened, and how far apart they were. All
+  // zero/false when the run was not planned.
+  struct Plan {
+    bool planned = false;
+    bool calibrated = false;        // calibration file had prior runs
+    double predicted_seconds = 0.0; // DES prediction for the chosen plan
+    double actual_seconds = 0.0;    // measured wall time of the run
+    int candidates = 0;             // configurations swept
+    std::string summary;            // chosen knobs, "key=value ..." form
+    std::vector<std::string> pinned;  // user-set knobs left untouched
+
+    double error_percent() const {
+      if (actual_seconds <= 0.0 || predicted_seconds <= 0.0) return 0.0;
+      return 100.0 * (predicted_seconds - actual_seconds) / actual_seconds;
+    }
+    bool any() const { return planned; }
+  };
+  Plan plan;
+
+  // Guided-schedule counters from the master: chunks served, work-steal
+  // traffic, and the per-worker iteration histogram (master-side, so
+  // they survive spawn mode where worker profiles are not shipped).
+  struct Scheduling {
+    std::int64_t chunks_served = 0;
+    std::int64_t steal_attempts = 0;
+    std::int64_t steals_granted = 0;
+    std::int64_t stolen_iterations = 0;
+    std::vector<std::int64_t> worker_iterations;  // indexed by worker
+
+    // Spread of the iteration histogram: (max - min) / mean, percent.
+    double imbalance_percent() const;
+    bool any() const { return chunks_served != 0 || steal_attempts != 0; }
+  };
+  Scheduling scheduling;
+
   // Percentage of elapsed time spent waiting (the paper's bottom line in
   // Fig. 2), averaged over workers.
   double wait_percent() const;

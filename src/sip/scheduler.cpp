@@ -10,6 +10,15 @@ std::pair<std::int64_t, std::int64_t> GuidedSchedule::next_chunk() {
   std::int64_t size =
       remaining / (static_cast<std::int64_t>(chunk_divisor_) * workers_);
   size = std::max<std::int64_t>(size, min_chunk_);
+  // Fair-share clamp: once remaining < chunk_divisor * workers * min_chunk
+  // the guided term underflows and every chunk is min_chunk regardless of
+  // how many workers still want work — with a large min_chunk one worker
+  // grabs nearly the whole tail and the rest starve. Cap late chunks at
+  // ceil(remaining / workers) so the tail still splits across the active
+  // workers; the fair share wins over min_chunk when they conflict.
+  const std::int64_t fair =
+      (remaining + workers_ - 1) / std::max(workers_, 1);
+  size = std::min(size, std::max<std::int64_t>(fair, 1));
   size = std::min(size, remaining);
   const std::int64_t begin = next_;
   next_ += size;

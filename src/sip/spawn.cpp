@@ -88,6 +88,7 @@ std::string serialize_bundle(const SipConfig& c, const std::string& connect,
   num("batch_gets", c.batch_gets ? 1 : 0);
   num("chunk_divisor", c.chunk_divisor);
   num("min_chunk", c.min_chunk);
+  num("work_stealing", c.work_stealing ? 1 : 0);
   num("profiling", c.profiling ? 1 : 0);
   num("reliable_protocol", c.reliable_protocol ? 1 : 0);
   num("retry_timeout_ms", c.retry_timeout_ms);
@@ -185,6 +186,7 @@ Bundle parse_bundle(const std::string& text) {
     else if (key == "batch_gets") c.batch_gets = parse_ll(key, value) != 0;
     else if (key == "chunk_divisor") c.chunk_divisor = static_cast<int>(parse_ll(key, value));
     else if (key == "min_chunk") c.min_chunk = parse_ll(key, value);
+    else if (key == "work_stealing") c.work_stealing = parse_ll(key, value) != 0;
     else if (key == "profiling") c.profiling = parse_ll(key, value) != 0;
     else if (key == "reliable_protocol") c.reliable_protocol = parse_ll(key, value) != 0;
     else if (key == "retry_timeout_ms") c.retry_timeout_ms = static_cast<int>(parse_ll(key, value));
@@ -721,6 +723,14 @@ RunResult run_spawned(const SipConfig& config_in,
   robustness.heartbeats_missed = master.stats().heartbeats_missed;
   robustness.server_recoveries = master.stats().server_recoveries;
   robustness.sends_after_stop = result.traffic.sends_after_stop;
+  // Scheduling counters live master-side precisely so they survive spawn
+  // mode (worker profiles are not shipped back).
+  ProfileReport::Scheduling& scheduling = result.profile.scheduling;
+  scheduling.chunks_served = master.stats().chunks_served;
+  scheduling.steal_attempts = master.stats().steal_attempts;
+  scheduling.steals_granted = master.stats().steals_granted;
+  scheduling.stolen_iterations = master.stats().stolen_iterations;
+  scheduling.worker_iterations = master.stats().worker_iterations;
   robustness.faults_dropped = faults.drops;
   robustness.faults_duplicated = faults.dups;
   robustness.faults_delayed = faults.delays;

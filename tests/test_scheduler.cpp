@@ -45,6 +45,41 @@ TEST(GuidedScheduleTest, MinChunkRespected) {
   EXPECT_EQ(end - begin, 3);
 }
 
+TEST(GuidedScheduleTest, MinChunkClampedToFairShare) {
+  // A min_chunk larger than the fair share must not let the first
+  // requester walk off with nearly the whole iteration space (the skew
+  // that forces work stealing downstream): chunks honor min_chunk only
+  // up to ceil(remaining / workers).
+  GuidedSchedule schedule(100, 4, 2, 60);
+  const auto [b0, e0] = schedule.next_chunk();
+  EXPECT_EQ(e0 - b0, 25);  // ceil(100/4), not 60
+  const auto [b1, e1] = schedule.next_chunk();
+  EXPECT_EQ(e1 - b1, 19);  // ceil(75/4)
+}
+
+TEST(GuidedScheduleTest, FairShareClampStillCoversEverything) {
+  GuidedSchedule schedule(100, 4, 2, 60);
+  std::vector<int> seen(100, 0);
+  while (true) {
+    const auto [begin, end] = schedule.next_chunk();
+    if (begin >= end) break;
+    EXPECT_GE(end - begin, 1);
+    for (std::int64_t p = begin; p < end; ++p) {
+      seen[static_cast<std::size_t>(p)] += 1;
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+  EXPECT_TRUE(schedule.exhausted());
+}
+
+TEST(GuidedScheduleTest, DefaultMinChunkUnaffectedByClamp) {
+  // With min_chunk at its default the clamp never binds: the guided
+  // fraction is already below the fair share.
+  GuidedSchedule schedule(800, 4, 2, 1);
+  const auto [begin, end] = schedule.next_chunk();
+  EXPECT_EQ(end - begin, 800 / (2 * 4));
+}
+
 TEST(GuidedScheduleTest, EmptySpaceIsImmediatelyDone) {
   GuidedSchedule schedule(0, 4, 2, 1);
   const auto [begin, end] = schedule.next_chunk();
